@@ -1,0 +1,106 @@
+// Ablation: Sybil defenses as connectivity rankings (Viswanath et al.,
+// cited by the paper's §2 as concurrent confirmation).
+//
+// For each dataset class, attack the graph with a fixed Sybil region and
+// compare three admission mechanisms from one honest verifier:
+//   * SybilLimit (full protocol: routes, tails, balance),
+//   * walk-probability ranking (early-terminated walk landing probability),
+//   * personalized-PageRank ranking.
+// Reported: honest admission, Sybils admitted, and ranking AUC. The paper's
+// expectation: all three degrade together on community-structured (slow
+// mixing) graphs — because they all are, at heart, the same random walk.
+//
+//   --nodes N     (default 2000)
+//   --seed N
+#include <cstdio>
+#include <iostream>
+
+#include "gen/datasets.hpp"
+#include "sybil/attack.hpp"
+#include "sybil/ranking.hpp"
+#include "sybil/sybil_infer.hpp"
+#include "sybil/sybil_limit.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace socmix;
+
+int main(int argc, char** argv) {
+  const util::Cli cli{argc, argv};
+  const auto nodes = static_cast<graph::NodeId>(cli.get_i64("nodes", 2000));
+  const auto seed = static_cast<std::uint64_t>(cli.get_i64("seed", 42));
+
+  std::cout << "Ablation: SybilLimit vs ranking-based admission (Viswanath)\n\n";
+
+  util::TextTable table;
+  table.header({"Dataset", "defense", "honest admitted", "sybils admitted", "AUC"});
+
+  for (const char* name : {"Wiki-vote", "Physics 1", "Physics 3"}) {
+    const auto spec = *gen::find_dataset(name);
+    const auto honest = gen::build_dataset(spec, nodes, seed);
+
+    sybil::AttackConfig atk;
+    atk.sybil_nodes = honest.num_nodes() / 5;
+    atk.attack_edges = 10;
+    atk.seed = seed;
+    const auto attacked = sybil::attach_sybil_region(honest, atk);
+    const graph::NodeId verifier = 0;
+
+    // -- SybilLimit ---------------------------------------------------------
+    {
+      sybil::SybilLimitParams params;
+      params.route_length = 15;
+      params.seed = seed;
+      const sybil::SybilLimit protocol{attacked.graph, params};
+      auto v = protocol.make_verifier(verifier);
+      std::uint64_t honest_ok = 0;
+      std::uint64_t sybil_ok = 0;
+      for (graph::NodeId s = 0; s < attacked.graph.num_nodes(); ++s) {
+        if (!v.admit(protocol, s)) continue;
+        (attacked.is_sybil(s) ? sybil_ok : honest_ok) += 1;
+      }
+      table.row({spec.name, "SybilLimit w=15",
+                 util::fmt_fixed(100.0 * static_cast<double>(honest_ok) /
+                                     attacked.num_honest(),
+                                 1) + "%",
+                 std::to_string(sybil_ok), "-"});
+    }
+
+    // -- rankings -----------------------------------------------------------
+    const auto eval_and_row = [&](const char* label, const std::vector<double>& scores) {
+      const auto eval = sybil::evaluate_ranking(attacked, scores);
+      table.row({spec.name, label,
+                 util::fmt_fixed(100.0 * eval.honest_admitted_at_cutoff, 1) + "%",
+                 std::to_string(eval.sybils_admitted_at_cutoff),
+                 util::fmt_fixed(eval.auc, 3)});
+    };
+    eval_and_row("walk ranking t=15",
+                 sybil::walk_probability_scores(attacked.graph, verifier, 15));
+    eval_and_row("PPR ranking b=.15",
+                 sybil::pagerank_scores(attacked.graph, verifier, 0.15));
+
+    // -- SybilInfer ----------------------------------------------------------
+    {
+      sybil::SybilInferParams params;
+      for (graph::NodeId s = 0; s < 50; ++s) params.seeds.push_back(s);
+      params.walks_per_seed = 80;   // endpoint coverage ~2x the vertex count
+      params.walk_length = 15;
+      params.mh_iterations = 100ull * attacked.graph.num_nodes();
+      params.seed = seed;
+      const auto eval = sybil::evaluate_sybil_infer(attacked, params);
+      table.row({spec.name, "SybilInfer",
+                 util::fmt_fixed(100.0 * eval.honest_recall, 1) + "%",
+                 util::fmt_fixed(
+                     (1.0 - eval.sybil_recall) * static_cast<double>(attacked.num_sybil()),
+                     0),
+                 "-"});
+    }
+    std::fflush(stdout);
+  }
+  table.print(std::cout);
+  std::cout << "\nReading: on the fast stand-in every mechanism is near-perfect;\n"
+               "on the slow collaboration stand-ins all of them strand honest\n"
+               "nodes outside the verifier's community — the defenses share one\n"
+               "underlying random walk, so they share its mixing failure.\n";
+  return 0;
+}

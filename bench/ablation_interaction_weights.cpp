@@ -1,0 +1,81 @@
+// Ablation: friendship graph vs interaction graph (Wilson et al., the
+// source of the paper's Facebook A/B datasets).
+//
+// Same topology, three weighting models:
+//   * unit        — the friendship chain the paper measures,
+//   * pareto      — heavy-tailed interaction volume, structure-blind,
+//   * community   — heavy-tailed AND concentrated inside communities
+//                   (interactions follow strong ties).
+// Reported per dataset: weighted SLEM and mean sampled T(0.1). The
+// expected shape: structure-blind weights barely matter; community-
+// concentrated weights measurably slow mixing — interaction graphs are
+// the *harder* case for walk-based defenses.
+//
+//   --nodes N   (default 2600)
+//   --seed N
+#include <cstdio>
+#include <iostream>
+
+#include "gen/datasets.hpp"
+#include "gen/weights.hpp"
+#include "linalg/lanczos.hpp"
+#include "linalg/weighted_operator.hpp"
+#include "markov/weighted_evolution.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace socmix;
+
+int main(int argc, char** argv) {
+  const util::Cli cli{argc, argv};
+  const auto nodes = static_cast<graph::NodeId>(cli.get_i64("nodes", 2600));
+  const auto seed = static_cast<std::uint64_t>(cli.get_i64("seed", 42));
+
+  std::cout << "Ablation: friendship vs interaction weighting\n\n";
+
+  util::TextTable table;
+  table.header({"Dataset", "weights", "mu", "mean T(0.1), 50 sources"});
+
+  util::Rng rng{seed};
+  for (const char* name : {"Physics 1", "Wiki-vote"}) {
+    const auto spec = *gen::find_dataset(name);
+    const auto base = gen::build_dataset(spec, nodes, seed);
+    const graph::NodeId block =
+        spec.block_size != 0 ? spec.block_size : base.num_nodes() / 10;
+
+    struct Model {
+      const char* label;
+      graph::WeightedGraph g;
+    };
+    std::vector<Model> models;
+    models.push_back({"unit (friendship)", gen::unit_weights(base)});
+    models.push_back({"pareto a=1.5", gen::pareto_weights(base, 1.5, rng)});
+    models.push_back({"community-biased",
+                      gen::community_biased_weights(base, block, 10.0, 0.5, 1.5, rng)});
+
+    util::Rng source_rng{seed};
+    std::vector<graph::NodeId> sources;
+    for (int s = 0; s < 50; ++s) {
+      sources.push_back(static_cast<graph::NodeId>(source_rng.below(base.num_nodes())));
+    }
+
+    for (const Model& model : models) {
+      const auto spectrum =
+          linalg::slem_spectrum(linalg::WeightedWalkOperator{model.g});
+      const auto sampled =
+          markov::measure_weighted_sampled_mixing(model.g, sources, 400);
+      const auto avg = sampled.average_mixing_time(0.1);
+      std::string mean = util::fmt_fixed(avg.mean_steps, 1);
+      if (avg.unmixed_sources > 0) {
+        mean += " (" + std::to_string(avg.unmixed_sources) + " unmixed)";
+      }
+      table.row({spec.name, model.label, util::fmt_fixed(spectrum.slem, 5), mean});
+      std::fflush(stdout);
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nReading: weights that follow community structure slow the chain\n"
+               "beyond its topological mixing time — interaction graphs (like the\n"
+               "paper's Facebook A/B source data) are the pessimistic case.\n";
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Ablation: trust-parameterized walks (the paper's §5/§6 future-work
+// direction, following the authors' designs in [15][16]).
+//
+// Part A — lazy walks: laziness alpha maps the spectrum by
+// lambda -> (1-alpha)lambda + alpha, so the SLEM-implied mixing time grows
+// smoothly with distrust of movement. Measured and compared to theory.
+//
+// Part B — originator-biased walks: returning to the originator with
+// probability beta makes the chain converge to personalized PageRank, not
+// pi. The "trust mixing floor" || ppr - pi ||_tv quantifies the utility a
+// defense gives up by biasing toward the verifier, per dataset class.
+//
+//   --dataset NAME  (default "Physics 1"; Part B also runs "Wiki-vote")
+//   --nodes N       (default 2600)
+//   --seed N
+#include <cstdio>
+#include <iostream>
+
+#include "core/measurement.hpp"
+#include "gen/datasets.hpp"
+#include "linalg/lanczos.hpp"
+#include "markov/mixing_time.hpp"
+#include "markov/trust_walk.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace socmix;
+
+int main(int argc, char** argv) {
+  const util::Cli cli{argc, argv};
+  const std::string dataset = cli.get("dataset", "Physics 1");
+  const auto nodes = static_cast<graph::NodeId>(cli.get_i64("nodes", 2600));
+  const auto seed = static_cast<std::uint64_t>(cli.get_i64("seed", 42));
+
+  const auto spec = gen::find_dataset(dataset);
+  if (!spec) {
+    std::fprintf(stderr, "unknown dataset '%s'\n", dataset.c_str());
+    return 1;
+  }
+  const auto g = gen::build_dataset(*spec, nodes, seed);
+  std::printf("Trust ablation on %s stand-in (n=%u m=%llu)\n\n", spec->name.c_str(),
+              g.num_nodes(), static_cast<unsigned long long>(g.num_edges()));
+
+  // -- Part A: laziness ------------------------------------------------------
+  std::cout << "Part A: lazy walks (stay-put probability alpha)\n";
+  util::TextTable lazy_table;
+  lazy_table.header({"alpha", "mu (lazy chain)", "T(0.1) lower bound",
+                     "theory: (1-a)mu0+a"});
+  const double mu0 = [&] {
+    const linalg::WalkOperator op{g};
+    return linalg::slem_spectrum(op).slem;
+  }();
+  for (const double alpha : {0.0, 0.25, 0.5, 0.75}) {
+    const linalg::WalkOperator op{g, alpha};
+    const auto spectrum = linalg::slem_spectrum(op);
+    // slem_spectrum reports in P-space; the lazy chain's own SLEM is the
+    // mapped top value (lambda_min maps into [alpha-(1-alpha), 1]).
+    const double lazy_mu =
+        std::max(op.map_eigenvalue(spectrum.lambda2),
+                 std::abs(op.map_eigenvalue(spectrum.lambda_min)));
+    const markov::SpectralBounds bounds{lazy_mu};
+    lazy_table.row({util::fmt_fixed(alpha, 2), util::fmt_fixed(lazy_mu, 5),
+                    util::fmt_fixed(bounds.lower(0.1), 1),
+                    util::fmt_fixed((1.0 - alpha) * mu0 + alpha, 5)});
+  }
+  lazy_table.print(std::cout);
+
+  // -- Part B: originator bias ----------------------------------------------
+  std::cout << "\nPart B: originator-biased walks (return probability beta)\n";
+  util::TextTable bias_table;
+  bias_table.header({"beta", spec->name + " floor", "Wiki-vote floor"});
+  const auto fast = gen::build_dataset(*gen::find_dataset("Wiki-vote"), nodes, seed);
+  for (const double beta : {0.01, 0.05, 0.1, 0.2, 0.5}) {
+    bias_table.row({util::fmt_fixed(beta, 2),
+                    util::fmt_fixed(markov::trust_mixing_floor(g, 0, beta), 4),
+                    util::fmt_fixed(markov::trust_mixing_floor(fast, 0, beta), 4)});
+    std::fflush(stdout);
+  }
+  bias_table.print(std::cout);
+  std::cout << "\nReading: the floor is the TVD the biased walk can never close.\n"
+               "Community graphs (" << spec->name << ") pay a much higher floor at\n"
+               "equal beta than expander-like graphs — trust bias and slow mixing\n"
+               "compound, the trade-off the paper's future work flags.\n";
+  return 0;
+}

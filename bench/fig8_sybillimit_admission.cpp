@@ -1,0 +1,120 @@
+// Figure 8: admission rate of SybilLimit as the random-route length t
+// grows, on Physics 1-3 plus 10K samples of Facebook A and Slashdot 1 —
+// and (§5) the Sybil cost of longer routes: accepted Sybil identities
+// scale like g * t.
+//
+// The paper's shape: fast graphs saturate admission at small t; the slow
+// physics graphs need much longer routes to admit almost all honest nodes.
+//
+//   --scale F     node-count multiplier (default 0.6)
+//   --suspects N  honest suspects sampled per point (default 200)
+//   --r0 F        route-count multiplier r = r0 sqrt(m) (default 4)
+//   --seed N
+#include <cstdio>
+#include <iostream>
+
+#include "core/experiment.hpp"
+#include "graph/components.hpp"
+#include "graph/sampling.hpp"
+#include "sybil/attack.hpp"
+#include "sybil/sybil_limit.hpp"
+#include "util/table.hpp"
+
+using namespace socmix;
+
+int main(int argc, char** argv) {
+  const util::Cli cli{argc, argv};
+  auto config = core::ExperimentConfig::from_cli(cli);
+  if (!cli.has("scale")) config.scale = 0.6;
+  const auto suspects = static_cast<std::size_t>(cli.get_i64("suspects", 200));
+  const double r0 = cli.get_f64("r0", 4.0);
+
+  const std::vector<std::size_t> lengths{1, 2, 4, 6, 8, 10, 15, 20, 30, 40};
+
+  std::cout << "Figure 8: SybilLimit honest-admission rate vs route length\n";
+
+  struct Panel {
+    const char* dataset;
+    graph::NodeId sample_nodes;  // 0 = use scaled default size
+  };
+  const Panel panels[] = {{"Physics 1", 0},
+                          {"Physics 2", 0},
+                          {"Physics 3", 0},
+                          {"Facebook A", 10'000},
+                          {"Slashdot 1", 10'000}};
+
+  std::vector<core::Series> series;
+  util::Rng rng{config.seed};
+  for (const Panel& panel : panels) {
+    const auto spec = *gen::find_dataset(panel.dataset);
+    graph::Graph g = core::build_scaled_dataset(spec, config);
+    std::string label = spec.name;
+    if (panel.sample_nodes != 0) {
+      g = graph::largest_component(
+              graph::bfs_sample(g, panel.sample_nodes, rng).graph)
+              .graph;
+      label += " 10K";
+    }
+    std::printf("%s: n=%u m=%llu r=%.0f*sqrt(m)\n", label.c_str(), g.num_nodes(),
+                static_cast<unsigned long long>(g.num_edges()), r0);
+    std::fflush(stdout);
+
+    sybil::AdmissionSweepConfig sweep;
+    sweep.route_lengths = lengths;
+    sweep.suspect_sample = suspects;
+    sweep.verifier_sample = 3;
+    sweep.r0 = r0;
+    sweep.seed = config.seed;
+    const auto points = sybil::admission_sweep(g, sweep);
+
+    core::Series s;
+    s.name = label;
+    for (const auto& point : points) {
+      s.x.push_back(static_cast<double>(point.route_length));
+      s.y.push_back(100.0 * point.admitted_fraction);
+    }
+    series.push_back(std::move(s));
+  }
+  core::emit_series("Accepted honest nodes (%) vs random walk length", "w", series,
+                    "fig8_admission_rate");
+
+  // --- Section 5's Sybil-cost companion: accepted Sybils ~ g * w ---------
+  std::cout << "\nSybil identities accepted vs attack edges g and route length w\n";
+  const auto honest = core::build_scaled_dataset(*gen::find_dataset("Physics 1"), config);
+  util::TextTable sybil_table;
+  sybil_table.header({"g (attack edges)", "w", "sybils accepted", "of sybil nodes"});
+  for (const graph::NodeId g_edges : {2u, 8u, 32u}) {
+    for (const std::size_t w : {10u, 20u, 40u}) {
+      sybil::AttackConfig atk;
+      atk.sybil_nodes = honest.num_nodes() / 4;
+      atk.attack_edges = g_edges;
+      atk.seed = config.seed;
+      const auto composite = sybil::attach_sybil_region(honest, atk);
+
+      sybil::SybilLimitParams params;
+      params.route_length = w;
+      params.r0 = r0;
+      params.seed = config.seed;
+      const sybil::SybilLimit protocol{composite.graph, params};
+      auto verifier = protocol.make_verifier(0);
+
+      std::uint64_t accepted = 0;
+      // Sample the sybil identities for speed.
+      const graph::NodeId step = std::max<graph::NodeId>(1, composite.num_sybil() / 200);
+      std::uint64_t tried = 0;
+      for (graph::NodeId s = composite.sybil_base; s < composite.graph.num_nodes();
+           s += step) {
+        ++tried;
+        if (verifier.admit(protocol, s)) ++accepted;
+      }
+      const double scaled =
+          static_cast<double>(accepted) * composite.num_sybil() / static_cast<double>(tried);
+      sybil_table.row({std::to_string(g_edges), std::to_string(w),
+                       util::fmt_fixed(scaled, 0),
+                       std::to_string(composite.num_sybil())});
+      std::fflush(stdout);
+    }
+  }
+  sybil_table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Micro benchmarks (google-benchmark): throughput of the kernels the
+// measurement pipeline is built on, plus the Lanczos-vs-power-iteration
+// ablation called out in DESIGN.md.
+#include <benchmark/benchmark.h>
+
+#include "gen/barabasi_albert.hpp"
+#include "gen/datasets.hpp"
+#include "graph/components.hpp"
+#include "graph/sampling.hpp"
+#include "linalg/lanczos.hpp"
+#include "linalg/power_iteration.hpp"
+#include "linalg/vector_ops.hpp"
+#include "linalg/walk_operator.hpp"
+#include "markov/evolution.hpp"
+#include "markov/mixing_time.hpp"
+#include "markov/random_walk.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace socmix;
+
+graph::Graph make_ba(graph::NodeId n) {
+  util::Rng rng{7};
+  return gen::barabasi_albert(n, 5, rng);
+}
+
+void BM_SpMV(benchmark::State& state) {
+  const auto g = make_ba(static_cast<graph::NodeId>(state.range(0)));
+  const linalg::WalkOperator op{g};
+  std::vector<double> x(op.dim());
+  std::vector<double> y(op.dim());
+  util::Rng rng{1};
+  linalg::randomize_unit(x, rng);
+  for (auto _ : state) {
+    op.apply(x, y);
+    benchmark::DoNotOptimize(y.data());
+    std::swap(x, y);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_half_edges()));
+}
+BENCHMARK(BM_SpMV)->Arg(1000)->Arg(10000)->Arg(100000)->Unit(benchmark::kMicrosecond);
+
+void BM_DistributionStep(benchmark::State& state) {
+  const auto g = make_ba(static_cast<graph::NodeId>(state.range(0)));
+  markov::DistributionEvolver evolver{g};
+  auto dist = evolver.point_mass(0);
+  std::vector<double> next(dist.size());
+  for (auto _ : state) {
+    evolver.step(dist, next);
+    benchmark::DoNotOptimize(next.data());
+    dist.swap(next);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_half_edges()));
+}
+BENCHMARK(BM_DistributionStep)->Arg(1000)->Arg(10000)->Arg(100000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_MonteCarloWalks(benchmark::State& state) {
+  const auto g = make_ba(10000);
+  util::Rng rng{3};
+  const auto length = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(markov::walk_endpoint(g, 0, length, rng));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_MonteCarloWalks)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_BfsSample(benchmark::State& state) {
+  const auto g = make_ba(50000);
+  util::Rng rng{4};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        graph::bfs_sample(g, static_cast<graph::NodeId>(state.range(0)), rng));
+  }
+}
+BENCHMARK(BM_BfsSample)->Arg(1000)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+// Ablation: Lanczos vs power iteration to the same mu accuracy on a
+// slow-mixing community graph (small spectral gap — the hard case).
+graph::Graph slow_graph() {
+  util::Rng rng{11};
+  return graph::largest_component(
+             gen::community_powerlaw(8, 400, 3, 0.6, 2.0, rng))
+      .graph;
+}
+
+void BM_SlemLanczos(benchmark::State& state) {
+  const auto g = slow_graph();
+  for (auto _ : state) {
+    const linalg::WalkOperator op{g};
+    linalg::LanczosOptions options;
+    options.tolerance = 1e-7;
+    benchmark::DoNotOptimize(linalg::slem_spectrum(op, options));
+  }
+}
+BENCHMARK(BM_SlemLanczos)->Unit(benchmark::kMillisecond);
+
+void BM_SlemPowerIteration(benchmark::State& state) {
+  const auto g = slow_graph();
+  for (auto _ : state) {
+    const linalg::WalkOperator op{g};
+    linalg::PowerIterationOptions options;
+    options.tolerance = 1e-10;  // comparable mu accuracy on this gap
+    benchmark::DoNotOptimize(linalg::power_iteration_slem(op, options));
+  }
+}
+BENCHMARK(BM_SlemPowerIteration)->Unit(benchmark::kMillisecond);
+
+void BM_TotalVariation(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> a(n, 1.0 / static_cast<double>(n));
+  std::vector<double> b(n, 0.0);
+  b[0] = 1.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::total_variation(a, b));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_TotalVariation)->Arg(1000)->Arg(100000);
+
+}  // namespace

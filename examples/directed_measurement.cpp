@@ -1,0 +1,90 @@
+// Scenario: you have a *directed* crawl (wiki votes, trust statements,
+// follower links) and want mixing numbers without silently buying the
+// undirected-conversion assumption the paper's §4 preprocessing makes.
+//
+// Pipeline demonstrated:
+//   1. load (or synthesize) a directed graph, report reciprocity/dangling,
+//   2. extract the largest strongly connected component,
+//   3. measure the directed chain's mixing (teleport-smoothed),
+//   4. symmetrize (the paper's §4 step) and measure the undirected chain,
+//   5. put the two side by side.
+//
+//   ./directed_measurement                       # synthetic wiki-vote-like
+//   ./directed_measurement --arcs crawl.txt      # your own "u v" arc list
+#include <cstdio>
+#include <iostream>
+
+#include "digraph/io.hpp"
+#include "digraph/scc.hpp"
+#include "digraph/walk.hpp"
+#include "gen/datasets.hpp"
+#include "graph/components.hpp"
+#include "linalg/lanczos.hpp"
+#include "markov/mixing_time.hpp"
+#include "util/cli.hpp"
+
+using namespace socmix;
+
+int main(int argc, char** argv) {
+  const util::Cli cli{argc, argv};
+  const auto seed = static_cast<std::uint64_t>(cli.get_i64("seed", 42));
+
+  // 1. Obtain a directed graph.
+  digraph::DiGraph raw;
+  std::string name;
+  if (cli.has("arcs")) {
+    name = cli.get("arcs", "");
+    const auto loaded = digraph::load_directed_edge_list_file(name);
+    std::printf("loaded %zu arcs (%zu loops, %zu duplicates dropped)\n",
+                loaded.arcs_parsed, loaded.self_loops_dropped,
+                loaded.duplicates_dropped);
+    raw = loaded.graph;
+  } else {
+    // Wiki-vote-like: a fast-mixing base with the crawl's low reciprocity.
+    name = "Wiki-vote-like directed stand-in";
+    util::Rng rng{seed};
+    const auto base = gen::build_dataset(*gen::find_dataset("Wiki-vote"), 4000, seed);
+    raw = digraph::randomly_orient(base, /*reciprocity=*/0.06, rng);
+  }
+
+  const double reciprocity = raw.num_arcs() == 0
+                                 ? 0.0
+                                 : static_cast<double>(raw.reciprocal_arcs()) /
+                                       static_cast<double>(raw.num_arcs());
+  std::printf("%s: n=%u arcs=%llu reciprocity=%.3f dangling=%zu\n\n", name.c_str(),
+              raw.num_nodes(), static_cast<unsigned long long>(raw.num_arcs()),
+              reciprocity, raw.dangling_nodes().size());
+
+  // 2. Largest strongly connected component.
+  const auto scc = digraph::largest_scc(raw);
+  std::printf("largest SCC: %u of %u nodes\n", scc.graph.num_nodes(), raw.num_nodes());
+
+  // 3. Directed mixing (1% teleport for ergodicity).
+  util::Rng rng{seed};
+  std::vector<digraph::NodeId> sources;
+  for (int s = 0; s < 30; ++s) {
+    sources.push_back(static_cast<digraph::NodeId>(rng.below(scc.graph.num_nodes())));
+  }
+  const auto directed = digraph::directed_mixing_time(scc.graph, sources, 400, 0.1,
+                                                      /*teleport=*/0.01);
+  std::printf("directed chain:    mean T(0.1) = %.1f steps (%zu/%zu sources "
+              "unmixed within 400)\n",
+              directed.mean, directed.unmixed_sources, sources.size());
+
+  // 4. The paper's preprocessing, measured.
+  const auto sym = digraph::symmetrize(scc.graph);
+  const auto lcc = graph::largest_component(sym.graph).graph;
+  const auto sym_sources = markov::pick_sources(lcc, 30, rng);
+  const auto sampled = markov::measure_sampled_mixing(lcc, sym_sources, 400);
+  const auto avg = sampled.average_mixing_time(0.1);
+  const double mu = linalg::slem_spectrum(linalg::WalkOperator{lcc}).slem;
+  std::printf("symmetrized chain: mean T(0.1) = %.1f steps, mu = %.5f\n\n",
+              avg.mean_steps, mu);
+
+  // 5. Verdict.
+  std::puts("The two chains are different objects: the symmetrized walk can use");
+  std::puts("every arc both ways, the directed walk cannot. Report which one you");
+  std::puts("measured — the paper converts to undirected (SS4), and this example");
+  std::puts("shows exactly what that conversion does to your numbers.");
+  return 0;
+}

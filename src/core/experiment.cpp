@@ -1,0 +1,90 @@
+#include "core/experiment.hpp"
+
+#include <cmath>
+#include <iostream>
+
+#include "util/csv.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+namespace socmix::core {
+
+ExperimentConfig ExperimentConfig::from_cli(const util::Cli& cli) {
+  ExperimentConfig config;
+  config.scale = cli.get_f64("scale", 1.0);
+  config.sources = static_cast<std::size_t>(cli.get_i64("sources", 0));
+  config.max_steps = static_cast<std::size_t>(cli.get_i64("steps", 0));
+  config.seed = static_cast<std::uint64_t>(cli.get_i64("seed", 42));
+  return config;
+}
+
+graph::Graph build_scaled_dataset(const gen::DatasetSpec& spec,
+                                  const ExperimentConfig& config) {
+  const auto nodes = static_cast<graph::NodeId>(
+      std::max(64.0, config.scale * static_cast<double>(spec.default_nodes)));
+  return gen::build_dataset(spec, nodes, config.seed);
+}
+
+std::vector<double> figure_epsilon_grid() {
+  // Log-spaced from 0.25 down to 1e-4, ~4 points per decade, matching the
+  // x-range of the paper's Figs 1-2.
+  std::vector<double> grid;
+  for (double eps = 0.25; eps >= 0.9e-4; eps /= 1.77827941) {  // 10^(1/4)
+    grid.push_back(eps);
+  }
+  return grid;
+}
+
+std::vector<std::size_t> short_walk_lengths() { return {1, 5, 10, 20, 40}; }
+
+std::vector<std::size_t> long_walk_lengths() { return {80, 100, 200, 300, 400, 500}; }
+
+void emit_series(const std::string& title, const std::string& x_caption,
+                 const std::vector<Series>& series, const std::string& csv_name) {
+  std::cout << "\n== " << title << " ==\n";
+  if (series.empty()) return;
+
+  util::TextTable table;
+  std::vector<std::string> header{x_caption};
+  for (const Series& s : series) header.push_back(s.name);
+  table.header(std::move(header));
+
+  const std::size_t points = series.front().x.size();
+  for (std::size_t i = 0; i < points; ++i) {
+    std::vector<std::string> row{util::fmt_auto(series.front().x[i])};
+    for (const Series& s : series) {
+      row.push_back(i < s.y.size() ? util::fmt_auto(s.y[i]) : "");
+    }
+    table.row(std::move(row));
+  }
+  table.print(std::cout);
+
+  if (const auto dir = util::bench_results_dir()) {
+    util::CsvWriter csv{*dir + "/" + csv_name + ".csv"};
+    std::vector<std::string> head{x_caption};
+    for (const Series& s : series) head.push_back(s.name);
+    csv.row(head);
+    for (std::size_t i = 0; i < points; ++i) {
+      std::vector<std::string> row{util::fmt_sci(series.front().x[i], 6)};
+      for (const Series& s : series) {
+        row.push_back(i < s.y.size() ? util::fmt_sci(s.y[i], 6) : "");
+      }
+      csv.row(row);
+    }
+  }
+}
+
+std::string summarize(const MixingReport& report) {
+  std::string out = report.name + ": n=" + util::with_commas(static_cast<std::int64_t>(report.nodes)) +
+                    " m=" + util::with_commas(static_cast<std::int64_t>(report.edges));
+  if (report.spectral_ran) {
+    out += " mu=" + util::fmt_fixed(report.slem, 6) +
+           " (lambda2=" + util::fmt_fixed(report.lambda2, 6) +
+           ", lambda_min=" + util::fmt_fixed(report.lambda_min, 6) +
+           ", iters=" + std::to_string(report.lanczos_iterations) +
+           (report.spectral_converged ? "" : ", UNCONVERGED") + ")";
+  }
+  return out;
+}
+
+}  // namespace socmix::core

@@ -1,0 +1,60 @@
+// Experiment harness shared by the figure/table benches.
+//
+// Centralizes what every reproduction binary needs: dataset construction
+// at a CLI-chosen scale, the paper's epsilon and walk-length grids, and
+// consistent emission of series as aligned text + CSV.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/measurement.hpp"
+#include "gen/datasets.hpp"
+#include "graph/graph.hpp"
+#include "util/cli.hpp"
+
+namespace socmix::core {
+
+/// Scale/seed/source knobs common to all experiment drivers, parsed from
+/// --scale, --sources, --steps, --seed.
+struct ExperimentConfig {
+  /// Multiplier on each dataset's default node count; 1.0 = bench default.
+  /// The paper-scale run uses whatever reaches spec.paper_nodes.
+  double scale = 1.0;
+  std::size_t sources = 0;      ///< 0 = per-experiment default
+  std::size_t max_steps = 0;    ///< 0 = per-experiment default
+  std::uint64_t seed = 42;
+
+  [[nodiscard]] static ExperimentConfig from_cli(const util::Cli& cli);
+};
+
+/// Builds a Table-1 stand-in at config.scale times its default size and
+/// returns its largest connected component.
+[[nodiscard]] graph::Graph build_scaled_dataset(const gen::DatasetSpec& spec,
+                                                const ExperimentConfig& config);
+
+/// The paper's epsilon grid for Figs 1-2 (log-spaced 0.25 .. 1e-4).
+[[nodiscard]] std::vector<double> figure_epsilon_grid();
+
+/// The paper's short walk lengths (Fig 3) and long walk lengths (Fig 4).
+[[nodiscard]] std::vector<std::size_t> short_walk_lengths();
+[[nodiscard]] std::vector<std::size_t> long_walk_lengths();
+
+/// One named data series (a line in one of the paper's plots).
+struct Series {
+  std::string name;
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+/// Prints a family of series sharing an x-grid as one aligned text table
+/// with the given x-column caption, and mirrors it to
+/// bench_results/<csv_name>.csv when writable.
+void emit_series(const std::string& title, const std::string& x_caption,
+                 const std::vector<Series>& series, const std::string& csv_name);
+
+/// Human-readable one-line summary of a report (used by several benches).
+[[nodiscard]] std::string summarize(const MixingReport& report);
+
+}  // namespace socmix::core

@@ -1,0 +1,38 @@
+#include "core/measurement.hpp"
+
+#include "linalg/walk_operator.hpp"
+#include "util/rng.hpp"
+
+namespace socmix::core {
+
+MixingReport measure_mixing(const graph::Graph& g, std::string name,
+                            const MeasurementOptions& options) {
+  MixingReport report;
+  report.name = std::move(name);
+  report.nodes = g.num_nodes();
+  report.edges = g.num_edges();
+
+  if (options.spectral && g.num_nodes() > 0) {
+    const linalg::WalkOperator op{g, options.laziness};
+    const auto spectrum = linalg::slem_spectrum(op, options.lanczos);
+    report.spectral_ran = true;
+    report.spectral_converged = spectrum.converged;
+    report.slem = spectrum.slem;
+    report.lambda2 = spectrum.lambda2;
+    report.lambda_min = spectrum.lambda_min;
+    report.lanczos_iterations = spectrum.iterations;
+  }
+
+  if (options.sampled && g.num_nodes() > 0 &&
+      (options.sources > 0 || options.all_sources)) {
+    util::Rng rng{options.seed};
+    const auto sources = options.all_sources
+                             ? markov::all_sources(g)
+                             : markov::pick_sources(g, options.sources, rng);
+    report.sampled =
+        markov::measure_sampled_mixing(g, sources, options.max_steps, options.laziness);
+  }
+  return report;
+}
+
+}  // namespace socmix::core

@@ -1,0 +1,81 @@
+// High-level mixing-time measurement — the paper's contribution as an API.
+//
+// One call measures a social graph the way §3.3 prescribes:
+//   1. extract the largest connected component,
+//   2. compute the SLEM mu by deflated Lanczos and derive the Theorem-2
+//      bounds on T(eps),
+//   3. sample initial distributions and evolve them, producing per-source
+//      TVD trajectories and their percentile aggregation.
+//
+// Example:
+//   const auto report = core::measure_mixing(g, "Physics 1", {});
+//   std::cout << report.slem << " "
+//             << report.bounds().lower(0.1) << " "
+//             << report.sampled->worst_mixing_time(0.1) << "\n";
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "graph/graph.hpp"
+#include "linalg/lanczos.hpp"
+#include "markov/mixing_time.hpp"
+
+namespace socmix::core {
+
+struct MeasurementOptions {
+  /// Sampled-measurement sources (paper uses 1000); 0 disables sampling.
+  std::size_t sources = 1000;
+  /// Walk-length budget per source (paper plots up to 500).
+  std::size_t max_steps = 500;
+  /// Brute-force every vertex as a source (paper's mode for the physics
+  /// graphs); overrides `sources`.
+  bool all_sources = false;
+  /// Lazy-walk parameter in [0, 1); 0 = the paper's simple walk.
+  double laziness = 0.0;
+  /// Spectral solve configuration.
+  linalg::LanczosOptions lanczos;
+  /// Whether to run the (cheap) spectral and (expensive) sampled parts.
+  bool spectral = true;
+  bool sampled = true;
+  std::uint64_t seed = 42;
+};
+
+/// Everything the paper reports about one graph.
+struct MixingReport {
+  std::string name;
+  std::uint64_t nodes = 0;
+  std::uint64_t edges = 0;
+
+  // Spectral results (valid when `spectral_ran`).
+  bool spectral_ran = false;
+  bool spectral_converged = false;
+  double slem = 0.0;
+  double lambda2 = 0.0;
+  double lambda_min = 0.0;
+  std::size_t lanczos_iterations = 0;
+
+  // Sampled results (present when sampling ran).
+  std::optional<markov::SampledMixing> sampled;
+
+  /// Theorem-2 bound evaluator for this graph's mu.
+  [[nodiscard]] markov::SpectralBounds bounds() const noexcept { return {slem}; }
+
+  /// Lower bound on T(eps) per eq. (4).
+  [[nodiscard]] double lower_bound(double eps) const noexcept {
+    return bounds().lower(eps);
+  }
+
+  /// Upper bound on T(eps) per eq. (4).
+  [[nodiscard]] double upper_bound(double eps) const noexcept {
+    return bounds().upper(eps, nodes);
+  }
+};
+
+/// Measures `g` (assumed connected — run graph::largest_component first if
+/// unsure; throws on isolated vertices).
+[[nodiscard]] MixingReport measure_mixing(const graph::Graph& g, std::string name,
+                                          const MeasurementOptions& options);
+
+}  // namespace socmix::core

@@ -1,0 +1,113 @@
+#include "digraph/digraph.hpp"
+
+#include <algorithm>
+
+#include "graph/edge_list.hpp"
+
+namespace socmix::digraph {
+
+DiGraph DiGraph::from_arcs(std::vector<Arc> arcs, NodeId num_nodes) {
+  std::erase_if(arcs, [](const Arc& a) { return a.from == a.to; });
+  std::sort(arcs.begin(), arcs.end());
+  arcs.erase(std::unique(arcs.begin(), arcs.end()), arcs.end());
+
+  NodeId n = num_nodes;
+  for (const Arc& a : arcs) {
+    n = std::max(n, static_cast<NodeId>(std::max(a.from, a.to) + 1));
+  }
+
+  std::vector<EdgeIndex> out_offsets(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<EdgeIndex> in_offsets(static_cast<std::size_t>(n) + 1, 0);
+  for (const Arc& a : arcs) {
+    ++out_offsets[a.from + 1];
+    ++in_offsets[a.to + 1];
+  }
+  for (std::size_t i = 1; i <= n; ++i) {
+    out_offsets[i] += out_offsets[i - 1];
+    in_offsets[i] += in_offsets[i - 1];
+  }
+
+  std::vector<NodeId> out_neighbors(arcs.size());
+  std::vector<NodeId> in_neighbors(arcs.size());
+  std::vector<EdgeIndex> out_cursor(out_offsets.begin(), out_offsets.end() - 1);
+  std::vector<EdgeIndex> in_cursor(in_offsets.begin(), in_offsets.end() - 1);
+  for (const Arc& a : arcs) {  // arcs sorted => out lists come out sorted
+    out_neighbors[out_cursor[a.from]++] = a.to;
+    in_neighbors[in_cursor[a.to]++] = a.from;
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    std::sort(in_neighbors.begin() + static_cast<std::ptrdiff_t>(in_offsets[v]),
+              in_neighbors.begin() + static_cast<std::ptrdiff_t>(in_offsets[v + 1]));
+  }
+  return DiGraph{std::move(out_offsets), std::move(out_neighbors), std::move(in_offsets),
+                 std::move(in_neighbors)};
+}
+
+bool DiGraph::has_arc(NodeId u, NodeId v) const noexcept {
+  const auto succ = successors(u);
+  return std::binary_search(succ.begin(), succ.end(), v);
+}
+
+EdgeIndex DiGraph::reciprocal_arcs() const noexcept {
+  EdgeIndex count = 0;
+  const NodeId n = num_nodes();
+  for (NodeId u = 0; u < n; ++u) {
+    for (const NodeId v : successors(u)) {
+      if (has_arc(v, u)) ++count;
+    }
+  }
+  return count;
+}
+
+std::vector<NodeId> DiGraph::dangling_nodes() const {
+  std::vector<NodeId> out;
+  const NodeId n = num_nodes();
+  for (NodeId v = 0; v < n; ++v) {
+    if (out_degree(v) == 0) out.push_back(v);
+  }
+  return out;
+}
+
+SymmetrizeStats symmetrize(const DiGraph& g) {
+  SymmetrizeStats stats;
+  stats.directed_arcs = g.num_arcs();
+
+  graph::EdgeList edges{g.num_nodes()};
+  edges.reserve(g.num_arcs());
+  const NodeId n = g.num_nodes();
+  for (NodeId u = 0; u < n; ++u) {
+    for (const NodeId v : g.successors(u)) edges.add(u, v);
+  }
+  stats.graph = graph::Graph::from_edges(std::move(edges));
+  stats.undirected_edges = stats.graph.num_edges();
+  stats.reciprocity =
+      stats.directed_arcs == 0
+          ? 0.0
+          : static_cast<double>(g.reciprocal_arcs()) / static_cast<double>(stats.directed_arcs);
+  return stats;
+}
+
+ExtractedDiSubgraph induced_subdigraph(const DiGraph& g, std::span<const NodeId> members) {
+  ExtractedDiSubgraph out;
+  out.original_id.assign(members.begin(), members.end());
+
+  std::vector<NodeId> new_id(g.num_nodes(), graph::kInvalidNode);
+  for (std::size_t i = 0; i < out.original_id.size(); ++i) {
+    new_id[out.original_id[i]] = static_cast<NodeId>(i);
+  }
+
+  std::vector<Arc> arcs;
+  for (std::size_t i = 0; i < out.original_id.size(); ++i) {
+    const NodeId u = out.original_id[i];
+    for (const NodeId v : g.successors(u)) {
+      if (new_id[v] != graph::kInvalidNode) {
+        arcs.push_back(Arc{static_cast<NodeId>(i), new_id[v]});
+      }
+    }
+  }
+  out.graph = DiGraph::from_arcs(std::move(arcs),
+                                 static_cast<NodeId>(out.original_id.size()));
+  return out;
+}
+
+}  // namespace socmix::digraph

@@ -1,0 +1,94 @@
+#include "digraph/scc.hpp"
+
+#include <algorithm>
+
+namespace socmix::digraph {
+
+NodeId SccResult::largest() const noexcept {
+  if (sizes.empty()) return graph::kInvalidNode;
+  const auto it = std::max_element(sizes.begin(), sizes.end());
+  return static_cast<NodeId>(it - sizes.begin());
+}
+
+SccResult strongly_connected_components(const DiGraph& g) {
+  // Iterative Tarjan. Frames carry (vertex, next-successor-index).
+  const NodeId n = g.num_nodes();
+  constexpr NodeId kUnvisited = graph::kInvalidNode;
+
+  SccResult out;
+  out.component.assign(n, kUnvisited);
+
+  std::vector<NodeId> index(n, kUnvisited);
+  std::vector<NodeId> lowlink(n, 0);
+  std::vector<char> on_stack(n, 0);
+  std::vector<NodeId> stack;             // Tarjan's SCC stack
+  std::vector<std::pair<NodeId, NodeId>> frames;  // DFS call stack
+  NodeId next_index = 0;
+
+  for (NodeId root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    frames.emplace_back(root, 0);
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = 1;
+
+    while (!frames.empty()) {
+      auto& [v, cursor] = frames.back();
+      const auto succ = g.successors(v);
+      if (cursor < succ.size()) {
+        const NodeId w = succ[cursor++];
+        if (index[w] == kUnvisited) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = 1;
+          frames.emplace_back(w, 0);
+        } else if (on_stack[w] != 0) {
+          lowlink[v] = std::min(lowlink[v], index[w]);
+        }
+      } else {
+        // v is finished: maybe an SCC root, then propagate lowlink upward.
+        if (lowlink[v] == index[v]) {
+          const auto label = static_cast<NodeId>(out.sizes.size());
+          NodeId count = 0;
+          NodeId w;
+          do {
+            w = stack.back();
+            stack.pop_back();
+            on_stack[w] = 0;
+            out.component[w] = label;
+            ++count;
+          } while (w != v);
+          out.sizes.push_back(count);
+        }
+        const NodeId finished = v;
+        frames.pop_back();
+        if (!frames.empty()) {
+          const NodeId parent = frames.back().first;
+          lowlink[parent] = std::min(lowlink[parent], lowlink[finished]);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+ExtractedDiSubgraph largest_scc(const DiGraph& g) {
+  const SccResult scc = strongly_connected_components(g);
+  const NodeId target = scc.largest();
+  std::vector<NodeId> members;
+  if (target != graph::kInvalidNode) {
+    members.reserve(scc.sizes[target]);
+    const NodeId n = g.num_nodes();
+    for (NodeId v = 0; v < n; ++v) {
+      if (scc.component[v] == target) members.push_back(v);
+    }
+  }
+  return induced_subdigraph(g, members);
+}
+
+bool is_strongly_connected(const DiGraph& g) {
+  if (g.num_nodes() == 0) return false;
+  return strongly_connected_components(g).count() == 1;
+}
+
+}  // namespace socmix::digraph

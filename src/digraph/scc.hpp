@@ -1,0 +1,30 @@
+// Strongly connected components — the directed analogue of the paper's
+// largest-connected-component preprocessing: a directed walk's mixing time
+// is only defined on a strongly connected (and aperiodic) piece.
+#pragma once
+
+#include <vector>
+
+#include "digraph/digraph.hpp"
+
+namespace socmix::digraph {
+
+/// SCC labeling (Tarjan's algorithm, iterative — safe for deep graphs).
+struct SccResult {
+  /// component[v] = dense SCC id (reverse topological order of Tarjan).
+  std::vector<NodeId> component;
+  std::vector<NodeId> sizes;
+
+  [[nodiscard]] std::size_t count() const noexcept { return sizes.size(); }
+  [[nodiscard]] NodeId largest() const noexcept;
+};
+
+[[nodiscard]] SccResult strongly_connected_components(const DiGraph& g);
+
+/// Extracts the largest SCC as a standalone DiGraph.
+[[nodiscard]] ExtractedDiSubgraph largest_scc(const DiGraph& g);
+
+/// True if the whole digraph is one SCC (and nonempty).
+[[nodiscard]] bool is_strongly_connected(const DiGraph& g);
+
+}  // namespace socmix::digraph

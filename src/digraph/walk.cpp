@@ -1,0 +1,139 @@
+#include "digraph/walk.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/vector_ops.hpp"
+
+namespace socmix::digraph {
+
+DirectedEvolver::DirectedEvolver(const DiGraph& g, double teleport)
+    : graph_(&g), teleport_(teleport) {
+  if (teleport < 0.0 || teleport >= 1.0) {
+    throw std::invalid_argument{"DirectedEvolver: teleport must be in [0, 1)"};
+  }
+  const NodeId n = g.num_nodes();
+  if (n == 0) throw std::invalid_argument{"DirectedEvolver: empty graph"};
+  inv_out_deg_.resize(n);
+  for (NodeId v = 0; v < n; ++v) {
+    const NodeId d = g.out_degree(v);
+    inv_out_deg_[v] = d == 0 ? 0.0 : 1.0 / static_cast<double>(d);
+  }
+  scratch_.resize(n);
+}
+
+void DirectedEvolver::step(std::span<const double> current,
+                           std::span<double> next) const noexcept {
+  const DiGraph& g = *graph_;
+  const NodeId n = g.num_nodes();
+
+  // Mass sitting on dangling vertices redistributes uniformly.
+  double dangling_mass = 0.0;
+  for (NodeId v = 0; v < n; ++v) {
+    if (inv_out_deg_[v] == 0.0) dangling_mass += current[v];
+  }
+  const double base =
+      (teleport_ + (1.0 - teleport_) * dangling_mass) / static_cast<double>(n);
+  const double keep = 1.0 - teleport_;
+
+  for (NodeId j = 0; j < n; ++j) {
+    double acc = 0.0;
+    for (const NodeId i : g.predecessors(j)) {
+      acc += current[i] * inv_out_deg_[i];
+    }
+    next[j] = keep * acc + base;
+  }
+}
+
+void DirectedEvolver::advance(std::vector<double>& dist, std::size_t steps) {
+  for (std::size_t t = 0; t < steps; ++t) {
+    step(dist, scratch_);
+    dist.swap(scratch_);
+  }
+}
+
+std::vector<double> DirectedEvolver::point_mass(NodeId v) const {
+  std::vector<double> dist(dim(), 0.0);
+  dist[v] = 1.0;
+  return dist;
+}
+
+DirectedStationary directed_stationary(const DiGraph& g, double teleport, double tol,
+                                       std::size_t max_iterations) {
+  DirectedEvolver evolver{g, teleport};
+  DirectedStationary out;
+  out.pi.assign(g.num_nodes(), 1.0 / static_cast<double>(g.num_nodes()));
+  std::vector<double> next(out.pi.size());
+  double previous_residual = 2.0;
+  for (std::size_t it = 1; it <= max_iterations; ++it) {
+    evolver.step(out.pi, next);
+    double residual = 0.0;
+    for (std::size_t v = 0; v < next.size(); ++v) {
+      residual += std::fabs(next[v] - out.pi[v]);
+    }
+    out.pi.swap(next);
+    out.iterations = it;
+    if (residual < tol) {
+      out.converged = true;
+      break;
+    }
+    // Periodic chains plateau: give up when the residual stops moving.
+    if (it % 1000 == 0) {
+      if (residual > 0.999 * previous_residual && residual > 1e-6) break;
+      previous_residual = residual;
+    }
+  }
+  return out;
+}
+
+std::vector<double> directed_tvd_trajectory(const DiGraph& g, NodeId source,
+                                            std::size_t max_steps, double teleport) {
+  const auto stationary = directed_stationary(g, teleport);
+  DirectedEvolver evolver{g, teleport};
+  auto dist = evolver.point_mass(source);
+  std::vector<double> next(dist.size());
+  std::vector<double> out;
+  out.reserve(max_steps);
+  for (std::size_t t = 0; t < max_steps; ++t) {
+    evolver.step(dist, next);
+    dist.swap(next);
+    out.push_back(linalg::total_variation(dist, stationary.pi));
+  }
+  return out;
+}
+
+DirectedMixingResult directed_mixing_time(const DiGraph& g,
+                                          std::span<const NodeId> sources,
+                                          std::size_t max_steps, double eps,
+                                          double teleport) {
+  const auto stationary = directed_stationary(g, teleport);
+  DirectedEvolver evolver{g, teleport};
+  DirectedMixingResult out;
+  double sum = 0.0;
+  for (const NodeId source : sources) {
+    auto dist = evolver.point_mass(source);
+    std::vector<double> next(dist.size());
+    std::size_t mixed_at = kNotMixedDirected;
+    for (std::size_t t = 1; t <= max_steps; ++t) {
+      evolver.step(dist, next);
+      dist.swap(next);
+      if (linalg::total_variation(dist, stationary.pi) < eps) {
+        mixed_at = t;
+        break;
+      }
+    }
+    if (mixed_at == kNotMixedDirected) {
+      ++out.unmixed_sources;
+      sum += static_cast<double>(max_steps);
+      out.worst = kNotMixedDirected;
+    } else {
+      sum += static_cast<double>(mixed_at);
+      if (out.worst != kNotMixedDirected) out.worst = std::max(out.worst, mixed_at);
+    }
+  }
+  if (!sources.empty()) out.mean = sum / static_cast<double>(sources.size());
+  return out;
+}
+
+}  // namespace socmix::digraph

@@ -1,0 +1,81 @@
+// Random walks on directed graphs.
+//
+// The directed chain x_{t+1} = x_t P (P row-normalized over out-arcs) is
+// generally neither reversible nor ergodic: dangling vertices absorb mass
+// and the stationary distribution has no deg/2m closed form. We follow the
+// standard PageRank remedies, kept explicit so their effect is measurable:
+//   * dangling vertices redistribute their mass uniformly;
+//   * an optional teleport probability gamma restarts the walk uniformly,
+//     guaranteeing ergodicity (gamma = 0 is the raw chain).
+// The stationary distribution is computed by power iteration, and the
+// mixing machinery mirrors markov/: TVD trajectories per source and
+// sampled mixing aggregation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "digraph/digraph.hpp"
+
+namespace socmix::digraph {
+
+/// Distribution evolution engine for the directed chain.
+class DirectedEvolver {
+ public:
+  /// teleport gamma in [0, 1); 0 keeps the raw chain (caller must ensure
+  /// strong connectivity + aperiodicity for a meaningful mixing time).
+  explicit DirectedEvolver(const DiGraph& g, double teleport = 0.0);
+
+  [[nodiscard]] std::size_t dim() const noexcept { return inv_out_deg_.size(); }
+  [[nodiscard]] double teleport() const noexcept { return teleport_; }
+
+  /// next = current * P (teleport + dangling handling applied).
+  void step(std::span<const double> current, std::span<double> next) const noexcept;
+
+  void advance(std::vector<double>& dist, std::size_t steps);
+
+  [[nodiscard]] std::vector<double> point_mass(NodeId v) const;
+
+ private:
+  const DiGraph* graph_;
+  std::vector<double> inv_out_deg_;  // 0 for dangling vertices
+  std::vector<double> scratch_;
+  double teleport_;
+};
+
+/// Stationary distribution by power iteration to L1 residual < tol.
+/// Requires ergodicity: either teleport > 0, or a strongly connected
+/// aperiodic graph (residual simply stops shrinking otherwise and the
+/// last iterate is returned with converged = false).
+struct DirectedStationary {
+  std::vector<double> pi;
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+[[nodiscard]] DirectedStationary directed_stationary(const DiGraph& g,
+                                                     double teleport = 0.0,
+                                                     double tol = 1e-12,
+                                                     std::size_t max_iterations = 200000);
+
+/// TVD trajectory of a point mass at `source` against the chain's own
+/// stationary distribution: result[t-1] = || pi - e_source P^t ||_tv.
+[[nodiscard]] std::vector<double> directed_tvd_trajectory(const DiGraph& g,
+                                                          NodeId source,
+                                                          std::size_t max_steps,
+                                                          double teleport = 0.0);
+
+/// Sampled directed mixing time: max over sources of the first t with
+/// TVD < eps (kNotMixedDirected when a source never gets there).
+inline constexpr std::size_t kNotMixedDirected = static_cast<std::size_t>(-1);
+struct DirectedMixingResult {
+  std::size_t worst = 0;
+  double mean = 0.0;
+  std::size_t unmixed_sources = 0;
+};
+[[nodiscard]] DirectedMixingResult directed_mixing_time(const DiGraph& g,
+                                                        std::span<const NodeId> sources,
+                                                        std::size_t max_steps, double eps,
+                                                        double teleport = 0.0);
+
+}  // namespace socmix::digraph

@@ -1,0 +1,51 @@
+#include "gen/barabasi_albert.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+#include <vector>
+
+namespace socmix::gen {
+
+using graph::EdgeList;
+using graph::Graph;
+using graph::NodeId;
+
+Graph barabasi_albert(NodeId n, NodeId attach, util::Rng& rng) {
+  if (attach < 1 || n <= attach) {
+    throw std::invalid_argument{"barabasi_albert: need n > attach >= 1"};
+  }
+  EdgeList edges{n};
+  edges.reserve(static_cast<std::size_t>(n) * attach);
+
+  // repeated_nodes holds one entry per half-edge: sampling uniformly from
+  // it is sampling proportionally to degree.
+  std::vector<NodeId> repeated_nodes;
+  repeated_nodes.reserve(2 * static_cast<std::size_t>(n) * attach);
+
+  // Seed: clique on attach+1 vertices guarantees every early vertex has
+  // degree >= attach and the graph is connected.
+  const NodeId m0 = attach + 1;
+  for (NodeId u = 0; u < m0; ++u) {
+    for (NodeId v = u + 1; v < m0; ++v) {
+      edges.add(u, v);
+      repeated_nodes.push_back(u);
+      repeated_nodes.push_back(v);
+    }
+  }
+
+  std::unordered_set<NodeId> targets;
+  for (NodeId v = m0; v < n; ++v) {
+    targets.clear();
+    while (targets.size() < attach) {
+      targets.insert(repeated_nodes[rng.below(repeated_nodes.size())]);
+    }
+    for (const NodeId t : targets) {
+      edges.add(v, t);
+      repeated_nodes.push_back(v);
+      repeated_nodes.push_back(t);
+    }
+  }
+  return Graph::from_edges(std::move(edges));
+}
+
+}  // namespace socmix::gen

@@ -1,0 +1,20 @@
+// Barabási–Albert preferential attachment.
+//
+// Produces the heavy-tailed degree distributions of online social networks
+// (the paper's Facebook/Slashdot-like "fast mixing" category): a dense,
+// expander-like core with power-law degrees.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace socmix::gen {
+
+/// BA model: starts from a small clique of m0 = attach+1 seed vertices and
+/// grows to n, each new vertex attaching to `attach` existing vertices
+/// chosen proportionally to degree (repeat-edge draws are redrawn).
+/// Requires n > attach >= 1.
+[[nodiscard]] graph::Graph barabasi_albert(graph::NodeId n, graph::NodeId attach,
+                                           util::Rng& rng);
+
+}  // namespace socmix::gen

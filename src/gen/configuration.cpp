@@ -1,0 +1,93 @@
+#include "gen/configuration.hpp"
+
+#include <unordered_set>
+#include <vector>
+
+namespace socmix::gen {
+
+using graph::EdgeList;
+using graph::Graph;
+using graph::NodeId;
+
+namespace {
+[[nodiscard]] std::uint64_t edge_key(NodeId a, NodeId b) noexcept {
+  if (a > b) std::swap(a, b);
+  return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+}  // namespace
+
+Graph configuration_model(std::span<const graph::NodeId> degrees, util::Rng& rng) {
+  // Build the stub multiset: one entry per half-edge.
+  std::vector<NodeId> stubs;
+  const auto n = static_cast<NodeId>(degrees.size());
+  for (NodeId v = 0; v < n; ++v) {
+    for (NodeId d = 0; d < degrees[v]; ++d) stubs.push_back(v);
+  }
+  if (stubs.size() % 2 == 1) stubs.pop_back();
+  util::shuffle(stubs.begin(), stubs.end(), rng);
+
+  EdgeList edges{static_cast<NodeId>(degrees.size())};
+  edges.reserve(stubs.size() / 2);
+  for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+    edges.add(stubs[i], stubs[i + 1]);  // loops/dupes erased by from_edges
+  }
+  return Graph::from_edges(std::move(edges));
+}
+
+Graph configuration_null(const Graph& g, util::Rng& rng) {
+  std::vector<NodeId> degrees(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) degrees[v] = g.degree(v);
+  return configuration_model(degrees, rng);
+}
+
+Graph degree_preserving_rewire(const Graph& g, std::uint64_t swaps, util::Rng& rng) {
+  // Mutable edge array + membership set for O(1) duplicate checks.
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(g.num_edges());
+  std::unordered_set<std::uint64_t> present;
+  present.reserve(g.num_edges() * 2);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (const NodeId v : g.neighbors(u)) {
+      if (u < v) {
+        edges.emplace_back(u, v);
+        present.insert(edge_key(u, v));
+      }
+    }
+  }
+  if (edges.size() < 2) {
+    EdgeList unchanged{g.num_nodes()};
+    for (const auto& [u, v] : edges) unchanged.add(u, v);
+    return Graph::from_edges(std::move(unchanged));
+  }
+
+  std::uint64_t done = 0;
+  const std::uint64_t max_attempts = swaps * 20;
+  for (std::uint64_t attempt = 0; attempt < max_attempts && done < swaps; ++attempt) {
+    const std::size_t i = rng.below(edges.size());
+    const std::size_t j = rng.below(edges.size());
+    if (i == j) continue;
+    auto [a, b] = edges[i];
+    auto [c, d] = edges[j];
+    // Randomize orientation of the second edge for uniformity.
+    if (rng.chance(0.5)) std::swap(c, d);
+    // Proposed: (a,d), (c,b).
+    if (a == d || c == b) continue;
+    const std::uint64_t k_ad = edge_key(a, d);
+    const std::uint64_t k_cb = edge_key(c, b);
+    if (present.contains(k_ad) || present.contains(k_cb)) continue;
+    present.erase(edge_key(a, b));
+    present.erase(edge_key(c, d));
+    present.insert(k_ad);
+    present.insert(k_cb);
+    edges[i] = {a, d};
+    edges[j] = {c, b};
+    ++done;
+  }
+
+  EdgeList rewired{g.num_nodes()};
+  rewired.reserve(edges.size());
+  for (const auto& [u, v] : edges) rewired.add(u, v);
+  return Graph::from_edges(std::move(rewired));
+}
+
+}  // namespace socmix::gen

@@ -1,0 +1,63 @@
+#include "gen/erdos_renyi.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace socmix::gen {
+
+using graph::EdgeList;
+using graph::Graph;
+using graph::NodeId;
+
+Graph erdos_renyi_gnm(NodeId n, std::uint64_t m, util::Rng& rng) {
+  const std::uint64_t max_edges = static_cast<std::uint64_t>(n) * (n - 1) / 2;
+  if (n < 2 || m > max_edges) {
+    throw std::invalid_argument{"erdos_renyi_gnm: need n >= 2 and m <= n(n-1)/2"};
+  }
+  EdgeList edges{n};
+  edges.reserve(m);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(m * 2);
+  while (seen.size() < m) {
+    auto u = static_cast<NodeId>(rng.below(n));
+    auto v = static_cast<NodeId>(rng.below(n));
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    const std::uint64_t key = (static_cast<std::uint64_t>(u) << 32) | v;
+    if (seen.insert(key).second) edges.add(u, v);
+  }
+  return Graph::from_edges(std::move(edges));
+}
+
+Graph erdos_renyi_gnp(NodeId n, double p, util::Rng& rng) {
+  if (n < 2 || p < 0.0 || p > 1.0) {
+    throw std::invalid_argument{"erdos_renyi_gnp: need n >= 2 and p in [0,1]"};
+  }
+  EdgeList edges{n};
+  if (p == 0.0) return Graph::from_edges(std::move(edges));
+  if (p == 1.0) {
+    for (NodeId u = 0; u < n; ++u)
+      for (NodeId v = u + 1; v < n; ++v) edges.add(u, v);
+    return Graph::from_edges(std::move(edges));
+  }
+
+  // Batagelj-Brandes geometric skipping over the upper-triangle order.
+  const double log_1mp = std::log(1.0 - p);
+  std::int64_t v = 1;
+  std::int64_t w = -1;
+  while (v < static_cast<std::int64_t>(n)) {
+    const double r = 1.0 - rng.uniform();  // (0, 1]
+    w += 1 + static_cast<std::int64_t>(std::floor(std::log(r) / log_1mp));
+    while (w >= v && v < static_cast<std::int64_t>(n)) {
+      w -= v;
+      ++v;
+    }
+    if (v < static_cast<std::int64_t>(n)) {
+      edges.add(static_cast<NodeId>(w), static_cast<NodeId>(v));
+    }
+  }
+  return Graph::from_edges(std::move(edges));
+}
+
+}  // namespace socmix::gen

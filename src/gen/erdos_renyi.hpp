@@ -1,0 +1,21 @@
+// Erdős–Rényi random graphs: G(n, m) and G(n, p).
+//
+// Above the connectivity threshold these are excellent expanders — the
+// "fast mixing" end of the spectrum against which the paper's social
+// graphs are contrasted.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace socmix::gen {
+
+/// G(n, m): exactly m distinct uniform edges (after discarding collisions
+/// m is exact; requires m <= n(n-1)/2).
+[[nodiscard]] graph::Graph erdos_renyi_gnm(graph::NodeId n, std::uint64_t m, util::Rng& rng);
+
+/// G(n, p): each pair independently with probability p. Uses geometric
+/// skipping, O(n + m) expected time, so sparse graphs are cheap.
+[[nodiscard]] graph::Graph erdos_renyi_gnp(graph::NodeId n, double p, util::Rng& rng);
+
+}  // namespace socmix::gen

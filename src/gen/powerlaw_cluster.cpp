@@ -1,0 +1,64 @@
+#include "gen/powerlaw_cluster.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+#include <vector>
+
+namespace socmix::gen {
+
+using graph::EdgeList;
+using graph::Graph;
+using graph::NodeId;
+
+Graph powerlaw_cluster(NodeId n, NodeId attach, double p_triangle, util::Rng& rng) {
+  if (attach < 1 || n <= attach || p_triangle < 0.0 || p_triangle > 1.0) {
+    throw std::invalid_argument{
+        "powerlaw_cluster: need n > attach >= 1 and p_triangle in [0,1]"};
+  }
+
+  EdgeList edges{n};
+  edges.reserve(static_cast<std::size_t>(n) * attach);
+
+  std::vector<NodeId> repeated_nodes;              // degree-proportional pool
+  std::vector<std::vector<NodeId>> adjacency(n);   // for triad formation
+
+  const auto connect = [&](NodeId u, NodeId v) {
+    edges.add(u, v);
+    adjacency[u].push_back(v);
+    adjacency[v].push_back(u);
+    repeated_nodes.push_back(u);
+    repeated_nodes.push_back(v);
+  };
+
+  const NodeId m0 = attach + 1;
+  for (NodeId u = 0; u < m0; ++u) {
+    for (NodeId v = u + 1; v < m0; ++v) connect(u, v);
+  }
+
+  std::unordered_set<NodeId> linked;  // targets of the current new vertex
+  for (NodeId v = m0; v < n; ++v) {
+    linked.clear();
+    NodeId last_target = graph::kInvalidNode;
+    while (linked.size() < attach) {
+      NodeId target = graph::kInvalidNode;
+      // Triad step: close a triangle via a random neighbor of the last
+      // preferential-attachment target, when possible.
+      if (last_target != graph::kInvalidNode && rng.chance(p_triangle)) {
+        const auto& candidates = adjacency[last_target];
+        const NodeId pick = candidates[rng.below(candidates.size())];
+        if (pick != v && !linked.contains(pick)) target = pick;
+      }
+      if (target == graph::kInvalidNode) {
+        const NodeId pick = repeated_nodes[rng.below(repeated_nodes.size())];
+        if (pick == v || linked.contains(pick)) continue;
+        target = pick;
+        last_target = pick;
+      }
+      linked.insert(target);
+      connect(v, target);
+    }
+  }
+  return Graph::from_edges(std::move(edges));
+}
+
+}  // namespace socmix::gen

@@ -1,0 +1,22 @@
+// Holme–Kim power-law graphs with tunable clustering.
+//
+// Collaboration networks (DBLP, physics co-authorship) combine power-law
+// degrees with very high clustering — triangles everywhere — which is what
+// BA alone lacks. Holme-Kim adds a "triad formation" step: after each
+// preferential attachment, with probability p_triangle the next link closes
+// a triangle with a neighbor of the previous target. High p_triangle
+// produces the locally-dense, globally-sparse structure that mixes slowly.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace socmix::gen {
+
+/// Holme-Kim model: n vertices, `attach` links per new vertex, triad
+/// formation probability p_triangle in [0, 1].
+/// Requires n > attach >= 1.
+[[nodiscard]] graph::Graph powerlaw_cluster(graph::NodeId n, graph::NodeId attach,
+                                            double p_triangle, util::Rng& rng);
+
+}  // namespace socmix::gen

@@ -1,0 +1,88 @@
+#include "gen/reference.hpp"
+
+#include <stdexcept>
+
+namespace socmix::gen {
+
+using graph::EdgeList;
+using graph::Graph;
+using graph::NodeId;
+
+Graph complete(NodeId n) {
+  if (n < 2) throw std::invalid_argument{"complete: need n >= 2"};
+  EdgeList edges{n};
+  edges.reserve(static_cast<std::size_t>(n) * (n - 1) / 2);
+  for (NodeId u = 0; u < n; ++u)
+    for (NodeId v = u + 1; v < n; ++v) edges.add(u, v);
+  return Graph::from_edges(std::move(edges));
+}
+
+Graph cycle(NodeId n) {
+  if (n < 3) throw std::invalid_argument{"cycle: need n >= 3"};
+  EdgeList edges{n};
+  for (NodeId v = 0; v < n; ++v) edges.add(v, (v + 1) % n);
+  return Graph::from_edges(std::move(edges));
+}
+
+Graph path(NodeId n) {
+  if (n < 2) throw std::invalid_argument{"path: need n >= 2"};
+  EdgeList edges{n};
+  for (NodeId v = 0; v + 1 < n; ++v) edges.add(v, v + 1);
+  return Graph::from_edges(std::move(edges));
+}
+
+Graph star(NodeId n) {
+  if (n < 2) throw std::invalid_argument{"star: need n >= 2"};
+  EdgeList edges{n};
+  for (NodeId v = 1; v < n; ++v) edges.add(0, v);
+  return Graph::from_edges(std::move(edges));
+}
+
+Graph complete_bipartite(NodeId a, NodeId b) {
+  if (a < 1 || b < 1) throw std::invalid_argument{"complete_bipartite: need a,b >= 1"};
+  EdgeList edges{static_cast<NodeId>(a + b)};
+  for (NodeId u = 0; u < a; ++u)
+    for (NodeId v = 0; v < b; ++v) edges.add(u, a + v);
+  return Graph::from_edges(std::move(edges));
+}
+
+Graph hypercube(unsigned d) {
+  if (d < 1 || d > 24) throw std::invalid_argument{"hypercube: need 1 <= d <= 24"};
+  const NodeId n = NodeId{1} << d;
+  EdgeList edges{n};
+  for (NodeId v = 0; v < n; ++v) {
+    for (unsigned bit = 0; bit < d; ++bit) {
+      const NodeId w = v ^ (NodeId{1} << bit);
+      if (v < w) edges.add(v, w);
+    }
+  }
+  return Graph::from_edges(std::move(edges));
+}
+
+Graph circulant(NodeId n, NodeId d) {
+  if (d % 2 != 0 || d == 0 || n <= d) {
+    throw std::invalid_argument{"circulant: need even d >= 2 and n > d"};
+  }
+  EdgeList edges{n};
+  for (NodeId v = 0; v < n; ++v) {
+    for (NodeId k = 1; k <= d / 2; ++k) edges.add(v, (v + k) % n);
+  }
+  return Graph::from_edges(std::move(edges));
+}
+
+Graph dumbbell(NodeId k, NodeId bridges) {
+  if (k < 2 || bridges < 1 || bridges > k) {
+    throw std::invalid_argument{"dumbbell: need k >= 2 and 1 <= bridges <= k"};
+  }
+  EdgeList edges{static_cast<NodeId>(2 * k)};
+  for (NodeId u = 0; u < k; ++u) {
+    for (NodeId v = u + 1; v < k; ++v) {
+      edges.add(u, v);
+      edges.add(k + u, k + v);
+    }
+  }
+  for (NodeId b = 0; b < bridges; ++b) edges.add(b, k + b);
+  return Graph::from_edges(std::move(edges));
+}
+
+}  // namespace socmix::gen

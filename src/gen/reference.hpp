@@ -1,0 +1,45 @@
+// Reference graphs with closed-form random-walk spectra.
+//
+// These are the measurement library's ground truth: the transition matrix
+// eigenvalues of each family are known exactly, so the eigensolvers and
+// mixing bounds can be validated to machine precision.
+//
+//   complete K_n      : 1, -1/(n-1) (multiplicity n-1)        -> mu = 1/(n-1)
+//   cycle C_n         : cos(2 pi k / n), k = 0..n-1            -> mu = cos(2 pi/n) (odd n)
+//   path P_n          : cos(pi k / (n-1)) (weighted-path chain)
+//   star S_n          : 1, 0 (mult n-2), -1                    -> periodic, mu = 1
+//   complete bipartite: 1, 0 (mult n-2), -1                    -> periodic
+//   hypercube Q_d     : 1 - 2k/d, k = 0..d                     -> mu = 1 - 2/d
+#pragma once
+
+#include "graph/graph.hpp"
+
+namespace socmix::gen {
+
+/// Complete graph on n >= 2 vertices.
+[[nodiscard]] graph::Graph complete(graph::NodeId n);
+
+/// Cycle on n >= 3 vertices.
+[[nodiscard]] graph::Graph cycle(graph::NodeId n);
+
+/// Path on n >= 2 vertices.
+[[nodiscard]] graph::Graph path(graph::NodeId n);
+
+/// Star: one hub connected to n-1 leaves (n >= 2). Bipartite => periodic.
+[[nodiscard]] graph::Graph star(graph::NodeId n);
+
+/// Complete bipartite graph K_{a,b} (a, b >= 1).
+[[nodiscard]] graph::Graph complete_bipartite(graph::NodeId a, graph::NodeId b);
+
+/// d-dimensional hypercube (2^d vertices), d >= 1.
+[[nodiscard]] graph::Graph hypercube(unsigned d);
+
+/// Circulant d-regular "ring of cliques"-style graph: vertex i connects to
+/// i +- 1..d/2 (mod n). d must be even, n > d.
+[[nodiscard]] graph::Graph circulant(graph::NodeId n, graph::NodeId d);
+
+/// Two cliques of size k joined by exactly `bridges` edges — the canonical
+/// slow-mixing graph (a dumbbell); mixing time grows as bridges shrink.
+[[nodiscard]] graph::Graph dumbbell(graph::NodeId k, graph::NodeId bridges);
+
+}  // namespace socmix::gen

@@ -1,0 +1,96 @@
+#include "gen/sbm.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace socmix::gen {
+
+using graph::EdgeList;
+using graph::Graph;
+using graph::NodeId;
+
+namespace {
+
+/// Visits each index of {0, ..., total-1} independently with probability p
+/// using geometric skipping; expected O(p * total) calls.
+template <typename Fn>
+void sample_indices(std::uint64_t total, double p, util::Rng& rng, Fn&& visit) {
+  if (p <= 0.0 || total == 0) return;
+  if (p >= 1.0) {
+    for (std::uint64_t i = 0; i < total; ++i) visit(i);
+    return;
+  }
+  const double log_1mp = std::log(1.0 - p);
+  double cursor = -1.0;
+  while (true) {
+    const double r = 1.0 - rng.uniform();  // (0, 1]
+    cursor += 1.0 + std::floor(std::log(r) / log_1mp);
+    if (cursor >= static_cast<double>(total)) return;
+    visit(static_cast<std::uint64_t>(cursor));
+  }
+}
+
+}  // namespace
+
+Graph stochastic_block_model(const SbmConfig& config, util::Rng& rng) {
+  if (config.p_in < 0.0 || config.p_in > 1.0 || config.p_out < 0.0 || config.p_out > 1.0) {
+    throw std::invalid_argument{"stochastic_block_model: probabilities must be in [0,1]"};
+  }
+  std::vector<NodeId> block_start;
+  NodeId n = 0;
+  for (const NodeId size : config.block_sizes) {
+    if (size == 0) throw std::invalid_argument{"stochastic_block_model: empty block"};
+    block_start.push_back(n);
+    n += size;
+  }
+  if (n == 0) throw std::invalid_argument{"stochastic_block_model: no blocks"};
+
+  EdgeList edges{n};
+  const std::size_t blocks = config.block_sizes.size();
+
+  // Within-block edges: enumerate the upper triangle of each block.
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const NodeId base = block_start[b];
+    const std::uint64_t size = config.block_sizes[b];
+    const std::uint64_t pairs = size * (size - 1) / 2;
+    sample_indices(pairs, config.p_in, rng, [&](std::uint64_t idx) {
+      // Invert the triangular index: row i is the largest with i(i-1)/2 <= idx.
+      const auto i = static_cast<std::uint64_t>(
+          (1.0 + std::sqrt(1.0 + 8.0 * static_cast<double>(idx))) / 2.0);
+      std::uint64_t row = i;
+      while (row * (row - 1) / 2 > idx) --row;       // correct float drift
+      while ((row + 1) * row / 2 <= idx) ++row;
+      const std::uint64_t col = idx - row * (row - 1) / 2;
+      edges.add(base + static_cast<NodeId>(row), base + static_cast<NodeId>(col));
+    });
+  }
+
+  // Across-block edges: full bipartite grid for each block pair.
+  for (std::size_t a = 0; a < blocks; ++a) {
+    for (std::size_t b = a + 1; b < blocks; ++b) {
+      const std::uint64_t rows = config.block_sizes[a];
+      const std::uint64_t cols = config.block_sizes[b];
+      sample_indices(rows * cols, config.p_out, rng, [&](std::uint64_t idx) {
+        edges.add(block_start[a] + static_cast<NodeId>(idx / cols),
+                  block_start[b] + static_cast<NodeId>(idx % cols));
+      });
+    }
+  }
+  return Graph::from_edges(std::move(edges));
+}
+
+Graph planted_communities(NodeId blocks, NodeId block_size, double avg_internal_degree,
+                          double avg_external_degree, util::Rng& rng) {
+  if (blocks < 1 || block_size < 2) {
+    throw std::invalid_argument{"planted_communities: need blocks >= 1, block_size >= 2"};
+  }
+  SbmConfig config;
+  config.block_sizes.assign(blocks, block_size);
+  config.p_in = std::min(1.0, avg_internal_degree / static_cast<double>(block_size - 1));
+  const double external_pool = static_cast<double>(block_size) * (blocks - 1);
+  config.p_out =
+      blocks > 1 ? std::min(1.0, avg_external_degree / external_pool) : 0.0;
+  return stochastic_block_model(config, rng);
+}
+
+}  // namespace socmix::gen

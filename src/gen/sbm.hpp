@@ -1,0 +1,39 @@
+// Stochastic block model — community structure on demand.
+//
+// The paper attributes slow mixing to community structure (citing
+// Viswanath et al.'s conductance analysis): sparse cuts between dense
+// communities trap random walks. The SBM gives direct control over that
+// cut sparsity, making it the core ingredient of the slow-mixing dataset
+// stand-ins (DBLP, physics co-authorship, LiveJournal).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace socmix::gen {
+
+struct SbmConfig {
+  /// Sizes of each community (blocks of consecutive vertex ids).
+  std::vector<graph::NodeId> block_sizes;
+  /// Edge probability within a community.
+  double p_in = 0.0;
+  /// Edge probability across communities.
+  double p_out = 0.0;
+};
+
+/// Samples a stochastic block model. Intra-block pairs connect with p_in,
+/// inter-block with p_out. O(n + m) expected via geometric skipping.
+[[nodiscard]] graph::Graph stochastic_block_model(const SbmConfig& config, util::Rng& rng);
+
+/// Convenience: `blocks` equal communities of `block_size` vertices, with
+/// expected `avg_internal_degree` within and `avg_external_degree` across
+/// (converted to the corresponding p_in/p_out).
+[[nodiscard]] graph::Graph planted_communities(graph::NodeId blocks,
+                                               graph::NodeId block_size,
+                                               double avg_internal_degree,
+                                               double avg_external_degree,
+                                               util::Rng& rng);
+
+}  // namespace socmix::gen

@@ -1,0 +1,62 @@
+#include "gen/watts_strogatz.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace socmix::gen {
+
+using graph::EdgeList;
+using graph::Graph;
+using graph::NodeId;
+
+Graph watts_strogatz(NodeId n, NodeId k, double beta, util::Rng& rng) {
+  if (k < 2 || k % 2 != 0 || n <= k || beta < 0.0 || beta > 1.0) {
+    throw std::invalid_argument{
+        "watts_strogatz: need n > k >= 2, k even, beta in [0,1]"};
+  }
+
+  // Edge set keyed canonically so rewiring can avoid duplicates.
+  std::unordered_set<std::uint64_t> edge_keys;
+  edge_keys.reserve(static_cast<std::size_t>(n) * k);
+  const auto key = [](NodeId a, NodeId b) {
+    if (a > b) std::swap(a, b);
+    return (static_cast<std::uint64_t>(a) << 32) | b;
+  };
+
+  for (NodeId v = 0; v < n; ++v) {
+    for (NodeId j = 1; j <= k / 2; ++j) {
+      edge_keys.insert(key(v, (v + j) % n));
+    }
+  }
+
+  // Rewire each original lattice edge (v, v+j) with probability beta by
+  // replacing its far endpoint with a uniform vertex.
+  for (NodeId v = 0; v < n; ++v) {
+    for (NodeId j = 1; j <= k / 2; ++j) {
+      const NodeId w = (v + j) % n;
+      if (!rng.chance(beta)) continue;
+      const std::uint64_t old_key = key(v, w);
+      if (!edge_keys.contains(old_key)) continue;  // already rewired away
+      // Find a fresh endpoint; bail out after a bounded number of tries
+      // (possible only in extremely dense corners).
+      for (int attempt = 0; attempt < 32; ++attempt) {
+        const auto t = static_cast<NodeId>(rng.below(n));
+        if (t == v) continue;
+        const std::uint64_t new_key = key(v, t);
+        if (edge_keys.contains(new_key)) continue;
+        edge_keys.erase(old_key);
+        edge_keys.insert(new_key);
+        break;
+      }
+    }
+  }
+
+  EdgeList edges{n};
+  edges.reserve(edge_keys.size());
+  for (const std::uint64_t e : edge_keys) {
+    edges.add(static_cast<NodeId>(e >> 32), static_cast<NodeId>(e & 0xffffffffULL));
+  }
+  return Graph::from_edges(std::move(edges));
+}
+
+}  // namespace socmix::gen

@@ -1,0 +1,20 @@
+// Watts–Strogatz small-world graphs.
+//
+// Interpolates between a slow-mixing ring lattice (beta = 0) and a fast-
+// mixing random graph (beta = 1); the rewiring probability is a direct
+// knob on the mixing time, used by the ablation experiments.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace socmix::gen {
+
+/// WS model: ring lattice on n vertices with each vertex joined to its k
+/// nearest neighbors (k even), then each lattice edge rewired with
+/// probability beta to a uniform non-duplicate endpoint.
+/// Requires n > k >= 2, k even, beta in [0, 1].
+[[nodiscard]] graph::Graph watts_strogatz(graph::NodeId n, graph::NodeId k, double beta,
+                                          util::Rng& rng);
+
+}  // namespace socmix::gen

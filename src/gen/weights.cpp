@@ -1,0 +1,63 @@
+#include "gen/weights.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace socmix::gen {
+
+using graph::Graph;
+using graph::NodeId;
+using graph::WeightedEdge;
+using graph::WeightedGraph;
+
+namespace {
+
+/// Pareto(alpha) with minimum 1 via inverse transform.
+[[nodiscard]] double pareto(double alpha, util::Rng& rng) {
+  const double u = 1.0 - rng.uniform();  // (0, 1]
+  return std::pow(u, -1.0 / alpha);
+}
+
+}  // namespace
+
+WeightedGraph unit_weights(const Graph& g) { return WeightedGraph::from_graph(g); }
+
+WeightedGraph pareto_weights(const Graph& g, double alpha, util::Rng& rng) {
+  if (alpha <= 0.5 || alpha > 10.0) {
+    throw std::invalid_argument{"pareto_weights: alpha must be in (0.5, 10]"};
+  }
+  std::vector<WeightedEdge> edges;
+  edges.reserve(g.num_edges());
+  const NodeId n = g.num_nodes();
+  for (NodeId u = 0; u < n; ++u) {
+    for (const NodeId v : g.neighbors(u)) {
+      if (u < v) edges.push_back({u, v, pareto(alpha, rng)});
+    }
+  }
+  return WeightedGraph::from_edges(std::move(edges), n);
+}
+
+WeightedGraph community_biased_weights(const Graph& g, NodeId block_size, double strong,
+                                       double weak, double alpha, util::Rng& rng) {
+  if (block_size == 0 || strong <= 0.0 || weak <= 0.0) {
+    throw std::invalid_argument{
+        "community_biased_weights: need block_size >= 1 and positive scales"};
+  }
+  if (alpha <= 0.5 || alpha > 10.0) {
+    throw std::invalid_argument{"community_biased_weights: alpha must be in (0.5, 10]"};
+  }
+  std::vector<WeightedEdge> edges;
+  edges.reserve(g.num_edges());
+  const NodeId n = g.num_nodes();
+  for (NodeId u = 0; u < n; ++u) {
+    for (const NodeId v : g.neighbors(u)) {
+      if (u >= v) continue;
+      const bool same_block = u / block_size == v / block_size;
+      const double scale = same_block ? strong : weak;
+      edges.push_back({u, v, scale * pareto(alpha, rng)});
+    }
+  }
+  return WeightedGraph::from_edges(std::move(edges), n);
+}
+
+}  // namespace socmix::gen

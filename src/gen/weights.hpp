@@ -1,0 +1,36 @@
+// Synthetic edge-weight models — interaction graphs from topology.
+//
+// Wilson et al. (the source of the paper's Facebook A/B datasets) showed
+// that weighting friendship links by actual interaction volume changes the
+// graph's algorithmic behavior: interactions are heavy-tailed across links
+// and concentrated inside communities. These generators reproduce both
+// effects on top of any Graph, so the weighted measurement stack can ask
+// "how much slower does the *interaction* chain mix than the friendship
+// chain?" — the distinction behind the paper's dataset categories.
+#pragma once
+
+#include "graph/weighted_graph.hpp"
+#include "util/rng.hpp"
+
+namespace socmix::gen {
+
+/// Unit weights: the weighted chain equals the simple chain exactly.
+[[nodiscard]] graph::WeightedGraph unit_weights(const graph::Graph& g);
+
+/// I.i.d. Pareto(alpha, minimum 1) weights — heavy-tailed interaction
+/// volume uncorrelated with structure. alpha in (0.5, 10]; small alpha =
+/// heavier tail.
+[[nodiscard]] graph::WeightedGraph pareto_weights(const graph::Graph& g, double alpha,
+                                                  util::Rng& rng);
+
+/// Community-correlated weights for block-structured graphs (vertex ids
+/// grouped in blocks of `block_size`, as community_powerlaw lays them
+/// out): intra-block edges draw Pareto(alpha) scaled by `strong`,
+/// inter-block edges by `weak`. strong >> weak concentrates the walk
+/// inside communities — the interaction-graph effect.
+[[nodiscard]] graph::WeightedGraph community_biased_weights(const graph::Graph& g,
+                                                            graph::NodeId block_size,
+                                                            double strong, double weak,
+                                                            double alpha, util::Rng& rng);
+
+}  // namespace socmix::gen

@@ -1,0 +1,65 @@
+#include "graph/components.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "graph/subgraph.hpp"
+
+namespace socmix::graph {
+
+NodeId Components::largest() const noexcept {
+  if (sizes.empty()) return kInvalidNode;
+  const auto it = std::max_element(sizes.begin(), sizes.end());
+  return static_cast<NodeId>(it - sizes.begin());
+}
+
+Components connected_components(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  Components out;
+  out.component.assign(n, kInvalidNode);
+
+  std::vector<NodeId> frontier;
+  for (NodeId start = 0; start < n; ++start) {
+    if (out.component[start] != kInvalidNode) continue;
+    const auto label = static_cast<NodeId>(out.sizes.size());
+    NodeId count = 0;
+    frontier.clear();
+    frontier.push_back(start);
+    out.component[start] = label;
+    while (!frontier.empty()) {
+      const NodeId v = frontier.back();
+      frontier.pop_back();
+      ++count;
+      for (const NodeId w : g.neighbors(v)) {
+        if (out.component[w] == kInvalidNode) {
+          out.component[w] = label;
+          frontier.push_back(w);
+        }
+      }
+    }
+    out.sizes.push_back(count);
+  }
+  return out;
+}
+
+ExtractedSubgraph largest_component(const Graph& g) {
+  const Components comps = connected_components(g);
+  const NodeId target = comps.largest();
+  std::vector<NodeId> members;
+  if (target != kInvalidNode) {
+    members.reserve(comps.sizes[target]);
+    const NodeId n = g.num_nodes();
+    for (NodeId v = 0; v < n; ++v) {
+      if (comps.component[v] == target) members.push_back(v);
+    }
+  }
+  return induced_subgraph(g, members);
+}
+
+bool is_connected(const Graph& g) {
+  if (g.num_nodes() == 0) return false;
+  const Components comps = connected_components(g);
+  return comps.count() == 1;
+}
+
+}  // namespace socmix::graph

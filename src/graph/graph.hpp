@@ -1,0 +1,89 @@
+// Immutable simple undirected graph in Compressed Sparse Row (CSR) form.
+//
+// This is the substrate every measurement in the paper runs on: the random
+// walk transition matrix P = D^-1 A is never materialized — SpMV kernels and
+// walk samplers read the CSR adjacency directly.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "graph/types.hpp"
+
+namespace socmix::graph {
+
+/// Simple undirected graph, frozen at construction.
+///
+/// Invariants (established by the builder, relied on everywhere):
+///  * adjacency lists are sorted ascending and contain no duplicates,
+///  * no self-loops,
+///  * every undirected edge {u,v} appears in both lists.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Builds from an edge list. The list is cleaned (self-loops removed,
+  /// symmetrized, deduplicated) as the paper's preprocessing prescribes.
+  [[nodiscard]] static Graph from_edges(EdgeList edges);
+
+  /// Builds from an already-clean sorted CSR (used by subgraph extraction;
+  /// callers must uphold the class invariants).
+  [[nodiscard]] static Graph from_csr(std::vector<EdgeIndex> offsets,
+                                      std::vector<NodeId> neighbors);
+
+  /// Number of vertices n = |V|.
+  [[nodiscard]] NodeId num_nodes() const noexcept {
+    return offsets_.empty() ? 0 : static_cast<NodeId>(offsets_.size() - 1);
+  }
+
+  /// Number of undirected edges m = |E|.
+  [[nodiscard]] EdgeIndex num_edges() const noexcept { return neighbors_.size() / 2; }
+
+  /// Number of directed half-edges (2m); the denominator of pi = deg/2m.
+  [[nodiscard]] EdgeIndex num_half_edges() const noexcept { return neighbors_.size(); }
+
+  [[nodiscard]] NodeId degree(NodeId v) const noexcept {
+    return static_cast<NodeId>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  /// Sorted neighbor list of v.
+  [[nodiscard]] std::span<const NodeId> neighbors(NodeId v) const noexcept {
+    return {neighbors_.data() + offsets_[v], neighbors_.data() + offsets_[v + 1]};
+  }
+
+  /// Neighbor at local index i in v's adjacency list (i < degree(v)).
+  [[nodiscard]] NodeId neighbor(NodeId v, NodeId i) const noexcept {
+    return neighbors_[offsets_[v] + i];
+  }
+
+  /// Binary-search membership test; O(log deg(u)).
+  [[nodiscard]] bool has_edge(NodeId u, NodeId v) const noexcept;
+
+  /// Local index of v within u's adjacency list, or kInvalidNode if absent.
+  [[nodiscard]] NodeId index_of_neighbor(NodeId u, NodeId v) const noexcept;
+
+  [[nodiscard]] NodeId min_degree() const noexcept;
+  [[nodiscard]] NodeId max_degree() const noexcept;
+
+  /// True if every vertex has degree >= 1.
+  [[nodiscard]] bool has_no_isolated_nodes() const noexcept;
+
+  /// Raw CSR access for kernels (offsets has n+1 entries).
+  [[nodiscard]] std::span<const EdgeIndex> offsets() const noexcept { return offsets_; }
+  [[nodiscard]] std::span<const NodeId> raw_neighbors() const noexcept { return neighbors_; }
+
+  /// Memory footprint of the CSR arrays in bytes.
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return offsets_.size() * sizeof(EdgeIndex) + neighbors_.size() * sizeof(NodeId);
+  }
+
+ private:
+  Graph(std::vector<EdgeIndex> offsets, std::vector<NodeId> neighbors)
+      : offsets_(std::move(offsets)), neighbors_(std::move(neighbors)) {}
+
+  std::vector<EdgeIndex> offsets_;   // size n+1
+  std::vector<NodeId> neighbors_;    // size 2m, each list sorted
+};
+
+}  // namespace socmix::graph

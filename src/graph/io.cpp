@@ -1,0 +1,139 @@
+#include "graph/io.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+
+#include "util/string_util.hpp"
+
+namespace socmix::graph {
+
+namespace {
+
+constexpr char kMagic[4] = {'S', 'M', 'X', '1'};
+
+void write_u64(std::ostream& out, std::uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out.write(buf, 8);
+}
+
+[[nodiscard]] std::uint64_t read_u64(std::istream& in) {
+  char buf[8];
+  in.read(buf, 8);
+  if (!in) throw std::runtime_error{"load_binary: truncated stream"};
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(buf[i])) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+LoadResult load_edge_list(std::istream& in) {
+  LoadResult result;
+  EdgeList edges;
+  std::unordered_map<std::uint64_t, NodeId> remap;
+  const auto densify = [&](std::uint64_t raw) -> NodeId {
+    const auto [it, inserted] = remap.try_emplace(raw, static_cast<NodeId>(remap.size()));
+    return it->second;
+  };
+
+  std::string line;
+  while (std::getline(in, line)) {
+    ++result.lines_read;
+    const std::string_view trimmed = util::trim(line);
+    if (trimmed.empty() || trimmed.front() == '#' || trimmed.front() == '%') continue;
+    const auto fields = util::split_ws(trimmed);
+    if (fields.size() < 2) {
+      throw std::runtime_error{"load_edge_list: malformed line " +
+                               std::to_string(result.lines_read) + ": '" + line + "'"};
+    }
+    const auto u = util::parse_i64(fields[0]);
+    const auto v = util::parse_i64(fields[1]);
+    if (!u || !v || *u < 0 || *v < 0) {
+      throw std::runtime_error{"load_edge_list: non-integer vertex id at line " +
+                               std::to_string(result.lines_read)};
+    }
+    ++result.edges_parsed;
+    edges.add(densify(static_cast<std::uint64_t>(*u)), densify(static_cast<std::uint64_t>(*v)));
+  }
+
+  const std::size_t raw_edges = edges.size();
+  result.self_loops_dropped = edges.count_self_loops();
+  result.graph = Graph::from_edges(std::move(edges));
+  result.duplicates_dropped =
+      raw_edges - result.self_loops_dropped - static_cast<std::size_t>(result.graph.num_edges());
+  return result;
+}
+
+LoadResult load_edge_list_file(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) throw std::runtime_error{"load_edge_list_file: cannot open " + path};
+  return load_edge_list(in);
+}
+
+void save_edge_list(const Graph& g, std::ostream& out) {
+  const NodeId n = g.num_nodes();
+  for (NodeId u = 0; u < n; ++u) {
+    for (const NodeId v : g.neighbors(u)) {
+      if (u < v) out << u << ' ' << v << '\n';
+    }
+  }
+}
+
+void save_binary(const Graph& g, std::ostream& out) {
+  out.write(kMagic, 4);
+  const auto offsets = g.offsets();
+  const auto neighbors = g.raw_neighbors();
+  write_u64(out, offsets.size());
+  write_u64(out, neighbors.size());
+  for (const EdgeIndex off : offsets) write_u64(out, off);
+  // Neighbors as u32: halves file size relative to u64 ids.
+  for (const NodeId v : neighbors) {
+    char buf[4];
+    for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+    out.write(buf, 4);
+  }
+}
+
+Graph load_binary(std::istream& in) {
+  char magic[4];
+  in.read(magic, 4);
+  if (!in || std::string_view{magic, 4} != std::string_view{kMagic, 4}) {
+    throw std::runtime_error{"load_binary: bad magic"};
+  }
+  const std::uint64_t num_offsets = read_u64(in);
+  const std::uint64_t num_neighbors = read_u64(in);
+  std::vector<EdgeIndex> offsets(num_offsets);
+  for (auto& off : offsets) off = read_u64(in);
+  std::vector<NodeId> neighbors(num_neighbors);
+  for (auto& v : neighbors) {
+    char buf[4];
+    in.read(buf, 4);
+    if (!in) throw std::runtime_error{"load_binary: truncated stream"};
+    NodeId x = 0;
+    for (int i = 0; i < 4; ++i)
+      x |= static_cast<NodeId>(static_cast<unsigned char>(buf[i])) << (8 * i);
+    v = x;
+  }
+  return Graph::from_csr(std::move(offsets), std::move(neighbors));
+}
+
+void save_binary_file(const Graph& g, const std::string& path) {
+  std::ofstream out{path, std::ios::binary};
+  if (!out) throw std::runtime_error{"save_binary_file: cannot open " + path};
+  save_binary(g, out);
+}
+
+Graph load_binary_file(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) throw std::runtime_error{"load_binary_file: cannot open " + path};
+  return load_binary(in);
+}
+
+}  // namespace socmix::graph

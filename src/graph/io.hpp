@@ -1,0 +1,46 @@
+// Graph serialization: SNAP-style edge-list text and a compact binary CSR.
+//
+// The paper's datasets circulate as whitespace-separated "u v" edge lists
+// (SNAP / Mislove releases); load_edge_list() accepts exactly that format,
+// including '#' and '%' comment lines and arbitrary (sparse) vertex ids,
+// which are densified to [0, n).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace socmix::graph {
+
+/// Result of parsing a text edge list: the clean graph plus parse stats.
+struct LoadResult {
+  Graph graph;
+  std::size_t lines_read = 0;
+  std::size_t edges_parsed = 0;
+  std::size_t self_loops_dropped = 0;
+  std::size_t duplicates_dropped = 0;
+};
+
+/// Parses a whitespace-separated edge list ("u v" per line, '#'/'%'
+/// comments). Vertex ids may be arbitrary non-negative integers; they are
+/// remapped to a dense range in first-appearance order. Directed inputs are
+/// symmetrized (paper §4 preprocessing). Throws std::runtime_error on
+/// malformed lines.
+[[nodiscard]] LoadResult load_edge_list(std::istream& in);
+
+/// Convenience wrapper opening the given path.
+[[nodiscard]] LoadResult load_edge_list_file(const std::string& path);
+
+/// Writes one "u v" line per undirected edge (u < v), suitable for
+/// round-tripping through load_edge_list().
+void save_edge_list(const Graph& g, std::ostream& out);
+
+/// Compact binary CSR format ("SMX1" magic, little-endian u64 sizes).
+void save_binary(const Graph& g, std::ostream& out);
+[[nodiscard]] Graph load_binary(std::istream& in);
+
+void save_binary_file(const Graph& g, const std::string& path);
+[[nodiscard]] Graph load_binary_file(const std::string& path);
+
+}  // namespace socmix::graph

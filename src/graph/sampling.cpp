@@ -1,0 +1,113 @@
+#include "graph/sampling.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+
+namespace socmix::graph {
+
+namespace {
+
+/// Collects up to target_nodes vertices by BFS starting at `start`; appends
+/// into `members`, using `visited` as the cross-restart visited set.
+void bfs_collect(const Graph& g, NodeId start, NodeId target_nodes,
+                 std::vector<NodeId>& members, std::vector<char>& visited) {
+  if (visited[start] != 0) return;
+  std::deque<NodeId> queue;
+  queue.push_back(start);
+  visited[start] = 1;
+  while (!queue.empty() && members.size() < target_nodes) {
+    const NodeId v = queue.front();
+    queue.pop_front();
+    members.push_back(v);
+    for (const NodeId w : g.neighbors(v)) {
+      if (visited[w] == 0) {
+        visited[w] = 1;
+        queue.push_back(w);
+      }
+    }
+  }
+}
+
+[[nodiscard]] NodeId random_unvisited(const Graph& g, const std::vector<char>& visited,
+                                      util::Rng& rng) {
+  const NodeId n = g.num_nodes();
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const auto v = static_cast<NodeId>(rng.below(n));
+    if (visited[v] == 0) return v;
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    if (visited[v] == 0) return v;
+  }
+  return kInvalidNode;
+}
+
+}  // namespace
+
+ExtractedSubgraph bfs_sample(const Graph& g, NodeId target_nodes, util::Rng& rng) {
+  const NodeId n = g.num_nodes();
+  target_nodes = std::min(target_nodes, n);
+  std::vector<NodeId> members;
+  members.reserve(target_nodes);
+  std::vector<char> visited(n, 0);
+  while (members.size() < target_nodes) {
+    const NodeId start = random_unvisited(g, visited, rng);
+    if (start == kInvalidNode) break;
+    bfs_collect(g, start, target_nodes, members, visited);
+  }
+  return induced_subgraph(g, members);
+}
+
+ExtractedSubgraph bfs_sample_from(const Graph& g, NodeId start, NodeId target_nodes) {
+  const NodeId n = g.num_nodes();
+  target_nodes = std::min(target_nodes, n);
+  std::vector<NodeId> members;
+  members.reserve(target_nodes);
+  std::vector<char> visited(n, 0);
+  bfs_collect(g, start, target_nodes, members, visited);
+  return induced_subgraph(g, members);
+}
+
+ExtractedSubgraph uniform_node_sample(const Graph& g, NodeId target_nodes, util::Rng& rng) {
+  const NodeId n = g.num_nodes();
+  target_nodes = std::min(target_nodes, n);
+  // Partial Fisher-Yates over the id range picks target_nodes distinct ids.
+  std::vector<NodeId> ids(n);
+  std::iota(ids.begin(), ids.end(), NodeId{0});
+  for (NodeId i = 0; i < target_nodes; ++i) {
+    const auto j = i + static_cast<NodeId>(rng.below(n - i));
+    std::swap(ids[i], ids[j]);
+  }
+  ids.resize(target_nodes);
+  return induced_subgraph(g, ids);
+}
+
+ExtractedSubgraph random_walk_sample(const Graph& g, NodeId target_nodes, util::Rng& rng) {
+  const NodeId n = g.num_nodes();
+  target_nodes = std::min(target_nodes, n);
+  std::vector<NodeId> members;
+  members.reserve(target_nodes);
+  std::vector<char> visited(n, 0);
+
+  NodeId current = random_unvisited(g, visited, rng);
+  std::uint64_t steps_since_progress = 0;
+  while (members.size() < target_nodes && current != kInvalidNode) {
+    if (visited[current] == 0) {
+      visited[current] = 1;
+      members.push_back(current);
+      steps_since_progress = 0;
+    }
+    const NodeId deg = g.degree(current);
+    // Restart when stuck on an isolated vertex or wandering a saturated
+    // region (the paper's datasets are connected; this guards corner cases).
+    if (deg == 0 || ++steps_since_progress > 50 * static_cast<std::uint64_t>(n)) {
+      current = random_unvisited(g, visited, rng);
+      steps_since_progress = 0;
+      continue;
+    }
+    current = g.neighbor(current, static_cast<NodeId>(rng.below(deg)));
+  }
+  return induced_subgraph(g, members);
+}
+
+}  // namespace socmix::graph

@@ -1,0 +1,39 @@
+// Graph sampling strategies.
+//
+// The paper samples representative subgraphs of its four largest datasets
+// (Facebook A/B, LiveJournal A/B) with breadth-first search from a random
+// seed, taking 10K/100K/1000K-node samples (§4, Fig. 7). BFS is known to
+// bias toward the dense core — i.e. toward *faster* mixing — which the
+// paper argues only strengthens its slow-mixing conclusion (footnote 3).
+// We additionally provide uniform-node and random-walk sampling so that the
+// bias itself can be quantified (see examples/sampling_bias.cpp).
+#pragma once
+
+#include "graph/graph.hpp"
+#include "graph/subgraph.hpp"
+#include "util/rng.hpp"
+
+namespace socmix::graph {
+
+/// BFS sample: the first `target_nodes` vertices discovered by a
+/// breadth-first search from a random start vertex, as the paper does.
+/// If the start's component is smaller than target_nodes, BFS restarts from
+/// a new random unvisited vertex until the target is met (or graph exhausted).
+[[nodiscard]] ExtractedSubgraph bfs_sample(const Graph& g, NodeId target_nodes,
+                                           util::Rng& rng);
+
+/// BFS sample from an explicit start vertex (deterministic given the graph).
+[[nodiscard]] ExtractedSubgraph bfs_sample_from(const Graph& g, NodeId start,
+                                                NodeId target_nodes);
+
+/// Uniform random vertex sample (induced subgraph; may be disconnected).
+[[nodiscard]] ExtractedSubgraph uniform_node_sample(const Graph& g, NodeId target_nodes,
+                                                    util::Rng& rng);
+
+/// Random-walk sample: vertices visited by a simple random walk from a
+/// random start until `target_nodes` distinct vertices are seen (with
+/// restart if the walk exhausts its component).
+[[nodiscard]] ExtractedSubgraph random_walk_sample(const Graph& g, NodeId target_nodes,
+                                                   util::Rng& rng);
+
+}  // namespace socmix::graph

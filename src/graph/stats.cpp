@@ -1,0 +1,149 @@
+#include "graph/stats.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace socmix::graph {
+
+DegreeStats degree_stats(const Graph& g) {
+  DegreeStats out;
+  const NodeId n = g.num_nodes();
+  if (n == 0) return out;
+
+  std::vector<NodeId> degrees(n);
+  for (NodeId v = 0; v < n; ++v) degrees[v] = g.degree(v);
+
+  out.min = *std::min_element(degrees.begin(), degrees.end());
+  out.max = *std::max_element(degrees.begin(), degrees.end());
+  out.mean = static_cast<double>(g.num_half_edges()) / n;
+
+  out.histogram.assign(static_cast<std::size_t>(out.max) + 1, 0);
+  for (const NodeId d : degrees) ++out.histogram[d];
+
+  std::nth_element(degrees.begin(), degrees.begin() + n / 2, degrees.end());
+  out.median = degrees[n / 2];
+  if (n % 2 == 0) {
+    const auto lower =
+        *std::max_element(degrees.begin(), degrees.begin() + n / 2);
+    out.median = (out.median + lower) / 2.0;
+  }
+  return out;
+}
+
+double local_clustering(const Graph& g, NodeId v) {
+  const auto adj = g.neighbors(v);
+  const std::size_t deg = adj.size();
+  if (deg < 2) return 0.0;
+  std::uint64_t closed = 0;
+  for (std::size_t i = 0; i < deg; ++i) {
+    for (std::size_t j = i + 1; j < deg; ++j) {
+      if (g.has_edge(adj[i], adj[j])) ++closed;
+    }
+  }
+  const double wedges = 0.5 * static_cast<double>(deg) * static_cast<double>(deg - 1);
+  return static_cast<double>(closed) / wedges;
+}
+
+double average_clustering(const Graph& g, NodeId sample, util::Rng& rng) {
+  const NodeId n = g.num_nodes();
+  if (n == 0) return 0.0;
+  double sum = 0.0;
+  if (sample >= n) {
+    for (NodeId v = 0; v < n; ++v) sum += local_clustering(g, v);
+    return sum / n;
+  }
+  for (NodeId i = 0; i < sample; ++i) {
+    sum += local_clustering(g, static_cast<NodeId>(rng.below(n)));
+  }
+  return sum / sample;
+}
+
+std::vector<std::uint32_t> bfs_distances(const Graph& g, NodeId source) {
+  std::vector<std::uint32_t> dist(g.num_nodes(), kUnreachable);
+  std::deque<NodeId> queue;
+  dist[source] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    const NodeId v = queue.front();
+    queue.pop_front();
+    for (const NodeId w : g.neighbors(v)) {
+      if (dist[w] == kUnreachable) {
+        dist[w] = dist[v] + 1;
+        queue.push_back(w);
+      }
+    }
+  }
+  return dist;
+}
+
+double effective_diameter(const Graph& g, NodeId sources, double quantile, util::Rng& rng) {
+  const NodeId n = g.num_nodes();
+  if (n == 0 || sources == 0) return 0.0;
+  std::vector<std::uint64_t> by_distance;
+  std::uint64_t reachable_pairs = 0;
+  for (NodeId s = 0; s < sources; ++s) {
+    const auto dist = bfs_distances(g, static_cast<NodeId>(rng.below(n)));
+    for (const std::uint32_t d : dist) {
+      if (d == kUnreachable || d == 0) continue;
+      if (d >= by_distance.size()) by_distance.resize(d + 1, 0);
+      ++by_distance[d];
+      ++reachable_pairs;
+    }
+  }
+  if (reachable_pairs == 0) return 0.0;
+  const auto threshold =
+      static_cast<std::uint64_t>(quantile * static_cast<double>(reachable_pairs));
+  std::uint64_t cumulative = 0;
+  for (std::size_t d = 0; d < by_distance.size(); ++d) {
+    cumulative += by_distance[d];
+    if (cumulative >= threshold) return static_cast<double>(d);
+  }
+  return static_cast<double>(by_distance.size());
+}
+
+double degree_assortativity(const Graph& g) {
+  // Pearson correlation over directed edge endpoints (each undirected edge
+  // contributes both orientations, which symmetrizes the estimator).
+  const NodeId n = g.num_nodes();
+  double sum_x = 0.0;
+  double sum_xx = 0.0;
+  double sum_xy = 0.0;
+  std::uint64_t count = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    const double du = g.degree(u);
+    for (const NodeId v : g.neighbors(u)) {
+      const double dv = g.degree(v);
+      sum_x += du;
+      sum_xx += du * du;
+      sum_xy += du * dv;
+      ++count;
+    }
+  }
+  if (count < 2) return 0.0;
+  const double m = static_cast<double>(count);
+  const double mean = sum_x / m;
+  const double variance = sum_xx / m - mean * mean;
+  if (variance <= 1e-15) return 0.0;  // regular graph: undefined, report 0
+  const double covariance = sum_xy / m - mean * mean;
+  return covariance / variance;
+}
+
+double cut_conductance(const Graph& g, std::span<const char> in_set) {
+  const NodeId n = g.num_nodes();
+  std::uint64_t vol_in = 0;
+  std::uint64_t vol_out = 0;
+  std::uint64_t cut = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    const bool inside = in_set[v] != 0;
+    (inside ? vol_in : vol_out) += g.degree(v);
+    if (!inside) continue;
+    for (const NodeId w : g.neighbors(v)) {
+      if (in_set[w] == 0) ++cut;
+    }
+  }
+  const std::uint64_t denom = std::min(vol_in, vol_out);
+  if (denom == 0) return 1.0;
+  return static_cast<double>(cut) / static_cast<double>(denom);
+}
+
+}  // namespace socmix::graph

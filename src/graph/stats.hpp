@@ -1,0 +1,57 @@
+// Descriptive graph statistics used in dataset reports and sanity checks:
+// degree distribution, clustering coefficient, distance estimates, and the
+// conductance of an explicit cut (the quantity the paper links to mixing
+// via the spectral gap, §3.2).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace socmix::graph {
+
+/// Summary of a degree sequence.
+struct DegreeStats {
+  NodeId min = 0;
+  NodeId max = 0;
+  double mean = 0.0;
+  double median = 0.0;
+  /// histogram[d] = number of vertices of degree d (up to max).
+  std::vector<std::uint64_t> histogram;
+};
+
+[[nodiscard]] DegreeStats degree_stats(const Graph& g);
+
+/// Exact local clustering coefficient of one vertex: closed triangles over
+/// wedge count. Degree-0/1 vertices report 0.
+[[nodiscard]] double local_clustering(const Graph& g, NodeId v);
+
+/// Average local clustering coefficient over a uniform sample of vertices
+/// (pass sample >= n to make it exact).
+[[nodiscard]] double average_clustering(const Graph& g, NodeId sample, util::Rng& rng);
+
+/// BFS distances from a source; unreachable vertices get kUnreachable.
+inline constexpr std::uint32_t kUnreachable = static_cast<std::uint32_t>(-1);
+[[nodiscard]] std::vector<std::uint32_t> bfs_distances(const Graph& g, NodeId source);
+
+/// Estimated effective diameter: the distance within which `quantile`
+/// (e.g. 0.9) of reachable pairs fall, from `sources` random BFS trees.
+[[nodiscard]] double effective_diameter(const Graph& g, NodeId sources, double quantile,
+                                        util::Rng& rng);
+
+/// Degree assortativity (Pearson correlation of endpoint degrees over
+/// edges, Newman 2002). Positive for social "rich-with-rich" networks,
+/// ~0 for random graphs. Returns 0 for degenerate graphs (< 2 edges or
+/// constant degrees).
+[[nodiscard]] double degree_assortativity(const Graph& g);
+
+/// Conductance of the cut (S, V\S):
+///   phi(S) = cut(S) / min(vol(S), vol(V\S)),
+/// where vol is the sum of degrees. `in_set[v]` selects membership.
+/// Returns 1.0 for degenerate cuts (empty side or zero volume).
+[[nodiscard]] double cut_conductance(const Graph& g, std::span<const char> in_set);
+
+}  // namespace socmix::graph

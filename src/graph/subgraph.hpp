@@ -1,0 +1,24 @@
+// Induced-subgraph extraction with dense relabeling.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace socmix::graph {
+
+/// Result of extracting a vertex subset as a standalone graph.
+struct ExtractedSubgraph {
+  Graph graph;
+  /// original_id[new_id] = vertex id in the source graph.
+  std::vector<NodeId> original_id;
+};
+
+/// Builds the subgraph induced by `members` (ids must be unique; any order).
+/// Vertices are relabeled to [0, members.size()) in the given order;
+/// ExtractedSubgraph::original_id records the inverse map.
+[[nodiscard]] ExtractedSubgraph induced_subgraph(const Graph& g,
+                                                 std::span<const NodeId> members);
+
+}  // namespace socmix::graph

@@ -1,0 +1,95 @@
+#include "graph/trim.hpp"
+
+#include <algorithm>
+
+namespace socmix::graph {
+
+ExtractedSubgraph trim_min_degree(const Graph& g, NodeId min_degree) {
+  const NodeId n = g.num_nodes();
+  std::vector<NodeId> deg(n);
+  for (NodeId v = 0; v < n; ++v) deg[v] = g.degree(v);
+
+  std::vector<char> removed(n, 0);
+  std::vector<NodeId> worklist;
+  for (NodeId v = 0; v < n; ++v) {
+    if (deg[v] < min_degree) {
+      removed[v] = 1;
+      worklist.push_back(v);
+    }
+  }
+  while (!worklist.empty()) {
+    const NodeId v = worklist.back();
+    worklist.pop_back();
+    for (const NodeId w : g.neighbors(v)) {
+      if (removed[w] == 0 && --deg[w] < min_degree) {
+        removed[w] = 1;
+        worklist.push_back(w);
+      }
+    }
+  }
+
+  std::vector<NodeId> members;
+  for (NodeId v = 0; v < n; ++v) {
+    if (removed[v] == 0) members.push_back(v);
+  }
+  return induced_subgraph(g, members);
+}
+
+std::vector<NodeId> core_numbers(const Graph& g) {
+  // Matula–Beck peeling with bucket queues; O(n + m).
+  const NodeId n = g.num_nodes();
+  std::vector<NodeId> deg(n);
+  NodeId max_deg = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    deg[v] = g.degree(v);
+    max_deg = std::max(max_deg, deg[v]);
+  }
+
+  // bin[d] = start index of the block of vertices with current degree d.
+  std::vector<NodeId> bin(static_cast<std::size_t>(max_deg) + 2, 0);
+  for (NodeId v = 0; v < n; ++v) ++bin[deg[v] + 1];
+  for (std::size_t d = 1; d < bin.size(); ++d) bin[d] += bin[d - 1];
+
+  std::vector<NodeId> order(n);       // vertices sorted by current degree
+  std::vector<NodeId> position(n);    // position of each vertex in `order`
+  {
+    std::vector<NodeId> cursor(bin.begin(), bin.end() - 1);
+    for (NodeId v = 0; v < n; ++v) {
+      position[v] = cursor[deg[v]];
+      order[position[v]] = v;
+      ++cursor[deg[v]];
+    }
+  }
+
+  std::vector<NodeId> core(n, 0);
+  for (NodeId i = 0; i < n; ++i) {
+    const NodeId v = order[i];
+    core[v] = deg[v];
+    for (const NodeId w : g.neighbors(v)) {
+      if (deg[w] > deg[v]) {
+        // Swap w to the front of its degree block, then shrink its degree.
+        const NodeId dw = deg[w];
+        const NodeId pw = position[w];
+        const NodeId pfront = bin[dw];
+        const NodeId front = order[pfront];
+        if (front != w) {
+          std::swap(order[pw], order[pfront]);
+          position[w] = pfront;
+          position[front] = pw;
+        }
+        ++bin[dw];
+        --deg[w];
+      }
+    }
+  }
+  return core;
+}
+
+NodeId degeneracy(const Graph& g) {
+  const auto core = core_numbers(g);
+  NodeId best = 0;
+  for (const NodeId c : core) best = std::max(best, c);
+  return best;
+}
+
+}  // namespace socmix::graph

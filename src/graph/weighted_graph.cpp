@@ -1,0 +1,71 @@
+#include "graph/weighted_graph.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace socmix::graph {
+
+WeightedGraph WeightedGraph::from_edges(std::vector<WeightedEdge> edges,
+                                        NodeId num_nodes) {
+  // Canonicalize and merge duplicates, summing weights.
+  std::map<std::pair<NodeId, NodeId>, double> merged;
+  NodeId n = num_nodes;
+  for (const WeightedEdge& e : edges) {
+    if (e.u == e.v) continue;
+    const auto key = e.u < e.v ? std::make_pair(e.u, e.v) : std::make_pair(e.v, e.u);
+    merged[key] += e.weight;
+    n = std::max(n, static_cast<NodeId>(std::max(e.u, e.v) + 1));
+  }
+  for (const auto& [key, weight] : merged) {
+    if (weight <= 0.0) {
+      throw std::invalid_argument{"WeightedGraph: non-positive merged edge weight"};
+    }
+  }
+
+  WeightedGraph out;
+  out.offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (const auto& [key, weight] : merged) {
+    ++out.offsets_[key.first + 1];
+    ++out.offsets_[key.second + 1];
+  }
+  for (std::size_t i = 1; i <= n; ++i) out.offsets_[i] += out.offsets_[i - 1];
+
+  out.neighbors_.resize(out.offsets_.back());
+  out.weights_.resize(out.offsets_.back());
+  std::vector<EdgeIndex> cursor(out.offsets_.begin(), out.offsets_.end() - 1);
+  // std::map iterates keys sorted, so each vertex's list comes out sorted.
+  for (const auto& [key, weight] : merged) {
+    const auto [u, v] = key;
+    out.neighbors_[cursor[u]] = v;
+    out.weights_[cursor[u]++] = weight;
+    out.neighbors_[cursor[v]] = u;
+    out.weights_[cursor[v]++] = weight;
+  }
+
+  out.strength_.assign(n, 0.0);
+  for (NodeId v = 0; v < n; ++v) {
+    for (const double w : out.weights(v)) out.strength_[v] += w;
+    out.total_strength_ += out.strength_[v];
+  }
+  return out;
+}
+
+WeightedGraph WeightedGraph::from_graph(const Graph& g) {
+  std::vector<WeightedEdge> edges;
+  edges.reserve(g.num_edges());
+  const NodeId n = g.num_nodes();
+  for (NodeId u = 0; u < n; ++u) {
+    for (const NodeId v : g.neighbors(u)) {
+      if (u < v) edges.push_back({u, v, 1.0});
+    }
+  }
+  return from_edges(std::move(edges), n);
+}
+
+Graph WeightedGraph::skeleton() const {
+  return Graph::from_csr({offsets_.begin(), offsets_.end()},
+                         {neighbors_.begin(), neighbors_.end()});
+}
+
+}  // namespace socmix::graph

@@ -1,0 +1,84 @@
+// Weighted simple undirected graphs.
+//
+// The paper's Facebook A/B datasets come from Wilson et al.'s *interaction*
+// graphs — friendship links weighted by how much the endpoints actually
+// communicate. Random walks on such graphs step with probability
+// proportional to edge weight, which concentrates walks on strong (mostly
+// intra-community) ties and slows mixing further. This container carries
+// the weights; linalg/weighted_operator.hpp and markov/weighted_evolution.*
+// carry the weighted chain.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/types.hpp"
+
+namespace socmix::graph {
+
+/// One weighted undirected edge.
+struct WeightedEdge {
+  NodeId u = 0;
+  NodeId v = 0;
+  double weight = 1.0;
+};
+
+/// Immutable weighted simple undirected graph (CSR + parallel weights).
+/// Invariants: sorted neighbor lists, no self-loops, symmetric weights
+/// (w(u,v) == w(v,u)), all weights > 0.
+class WeightedGraph {
+ public:
+  WeightedGraph() = default;
+
+  /// Builds from weighted edges: self-loops dropped, duplicate {u,v}
+  /// entries (either orientation) have their weights *summed*, and
+  /// non-positive final weights are rejected.
+  [[nodiscard]] static WeightedGraph from_edges(std::vector<WeightedEdge> edges,
+                                                NodeId num_nodes = 0);
+
+  /// Lifts an unweighted graph with unit weights — the weighted chain then
+  /// coincides exactly with the simple chain (tested).
+  [[nodiscard]] static WeightedGraph from_graph(const Graph& g);
+
+  [[nodiscard]] NodeId num_nodes() const noexcept {
+    return offsets_.empty() ? 0 : static_cast<NodeId>(offsets_.size() - 1);
+  }
+  [[nodiscard]] EdgeIndex num_edges() const noexcept { return neighbors_.size() / 2; }
+
+  [[nodiscard]] NodeId degree(NodeId v) const noexcept {
+    return static_cast<NodeId>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  /// Weighted degree: sum of incident edge weights.
+  [[nodiscard]] double strength(NodeId v) const noexcept { return strength_[v]; }
+
+  /// Sum of all strengths (= 2 * total edge weight); the denominator of
+  /// the weighted stationary distribution.
+  [[nodiscard]] double total_strength() const noexcept { return total_strength_; }
+
+  [[nodiscard]] std::span<const NodeId> neighbors(NodeId v) const noexcept {
+    return {neighbors_.data() + offsets_[v], neighbors_.data() + offsets_[v + 1]};
+  }
+  [[nodiscard]] std::span<const double> weights(NodeId v) const noexcept {
+    return {weights_.data() + offsets_[v], weights_.data() + offsets_[v + 1]};
+  }
+
+  [[nodiscard]] std::span<const EdgeIndex> offsets() const noexcept { return offsets_; }
+  [[nodiscard]] std::span<const NodeId> raw_neighbors() const noexcept {
+    return neighbors_;
+  }
+  [[nodiscard]] std::span<const double> raw_weights() const noexcept { return weights_; }
+
+  /// The unweighted skeleton (same topology, weights forgotten).
+  [[nodiscard]] Graph skeleton() const;
+
+ private:
+  std::vector<EdgeIndex> offsets_;
+  std::vector<NodeId> neighbors_;
+  std::vector<double> weights_;
+  std::vector<double> strength_;
+  double total_strength_ = 0.0;
+};
+
+}  // namespace socmix::graph

@@ -1,0 +1,40 @@
+// Dense symmetric eigensolver (cyclic Jacobi) — the reference oracle.
+//
+// Used for tiny graphs and in tests to validate Lanczos: Jacobi is slow
+// (O(n^3) per sweep) but unconditionally convergent and accurate to machine
+// precision, which makes it the right ground truth.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace socmix::linalg {
+
+/// Dense symmetric matrix in row-major order.
+struct DenseSym {
+  std::size_t n = 0;
+  std::vector<double> a;  // n*n, symmetric
+
+  [[nodiscard]] double& at(std::size_t i, std::size_t j) noexcept { return a[i * n + j]; }
+  [[nodiscard]] double at(std::size_t i, std::size_t j) const noexcept { return a[i * n + j]; }
+};
+
+/// Builds the dense symmetrized walk operator N = D^{-1/2} A D^{-1/2}
+/// (optionally lazy) for a small graph. Intended for n <= a few thousand.
+[[nodiscard]] DenseSym dense_walk_matrix(const graph::Graph& g, double laziness = 0.0);
+
+/// Builds the dense row-stochastic transition matrix P = D^{-1} A.
+/// Not symmetric; used by brute-force distribution evolution tests.
+[[nodiscard]] std::vector<double> dense_transition_matrix(const graph::Graph& g);
+
+/// All eigenvalues of a dense symmetric matrix, ascending, via cyclic
+/// Jacobi rotations. Destroys no inputs (works on a copy).
+[[nodiscard]] std::vector<double> jacobi_eigenvalues(DenseSym m, int max_sweeps = 60);
+
+/// Exact SLEM of a small graph's transition matrix by dense decomposition:
+/// mu = max(lambda_2, |lambda_n|). The graph must have no isolated nodes.
+[[nodiscard]] double dense_slem(const graph::Graph& g);
+
+}  // namespace socmix::linalg

@@ -1,0 +1,13 @@
+#include "linalg/lanczos.hpp"
+
+// Explicit instantiation for the common unweighted operator keeps its code
+// out of every including translation unit.
+
+namespace socmix::linalg {
+
+template SpectrumResult slem_spectrum<WalkOperator>(const WalkOperator&,
+                                                    const LanczosOptions&);
+template SpectrumResult slem_spectrum_with_vector<WalkOperator>(const WalkOperator&,
+                                                                const LanczosOptions&);
+
+}  // namespace socmix::linalg

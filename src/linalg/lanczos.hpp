@@ -1,0 +1,200 @@
+// Symmetric Lanczos eigensolver with full reorthogonalization.
+//
+// Computes the extremal eigenvalues of a symmetrized walk operator
+// N = D^{-1/2} A D^{-1/2} (or its weighted analogue) — in particular
+// lambda_2 (second largest) and lambda_min — from which the paper's SLEM is
+//     mu = max(lambda_2, |lambda_min|).
+//
+// The known top eigenpair (1, D^{1/2} 1) is deflated analytically: every
+// Lanczos vector is kept orthogonal to it, so the *largest* Ritz value of
+// the deflated operator is exactly lambda_2. Full reorthogonalization
+// (modified Gram-Schmidt against all previous basis vectors, twice) keeps
+// the basis orthonormal at the cost of O(k^2 n) work — the right trade for
+// the modest subspace sizes (<= a few hundred) these spectra need.
+//
+// The solver is generic over any operator satisfying WalkLikeOperator
+// (unweighted WalkOperator, weighted WeightedWalkOperator, ...).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <concepts>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "linalg/tridiag.hpp"
+#include "linalg/vector_ops.hpp"
+#include "linalg/walk_operator.hpp"
+#include "util/rng.hpp"
+
+namespace socmix::linalg {
+
+/// Requirements on a matrix-free symmetric walk operator: dimension, SpMV,
+/// the analytically-known top eigenvector, and the lazy-walk affine map.
+template <typename Op>
+concept WalkLikeOperator = requires(const Op op, std::span<const double> x,
+                                    std::span<double> y) {
+  { op.dim() } -> std::convertible_to<std::size_t>;
+  { op.apply(x, y) };
+  { op.top_eigenvector() } -> std::convertible_to<std::vector<double>>;
+  { op.laziness() } -> std::convertible_to<double>;
+};
+
+struct LanczosOptions {
+  /// Maximum Lanczos subspace dimension (= max operator applications).
+  std::size_t max_iterations = 300;
+  /// Convergence: residual bound |beta_k * s_last| on both extremal Ritz
+  /// pairs must fall below this.
+  double tolerance = 1e-8;
+  /// Seed for the random start vector.
+  std::uint64_t seed = 0x1a2b3c4d5e6f7788ULL;
+  /// Check convergence every this many iterations.
+  std::size_t check_every = 5;
+};
+
+/// Extremal spectrum of the (deflated) walk operator.
+struct SpectrumResult {
+  /// Second largest eigenvalue of the transition matrix P (lambda_2).
+  double lambda2 = 0.0;
+  /// Smallest eigenvalue of P (lambda_n; can approach -1 for near-bipartite
+  /// structures).
+  double lambda_min = 0.0;
+  /// Second largest eigenvalue modulus: mu = max(lambda2, |lambda_min|).
+  double slem = 0.0;
+  /// Iterations (subspace dimension) actually used.
+  std::size_t iterations = 0;
+  /// Whether both extremal Ritz pairs met the residual tolerance.
+  bool converged = false;
+  /// Ritz vector for lambda_2 in the symmetrized space (length n). Filled
+  /// only by slem_spectrum_with_vector.
+  std::vector<double> lambda2_vector;
+};
+
+namespace detail {
+
+/// Orthogonalize v against the deflation direction and the whole basis,
+/// twice ("twice is enough" — Kahan/Parlett) for numerical orthogonality.
+inline void full_reorthogonalize(std::span<double> v, std::span<const double> deflate,
+                                 const std::vector<std::vector<double>>& basis) {
+  for (int pass = 0; pass < 2; ++pass) {
+    orthogonalize_against(v, deflate);
+    for (const auto& q : basis) orthogonalize_against(v, q);
+  }
+}
+
+template <WalkLikeOperator Op>
+SpectrumResult run_lanczos(const Op& op, const LanczosOptions& options,
+                           bool want_vector) {
+  const std::size_t n = op.dim();
+  SpectrumResult result;
+  if (n == 0) return result;
+  if (n == 1) {
+    // A single vertex is the trivial chain; SLEM is 0 by convention.
+    result.converged = true;
+    return result;
+  }
+
+  const std::vector<double> deflate = op.top_eigenvector();
+  const std::size_t max_iter = std::min(options.max_iterations, n);
+
+  std::vector<std::vector<double>> basis;
+  basis.reserve(max_iter);
+  std::vector<double> alpha;
+  std::vector<double> beta;  // beta[i] couples Lanczos steps i and i+1
+
+  util::Rng rng{options.seed};
+  std::vector<double> v(n);
+  randomize_unit(v, rng);
+  full_reorthogonalize(v, deflate, basis);
+  if (normalize2(v) == 0.0) {
+    throw std::runtime_error{"lanczos: start vector vanished under deflation"};
+  }
+
+  std::vector<double> w(n);
+  TridiagEigen eig;
+
+  // Residual bounds for the extremal Ritz pairs: |beta_next * s_{k-1,j}|,
+  // where s is the tridiagonal eigenvector and beta_next the just-computed
+  // norm of the next (unnormalized) Lanczos vector.
+  const auto extremal_residuals_ok = [&](double beta_next) -> bool {
+    const std::size_t k = alpha.size();
+    if (k < 2) return false;
+    eig = tridiag_eigen(alpha, std::span<const double>{beta.data(), k - 1},
+                        /*want_vectors=*/true);
+    const double res_top = std::fabs(beta_next * eig.vectors[(k - 1) * k + (k - 1)]);
+    const double res_bot = std::fabs(beta_next * eig.vectors[0 * k + (k - 1)]);
+    return res_top <= options.tolerance && res_bot <= options.tolerance;
+  };
+
+  bool converged = false;
+  while (true) {
+    op.apply(v, w);
+    const double a = dot(w, v);
+    alpha.push_back(a);
+    basis.push_back(v);  // copy: v is also the "previous" vector for w
+    const std::size_t k = alpha.size();
+
+    axpy(-a, v, w);
+    full_reorthogonalize(w, deflate, basis);
+    const double b = norm2(w);
+
+    const bool exhausted = b <= 1e-14;  // invariant subspace reached: exact
+    if (k % options.check_every == 0 || k == max_iter || exhausted) {
+      if (extremal_residuals_ok(b) || exhausted) {
+        converged = true;
+        break;
+      }
+    }
+    if (k == max_iter) break;
+
+    beta.push_back(b);
+    for (std::size_t i = 0; i < n; ++i) v[i] = w[i] / b;
+  }
+
+  const std::size_t dim = alpha.size();
+  if (eig.values.size() != dim) {
+    eig = tridiag_eigen(alpha, std::span<const double>{beta.data(), dim - 1},
+                        /*want_vectors=*/true);
+  }
+
+  result.iterations = dim;
+  result.converged = converged;
+
+  // Ritz values approximate the *deflated* operator's spectrum: its largest
+  // is lambda_2 of the (possibly lazy) operator; map back to P's spectrum.
+  const double laziness = op.laziness();
+  const auto unmap = [laziness](double lam) { return (lam - laziness) / (1.0 - laziness); };
+  result.lambda2 = unmap(eig.values.back());
+  result.lambda_min = unmap(eig.values.front());
+  result.slem = std::clamp(std::max(result.lambda2, std::fabs(result.lambda_min)), 0.0, 1.0);
+
+  if (want_vector) {
+    // Ritz vector for the top Ritz value: y = sum_i s_i q_i.
+    const std::size_t m = eig.values.size();
+    std::span<const double> s{eig.vectors.data() + (m - 1) * m, m};
+    result.lambda2_vector.assign(n, 0.0);
+    for (std::size_t i = 0; i < m; ++i) axpy(s[i], basis[i], result.lambda2_vector);
+    normalize2(result.lambda2_vector);
+  }
+  return result;
+}
+
+}  // namespace detail
+
+/// Runs deflated Lanczos on `op` and returns the extremal spectrum.
+template <WalkLikeOperator Op>
+[[nodiscard]] SpectrumResult slem_spectrum(const Op& op,
+                                           const LanczosOptions& options = {}) {
+  return detail::run_lanczos(op, options, /*want_vector=*/false);
+}
+
+/// As slem_spectrum, but also reconstructs the Ritz vector for lambda_2.
+template <WalkLikeOperator Op>
+[[nodiscard]] SpectrumResult slem_spectrum_with_vector(
+    const Op& op, const LanczosOptions& options = {}) {
+  return detail::run_lanczos(op, options, /*want_vector=*/true);
+}
+
+}  // namespace socmix::linalg

@@ -1,0 +1,56 @@
+#include "linalg/power_iteration.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "linalg/vector_ops.hpp"
+
+namespace socmix::linalg {
+
+PowerIterationResult power_iteration_slem(const WalkOperator& op,
+                                          const PowerIterationOptions& options) {
+  PowerIterationResult result;
+  const std::size_t n = op.dim();
+  if (n <= 1) {
+    result.converged = true;
+    return result;
+  }
+
+  const std::vector<double> deflate = op.top_eigenvector();
+  util::Rng rng{options.seed};
+  std::vector<double> v(n);
+  randomize_unit(v, rng);
+  orthogonalize_against(v, deflate);
+  normalize2(v);
+
+  std::vector<double> w(n);
+  double estimate = 0.0;
+  for (std::size_t it = 1; it <= options.max_iterations; ++it) {
+    op.apply(v, w);
+    orthogonalize_against(w, deflate);  // counteract numeric drift
+    // Rayleigh quotient keeps the sign of the dominant eigenvalue even
+    // though the iterate itself may oscillate for negative eigenvalues.
+    const double rayleigh = dot(w, v);
+    const double change = std::fabs(rayleigh - estimate);
+    estimate = rayleigh;
+    if (normalize2(w) == 0.0) {
+      result.converged = true;
+      result.iterations = it;
+      break;
+    }
+    v.swap(w);
+    result.iterations = it;
+    if (it > 1 && change <= options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  // For eigenvalues of opposite sign and equal modulus (bipartite-like),
+  // the Rayleigh quotient may hover near a combination; report by modulus.
+  const double laziness = op.laziness();
+  result.eigenvalue = (estimate - laziness) / (1.0 - laziness);
+  return result;
+}
+
+}  // namespace socmix::linalg

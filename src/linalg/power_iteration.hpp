@@ -1,0 +1,37 @@
+// Deflated power iteration — the simple baseline eigensolver.
+//
+// Kept alongside Lanczos for two reasons: (1) as an independent check of
+// lambda_2 in tests, (2) as the ablation subject for the "why Lanczos"
+// design choice (micro benchmark): power iteration needs O(1/gap) matvecs
+// while Lanczos needs O(1/sqrt(gap)), which on slow-mixing social graphs
+// (tiny gap) is the difference between seconds and minutes.
+#pragma once
+
+#include <cstdint>
+
+#include "linalg/walk_operator.hpp"
+
+namespace socmix::linalg {
+
+struct PowerIterationOptions {
+  std::size_t max_iterations = 20000;
+  /// Stop when successive eigenvalue estimates differ by less than this.
+  double tolerance = 1e-10;
+  std::uint64_t seed = 0xfeedfacecafebeefULL;
+};
+
+struct PowerIterationResult {
+  /// Dominant eigenvalue of the deflated operator = lambda_2 of P, *by
+  /// modulus*: if |lambda_min| > lambda_2 this converges to lambda_min.
+  double eigenvalue = 0.0;
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Power iteration on the walk operator deflated by its known top
+/// eigenvector. Returns the largest-modulus remaining eigenvalue, i.e.
+/// exactly the paper's SLEM (signed).
+[[nodiscard]] PowerIterationResult power_iteration_slem(
+    const WalkOperator& op, const PowerIterationOptions& options = {});
+
+}  // namespace socmix::linalg

@@ -1,0 +1,31 @@
+// Symmetric tridiagonal eigensolver (implicit QL with Wilkinson shifts),
+// the inner solver of the Lanczos procedure.
+//
+// Classic EISPACK tql2/imtql2 algorithm: O(m^2) per eigenvalue without
+// vectors, O(m^3) with, where m is the (small) Lanczos subspace dimension.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace socmix::linalg {
+
+/// Eigen-decomposition of a symmetric tridiagonal matrix.
+struct TridiagEigen {
+  /// Eigenvalues in ascending order.
+  std::vector<double> values;
+  /// Row-major m x m eigenvector matrix; vectors[k*m + i] is component i of
+  /// the eigenvector for values[k]. Empty when vectors were not requested.
+  std::vector<double> vectors;
+};
+
+/// Computes all eigenvalues (and optionally eigenvectors) of the symmetric
+/// tridiagonal matrix with diagonal `diag` (size m) and off-diagonal
+/// `offdiag` (size m-1; offdiag[i] couples i and i+1).
+/// Throws std::runtime_error if the QL iteration fails to converge
+/// (pathological input; cannot happen for Lanczos output in practice).
+[[nodiscard]] TridiagEigen tridiag_eigen(std::span<const double> diag,
+                                         std::span<const double> offdiag,
+                                         bool want_vectors);
+
+}  // namespace socmix::linalg

@@ -1,0 +1,54 @@
+#include "linalg/weighted_operator.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace socmix::linalg {
+
+WeightedWalkOperator::WeightedWalkOperator(const graph::WeightedGraph& g, double laziness)
+    : graph_(&g), laziness_(laziness) {
+  if (laziness < 0.0 || laziness >= 1.0) {
+    throw std::invalid_argument{"WeightedWalkOperator: laziness must be in [0, 1)"};
+  }
+  const graph::NodeId n = g.num_nodes();
+  inv_sqrt_strength_.resize(n);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    const double s = g.strength(v);
+    if (s <= 0.0) {
+      throw std::invalid_argument{
+          "WeightedWalkOperator: isolated vertex (zero strength)"};
+    }
+    inv_sqrt_strength_[v] = 1.0 / std::sqrt(s);
+  }
+}
+
+void WeightedWalkOperator::apply(std::span<const double> x,
+                                 std::span<double> y) const noexcept {
+  const graph::WeightedGraph& g = *graph_;
+  const graph::NodeId n = g.num_nodes();
+  const auto offsets = g.offsets();
+  const auto neighbors = g.raw_neighbors();
+  const auto weights = g.raw_weights();
+  const double walk_weight = 1.0 - laziness_;
+
+  for (graph::NodeId i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (graph::EdgeIndex e = offsets[i]; e < offsets[i + 1]; ++e) {
+      const graph::NodeId j = neighbors[e];
+      acc += weights[e] * x[j] * inv_sqrt_strength_[j];
+    }
+    y[i] = walk_weight * acc * inv_sqrt_strength_[i] + laziness_ * x[i];
+  }
+}
+
+std::vector<double> WeightedWalkOperator::top_eigenvector() const {
+  const auto n = dim();
+  const double total = graph_->total_strength();
+  std::vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = 1.0 / (inv_sqrt_strength_[i] * std::sqrt(total));
+  }
+  return v;
+}
+
+}  // namespace socmix::linalg

@@ -1,0 +1,84 @@
+#include "markov/conductance.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "graph/stats.hpp"
+#include "linalg/lanczos.hpp"
+#include "linalg/walk_operator.hpp"
+
+namespace socmix::markov {
+
+SweepCutResult sweep_cut(const graph::Graph& g, std::span<const double> embedding) {
+  const graph::NodeId n = g.num_nodes();
+  if (embedding.size() != n) {
+    throw std::invalid_argument{"sweep_cut: embedding size mismatch"};
+  }
+  SweepCutResult best;
+  best.in_set.assign(n, 0);
+  if (n < 2) return best;
+
+  std::vector<graph::NodeId> order(n);
+  std::iota(order.begin(), order.end(), graph::NodeId{0});
+  std::sort(order.begin(), order.end(), [&](graph::NodeId a, graph::NodeId b) {
+    return embedding[a] < embedding[b];
+  });
+
+  // Incremental sweep: maintain cut size and prefix volume as vertices move
+  // into the set one by one; conductance of each prefix is O(deg) to update.
+  const double total_volume = static_cast<double>(g.num_half_edges());
+  std::vector<char> in_set(n, 0);
+  double cut_edges = 0.0;
+  double vol_in = 0.0;
+  double best_phi = 2.0;
+  std::size_t best_prefix = 0;
+
+  for (graph::NodeId i = 0; i + 1 < n; ++i) {  // both sides must be nonempty
+    const graph::NodeId v = order[i];
+    double to_inside = 0.0;
+    for (const graph::NodeId w : g.neighbors(v)) {
+      if (in_set[w] != 0) to_inside += 1.0;
+    }
+    // v's edges to the inside stop being cut; the rest become cut.
+    cut_edges += static_cast<double>(g.degree(v)) - 2.0 * to_inside;
+    vol_in += static_cast<double>(g.degree(v));
+    in_set[v] = 1;
+
+    const double denom = std::min(vol_in, total_volume - vol_in);
+    if (denom <= 0.0) continue;
+    const double phi = cut_edges / denom;
+    if (phi < best_phi) {
+      best_phi = phi;
+      best_prefix = i + 1;
+    }
+  }
+
+  best.conductance = std::min(best_phi, 1.0);
+  best.set_size = best_prefix;
+  for (std::size_t i = 0; i < best_prefix; ++i) best.in_set[order[i]] = 1;
+  return best;
+}
+
+SpectralCutReport spectral_cut(const graph::Graph& g) {
+  SpectralCutReport report;
+  // Use the lazy operator so near-bipartite structure cannot put
+  // |lambda_min| above lambda_2 and derail the Ritz vector.
+  const linalg::WalkOperator op{g, /*laziness=*/0.5};
+  const auto spectrum = linalg::slem_spectrum_with_vector(op);
+  report.lambda2 = spectrum.lambda2;
+  report.cheeger_lower = std::max(0.0, (1.0 - spectrum.lambda2) / 2.0);
+  report.cheeger_upper = std::min(1.0, std::sqrt(std::max(0.0, 2.0 * (1.0 - spectrum.lambda2))));
+
+  // The Ritz vector lives in the symmetrized space; map back to P's left
+  // eigenvector space by D^{-1/2} scaling for a walk-meaningful ordering.
+  std::vector<double> embedding(spectrum.lambda2_vector);
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    embedding[v] /= std::sqrt(static_cast<double>(g.degree(v)));
+  }
+  report.cut = sweep_cut(g, embedding);
+  return report;
+}
+
+}  // namespace socmix::markov

@@ -1,0 +1,42 @@
+// Spectral sweep-cut conductance.
+//
+// The paper ties mixing to community structure through conductance
+// (§3.2: Phi >= 1 - mu, and Cheeger gives Phi <= sqrt(2(1 - lambda_2))).
+// This module finds a low-conductance cut by the classic spectral sweep:
+// order vertices by the second eigenvector of the walk operator (scaled
+// back by D^{-1/2}) and take the best prefix cut.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace socmix::markov {
+
+struct SweepCutResult {
+  /// Best conductance found over all prefix cuts.
+  double conductance = 1.0;
+  /// Membership of the best cut's smaller-volume side.
+  std::vector<char> in_set;
+  /// Number of vertices on the selected side.
+  std::size_t set_size = 0;
+};
+
+/// Sweep cut over the given vertex embedding (typically the lambda_2 Ritz
+/// vector from linalg::slem_spectrum_with_vector, un-normalized by
+/// D^{-1/2} internally). Embedding size must equal the vertex count.
+[[nodiscard]] SweepCutResult sweep_cut(const graph::Graph& g,
+                                       std::span<const double> embedding);
+
+/// Convenience: computes lambda_2's Ritz vector and sweeps it. Returns the
+/// best conductance cut plus the Cheeger sandwich values for context.
+struct SpectralCutReport {
+  SweepCutResult cut;
+  double lambda2 = 0.0;
+  double cheeger_lower = 0.0;  ///< (1 - lambda_2) / 2 <= Phi
+  double cheeger_upper = 1.0;  ///< Phi <= sqrt(2 (1 - lambda_2))
+};
+[[nodiscard]] SpectralCutReport spectral_cut(const graph::Graph& g);
+
+}  // namespace socmix::markov

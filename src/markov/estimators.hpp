@@ -1,0 +1,72 @@
+// Alternative mixing estimators — the measurements the paper compares
+// itself against, implemented so the comparison can be run rather than
+// argued.
+//
+// 1. Separation distance (paper footnote 2): Whānau's analysis uses
+//        s(i, t) = max_j (1 - p_t(i, j) / pi_j)
+//    instead of total variation. It upper-bounds TVD and can stay large
+//    long after TVD is small (a single under-visited vertex dominates).
+//
+// 2. Whānau's circumstantial measurement (paper §2): sample random-walk
+//    *tail edges* and check how close their distribution is to uniform
+//    over edges. The paper's critique: the observed histograms "allow a
+//    lot of deviations from the uniform distribution", so near-uniform
+//    tails do NOT establish small variation distance. estimate_tail_
+//    uniformity reproduces that measurement; the ablation bench runs it
+//    side by side with the exact TVD.
+//
+// 3. Monte-Carlo TVD: for graphs too large for exact distribution
+//    evolution, estimate || pi - p_t ||_tv from W sampled walk endpoints.
+//    The plug-in estimator is biased upward by sampling noise (~sqrt(n/W))
+//    — callers must keep W >> n for tight answers; the bench demonstrates
+//    the bias against the exact evolution.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace socmix::markov {
+
+/// Exact separation distance of the t-step distribution from `source`:
+/// s = max_v (1 - p_t(v) / pi_v). In [0, 1]; 1 iff some vertex is
+/// unreachable in exactly t steps.
+[[nodiscard]] double separation_distance(const graph::Graph& g, graph::NodeId source,
+                                         std::size_t steps, double laziness = 0.0);
+
+/// Exact separation-distance trajectory for t = 1..max_steps.
+[[nodiscard]] std::vector<double> separation_trajectory(const graph::Graph& g,
+                                                        graph::NodeId source,
+                                                        std::size_t max_steps,
+                                                        double laziness = 0.0);
+
+/// Result of the Whānau-style tail-edge measurement.
+struct TailUniformity {
+  /// TVD between the empirical tail-edge distribution and uniform over the
+  /// 2m directed edges.
+  double tvd_to_uniform = 1.0;
+  /// Fraction of directed edges never hit by any sampled tail.
+  double unseen_edge_fraction = 1.0;
+  /// Max over edges of (empirical frequency) / (1 / 2m).
+  double max_overrepresentation = 0.0;
+};
+
+/// Samples `walks` random walks of length `length` from `source` and
+/// compares the distribution of their final (directed) edges to uniform —
+/// the Whānau paper's evidence for fast mixing, reproduced.
+[[nodiscard]] TailUniformity estimate_tail_uniformity(const graph::Graph& g,
+                                                      graph::NodeId source,
+                                                      std::size_t length,
+                                                      std::size_t walks, util::Rng& rng);
+
+/// Monte-Carlo plug-in estimate of the TVD between the t-step distribution
+/// from `source` and pi, using `walks` sampled endpoints. Biased upward by
+/// O(sqrt(n / walks)).
+[[nodiscard]] double monte_carlo_tvd(const graph::Graph& g, graph::NodeId source,
+                                     std::size_t steps, std::size_t walks,
+                                     std::span<const double> pi, util::Rng& rng);
+
+}  // namespace socmix::markov

@@ -1,0 +1,85 @@
+#include "markov/evolution.hpp"
+
+#include <stdexcept>
+
+#include "linalg/vector_ops.hpp"
+
+namespace socmix::markov {
+
+DistributionEvolver::DistributionEvolver(const graph::Graph& g, double laziness)
+    : graph_(&g), laziness_(laziness) {
+  if (laziness < 0.0 || laziness >= 1.0) {
+    throw std::invalid_argument{"DistributionEvolver: laziness must be in [0, 1)"};
+  }
+  const graph::NodeId n = g.num_nodes();
+  inv_deg_.resize(n);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    const graph::NodeId d = g.degree(v);
+    if (d == 0) {
+      throw std::invalid_argument{
+          "DistributionEvolver: graph has an isolated vertex; extract the "
+          "largest connected component first"};
+    }
+    inv_deg_[v] = 1.0 / static_cast<double>(d);
+  }
+  scratch_.resize(n);
+}
+
+void DistributionEvolver::step(std::span<const double> current,
+                               std::span<double> next) const noexcept {
+  const graph::Graph& g = *graph_;
+  const graph::NodeId n = g.num_nodes();
+  const auto offsets = g.offsets();
+  const auto neighbors = g.raw_neighbors();
+  const double walk_weight = 1.0 - laziness_;
+
+  // (x P)_j = sum_{i ~ j} x_i / deg(i): gather formulation reads each CSR
+  // row once, sequentially.
+  for (graph::NodeId j = 0; j < n; ++j) {
+    double acc = 0.0;
+    for (graph::EdgeIndex e = offsets[j]; e < offsets[j + 1]; ++e) {
+      const graph::NodeId i = neighbors[e];
+      acc += current[i] * inv_deg_[i];
+    }
+    next[j] = walk_weight * acc + laziness_ * current[j];
+  }
+}
+
+void DistributionEvolver::advance(std::vector<double>& dist, std::size_t steps) {
+  for (std::size_t t = 0; t < steps; ++t) {
+    step(dist, scratch_);
+    dist.swap(scratch_);
+  }
+}
+
+std::vector<double> DistributionEvolver::point_mass(graph::NodeId v) const {
+  std::vector<double> dist(dim(), 0.0);
+  dist[v] = 1.0;
+  return dist;
+}
+
+void DistributionEvolver::trajectory(
+    graph::NodeId source, std::size_t max_steps,
+    const std::function<bool(std::size_t, std::span<const double>)>& on_step) {
+  std::vector<double> dist = point_mass(source);
+  for (std::size_t t = 1; t <= max_steps; ++t) {
+    step(dist, scratch_);
+    dist.swap(scratch_);
+    if (!on_step(t, dist)) return;
+  }
+}
+
+std::vector<double> tvd_trajectory(const graph::Graph& g, graph::NodeId source,
+                                   std::size_t max_steps, std::span<const double> pi,
+                                   double laziness) {
+  DistributionEvolver evolver{g, laziness};
+  std::vector<double> out;
+  out.reserve(max_steps);
+  evolver.trajectory(source, max_steps, [&](std::size_t, std::span<const double> dist) {
+    out.push_back(linalg::total_variation(dist, pi));
+    return true;
+  });
+  return out;
+}
+
+}  // namespace socmix::markov

@@ -1,0 +1,59 @@
+// Exact evolution of a walk distribution: x_{t+1} = x_t P.
+//
+// This is the engine behind the paper's sampled measurement (§3.3): start
+// from a point mass at a vertex, push it through the chain step by step,
+// and record the total variation distance to pi after each step.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace socmix::markov {
+
+/// Reusable engine that advances row distributions through P = D^{-1} A
+/// (optionally lazy: (1-alpha) P + alpha I) without materializing P.
+class DistributionEvolver {
+ public:
+  explicit DistributionEvolver(const graph::Graph& g, double laziness = 0.0);
+
+  [[nodiscard]] std::size_t dim() const noexcept { return inv_deg_.size(); }
+
+  /// One step: next = current * P. Buffers must have size dim() and must
+  /// not alias.
+  void step(std::span<const double> current, std::span<double> next) const noexcept;
+
+  /// Advances `dist` in place by `steps` steps (uses an internal scratch
+  /// buffer; not thread-safe across concurrent calls on one instance).
+  void advance(std::vector<double>& dist, std::size_t steps);
+
+  /// Point-mass distribution at vertex v.
+  [[nodiscard]] std::vector<double> point_mass(graph::NodeId v) const;
+
+  /// Evolves a point mass at `source` for `max_steps` steps, invoking
+  /// `on_step(t, dist)` after each step t = 1..max_steps. The callback may
+  /// return false to stop early.
+  void trajectory(graph::NodeId source, std::size_t max_steps,
+                  const std::function<bool(std::size_t, std::span<const double>)>& on_step);
+
+  [[nodiscard]] const graph::Graph& graph() const noexcept { return *graph_; }
+  [[nodiscard]] double laziness() const noexcept { return laziness_; }
+
+ private:
+  const graph::Graph* graph_;
+  std::vector<double> inv_deg_;
+  std::vector<double> scratch_;
+  double laziness_;
+};
+
+/// Total variation trajectory of a point mass at `source`:
+/// result[t] = || pi - pi^(source) P^{t+1} ||_tv for t = 0..max_steps-1.
+[[nodiscard]] std::vector<double> tvd_trajectory(const graph::Graph& g,
+                                                 graph::NodeId source,
+                                                 std::size_t max_steps,
+                                                 std::span<const double> pi,
+                                                 double laziness = 0.0);
+
+}  // namespace socmix::markov

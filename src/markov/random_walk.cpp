@@ -1,0 +1,43 @@
+#include "markov/random_walk.hpp"
+
+namespace socmix::markov {
+
+std::vector<graph::NodeId> sample_walk(const graph::Graph& g, graph::NodeId start,
+                                       std::size_t length, util::Rng& rng) {
+  std::vector<graph::NodeId> walk;
+  walk.reserve(length + 1);
+  walk.push_back(start);
+  graph::NodeId current = start;
+  for (std::size_t i = 0; i < length; ++i) {
+    const graph::NodeId deg = g.degree(current);
+    if (deg == 0) break;  // stuck on an isolated vertex
+    current = g.neighbor(current, static_cast<graph::NodeId>(rng.below(deg)));
+    walk.push_back(current);
+  }
+  return walk;
+}
+
+graph::NodeId walk_endpoint(const graph::Graph& g, graph::NodeId start, std::size_t length,
+                            util::Rng& rng) {
+  graph::NodeId current = start;
+  for (std::size_t i = 0; i < length; ++i) {
+    const graph::NodeId deg = g.degree(current);
+    if (deg == 0) break;
+    current = g.neighbor(current, static_cast<graph::NodeId>(rng.below(deg)));
+  }
+  return current;
+}
+
+std::vector<double> endpoint_distribution(const graph::Graph& g, graph::NodeId start,
+                                          std::size_t length, std::size_t walks,
+                                          util::Rng& rng) {
+  std::vector<double> freq(g.num_nodes(), 0.0);
+  if (walks == 0) return freq;
+  const double weight = 1.0 / static_cast<double>(walks);
+  for (std::size_t i = 0; i < walks; ++i) {
+    freq[walk_endpoint(g, start, length, rng)] += weight;
+  }
+  return freq;
+}
+
+}  // namespace socmix::markov

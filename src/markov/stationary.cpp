@@ -1,0 +1,40 @@
+#include "markov/stationary.hpp"
+
+#include <cmath>
+
+namespace socmix::markov {
+
+std::vector<double> stationary_distribution(const graph::Graph& g) {
+  const graph::NodeId n = g.num_nodes();
+  const double two_m = static_cast<double>(g.num_half_edges());
+  std::vector<double> pi(n);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    pi[v] = static_cast<double>(g.degree(v)) / two_m;
+  }
+  return pi;
+}
+
+double stationarity_residual(const graph::Graph& g, std::span<const double> pi) {
+  // (pi P)_j = sum_{i ~ j} pi_i / deg(i); compare against pi_j.
+  const graph::NodeId n = g.num_nodes();
+  double worst = 0.0;
+  for (graph::NodeId j = 0; j < n; ++j) {
+    double acc = 0.0;
+    for (const graph::NodeId i : g.neighbors(j)) {
+      acc += pi[i] / static_cast<double>(g.degree(i));
+    }
+    worst = std::max(worst, std::fabs(acc - pi[j]));
+  }
+  return worst;
+}
+
+bool is_distribution(std::span<const double> p, double tol) noexcept {
+  double sum = 0.0;
+  for (const double x : p) {
+    if (x < -tol) return false;
+    sum += x;
+  }
+  return std::fabs(sum - 1.0) <= tol;
+}
+
+}  // namespace socmix::markov

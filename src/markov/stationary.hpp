@@ -1,0 +1,26 @@
+// Stationary distribution of the random walk on an undirected graph.
+//
+// Theorem 1 of the paper: pi_v = deg(v) / 2m. This module computes pi and
+// provides the verification predicate (pi P = pi) used in tests.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace socmix::markov {
+
+/// pi_v = deg(v) / 2m for every vertex. The graph may not be empty.
+[[nodiscard]] std::vector<double> stationary_distribution(const graph::Graph& g);
+
+/// Max-norm residual || pi P - pi ||_inf for an arbitrary distribution
+/// `pi` under the graph's simple random walk; ~0 iff pi is stationary.
+[[nodiscard]] double stationarity_residual(const graph::Graph& g,
+                                           std::span<const double> pi);
+
+/// True if `p` is a probability distribution: entries >= 0 summing to 1
+/// within `tol`.
+[[nodiscard]] bool is_distribution(std::span<const double> p, double tol = 1e-9) noexcept;
+
+}  // namespace socmix::markov

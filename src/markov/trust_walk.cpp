@@ -1,0 +1,86 @@
+#include "markov/trust_walk.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/vector_ops.hpp"
+#include "markov/stationary.hpp"
+
+namespace socmix::markov {
+
+BiasedEvolver::BiasedEvolver(const graph::Graph& g, graph::NodeId origin, double beta)
+    : graph_(&g), origin_(origin), beta_(beta) {
+  if (beta < 0.0 || beta >= 1.0) {
+    throw std::invalid_argument{"BiasedEvolver: beta must be in [0, 1)"};
+  }
+  if (origin >= g.num_nodes()) {
+    throw std::invalid_argument{"BiasedEvolver: origin out of range"};
+  }
+  const graph::NodeId n = g.num_nodes();
+  inv_deg_.resize(n);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    const graph::NodeId d = g.degree(v);
+    if (d == 0) {
+      throw std::invalid_argument{"BiasedEvolver: graph has an isolated vertex"};
+    }
+    inv_deg_[v] = 1.0 / static_cast<double>(d);
+  }
+  scratch_.resize(n);
+}
+
+void BiasedEvolver::step(std::span<const double> current,
+                         std::span<double> next) const noexcept {
+  const graph::Graph& g = *graph_;
+  const graph::NodeId n = g.num_nodes();
+  const auto offsets = g.offsets();
+  const auto neighbors = g.raw_neighbors();
+  const double keep = 1.0 - beta_;
+  for (graph::NodeId j = 0; j < n; ++j) {
+    double acc = 0.0;
+    for (graph::EdgeIndex e = offsets[j]; e < offsets[j + 1]; ++e) {
+      const graph::NodeId i = neighbors[e];
+      acc += current[i] * inv_deg_[i];
+    }
+    next[j] = keep * acc;
+  }
+  next[origin_] += beta_;  // total mass of `current` is 1 by invariant
+}
+
+void BiasedEvolver::advance(std::vector<double>& dist, std::size_t steps) {
+  for (std::size_t t = 0; t < steps; ++t) {
+    step(dist, scratch_);
+    dist.swap(scratch_);
+  }
+}
+
+std::vector<double> personalized_pagerank(const graph::Graph& g, graph::NodeId origin,
+                                          double beta, double tol,
+                                          std::size_t max_iterations) {
+  if (beta <= 0.0 || beta >= 1.0) {
+    throw std::invalid_argument{"personalized_pagerank: beta must be in (0, 1)"};
+  }
+  BiasedEvolver evolver{g, origin, beta};
+  std::vector<double> dist(g.num_nodes(), 0.0);
+  dist[origin] = 1.0;
+  std::vector<double> next(dist.size());
+  for (std::size_t it = 0; it < max_iterations; ++it) {
+    evolver.step(dist, next);
+    // L1 residual; geometric convergence at rate (1 - beta).
+    double residual = 0.0;
+    for (std::size_t v = 0; v < dist.size(); ++v) {
+      residual += std::abs(next[v] - dist[v]);
+    }
+    dist.swap(next);
+    if (residual < tol) break;
+  }
+  return dist;
+}
+
+double trust_mixing_floor(const graph::Graph& g, graph::NodeId origin, double beta) {
+  if (beta == 0.0) return 0.0;
+  const auto ppr = personalized_pagerank(g, origin, beta);
+  const auto pi = stationary_distribution(g);
+  return linalg::total_variation(ppr, pi);
+}
+
+}  // namespace socmix::markov

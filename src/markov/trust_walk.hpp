@@ -1,0 +1,68 @@
+// Trust-parameterized random walks — the paper's stated future work
+// ("cost models that consider ... the trust model exhibited in such
+// networks", §5/§6, following the authors' designs in [15][16]).
+//
+// Two standard modifications encode distrust of long walks:
+//
+//  * Lazy walk (laziness alpha): stay put with probability alpha. Keeps
+//    the stationary distribution but slows mixing by exactly
+//    lambda -> (1-alpha) lambda + alpha (supported throughout the library).
+//
+//  * Originator-biased walk (bias beta): at every step, return to the
+//    originator with probability beta, else take a normal walk step. This
+//    chain's stationary distribution is the *personalized PageRank* vector
+//    ppr_beta(origin) — it never reaches the global pi, and the gap
+//      floor(beta) = || ppr_beta - pi ||_tv
+//    is a clean measure of how much trust bias costs in mixing terms: the
+//    walk only ever "mixes" into the originator's trust neighborhood.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace socmix::markov {
+
+/// Evolves distributions of the originator-biased walk:
+///   x_{t+1} = (1 - beta) * (x_t P) + beta * e_origin.
+class BiasedEvolver {
+ public:
+  /// beta in [0, 1); origin is the trusted node. beta = 0 degenerates to
+  /// the simple walk.
+  BiasedEvolver(const graph::Graph& g, graph::NodeId origin, double beta);
+
+  [[nodiscard]] std::size_t dim() const noexcept { return inv_deg_.size(); }
+  [[nodiscard]] double beta() const noexcept { return beta_; }
+  [[nodiscard]] graph::NodeId origin() const noexcept { return origin_; }
+
+  /// One step; buffers must not alias.
+  void step(std::span<const double> current, std::span<double> next) const noexcept;
+
+  /// Advances in place.
+  void advance(std::vector<double>& dist, std::size_t steps);
+
+ private:
+  const graph::Graph* graph_;
+  std::vector<double> inv_deg_;
+  std::vector<double> scratch_;
+  graph::NodeId origin_;
+  double beta_;
+};
+
+/// Personalized PageRank vector for (origin, beta): the unique stationary
+/// distribution of the originator-biased walk, computed by power iteration
+/// to L1 residual < tol. beta must be in (0, 1).
+[[nodiscard]] std::vector<double> personalized_pagerank(const graph::Graph& g,
+                                                        graph::NodeId origin, double beta,
+                                                        double tol = 1e-12,
+                                                        std::size_t max_iterations = 100000);
+
+/// The mixing floor of trust bias beta from `origin`:
+/// || ppr_beta(origin) - pi ||_tv. 0 at beta = 0; grows toward 1 - pi_max
+/// as beta -> 1 (the walk stays home).
+[[nodiscard]] double trust_mixing_floor(const graph::Graph& g, graph::NodeId origin,
+                                        double beta);
+
+}  // namespace socmix::markov

@@ -1,0 +1,62 @@
+#include "sybil/attack.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace socmix::sybil {
+
+using graph::EdgeList;
+using graph::Graph;
+using graph::NodeId;
+
+AttackedGraph attach_sybil_region(const Graph& honest, const AttackConfig& config) {
+  if (config.sybil_nodes < 1 || config.attack_edges < 1) {
+    throw std::invalid_argument{"attach_sybil_region: need sybil_nodes, attack_edges >= 1"};
+  }
+  const NodeId honest_n = honest.num_nodes();
+  const NodeId sybil_n = config.sybil_nodes;
+  util::Rng rng{config.seed};
+
+  EdgeList edges{static_cast<NodeId>(honest_n + sybil_n)};
+  for (NodeId u = 0; u < honest_n; ++u) {
+    for (const NodeId v : honest.neighbors(u)) {
+      if (u < v) edges.add(u, v);
+    }
+  }
+
+  // Sybil region: ring (guaranteed connected) + random chords to the
+  // requested density. The adversary wants its region well-connected so
+  // its own routes stay inside and recycle attack-edge tails efficiently.
+  if (sybil_n > 1) {
+    for (NodeId i = 0; i < sybil_n; ++i) {
+      edges.add(honest_n + i, honest_n + (i + 1) % sybil_n);
+    }
+  }
+  const auto chords = static_cast<std::uint64_t>(
+      std::max(0.0, (config.sybil_avg_degree - 2.0) / 2.0 * static_cast<double>(sybil_n)));
+  for (std::uint64_t c = 0; c < chords; ++c) {
+    const auto a = static_cast<NodeId>(rng.below(sybil_n));
+    const auto b = static_cast<NodeId>(rng.below(sybil_n));
+    if (a != b) edges.add(honest_n + a, honest_n + b);
+  }
+
+  // Attack edges: distinct honest-sybil pairs.
+  std::unordered_set<std::uint64_t> used;
+  NodeId added = 0;
+  while (added < config.attack_edges) {
+    const auto h = static_cast<NodeId>(rng.below(honest_n));
+    const auto s = static_cast<NodeId>(honest_n + rng.below(sybil_n));
+    const std::uint64_t key = (static_cast<std::uint64_t>(h) << 32) | s;
+    if (!used.insert(key).second) continue;
+    edges.add(h, s);
+    ++added;
+  }
+
+  AttackedGraph out;
+  out.graph = Graph::from_edges(std::move(edges));
+  out.sybil_base = honest_n;
+  out.attack_edges = config.attack_edges;
+  return out;
+}
+
+}  // namespace socmix::sybil

@@ -1,0 +1,57 @@
+// Random-walk node ranking — Viswanath et al.'s unification of Sybil
+// defenses, which the paper cites as concurrent confirmation of its
+// findings (§2): SybilGuard/SybilLimit/SybilInfer/SumUp all effectively
+// rank nodes by how strongly short random walks from a trusted verifier
+// land on them, then admit a prefix. Community structure breaks the
+// ranking for honest nodes outside the verifier's community — the same
+// mechanism that makes those graphs slow mixing.
+//
+// Two rankers are provided:
+//  * walk-probability: degree-normalized t-step landing probability
+//    p_t(v) / deg(v) (the "early terminated random walk" ranker);
+//  * personalized PageRank: ppr_beta(v) / deg(v).
+// Plus an evaluation harness (AUC + admission-at-rank-cutoff) against
+// ground-truth Sybil labels from the attack harness.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sybil/attack.hpp"
+
+namespace socmix::sybil {
+
+/// Degree-normalized t-step landing probabilities from `verifier`:
+/// score[v] = Pr[walk of length t from verifier ends at v] / deg(v).
+/// Exact (distribution evolution), O(t * m).
+[[nodiscard]] std::vector<double> walk_probability_scores(const graph::Graph& g,
+                                                          graph::NodeId verifier,
+                                                          std::size_t walk_length);
+
+/// Degree-normalized personalized-PageRank scores from `verifier` with
+/// restart probability beta in (0, 1).
+[[nodiscard]] std::vector<double> pagerank_scores(const graph::Graph& g,
+                                                  graph::NodeId verifier, double beta);
+
+/// Vertex ids sorted by descending score (ties by id for determinism).
+[[nodiscard]] std::vector<graph::NodeId> ranking_from_scores(std::span<const double> scores);
+
+/// Quality of a ranking against Sybil ground truth.
+struct RankingEvaluation {
+  /// Probability a uniformly random honest node outranks a uniformly
+  /// random Sybil (area under the ROC curve; 1.0 = perfect, 0.5 = random).
+  double auc = 0.0;
+  /// Fraction of honest nodes admitted when admitting exactly the
+  /// top-`num_honest` ranked nodes (the natural operating point).
+  double honest_admitted_at_cutoff = 0.0;
+  /// Sybils admitted at that same cutoff.
+  std::uint64_t sybils_admitted_at_cutoff = 0;
+};
+
+/// Evaluates `scores` on an attacked graph (labels from AttackedGraph).
+[[nodiscard]] RankingEvaluation evaluate_ranking(const AttackedGraph& attacked,
+                                                 std::span<const double> scores);
+
+}  // namespace socmix::sybil

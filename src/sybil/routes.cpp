@@ -1,0 +1,76 @@
+#include "sybil/routes.hpp"
+
+#include "sybil/permutation.hpp"
+#include "util/rng.hpp"
+
+namespace socmix::sybil {
+
+std::uint64_t undirected_key(DirectedEdge e) noexcept {
+  auto a = e.from;
+  auto b = e.to;
+  if (a > b) std::swap(a, b);
+  return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
+RouteTable::RouteTable(const graph::Graph& g, std::uint64_t protocol_seed)
+    : graph_(&g), seed_(protocol_seed) {}
+
+graph::NodeId RouteTable::next_out_index(std::uint32_t instance, graph::NodeId node,
+                                         graph::NodeId in_index) const {
+  const graph::NodeId deg = graph_->degree(node);
+  const std::uint64_t key = util::hash_combine(
+      seed_, (static_cast<std::uint64_t>(instance) << 32) | node);
+  const KeyedPermutation sigma{key, deg};
+  return static_cast<graph::NodeId>(sigma.apply(in_index));
+}
+
+graph::NodeId RouteTable::start_out_index(std::uint32_t instance, graph::NodeId node) const {
+  const graph::NodeId deg = graph_->degree(node);
+  const std::uint64_t key = util::hash_combine(
+      seed_ ^ 0x5747415254ULL,  // distinct key space from next_out_index
+      (static_cast<std::uint64_t>(instance) << 32) | node);
+  return static_cast<graph::NodeId>(util::mix64(key) % deg);
+}
+
+std::optional<DirectedEdge> RouteTable::route_tail(std::uint32_t instance,
+                                                   graph::NodeId start,
+                                                   std::size_t length) const {
+  const graph::Graph& g = *graph_;
+  if (length == 0 || g.degree(start) == 0) return std::nullopt;
+
+  graph::NodeId current = start;
+  graph::NodeId next = g.neighbor(current, start_out_index(instance, current));
+  for (std::size_t hop = 1; hop < length; ++hop) {
+    // The route entered `next` from `current`; find that edge's local index
+    // at `next` and apply the permutation.
+    const graph::NodeId in_index = g.index_of_neighbor(next, current);
+    const graph::NodeId out_index = next_out_index(instance, next, in_index);
+    current = next;
+    next = g.neighbor(current, out_index);
+  }
+  return DirectedEdge{current, next};
+}
+
+std::vector<graph::NodeId> RouteTable::route_vertices(std::uint32_t instance,
+                                                      graph::NodeId start,
+                                                      std::size_t length) const {
+  const graph::Graph& g = *graph_;
+  std::vector<graph::NodeId> out;
+  out.reserve(length + 1);
+  out.push_back(start);
+  if (length == 0 || g.degree(start) == 0) return out;
+
+  graph::NodeId current = start;
+  graph::NodeId next = g.neighbor(current, start_out_index(instance, current));
+  out.push_back(next);
+  for (std::size_t hop = 1; hop < length; ++hop) {
+    const graph::NodeId in_index = g.index_of_neighbor(next, current);
+    const graph::NodeId out_index = next_out_index(instance, next, in_index);
+    current = next;
+    next = g.neighbor(current, out_index);
+    out.push_back(next);
+  }
+  return out;
+}
+
+}  // namespace socmix::sybil

@@ -1,0 +1,74 @@
+// SybilLimit/SybilGuard random routes.
+//
+// A random route is a random walk made *deterministic* by per-node edge
+// permutations: in protocol instance i, a route entering node u through
+// its j-th incident edge always leaves through edge sigma_{u,i}(j). The
+// consequences (Yu et al.):
+//   * convergence — two routes traversing the same directed edge in the
+//     same instance merge forever;
+//   * back-traceability — sigma is a bijection, so routes can be traced
+//     backwards uniquely.
+// Both properties are exercised by the test suite.
+//
+// The route "tail" is the last directed edge traversed — the credential
+// SybilLimit registers and intersects.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace socmix::sybil {
+
+/// Directed edge (from, to); `to` must be adjacent to `from`.
+struct DirectedEdge {
+  graph::NodeId from = graph::kInvalidNode;
+  graph::NodeId to = graph::kInvalidNode;
+
+  friend constexpr bool operator==(const DirectedEdge&, const DirectedEdge&) = default;
+};
+
+/// Canonical undirected edge key for tail intersection (order-free).
+[[nodiscard]] std::uint64_t undirected_key(DirectedEdge e) noexcept;
+
+/// Evaluates the per-(node, instance) routing permutations of a graph.
+/// Stateless beyond the graph reference and a protocol seed: permutations
+/// are realized through keyed PRPs, so memory is O(1) per evaluation.
+class RouteTable {
+ public:
+  RouteTable(const graph::Graph& g, std::uint64_t protocol_seed);
+
+  /// Outgoing local edge index for a route entering `node` via local edge
+  /// index `in_index`, in protocol instance `instance`.
+  [[nodiscard]] graph::NodeId next_out_index(std::uint32_t instance, graph::NodeId node,
+                                             graph::NodeId in_index) const;
+
+  /// First hop of a route started *by* `node` in `instance`: SybilLimit
+  /// routes start along sigma of a virtual incoming edge, realized here as
+  /// a keyed pseudo-random (but fixed) choice among the node's edges.
+  [[nodiscard]] graph::NodeId start_out_index(std::uint32_t instance,
+                                              graph::NodeId node) const;
+
+  /// Walks a route of `length` hops from `start`. Returns the tail (last
+  /// directed edge), or nullopt when length == 0 or start is isolated.
+  [[nodiscard]] std::optional<DirectedEdge> route_tail(std::uint32_t instance,
+                                                       graph::NodeId start,
+                                                       std::size_t length) const;
+
+  /// Walks a route and returns the full vertex sequence (length+1 entries,
+  /// shorter only if start is isolated).
+  [[nodiscard]] std::vector<graph::NodeId> route_vertices(std::uint32_t instance,
+                                                          graph::NodeId start,
+                                                          std::size_t length) const;
+
+  [[nodiscard]] const graph::Graph& graph() const noexcept { return *graph_; }
+  [[nodiscard]] std::uint64_t protocol_seed() const noexcept { return seed_; }
+
+ private:
+  const graph::Graph* graph_;
+  std::uint64_t seed_;
+};
+
+}  // namespace socmix::sybil

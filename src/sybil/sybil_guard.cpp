@@ -1,0 +1,47 @@
+#include "sybil/sybil_guard.hpp"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace socmix::sybil {
+
+SybilGuard::SybilGuard(const graph::Graph& g, const SybilGuardParams& params)
+    : routes_(g, params.seed), route_length_(params.route_length) {
+  if (route_length_ == 0) {
+    const double n = static_cast<double>(g.num_nodes());
+    route_length_ = static_cast<std::size_t>(std::ceil(std::sqrt(n * std::log(n))));
+  }
+}
+
+std::vector<graph::NodeId> SybilGuard::route(graph::NodeId node) const {
+  // SybilGuard uses one route; realize it as instance 0.
+  return routes_.route_vertices(/*instance=*/0, node, route_length_);
+}
+
+bool SybilGuard::accepts(graph::NodeId verifier, graph::NodeId suspect) const {
+  const auto vroute = route(verifier);
+  const std::unordered_set<graph::NodeId> vset{vroute.begin(), vroute.end()};
+  for (const graph::NodeId v : route(suspect)) {
+    if (vset.contains(v)) return true;
+  }
+  return false;
+}
+
+double SybilGuard::admission_rate(graph::NodeId verifier,
+                                  std::span<const graph::NodeId> suspects) const {
+  if (suspects.empty()) return 0.0;
+  const auto vroute = route(verifier);
+  const std::unordered_set<graph::NodeId> vset{vroute.begin(), vroute.end()};
+  std::size_t admitted = 0;
+  for (const graph::NodeId s : suspects) {
+    for (const graph::NodeId v : route(s)) {
+      if (vset.contains(v)) {
+        ++admitted;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(admitted) / static_cast<double>(suspects.size());
+}
+
+}  // namespace socmix::sybil

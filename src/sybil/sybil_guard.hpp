@@ -1,0 +1,46 @@
+// SybilGuard-style baseline (Yu et al., SIGCOMM 2006), simplified.
+//
+// The predecessor of SybilLimit: each node performs ONE random route of
+// length w = Theta(sqrt(n log n)); a verifier V accepts suspect S if their
+// routes intersect at a *vertex*. Included as the comparison baseline the
+// paper discusses: SybilGuard needs much longer routes (sqrt(n log n) vs
+// sqrt(m)-many short routes), so slow mixing hurts it even more.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sybil/routes.hpp"
+
+namespace socmix::sybil {
+
+struct SybilGuardParams {
+  /// Route length w; 0 = ceil(sqrt(n * ln n)).
+  std::size_t route_length = 0;
+  std::uint64_t seed = 0x5b117ULL;
+};
+
+class SybilGuard {
+ public:
+  SybilGuard(const graph::Graph& g, const SybilGuardParams& params);
+
+  [[nodiscard]] std::size_t route_length() const noexcept { return route_length_; }
+
+  /// The single route (vertex sequence) of `node`.
+  [[nodiscard]] std::vector<graph::NodeId> route(graph::NodeId node) const;
+
+  /// True if the two nodes' routes share at least one vertex.
+  [[nodiscard]] bool accepts(graph::NodeId verifier, graph::NodeId suspect) const;
+
+  /// Fraction of sampled suspects accepted by a verifier.
+  [[nodiscard]] double admission_rate(graph::NodeId verifier,
+                                      std::span<const graph::NodeId> suspects) const;
+
+ private:
+  RouteTable routes_;
+  std::size_t route_length_;
+};
+
+}  // namespace socmix::sybil

@@ -1,0 +1,163 @@
+#include "sybil/sybil_infer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "markov/random_walk.hpp"
+
+namespace socmix::sybil {
+
+namespace {
+
+/// The trace log-likelihood depends on the hypothesis X only through
+/// (N_X, deg_X): L = const + N_X ln p_in + N_Y ln(1-p_in)
+///                        - N_X ln deg_X - N_Y ln deg_Y,
+/// with the convention 0 * ln 0 = 0. This makes MH flips O(1).
+struct LikelihoodState {
+  double p_in = 0.9;
+  std::uint64_t endpoints_total = 0;
+  std::uint64_t endpoints_in = 0;   // N_X
+  std::uint64_t volume_total = 0;
+  std::uint64_t volume_in = 0;      // deg_X
+
+  [[nodiscard]] double log_likelihood() const noexcept {
+    const auto n_in = static_cast<double>(endpoints_in);
+    const auto n_out = static_cast<double>(endpoints_total - endpoints_in);
+    const auto deg_in = static_cast<double>(volume_in);
+    const auto deg_out = static_cast<double>(volume_total - volume_in);
+    double value = 0.0;
+    if (n_in > 0) {
+      if (deg_in <= 0) return -1e300;  // endpoints inside an empty set
+      value += n_in * (std::log(p_in) - std::log(deg_in));
+    }
+    if (n_out > 0) {
+      if (deg_out <= 0) return -1e300;
+      value += n_out * (std::log(1.0 - p_in) - std::log(deg_out));
+    }
+    return value;
+  }
+};
+
+}  // namespace
+
+std::vector<graph::NodeId> SybilInferResult::honest_set(double threshold) const {
+  std::vector<graph::NodeId> out;
+  for (graph::NodeId v = 0; v < honest_probability.size(); ++v) {
+    if (honest_probability[v] >= threshold) out.push_back(v);
+  }
+  return out;
+}
+
+SybilInferResult sybil_infer(const graph::Graph& g, const SybilInferParams& params) {
+  const graph::NodeId n = g.num_nodes();
+  if (params.seeds.empty()) {
+    throw std::invalid_argument{"sybil_infer: need at least one honest seed"};
+  }
+  if (params.p_in <= 0.0 || params.p_in >= 1.0) {
+    throw std::invalid_argument{"sybil_infer: p_in must be in (0, 1)"};
+  }
+  for (const graph::NodeId s : params.seeds) {
+    if (s >= n) throw std::invalid_argument{"sybil_infer: seed out of range"};
+  }
+
+  util::Rng rng{params.seed};
+
+  // Evidence: endpoint multiplicities of short walks from the seeds.
+  std::vector<std::uint32_t> endpoint_count(n, 0);
+  std::uint64_t endpoints_total = 0;
+  for (const graph::NodeId seed : params.seeds) {
+    for (std::size_t w = 0; w < params.walks_per_seed; ++w) {
+      ++endpoint_count[markov::walk_endpoint(g, seed, params.walk_length, rng)];
+      ++endpoints_total;
+    }
+  }
+
+  // Hypothesis state: start from "everyone honest".
+  std::vector<char> in_honest(n, 1);
+  std::vector<char> pinned(n, 0);
+  for (const graph::NodeId s : params.seeds) pinned[s] = 1;
+
+  LikelihoodState like;
+  like.p_in = params.p_in;
+  like.endpoints_total = endpoints_total;
+  like.endpoints_in = endpoints_total;
+  like.volume_total = g.num_half_edges();
+  like.volume_in = g.num_half_edges();
+
+  double current = like.log_likelihood();
+  std::vector<std::uint64_t> honest_tally(n, 0);
+  std::uint64_t samples = 0;
+  std::uint64_t accepted = 0;
+
+  const auto burn_in =
+      static_cast<std::size_t>(params.burn_in * static_cast<double>(params.mh_iterations));
+  for (std::size_t it = 0; it < params.mh_iterations; ++it) {
+    const auto v = static_cast<graph::NodeId>(rng.below(n));
+    if (pinned[v] == 0) {
+      // Propose flipping v; the likelihood state updates in O(1).
+      const bool was_in = in_honest[v] != 0;
+      LikelihoodState proposed = like;
+      const std::uint64_t deg = g.degree(v);
+      const std::uint64_t hits = endpoint_count[v];
+      if (was_in) {
+        proposed.volume_in -= deg;
+        proposed.endpoints_in -= hits;
+      } else {
+        proposed.volume_in += deg;
+        proposed.endpoints_in += hits;
+      }
+      const double candidate = proposed.log_likelihood();
+      const double delta = candidate - current;
+      if (delta >= 0.0 || rng.uniform() < std::exp(std::max(delta, -700.0))) {
+        in_honest[v] = was_in ? 0 : 1;
+        like = proposed;
+        current = candidate;
+        ++accepted;
+      }
+    }
+    if (it >= burn_in) {
+      ++samples;
+      for (graph::NodeId u = 0; u < n; ++u) honest_tally[u] += in_honest[u];
+    }
+  }
+
+  SybilInferResult result;
+  result.honest_probability.resize(n);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    result.honest_probability[v] =
+        samples == 0 ? 1.0
+                     : static_cast<double>(honest_tally[v]) / static_cast<double>(samples);
+  }
+  result.acceptance_rate = params.mh_iterations == 0
+                               ? 0.0
+                               : static_cast<double>(accepted) /
+                                     static_cast<double>(params.mh_iterations);
+  return result;
+}
+
+SybilInferEvaluation evaluate_sybil_infer(const AttackedGraph& attacked,
+                                          const SybilInferParams& params) {
+  const auto result = sybil_infer(attacked.graph, params);
+  SybilInferEvaluation eval;
+  eval.acceptance_rate = result.acceptance_rate;
+
+  std::uint64_t honest_right = 0;
+  std::uint64_t sybil_right = 0;
+  const graph::NodeId n = attacked.graph.num_nodes();
+  for (graph::NodeId v = 0; v < n; ++v) {
+    const bool classified_honest = result.honest_probability[v] >= 0.5;
+    if (attacked.is_sybil(v)) {
+      if (!classified_honest) ++sybil_right;
+    } else if (classified_honest) {
+      ++honest_right;
+    }
+  }
+  eval.honest_recall =
+      static_cast<double>(honest_right) / static_cast<double>(attacked.num_honest());
+  eval.sybil_recall =
+      static_cast<double>(sybil_right) / static_cast<double>(attacked.num_sybil());
+  return eval;
+}
+
+}  // namespace socmix::sybil

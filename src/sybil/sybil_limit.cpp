@@ -1,0 +1,114 @@
+#include "sybil/sybil_limit.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "markov/mixing_time.hpp"
+#include "util/rng.hpp"
+
+namespace socmix::sybil {
+
+SybilLimit::SybilLimit(const graph::Graph& g, const SybilLimitParams& params)
+    : routes_(g, params.seed), params_(params) {
+  if (params.instances_override != 0) {
+    instances_ = params.instances_override;
+  } else {
+    const double m = static_cast<double>(g.num_edges());
+    instances_ = static_cast<std::uint32_t>(std::max(1.0, std::ceil(params.r0 * std::sqrt(m))));
+  }
+}
+
+std::vector<DirectedEdge> SybilLimit::registration_tails(graph::NodeId node) const {
+  std::vector<DirectedEdge> tails;
+  tails.reserve(instances_);
+  for (std::uint32_t i = 0; i < instances_; ++i) {
+    if (const auto tail = routes_.route_tail(i, node, params_.route_length)) {
+      tails.push_back(*tail);
+    }
+  }
+  return tails;
+}
+
+SybilLimit::Verifier SybilLimit::make_verifier(graph::NodeId node) const {
+  Verifier v;
+  v.node_ = node;
+  for (const DirectedEdge tail : registration_tails(node)) {
+    const std::uint64_t key = undirected_key(tail);
+    if (!v.tail_index_.contains(key)) {
+      v.tail_index_.emplace(key, static_cast<std::uint32_t>(v.load_.size()));
+      v.load_.push_back(0);
+    }
+  }
+  return v;
+}
+
+bool SybilLimit::Verifier::intersects(const SybilLimit& protocol,
+                                      graph::NodeId suspect) const {
+  for (const DirectedEdge tail : protocol.registration_tails(suspect)) {
+    if (tail_index_.contains(undirected_key(tail))) return true;
+  }
+  return false;
+}
+
+bool SybilLimit::Verifier::admit(const SybilLimit& protocol, graph::NodeId suspect) {
+  // Gather the verifier tails this suspect intersects.
+  std::vector<std::uint32_t> candidates;
+  for (const DirectedEdge tail : protocol.registration_tails(suspect)) {
+    const auto it = tail_index_.find(undirected_key(tail));
+    if (it != tail_index_.end()) candidates.push_back(it->second);
+  }
+  if (candidates.empty()) return false;
+
+  // Balance condition: assign to the least-loaded intersecting tail; the
+  // load after assignment must stay within b = h * max(log r, (A+1)/r).
+  const auto least = *std::min_element(
+      candidates.begin(), candidates.end(),
+      [&](std::uint32_t a, std::uint32_t b) { return load_[a] < load_[b]; });
+  const double r = static_cast<double>(protocol.instances());
+  const double bound = protocol.params().balance_factor *
+                       std::max(std::log(r), (static_cast<double>(accepted_) + 1.0) / r);
+  if (static_cast<double>(load_[least]) + 1.0 > bound) return false;
+
+  ++load_[least];
+  ++accepted_;
+  return true;
+}
+
+std::vector<AdmissionPoint> admission_sweep(const graph::Graph& g,
+                                            const AdmissionSweepConfig& config) {
+  util::Rng rng{config.seed};
+
+  const std::vector<graph::NodeId> suspects =
+      config.suspect_sample == 0
+          ? markov::all_sources(g)
+          : markov::pick_sources(g, config.suspect_sample, rng);
+  const std::vector<graph::NodeId> verifiers =
+      markov::pick_sources(g, std::max<std::size_t>(1, config.verifier_sample), rng);
+
+  std::vector<AdmissionPoint> out;
+  out.reserve(config.route_lengths.size());
+  for (const std::size_t w : config.route_lengths) {
+    SybilLimitParams params;
+    params.route_length = w;
+    params.r0 = config.r0;
+    params.balance_factor = config.balance_factor;
+    params.seed = util::hash_combine(config.seed, w);
+    const SybilLimit protocol{g, params};
+
+    std::uint64_t admitted = 0;
+    std::uint64_t trials = 0;
+    for (const graph::NodeId vnode : verifiers) {
+      auto verifier = protocol.make_verifier(vnode);
+      for (const graph::NodeId suspect : suspects) {
+        ++trials;
+        if (verifier.admit(protocol, suspect)) ++admitted;
+      }
+    }
+    out.push_back({w, trials == 0 ? 0.0
+                                  : static_cast<double>(admitted) /
+                                        static_cast<double>(trials)});
+  }
+  return out;
+}
+
+}  // namespace socmix::sybil

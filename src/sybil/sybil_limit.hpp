@@ -1,0 +1,118 @@
+// SybilLimit (Yu, Gibbons, Kaminsky, Xiao — Oakland 2008), from scratch.
+//
+// The paper's §5 "Performance Implications" experiment: run SybilLimit on
+// measured social graphs, grow the route length w until a verifier accepts
+// (almost) all honest suspects, and observe how much larger that w is than
+// the w = O(log n) the original scheme assumed — the operational cost of
+// slow mixing. The number of Sybil identities accepted is bounded by g*w
+// (g = attack edges), so every extra hop of w is paid in security.
+//
+// Protocol summary as implemented:
+//  * System-wide: r protocol instances of random routes (routes.hpp),
+//    r = r0 * sqrt(m) chosen by the birthday paradox.
+//  * Registration: suspect S runs one route of length w per instance; the
+//    tail (last edge) of each is where S "registers".
+//  * Verification: verifier V runs its own r routes; V accepts S iff
+//      - intersection: some V tail equals some S tail (as undirected
+//        edges), and
+//      - balance: the accepted suspect is assigned to its least-loaded
+//        intersecting V-tail, whose load must stay within
+//        b = balance_factor * max(log r, (accepted+1)/r).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sybil/routes.hpp"
+
+namespace socmix::sybil {
+
+struct SybilLimitParams {
+  /// Route length w (the knob the paper sweeps in Fig. 8).
+  std::size_t route_length = 10;
+  /// Pending-route multiplier r0 in r = ceil(r0 * sqrt(m)).
+  double r0 = 4.0;
+  /// Explicit instance count; 0 = derive from r0.
+  std::uint32_t instances_override = 0;
+  /// Balance condition multiplier (h in the SybilLimit paper, typically 4).
+  double balance_factor = 4.0;
+  /// Protocol seed: fixes all route permutations.
+  std::uint64_t seed = 0x51b1111317ULL;
+};
+
+/// Per-verifier protocol state over one honest social graph.
+class SybilLimit {
+ public:
+  SybilLimit(const graph::Graph& g, const SybilLimitParams& params);
+
+  /// Number of instances r actually in use.
+  [[nodiscard]] std::uint32_t instances() const noexcept { return instances_; }
+  [[nodiscard]] const SybilLimitParams& params() const noexcept { return params_; }
+
+  /// The suspect-side registration tails for `node` (one per instance;
+  /// instances whose route dead-ends are omitted).
+  [[nodiscard]] std::vector<DirectedEdge> registration_tails(graph::NodeId node) const;
+
+  /// A verifier's accumulated accept/deny state (balance counters).
+  class Verifier {
+   public:
+    /// True if the verifier would accept this suspect, *and* commits the
+    /// balance-counter increment when accepted.
+    [[nodiscard]] bool admit(const SybilLimit& protocol, graph::NodeId suspect);
+
+    /// Intersection-only test (no balance bookkeeping, no state change).
+    [[nodiscard]] bool intersects(const SybilLimit& protocol,
+                                  graph::NodeId suspect) const;
+
+    [[nodiscard]] graph::NodeId node() const noexcept { return node_; }
+    [[nodiscard]] std::uint64_t accepted() const noexcept { return accepted_; }
+
+   private:
+    friend class SybilLimit;
+    graph::NodeId node_ = graph::kInvalidNode;
+    /// V's tail keys -> index into load counters (several instances can
+    /// share a tail edge).
+    std::unordered_map<std::uint64_t, std::uint32_t> tail_index_;
+    std::vector<std::uint64_t> load_;
+    std::uint64_t accepted_ = 0;
+  };
+
+  /// Prepares a verifier: runs its r routes and indexes the tails.
+  [[nodiscard]] Verifier make_verifier(graph::NodeId node) const;
+
+  [[nodiscard]] const graph::Graph& graph() const noexcept { return routes_.graph(); }
+  [[nodiscard]] const RouteTable& routes() const noexcept { return routes_; }
+
+ private:
+  RouteTable routes_;
+  SybilLimitParams params_;
+  std::uint32_t instances_ = 0;
+};
+
+/// Fig. 8 experiment: fraction of sampled honest suspects admitted by a
+/// verifier, per route length.
+struct AdmissionPoint {
+  std::size_t route_length = 0;
+  double admitted_fraction = 0.0;
+};
+
+struct AdmissionSweepConfig {
+  std::vector<std::size_t> route_lengths;
+  /// Suspects sampled per point (0 = every vertex).
+  std::size_t suspect_sample = 300;
+  /// Verifiers averaged per point.
+  std::size_t verifier_sample = 3;
+  double r0 = 4.0;
+  double balance_factor = 4.0;
+  std::uint64_t seed = 20101101;  // IMC'10 conference date
+};
+
+[[nodiscard]] std::vector<AdmissionPoint> admission_sweep(const graph::Graph& g,
+                                                          const AdmissionSweepConfig& config);
+
+}  // namespace socmix::sybil

@@ -1,0 +1,66 @@
+#include "util/csv.hpp"
+
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include <cerrno>
+#include <cstdio>
+
+#include "util/logging.hpp"
+
+namespace socmix::util {
+
+CsvWriter::CsvWriter(const std::string& path) : file_(std::fopen(path.c_str(), "w")) {
+  if (file_ == nullptr) log_warn("csv: cannot open %s; results not persisted", path.c_str());
+}
+
+CsvWriter::~CsvWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+CsvWriter::CsvWriter(CsvWriter&& other) noexcept : file_(other.file_) { other.file_ = nullptr; }
+
+CsvWriter& CsvWriter::operator=(CsvWriter&& other) noexcept {
+  if (this != &other) {
+    if (file_ != nullptr) std::fclose(file_);
+    file_ = other.file_;
+    other.file_ = nullptr;
+  }
+  return *this;
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  if (file_ == nullptr) return;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const std::string quoted = csv_quote(cells[i]);
+    std::fwrite(quoted.data(), 1, quoted.size(), file_);
+    if (i + 1 < cells.size()) std::fputc(',', file_);
+  }
+  std::fputc('\n', file_);
+}
+
+std::string csv_quote(const std::string& cell) {
+  const bool needs_quotes =
+      cell.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+bool ensure_directory(const std::string& dir) noexcept {
+  if (::mkdir(dir.c_str(), 0755) == 0) return true;
+  return errno == EEXIST;
+}
+
+std::optional<std::string> bench_results_dir() {
+  const std::string dir = "bench_results";
+  if (!ensure_directory(dir)) return std::nullopt;
+  return dir;
+}
+
+}  // namespace socmix::util

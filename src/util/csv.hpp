@@ -1,0 +1,42 @@
+// CSV emission for bench results so figures can be re-plotted externally.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace socmix::util {
+
+/// Streaming CSV writer with RFC-4180 quoting. Writes to a file; if the
+/// file cannot be opened (read-only tree), the writer degrades to a no-op
+/// so benches never fail on filesystem permissions.
+class CsvWriter {
+ public:
+  explicit CsvWriter(const std::string& path);
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+  CsvWriter(CsvWriter&&) noexcept;
+  CsvWriter& operator=(CsvWriter&&) noexcept;
+
+  /// True if the underlying file opened successfully.
+  [[nodiscard]] bool ok() const noexcept { return file_ != nullptr; }
+
+  void row(const std::vector<std::string>& cells);
+
+ private:
+  std::FILE* file_ = nullptr;
+};
+
+/// Quote a cell per RFC 4180 if it contains comma, quote, or newline.
+[[nodiscard]] std::string csv_quote(const std::string& cell);
+
+/// Ensure `dir` exists (mkdir -p); returns false if impossible.
+bool ensure_directory(const std::string& dir) noexcept;
+
+/// Standard output directory for bench CSVs ("bench_results"), created on
+/// demand next to the current working directory; nullopt if not writable.
+[[nodiscard]] std::optional<std::string> bench_results_dir();
+
+}  // namespace socmix::util

@@ -1,0 +1,48 @@
+// Minimal leveled logging for experiment drivers.
+//
+// The library itself never logs from hot paths; only experiment runners and
+// benches narrate progress, so a global level + stderr sink is sufficient.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <utility>
+
+namespace socmix::util {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are suppressed.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+namespace detail {
+void log_line(LogLevel level, const std::string& message);
+[[nodiscard]] std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(const char* fmt, Args&&... args) {
+  if (log_level() <= LogLevel::kDebug)
+    detail::log_line(LogLevel::kDebug, detail::format(fmt, std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_info(const char* fmt, Args&&... args) {
+  if (log_level() <= LogLevel::kInfo)
+    detail::log_line(LogLevel::kInfo, detail::format(fmt, std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_warn(const char* fmt, Args&&... args) {
+  if (log_level() <= LogLevel::kWarn)
+    detail::log_line(LogLevel::kWarn, detail::format(fmt, std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_error(const char* fmt, Args&&... args) {
+  if (log_level() <= LogLevel::kError)
+    detail::log_line(LogLevel::kError, detail::format(fmt, std::forward<Args>(args)...));
+}
+
+}  // namespace socmix::util

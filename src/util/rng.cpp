@@ -1,0 +1,11 @@
+#include "util/rng.hpp"
+
+// Header-only in practice; this TU pins the vtable-free type into the
+// library and gives static_asserts a home.
+
+namespace socmix::util {
+
+static_assert(Rng::min() == 0);
+static_assert(Rng::max() == ~0ULL);
+
+}  // namespace socmix::util

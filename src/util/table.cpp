@@ -1,0 +1,72 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace socmix::util {
+
+void TextTable::header(std::vector<std::string> columns) {
+  header_ = std::move(columns);
+  rows_.clear();
+}
+
+void TextTable::row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+void TextTable::print(std::ostream& os) const {
+  std::size_t ncols = header_.size();
+  for (const auto& r : rows_) ncols = std::max(ncols, r.size());
+  if (ncols == 0) return;
+
+  std::vector<std::size_t> width(ncols, 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size(); ++c) width[c] = std::max(width[c], r[c].size());
+
+  const auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < ncols; ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+      os << cell;
+      if (c + 1 < ncols) os << std::string(width[c] - cell.size() + 2, ' ');
+    }
+    os << '\n';
+  };
+
+  if (!header_.empty()) {
+    emit_row(header_);
+    for (std::size_t c = 0; c < ncols; ++c) {
+      os << std::string(width[c], '-');
+      if (c + 1 < ncols) os << "  ";
+    }
+    os << '\n';
+  }
+  for (const auto& r : rows_) emit_row(r);
+}
+
+std::string TextTable::str() const {
+  std::ostringstream oss;
+  print(oss);
+  return oss.str();
+}
+
+std::string fmt_fixed(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+  return buf;
+}
+
+std::string fmt_sci(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*e", decimals, v);
+  return buf;
+}
+
+std::string fmt_auto(double v) {
+  const double mag = std::fabs(v);
+  if (v == 0.0) return "0";
+  if (mag >= 1e-3 && mag < 1e6) return fmt_fixed(v, mag < 1.0 ? 4 : 2);
+  return fmt_sci(v, 2);
+}
+
+}  // namespace socmix::util

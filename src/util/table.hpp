@@ -1,0 +1,46 @@
+// Aligned plain-text tables — how figure/table benches print the paper's
+// data series in a terminal-friendly layout.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace socmix::util {
+
+/// Column-aligned text table. Collects rows of strings, computes widths,
+/// and prints with a header rule, e.g.
+///
+///   Dataset      Nodes    Edges    mu
+///   -----------  -------  -------  ------
+///   Wiki-vote    7,066    100,736  0.8575
+class TextTable {
+ public:
+  /// Sets the header row; resets any accumulated rows.
+  void header(std::vector<std::string> columns);
+
+  /// Appends one data row; shorter rows are padded with empty cells.
+  void row(std::vector<std::string> cells);
+
+  /// Number of accumulated data rows.
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Renders the table to a stream.
+  void print(std::ostream& os) const;
+
+  /// Renders the table to a string.
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helpers used by benches to match the paper's number styles.
+[[nodiscard]] std::string fmt_fixed(double v, int decimals);
+[[nodiscard]] std::string fmt_sci(double v, int decimals);
+/// Fixed for mid-range magnitudes, scientific for tiny/huge values.
+[[nodiscard]] std::string fmt_auto(double v);
+
+}  // namespace socmix::util

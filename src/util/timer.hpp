@@ -1,0 +1,34 @@
+// Wall-clock stopwatch used by experiment drivers to report phase timings.
+#pragma once
+
+#include <chrono>
+#include <string>
+
+namespace socmix::util {
+
+/// Monotonic stopwatch. Starts on construction; restart with reset().
+class Timer {
+ public:
+  Timer() noexcept : start_(Clock::now()) {}
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or last reset().
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double millis() const noexcept { return seconds() * 1e3; }
+
+  /// Human-readable elapsed time, e.g. "1.24 s" or "38.1 ms".
+  [[nodiscard]] std::string str() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Format a duration in seconds as a short human-readable string.
+[[nodiscard]] std::string format_seconds(double seconds);
+
+}  // namespace socmix::util

@@ -1,0 +1,148 @@
+// End-to-end miniatures of the paper's pipelines, run at test-friendly
+// scale: each test is one of the paper's experiments shrunk to seconds.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/experiment.hpp"
+#include "core/measurement.hpp"
+#include "gen/datasets.hpp"
+#include "graph/components.hpp"
+#include "graph/sampling.hpp"
+#include "graph/trim.hpp"
+#include "markov/conductance.hpp"
+#include "sybil/sybil_limit.hpp"
+#include "util/rng.hpp"
+
+namespace socmix::core {
+namespace {
+
+TEST(Integration, Table1PipelineRow) {
+  // Build a stand-in, take the largest component, measure mu — one row of
+  // Table 1 end to end.
+  const auto spec = *gen::find_dataset("Physics 1");
+  const auto g = gen::build_dataset(spec, 2600, 1);
+  MeasurementOptions options;
+  options.sampled = false;
+  const auto report = measure_mixing(g, spec.name, options);
+  EXPECT_TRUE(report.spectral_ran);
+  EXPECT_GT(report.slem, 0.9);   // slow class
+  EXPECT_LT(report.slem, 1.0);
+}
+
+TEST(Integration, SlowClassNeedsLongerWalksThanFastClass) {
+  // Figs 1-2's headline: collaboration graphs need far longer walks than
+  // OSN graphs for the same eps.
+  MeasurementOptions options;
+  options.sampled = false;
+  const auto slow = measure_mixing(
+      gen::build_dataset(*gen::find_dataset("Physics 1"), 2600, 2), "slow", options);
+  const auto fast = measure_mixing(
+      gen::build_dataset(*gen::find_dataset("Wiki-vote"), 2600, 2), "fast", options);
+  EXPECT_GT(slow.lower_bound(0.1), 5.0 * fast.lower_bound(0.1));
+}
+
+TEST(Integration, TrimmingImprovesMixing) {
+  // Fig 6's mechanism at small scale: removing low-degree nodes lowers mu
+  // while shrinking the graph.
+  const auto spec = *gen::find_dataset("DBLP");
+  const auto g = gen::build_dataset(spec, 3000, 3);
+
+  MeasurementOptions options;
+  options.sampled = false;
+
+  const double mu_untrimmed = measure_mixing(g, "dblp", options).slem;
+  graph::NodeId previous_n = g.num_nodes() + 1;
+  double mu_trimmed5 = 1.0;
+  for (const graph::NodeId k : {2u, 3u, 5u}) {
+    const auto trimmed = graph::largest_component(graph::trim_min_degree(g, k).graph);
+    ASSERT_GT(trimmed.graph.num_nodes(), 50u) << "k=" << k;
+    EXPECT_LT(trimmed.graph.num_nodes(), previous_n) << "k=" << k;
+    previous_n = trimmed.graph.num_nodes();
+    mu_trimmed5 = measure_mixing(trimmed.graph, "trim", options).slem;
+  }
+  // Heavy trimming removes the slow-mixing pendant fringe (Fig 6's effect).
+  EXPECT_LT(mu_trimmed5, mu_untrimmed + 1e-9);
+  // ...at a large cost in coverage, like DBLP's 615K -> 145K.
+  EXPECT_LT(previous_n, g.num_nodes() * 2 / 3);
+}
+
+TEST(Integration, BfsSamplesPreserveMixingClass) {
+  // Fig 7's setup: BFS samples of a slow graph remain slow(ish); of a fast
+  // graph remain fast.
+  util::Rng rng{4};
+  const auto big_slow = gen::build_dataset(*gen::find_dataset("Physics 3"), 6000, 4);
+  const auto sample = graph::bfs_sample(big_slow, 2000, rng);
+  const auto lcc = graph::largest_component(sample.graph);
+
+  MeasurementOptions options;
+  options.sampled = false;
+  const auto report = measure_mixing(lcc.graph, "sample", options);
+  EXPECT_GT(report.slem, 0.97);
+}
+
+TEST(Integration, AverageMixingBeatsWorstCase) {
+  // §5's observation: the average-case mixing time is well below the
+  // worst case on community-structured graphs.
+  const auto g = gen::build_dataset(*gen::find_dataset("Physics 1"), 2000, 5);
+  MeasurementOptions options;
+  options.all_sources = true;
+  options.max_steps = 400;
+  const auto report = measure_mixing(g, "g", options);
+  const auto worst = report.sampled->worst_mixing_time(0.1);
+  const auto avg = report.sampled->average_mixing_time(0.1);
+  if (worst != markov::kNotMixed) {
+    EXPECT_LT(avg.mean_steps, static_cast<double>(worst));
+  } else {
+    EXPECT_LT(avg.unmixed_sources, report.sampled->num_sources());
+  }
+}
+
+TEST(Integration, ConductanceExplainsSlowMixing) {
+  // §3.2's link, end to end: the slow stand-in has a much sparser spectral
+  // cut than the fast one.
+  const auto slow = gen::build_dataset(*gen::find_dataset("Physics 1"), 2000, 6);
+  const auto fast = gen::build_dataset(*gen::find_dataset("Wiki-vote"), 2000, 6);
+  const auto phi_slow = markov::spectral_cut(slow).cut.conductance;
+  const auto phi_fast = markov::spectral_cut(fast).cut.conductance;
+  EXPECT_LT(phi_slow * 5, phi_fast);
+}
+
+TEST(Integration, SybilLimitNeedsLongerWalksOnSlowGraphs) {
+  // Fig 8 end to end, shrunk: at the same short walk length, the slow
+  // graph admits fewer honest suspects than the fast graph.
+  const auto slow = gen::build_dataset(*gen::find_dataset("Physics 1"), 1600, 7);
+  const auto fast = gen::build_dataset(*gen::find_dataset("Wiki-vote"), 1600, 7);
+
+  sybil::AdmissionSweepConfig config;
+  config.route_lengths = {4};
+  config.suspect_sample = 100;
+  config.verifier_sample = 2;
+  config.seed = 8;
+  const auto slow_points = sybil::admission_sweep(slow, config);
+  const auto fast_points = sybil::admission_sweep(fast, config);
+  EXPECT_LT(slow_points[0].admitted_fraction + 0.1,
+            fast_points[0].admitted_fraction);
+}
+
+TEST(Integration, SampledMeasurementRespectsSpectralLowerBoundCurve) {
+  // Figs 5/7 consistency: at every t, the worst sampled TVD must lie at or
+  // above the SLEM lower-bound curve eps_lb(t) (within numerical slack),
+  // because eps_lb(t) lower-bounds the worst-case distance profile.
+  const auto g = gen::build_dataset(*gen::find_dataset("Physics 1"), 1500, 9);
+  MeasurementOptions options;
+  options.sources = 60;
+  options.max_steps = 150;
+  const auto report = measure_mixing(g, "g", options);
+  const auto bounds = report.bounds();
+  const auto curves = report.sampled->percentile_curves();
+  // Sampled sources are a subset, so compare only where the bound is
+  // meaningfully above zero.
+  for (const std::size_t t : {10u, 50u, 100u}) {
+    const double bound = bounds.epsilon_at(static_cast<double>(t));
+    EXPECT_GE(curves.max[t - 1], bound * 0.5) << "t=" << t;
+  }
+}
+
+}  // namespace
+}  // namespace socmix::core

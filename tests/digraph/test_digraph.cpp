@@ -1,0 +1,95 @@
+#include "digraph/digraph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace socmix::digraph {
+namespace {
+
+DiGraph small_cycle_with_chord() {
+  // 0 -> 1 -> 2 -> 0 plus chord 0 -> 2 and a sink 2 -> 3.
+  return DiGraph::from_arcs({{0, 1}, {1, 2}, {2, 0}, {0, 2}, {2, 3}});
+}
+
+TEST(DiGraph, CountsAndDegrees) {
+  const auto g = small_cycle_with_chord();
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_arcs(), 5u);
+  EXPECT_EQ(g.out_degree(0), 2u);
+  EXPECT_EQ(g.in_degree(0), 1u);
+  EXPECT_EQ(g.out_degree(3), 0u);
+  EXPECT_EQ(g.in_degree(3), 1u);
+}
+
+TEST(DiGraph, AdjacencyListsSortedAndDual) {
+  const auto g = small_cycle_with_chord();
+  const auto succ0 = g.successors(0);
+  ASSERT_EQ(succ0.size(), 2u);
+  EXPECT_EQ(succ0[0], 1u);
+  EXPECT_EQ(succ0[1], 2u);
+  const auto pred2 = g.predecessors(2);
+  ASSERT_EQ(pred2.size(), 2u);
+  EXPECT_EQ(pred2[0], 0u);
+  EXPECT_EQ(pred2[1], 1u);
+}
+
+TEST(DiGraph, DirectionMatters) {
+  const auto g = small_cycle_with_chord();
+  EXPECT_TRUE(g.has_arc(0, 1));
+  EXPECT_FALSE(g.has_arc(1, 0));
+}
+
+TEST(DiGraph, CleansLoopsAndDuplicates) {
+  const auto g = DiGraph::from_arcs({{0, 1}, {0, 1}, {1, 1}, {1, 0}});
+  EXPECT_EQ(g.num_arcs(), 2u);  // 0->1 and 1->0 remain
+  EXPECT_TRUE(g.has_arc(0, 1));
+  EXPECT_TRUE(g.has_arc(1, 0));
+}
+
+TEST(DiGraph, DeclaredIsolatedNodes) {
+  const auto g = DiGraph::from_arcs({{0, 1}}, /*num_nodes=*/5);
+  EXPECT_EQ(g.num_nodes(), 5u);
+  EXPECT_EQ(g.out_degree(4), 0u);
+}
+
+TEST(DiGraph, ReciprocalArcCount) {
+  const auto g = DiGraph::from_arcs({{0, 1}, {1, 0}, {1, 2}});
+  EXPECT_EQ(g.reciprocal_arcs(), 2u);  // both directions of {0,1}
+}
+
+TEST(DiGraph, DanglingNodes) {
+  const auto g = small_cycle_with_chord();
+  const auto dangling = g.dangling_nodes();
+  ASSERT_EQ(dangling.size(), 1u);
+  EXPECT_EQ(dangling[0], 3u);
+}
+
+TEST(Symmetrize, PaperPreprocessing) {
+  const auto g = DiGraph::from_arcs({{0, 1}, {1, 0}, {1, 2}, {2, 3}});
+  const auto stats = symmetrize(g);
+  EXPECT_EQ(stats.directed_arcs, 4u);
+  EXPECT_EQ(stats.undirected_edges, 3u);  // {0,1} collapses
+  EXPECT_DOUBLE_EQ(stats.reciprocity, 0.5);
+  EXPECT_TRUE(stats.graph.has_edge(0, 1));
+  EXPECT_TRUE(stats.graph.has_edge(3, 2));
+}
+
+TEST(InducedSubdigraph, KeepsInternalArcsWithRelabeling) {
+  const auto g = small_cycle_with_chord();
+  const std::vector<NodeId> members{2, 0};
+  const auto sub = induced_subdigraph(g, members);
+  EXPECT_EQ(sub.graph.num_nodes(), 2u);
+  // 2 -> 0 becomes 0 -> 1; 0 -> 2 becomes 1 -> 0.
+  EXPECT_TRUE(sub.graph.has_arc(0, 1));
+  EXPECT_TRUE(sub.graph.has_arc(1, 0));
+  EXPECT_EQ(sub.graph.num_arcs(), 2u);
+  EXPECT_EQ(sub.original_id, members);
+}
+
+TEST(DiGraph, EmptyGraph) {
+  const DiGraph g;
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_arcs(), 0u);
+}
+
+}  // namespace
+}  // namespace socmix::digraph

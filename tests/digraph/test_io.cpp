@@ -1,0 +1,66 @@
+#include "digraph/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace socmix::digraph {
+namespace {
+
+TEST(DirectedLoad, KeepsDirection) {
+  std::istringstream in{"# directed\n0 1\n2 1\n"};
+  const auto result = load_directed_edge_list(in);
+  EXPECT_EQ(result.graph.num_nodes(), 3u);
+  EXPECT_EQ(result.graph.num_arcs(), 2u);
+  EXPECT_TRUE(result.graph.has_arc(0, 1));
+  EXPECT_FALSE(result.graph.has_arc(1, 0));
+}
+
+TEST(DirectedLoad, ReverseArcIsDistinct) {
+  std::istringstream in{"0 1\n1 0\n"};
+  const auto result = load_directed_edge_list(in);
+  EXPECT_EQ(result.graph.num_arcs(), 2u);
+  EXPECT_EQ(result.duplicates_dropped, 0u);
+}
+
+TEST(DirectedLoad, CountsSelfLoopsAndDuplicates) {
+  std::istringstream in{"0 0\n0 1\n0 1\n"};
+  const auto result = load_directed_edge_list(in);
+  EXPECT_EQ(result.self_loops_dropped, 1u);
+  EXPECT_EQ(result.duplicates_dropped, 1u);
+  EXPECT_EQ(result.graph.num_arcs(), 1u);
+}
+
+TEST(DirectedLoad, DensifiesSparseIds) {
+  std::istringstream in{"5000000 17\n17 99\n"};
+  const auto result = load_directed_edge_list(in);
+  EXPECT_EQ(result.graph.num_nodes(), 3u);
+}
+
+TEST(DirectedLoad, MalformedThrows) {
+  std::istringstream one{"42\n"};
+  EXPECT_THROW(load_directed_edge_list(one), std::runtime_error);
+  std::istringstream alpha{"a b\n"};
+  EXPECT_THROW(load_directed_edge_list(alpha), std::runtime_error);
+}
+
+TEST(DirectedLoad, MissingFileThrows) {
+  EXPECT_THROW(load_directed_edge_list_file("/nonexistent/zz.txt"), std::runtime_error);
+}
+
+TEST(DirectedIo, RoundTrip) {
+  const auto g = DiGraph::from_arcs({{0, 1}, {1, 2}, {2, 0}, {0, 2}});
+  std::stringstream buffer;
+  save_directed_edge_list(g, buffer);
+  const auto reloaded = load_directed_edge_list(buffer);
+  ASSERT_EQ(reloaded.graph.num_nodes(), 3u);
+  ASSERT_EQ(reloaded.graph.num_arcs(), 4u);
+  for (NodeId u = 0; u < 3; ++u) {
+    for (const NodeId v : g.successors(u)) {
+      EXPECT_TRUE(reloaded.graph.has_arc(u, v));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace socmix::digraph

@@ -1,0 +1,87 @@
+#include "digraph/scc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "digraph/io.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "gen/reference.hpp"
+#include "graph/components.hpp"
+#include "util/rng.hpp"
+
+namespace socmix::digraph {
+namespace {
+
+TEST(Scc, DirectedCycleIsOneComponent) {
+  const auto g = DiGraph::from_arcs({{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  const auto scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.count(), 1u);
+  EXPECT_TRUE(is_strongly_connected(g));
+}
+
+TEST(Scc, DirectedPathIsAllSingletons) {
+  const auto g = DiGraph::from_arcs({{0, 1}, {1, 2}, {2, 3}});
+  const auto scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.count(), 4u);
+  EXPECT_FALSE(is_strongly_connected(g));
+}
+
+TEST(Scc, TwoCyclesJoinedOneWay) {
+  // cycle {0,1,2} -> cycle {3,4,5} via 2 -> 3 only.
+  const auto g = DiGraph::from_arcs(
+      {{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}, {2, 3}});
+  const auto scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.count(), 2u);
+  EXPECT_EQ(scc.component[0], scc.component[1]);
+  EXPECT_EQ(scc.component[3], scc.component[5]);
+  EXPECT_NE(scc.component[0], scc.component[3]);
+  EXPECT_EQ(scc.sizes[scc.largest()], 3u);
+}
+
+TEST(Scc, LargestSccExtraction) {
+  const auto g = DiGraph::from_arcs(
+      {{0, 1}, {1, 2}, {2, 0}, {2, 3}, {3, 4}});  // SCC {0,1,2} + chain
+  const auto extracted = largest_scc(g);
+  EXPECT_EQ(extracted.graph.num_nodes(), 3u);
+  EXPECT_EQ(extracted.graph.num_arcs(), 3u);
+  EXPECT_TRUE(is_strongly_connected(extracted.graph));
+}
+
+TEST(Scc, EmptyGraph) {
+  const DiGraph g;
+  EXPECT_EQ(strongly_connected_components(g).count(), 0u);
+  EXPECT_FALSE(is_strongly_connected(g));
+}
+
+TEST(Scc, DeepChainNoStackOverflow) {
+  // 200k-vertex chain: a recursive Tarjan would blow the stack.
+  std::vector<Arc> arcs;
+  const NodeId n = 200000;
+  arcs.reserve(n - 1);
+  for (NodeId v = 0; v + 1 < n; ++v) arcs.push_back({v, v + 1});
+  const auto g = DiGraph::from_arcs(std::move(arcs));
+  const auto scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.count(), static_cast<std::size_t>(n));
+}
+
+TEST(Scc, AgreesWithUndirectedComponentsOnSymmetricGraphs) {
+  util::Rng rng{5};
+  const auto undirected = gen::erdos_renyi_gnm(150, 220, rng);
+  // Symmetric orientation: both directions for every edge.
+  const auto directed = randomly_orient(undirected, 1.0, rng);
+  const auto scc = strongly_connected_components(directed);
+  const auto comps = graph::connected_components(undirected);
+  EXPECT_EQ(scc.count(), comps.count());
+}
+
+TEST(Scc, RandomTournamentLargeComponent) {
+  // Random orientations of a dense connected graph typically leave one
+  // giant SCC; sanity-check the structure is found.
+  util::Rng rng{6};
+  const auto undirected = gen::complete(40);
+  const auto directed = randomly_orient(undirected, 0.0, rng);
+  const auto scc = strongly_connected_components(directed);
+  EXPECT_GE(scc.sizes[scc.largest()], 35u);
+}
+
+}  // namespace
+}  // namespace socmix::digraph

@@ -1,0 +1,134 @@
+#include "digraph/walk.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "digraph/io.hpp"
+#include "digraph/scc.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "gen/reference.hpp"
+#include "graph/components.hpp"
+#include "linalg/vector_ops.hpp"
+#include "markov/stationary.hpp"
+#include "util/rng.hpp"
+
+namespace socmix::digraph {
+namespace {
+
+TEST(DirectedEvolver, PreservesMass) {
+  const auto g = DiGraph::from_arcs({{0, 1}, {1, 2}, {2, 0}, {0, 2}});
+  DirectedEvolver evolver{g, 0.1};
+  auto dist = evolver.point_mass(0);
+  for (int t = 0; t < 30; ++t) {
+    evolver.advance(dist, 1);
+    const double sum = std::accumulate(dist.begin(), dist.end(), 0.0);
+    EXPECT_NEAR(sum, 1.0, 1e-12) << "t=" << t;
+  }
+}
+
+TEST(DirectedEvolver, DanglingMassRedistributed) {
+  // 0 -> 1 with 1 dangling: after one step from 0, all mass sits on 1;
+  // after two, it spreads uniformly (teleport 0, dangling rule).
+  const auto g = DiGraph::from_arcs({{0, 1}});
+  DirectedEvolver evolver{g, 0.0};
+  auto dist = evolver.point_mass(0);
+  evolver.advance(dist, 1);
+  EXPECT_DOUBLE_EQ(dist[1], 1.0);
+  evolver.advance(dist, 1);
+  EXPECT_DOUBLE_EQ(dist[0], 0.5);
+  EXPECT_DOUBLE_EQ(dist[1], 0.5);
+}
+
+TEST(DirectedEvolver, TeleportBounds) {
+  const auto g = DiGraph::from_arcs({{0, 1}, {1, 0}});
+  EXPECT_THROW((DirectedEvolver{g, 1.0}), std::invalid_argument);
+  EXPECT_THROW((DirectedEvolver{g, -0.1}), std::invalid_argument);
+}
+
+TEST(DirectedStationary, DirectedCycleIsUniform) {
+  const auto g = DiGraph::from_arcs({{0, 1}, {1, 2}, {2, 0}});
+  // The raw 3-cycle is periodic; with teleport it is ergodic and by
+  // symmetry uniform.
+  const auto st = directed_stationary(g, 0.2);
+  EXPECT_TRUE(st.converged);
+  for (const double p : st.pi) EXPECT_NEAR(p, 1.0 / 3.0, 1e-9);
+}
+
+TEST(DirectedStationary, MatchesUndirectedOnSymmetricGraph) {
+  // A fully reciprocal digraph's raw walk is the undirected walk: pi must
+  // equal deg/2m.
+  util::Rng rng{1};
+  const auto undirected =
+      graph::largest_component(gen::erdos_renyi_gnm(60, 200, rng)).graph;
+  const auto directed = randomly_orient(undirected, 1.0, rng);
+  const auto st = directed_stationary(directed, 0.0);
+  ASSERT_TRUE(st.converged);
+  const auto pi = markov::stationary_distribution(undirected);
+  EXPECT_LT(linalg::total_variation(st.pi, pi), 1e-6);
+}
+
+TEST(DirectedStationary, FixedPointProperty) {
+  util::Rng rng{2};
+  const auto undirected = graph::largest_component(gen::erdos_renyi_gnm(50, 150, rng)).graph;
+  const auto g = randomly_orient(undirected, 0.3, rng);
+  const auto st = directed_stationary(g, 0.15);
+  ASSERT_TRUE(st.converged);
+  DirectedEvolver evolver{g, 0.15};
+  std::vector<double> next(st.pi.size());
+  evolver.step(st.pi, next);
+  for (std::size_t v = 0; v < next.size(); ++v) EXPECT_NEAR(next[v], st.pi[v], 1e-9);
+}
+
+TEST(DirectedTvdTrajectory, DecaysOnErgodicChain) {
+  util::Rng rng{3};
+  const auto undirected = graph::largest_component(gen::erdos_renyi_gnm(40, 120, rng)).graph;
+  const auto g = randomly_orient(undirected, 0.5, rng);
+  const auto traj = directed_tvd_trajectory(g, 0, 100, 0.1);
+  ASSERT_EQ(traj.size(), 100u);
+  EXPECT_LT(traj.back(), 0.01);
+  EXPECT_GT(traj.front(), traj.back());
+}
+
+TEST(DirectedMixing, FasterWithMoreTeleport) {
+  util::Rng rng{4};
+  const auto undirected = graph::largest_component(gen::erdos_renyi_gnm(60, 150, rng)).graph;
+  const auto g = randomly_orient(undirected, 0.4, rng);
+  std::vector<NodeId> sources{0, 1, 2, 3, 4};
+  const auto slow = directed_mixing_time(g, sources, 400, 0.05, 0.01);
+  const auto fast = directed_mixing_time(g, sources, 400, 0.05, 0.5);
+  ASSERT_EQ(fast.unmixed_sources, 0u);
+  EXPECT_LE(fast.mean, slow.mean);
+}
+
+TEST(DirectedMixing, UnmixedSourcesReported) {
+  // Periodic raw 2-cycle never mixes without teleport.
+  const auto g = DiGraph::from_arcs({{0, 1}, {1, 0}});
+  std::vector<NodeId> sources{0};
+  const auto result = directed_mixing_time(g, sources, 50, 0.01, 0.0);
+  EXPECT_EQ(result.unmixed_sources, 1u);
+  EXPECT_EQ(result.worst, kNotMixedDirected);
+}
+
+TEST(RandomlyOrient, ReciprocityExtremes) {
+  util::Rng rng{5};
+  const auto undirected = gen::complete(20);
+  const auto full = randomly_orient(undirected, 1.0, rng);
+  EXPECT_EQ(full.num_arcs(), 2 * undirected.num_edges());
+  const auto none = randomly_orient(undirected, 0.0, rng);
+  EXPECT_EQ(none.num_arcs(), undirected.num_edges());
+  EXPECT_EQ(none.reciprocal_arcs(), 0u);
+}
+
+TEST(RandomlyOrient, IntermediateReciprocity) {
+  util::Rng rng{6};
+  const auto undirected = gen::complete(40);  // 780 edges
+  const auto g = randomly_orient(undirected, 0.5, rng);
+  const double reciprocity =
+      static_cast<double>(g.reciprocal_arcs()) / static_cast<double>(g.num_arcs());
+  // Expected reciprocal-arc fraction: 2r/(1+r) = 2/3 at r = 0.5.
+  EXPECT_NEAR(reciprocity, 2.0 / 3.0, 0.08);
+}
+
+}  // namespace
+}  // namespace socmix::digraph

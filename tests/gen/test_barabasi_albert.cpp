@@ -1,0 +1,71 @@
+#include "gen/barabasi_albert.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/components.hpp"
+#include "graph/stats.hpp"
+
+namespace socmix::gen {
+namespace {
+
+TEST(BarabasiAlbert, SizeAndConnectivity) {
+  util::Rng rng{1};
+  const auto g = barabasi_albert(500, 3, rng);
+  EXPECT_EQ(g.num_nodes(), 500u);
+  EXPECT_TRUE(graph::is_connected(g));
+}
+
+TEST(BarabasiAlbert, EdgeCountFormula) {
+  // Seed clique of m0 = attach+1 contributes C(m0,2); each later vertex
+  // contributes exactly `attach` edges.
+  util::Rng rng{2};
+  const graph::NodeId n = 300;
+  const graph::NodeId attach = 4;
+  const auto g = barabasi_albert(n, attach, rng);
+  const std::uint64_t seed_edges = (attach + 1) * attach / 2;
+  EXPECT_EQ(g.num_edges(), seed_edges + static_cast<std::uint64_t>(n - attach - 1) * attach);
+}
+
+TEST(BarabasiAlbert, MinimumDegreeIsAttach) {
+  util::Rng rng{3};
+  const auto g = barabasi_albert(400, 5, rng);
+  EXPECT_GE(g.min_degree(), 5u);
+}
+
+TEST(BarabasiAlbert, HeavyTailDegrees) {
+  // Preferential attachment yields hubs: the max degree on 2000 vertices
+  // with attach=2 should far exceed the mean (~4).
+  util::Rng rng{4};
+  const auto g = barabasi_albert(2000, 2, rng);
+  EXPECT_GT(g.max_degree(), 40u);
+}
+
+TEST(BarabasiAlbert, RejectsBadArguments) {
+  util::Rng rng{5};
+  EXPECT_THROW(barabasi_albert(5, 5, rng), std::invalid_argument);
+  EXPECT_THROW(barabasi_albert(10, 0, rng), std::invalid_argument);
+}
+
+TEST(BarabasiAlbert, DeterministicPerSeed) {
+  util::Rng a{6};
+  util::Rng b{6};
+  const auto g1 = barabasi_albert(200, 3, a);
+  const auto g2 = barabasi_albert(200, 3, b);
+  EXPECT_EQ(g1.num_edges(), g2.num_edges());
+  for (graph::NodeId v = 0; v < 200; ++v) EXPECT_EQ(g1.degree(v), g2.degree(v));
+}
+
+TEST(BarabasiAlbert, EarlyVerticesAreRich) {
+  // "Rich get richer": average degree of the first 10 vertices should beat
+  // the average degree of the last 10 by a wide margin.
+  util::Rng rng{7};
+  const auto g = barabasi_albert(2000, 3, rng);
+  double early = 0;
+  double late = 0;
+  for (graph::NodeId v = 0; v < 10; ++v) early += g.degree(v);
+  for (graph::NodeId v = 1990; v < 2000; ++v) late += g.degree(v);
+  EXPECT_GT(early, 3 * late);
+}
+
+}  // namespace
+}  // namespace socmix::gen

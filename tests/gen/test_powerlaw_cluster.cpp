@@ -1,0 +1,55 @@
+#include "gen/powerlaw_cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/components.hpp"
+#include "graph/stats.hpp"
+#include "util/rng.hpp"
+
+namespace socmix::gen {
+namespace {
+
+TEST(PowerlawCluster, SizeConnectivityAndEdges) {
+  util::Rng rng{1};
+  const auto g = powerlaw_cluster(400, 3, 0.5, rng);
+  EXPECT_EQ(g.num_nodes(), 400u);
+  EXPECT_TRUE(graph::is_connected(g));
+  // Same edge-count formula as BA: seed clique + attach per new vertex.
+  EXPECT_EQ(g.num_edges(), 6u + static_cast<std::uint64_t>(400 - 4) * 3);
+}
+
+TEST(PowerlawCluster, ZeroTriangleProbabilityActsLikeBa) {
+  util::Rng rng{2};
+  const auto g = powerlaw_cluster(300, 3, 0.0, rng);
+  EXPECT_GE(g.min_degree(), 3u);
+  EXPECT_GT(g.max_degree(), 15u);  // heavy tail still present
+}
+
+TEST(PowerlawCluster, TriadFormationRaisesClustering) {
+  util::Rng rng{3};
+  const auto low = powerlaw_cluster(1500, 4, 0.0, rng);
+  const auto high = powerlaw_cluster(1500, 4, 0.95, rng);
+  util::Rng crng{4};
+  const double c_low = graph::average_clustering(low, 1500, crng);
+  const double c_high = graph::average_clustering(high, 1500, crng);
+  EXPECT_GT(c_high, 2 * c_low);
+  EXPECT_GT(c_high, 0.1);
+}
+
+TEST(PowerlawCluster, RejectsBadArguments) {
+  util::Rng rng{5};
+  EXPECT_THROW(powerlaw_cluster(3, 3, 0.5, rng), std::invalid_argument);
+  EXPECT_THROW(powerlaw_cluster(10, 0, 0.5, rng), std::invalid_argument);
+  EXPECT_THROW(powerlaw_cluster(10, 2, 1.5, rng), std::invalid_argument);
+}
+
+TEST(PowerlawCluster, DeterministicPerSeed) {
+  util::Rng a{6};
+  util::Rng b{6};
+  const auto g1 = powerlaw_cluster(200, 3, 0.7, a);
+  const auto g2 = powerlaw_cluster(200, 3, 0.7, b);
+  for (graph::NodeId v = 0; v < 200; ++v) EXPECT_EQ(g1.degree(v), g2.degree(v));
+}
+
+}  // namespace
+}  // namespace socmix::gen

@@ -1,0 +1,83 @@
+#include "gen/reference.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/components.hpp"
+
+namespace socmix::gen {
+namespace {
+
+TEST(Reference, Complete) {
+  const auto g = complete(6);
+  EXPECT_EQ(g.num_nodes(), 6u);
+  EXPECT_EQ(g.num_edges(), 15u);
+  for (graph::NodeId v = 0; v < 6; ++v) EXPECT_EQ(g.degree(v), 5u);
+  EXPECT_THROW(complete(1), std::invalid_argument);
+}
+
+TEST(Reference, Cycle) {
+  const auto g = cycle(7);
+  EXPECT_EQ(g.num_edges(), 7u);
+  for (graph::NodeId v = 0; v < 7; ++v) EXPECT_EQ(g.degree(v), 2u);
+  EXPECT_TRUE(graph::is_connected(g));
+  EXPECT_THROW(cycle(2), std::invalid_argument);
+}
+
+TEST(Reference, Path) {
+  const auto g = path(5);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(4), 1u);
+  EXPECT_EQ(g.degree(2), 2u);
+  EXPECT_THROW(path(1), std::invalid_argument);
+}
+
+TEST(Reference, Star) {
+  const auto g = star(9);
+  EXPECT_EQ(g.num_edges(), 8u);
+  EXPECT_EQ(g.degree(0), 8u);
+  for (graph::NodeId leaf = 1; leaf < 9; ++leaf) EXPECT_EQ(g.degree(leaf), 1u);
+}
+
+TEST(Reference, CompleteBipartite) {
+  const auto g = complete_bipartite(3, 4);
+  EXPECT_EQ(g.num_nodes(), 7u);
+  EXPECT_EQ(g.num_edges(), 12u);
+  for (graph::NodeId u = 0; u < 3; ++u) EXPECT_EQ(g.degree(u), 4u);
+  for (graph::NodeId v = 3; v < 7; ++v) EXPECT_EQ(g.degree(v), 3u);
+  EXPECT_FALSE(g.has_edge(0, 1));  // no intra-side edges
+}
+
+TEST(Reference, Hypercube) {
+  const auto g = hypercube(4);
+  EXPECT_EQ(g.num_nodes(), 16u);
+  EXPECT_EQ(g.num_edges(), 32u);  // n * d / 2
+  for (graph::NodeId v = 0; v < 16; ++v) EXPECT_EQ(g.degree(v), 4u);
+  EXPECT_TRUE(g.has_edge(0b0000, 0b0001));
+  EXPECT_FALSE(g.has_edge(0b0000, 0b0011));
+  EXPECT_THROW(hypercube(0), std::invalid_argument);
+}
+
+TEST(Reference, Circulant) {
+  const auto g = circulant(10, 4);
+  EXPECT_EQ(g.num_nodes(), 10u);
+  for (graph::NodeId v = 0; v < 10; ++v) EXPECT_EQ(g.degree(v), 4u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_FALSE(g.has_edge(0, 3));
+  EXPECT_THROW(circulant(10, 3), std::invalid_argument);  // odd d
+  EXPECT_THROW(circulant(4, 4), std::invalid_argument);   // n <= d
+}
+
+TEST(Reference, Dumbbell) {
+  const auto g = dumbbell(5, 2);
+  EXPECT_EQ(g.num_nodes(), 10u);
+  EXPECT_EQ(g.num_edges(), 2 * 10 + 2u);  // two K5 + 2 bridges
+  EXPECT_TRUE(graph::is_connected(g));
+  EXPECT_TRUE(g.has_edge(0, 5));
+  EXPECT_TRUE(g.has_edge(1, 6));
+  EXPECT_THROW(dumbbell(3, 5), std::invalid_argument);  // bridges > k
+}
+
+}  // namespace
+}  // namespace socmix::gen

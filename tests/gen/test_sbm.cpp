@@ -1,0 +1,121 @@
+#include "gen/sbm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/components.hpp"
+#include "graph/stats.hpp"
+#include "util/rng.hpp"
+
+namespace socmix::gen {
+namespace {
+
+TEST(Sbm, SizesMatchBlocks) {
+  util::Rng rng{1};
+  SbmConfig config;
+  config.block_sizes = {30, 50, 20};
+  config.p_in = 0.2;
+  config.p_out = 0.01;
+  const auto g = stochastic_block_model(config, rng);
+  EXPECT_EQ(g.num_nodes(), 100u);
+}
+
+TEST(Sbm, EdgeCountsNearExpectation) {
+  util::Rng rng{2};
+  SbmConfig config;
+  config.block_sizes = {200, 200};
+  config.p_in = 0.1;
+  config.p_out = 0.01;
+  const auto g = stochastic_block_model(config, rng);
+  // Expected: 2 * C(200,2) * 0.1 + 200*200*0.01 = 3980 + 400.
+  const double expected = 2 * (200.0 * 199 / 2) * 0.1 + 200.0 * 200 * 0.01;
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expected, 5 * std::sqrt(expected));
+}
+
+TEST(Sbm, ZeroOutProbabilityDisconnectsBlocks) {
+  util::Rng rng{3};
+  SbmConfig config;
+  config.block_sizes = {40, 40};
+  config.p_in = 0.5;
+  config.p_out = 0.0;
+  const auto g = stochastic_block_model(config, rng);
+  const auto comps = graph::connected_components(g);
+  EXPECT_GE(comps.count(), 2u);
+  // No edge crosses the block boundary.
+  for (graph::NodeId v = 0; v < 40; ++v) {
+    for (const graph::NodeId w : g.neighbors(v)) EXPECT_LT(w, 40u);
+  }
+}
+
+TEST(Sbm, IntraDenserThanInter) {
+  util::Rng rng{4};
+  SbmConfig config;
+  config.block_sizes = {100, 100};
+  config.p_in = 0.2;
+  config.p_out = 0.005;
+  const auto g = stochastic_block_model(config, rng);
+  std::uint64_t intra = 0;
+  std::uint64_t inter = 0;
+  for (graph::NodeId v = 0; v < 200; ++v) {
+    for (const graph::NodeId w : g.neighbors(v)) {
+      if (w < v) continue;
+      ((v < 100) == (w < 100) ? intra : inter) += 1;
+    }
+  }
+  EXPECT_GT(intra, 10 * inter);
+}
+
+TEST(Sbm, CommunityCutHasLowConductance) {
+  util::Rng rng{5};
+  SbmConfig config;
+  config.block_sizes = {150, 150};
+  config.p_in = 0.15;
+  config.p_out = 0.002;
+  const auto g = stochastic_block_model(config, rng);
+  std::vector<char> in_set(300, 0);
+  for (graph::NodeId v = 0; v < 150; ++v) in_set[v] = 1;
+  EXPECT_LT(graph::cut_conductance(g, in_set), 0.05);
+}
+
+TEST(Sbm, RejectsBadConfig) {
+  util::Rng rng{6};
+  SbmConfig empty;
+  EXPECT_THROW(stochastic_block_model(empty, rng), std::invalid_argument);
+  SbmConfig bad_p;
+  bad_p.block_sizes = {10};
+  bad_p.p_in = 1.5;
+  EXPECT_THROW(stochastic_block_model(bad_p, rng), std::invalid_argument);
+  SbmConfig zero_block;
+  zero_block.block_sizes = {10, 0};
+  EXPECT_THROW(stochastic_block_model(zero_block, rng), std::invalid_argument);
+}
+
+TEST(Sbm, FullProbabilityIsComplete) {
+  util::Rng rng{7};
+  SbmConfig config;
+  config.block_sizes = {5, 5};
+  config.p_in = 1.0;
+  config.p_out = 1.0;
+  const auto g = stochastic_block_model(config, rng);
+  EXPECT_EQ(g.num_edges(), 45u);  // K10
+}
+
+TEST(PlantedCommunities, DegreeTargetsRespected) {
+  util::Rng rng{8};
+  const auto g = planted_communities(5, 100, 8.0, 1.0, rng);
+  EXPECT_EQ(g.num_nodes(), 500u);
+  const auto stats = graph::degree_stats(g);
+  EXPECT_NEAR(stats.mean, 9.0, 1.0);  // internal 8 + external 1
+}
+
+TEST(PlantedCommunities, SingleBlockHasNoExternal) {
+  util::Rng rng{9};
+  const auto g = planted_communities(1, 50, 5.0, 3.0, rng);
+  EXPECT_EQ(g.num_nodes(), 50u);
+  const auto stats = graph::degree_stats(g);
+  EXPECT_NEAR(stats.mean, 5.0, 1.0);
+}
+
+}  // namespace
+}  // namespace socmix::gen

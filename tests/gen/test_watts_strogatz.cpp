@@ -1,0 +1,75 @@
+#include "gen/watts_strogatz.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/components.hpp"
+#include "graph/stats.hpp"
+#include "util/rng.hpp"
+
+namespace socmix::gen {
+namespace {
+
+TEST(WattsStrogatz, ZeroBetaIsRingLattice) {
+  util::Rng rng{1};
+  const auto g = watts_strogatz(50, 4, 0.0, rng);
+  EXPECT_EQ(g.num_nodes(), 50u);
+  EXPECT_EQ(g.num_edges(), 100u);  // n * k / 2
+  for (graph::NodeId v = 0; v < 50; ++v) {
+    EXPECT_EQ(g.degree(v), 4u);
+    EXPECT_TRUE(g.has_edge(v, (v + 1) % 50));
+    EXPECT_TRUE(g.has_edge(v, (v + 2) % 50));
+  }
+}
+
+TEST(WattsStrogatz, EdgeCountStableUnderRewiring) {
+  util::Rng rng{2};
+  const auto g = watts_strogatz(200, 6, 0.3, rng);
+  EXPECT_EQ(g.num_edges(), 600u);
+}
+
+TEST(WattsStrogatz, RewiringChangesStructure) {
+  util::Rng rng{3};
+  const auto lattice = watts_strogatz(100, 4, 0.0, rng);
+  const auto rewired = watts_strogatz(100, 4, 0.5, rng);
+  std::size_t lattice_edges_kept = 0;
+  for (graph::NodeId v = 0; v < 100; ++v) {
+    if (rewired.has_edge(v, (v + 1) % 100)) ++lattice_edges_kept;
+  }
+  EXPECT_LT(lattice_edges_kept, 90u);  // expected ~50 survive at beta=0.5
+  (void)lattice;
+}
+
+TEST(WattsStrogatz, SmallWorldShrinksDiameter) {
+  util::Rng rng{4};
+  const auto lattice = watts_strogatz(400, 4, 0.0, rng);
+  const auto small_world = watts_strogatz(400, 4, 0.2, rng);
+  util::Rng drng{5};
+  const double d_lattice = graph::effective_diameter(lattice, 10, 0.9, drng);
+  const double d_sw = graph::effective_diameter(small_world, 10, 0.9, drng);
+  EXPECT_LT(d_sw, d_lattice / 2);
+}
+
+TEST(WattsStrogatz, MostlyConnectedAfterRewiring) {
+  util::Rng rng{6};
+  const auto g = watts_strogatz(500, 6, 0.2, rng);
+  EXPECT_GT(graph::largest_component(g).graph.num_nodes(), 490u);
+}
+
+TEST(WattsStrogatz, RejectsBadArguments) {
+  util::Rng rng{7};
+  EXPECT_THROW(watts_strogatz(10, 3, 0.1, rng), std::invalid_argument);   // odd k
+  EXPECT_THROW(watts_strogatz(4, 4, 0.1, rng), std::invalid_argument);    // n <= k
+  EXPECT_THROW(watts_strogatz(10, 4, -0.1, rng), std::invalid_argument);  // beta < 0
+  EXPECT_THROW(watts_strogatz(10, 4, 1.5, rng), std::invalid_argument);   // beta > 1
+}
+
+TEST(WattsStrogatz, DeterministicPerSeed) {
+  util::Rng a{8};
+  util::Rng b{8};
+  const auto g1 = watts_strogatz(100, 4, 0.3, a);
+  const auto g2 = watts_strogatz(100, 4, 0.3, b);
+  for (graph::NodeId v = 0; v < 100; ++v) EXPECT_EQ(g1.degree(v), g2.degree(v));
+}
+
+}  // namespace
+}  // namespace socmix::gen

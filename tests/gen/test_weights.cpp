@@ -1,0 +1,94 @@
+#include "gen/weights.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/reference.hpp"
+#include "util/rng.hpp"
+
+namespace socmix::gen {
+namespace {
+
+TEST(UnitWeights, AllOnes) {
+  const auto g = unit_weights(complete(5));
+  for (graph::NodeId v = 0; v < 5; ++v) {
+    for (const double w : g.weights(v)) EXPECT_DOUBLE_EQ(w, 1.0);
+  }
+}
+
+TEST(ParetoWeights, BoundsAndTopology) {
+  util::Rng rng{1};
+  const auto base = dumbbell(8, 2);
+  const auto g = pareto_weights(base, 1.5, rng);
+  EXPECT_EQ(g.num_nodes(), base.num_nodes());
+  EXPECT_EQ(g.num_edges(), base.num_edges());
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (const double w : g.weights(v)) EXPECT_GE(w, 1.0);  // Pareto minimum
+  }
+}
+
+TEST(ParetoWeights, HeavyTailPresent) {
+  util::Rng rng{2};
+  const auto base = complete(60);  // 1770 edges
+  const auto g = pareto_weights(base, 1.0, rng);
+  double max_weight = 0.0;
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (const double w : g.weights(v)) max_weight = std::max(max_weight, w);
+  }
+  // alpha=1 over ~1770 draws: max is typically in the hundreds.
+  EXPECT_GT(max_weight, 50.0);
+}
+
+TEST(ParetoWeights, RejectsBadAlpha) {
+  util::Rng rng{3};
+  const auto base = complete(4);
+  EXPECT_THROW(pareto_weights(base, 0.4, rng), std::invalid_argument);
+  EXPECT_THROW(pareto_weights(base, 11.0, rng), std::invalid_argument);
+}
+
+TEST(ParetoWeights, DeterministicPerRngState) {
+  const auto base = complete(10);
+  util::Rng a{7};
+  util::Rng b{7};
+  const auto g1 = pareto_weights(base, 2.0, a);
+  const auto g2 = pareto_weights(base, 2.0, b);
+  for (graph::NodeId v = 0; v < 10; ++v) {
+    const auto w1 = g1.weights(v);
+    const auto w2 = g2.weights(v);
+    for (std::size_t i = 0; i < w1.size(); ++i) EXPECT_DOUBLE_EQ(w1[i], w2[i]);
+  }
+}
+
+TEST(CommunityBiasedWeights, IntraStrongerThanInter) {
+  // Dumbbell with "blocks" of size 10: clique edges intra, bridges inter.
+  util::Rng rng{4};
+  const auto base = dumbbell(10, 2);
+  const auto g = community_biased_weights(base, 10, /*strong=*/20.0, /*weak=*/0.5,
+                                          /*alpha=*/5.0, rng);
+  double min_intra = 1e300;
+  double max_inter = 0.0;
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    const auto neighbors = g.neighbors(u);
+    const auto weights = g.weights(u);
+    for (std::size_t i = 0; i < neighbors.size(); ++i) {
+      const bool intra = (u / 10) == (neighbors[i] / 10);
+      if (intra) min_intra = std::min(min_intra, weights[i]);
+      else max_inter = std::max(max_inter, weights[i]);
+    }
+  }
+  // strong=20 Pareto(5) min 20; weak=0.5 Pareto(5) rarely above ~2.
+  EXPECT_GT(min_intra, max_inter);
+}
+
+TEST(CommunityBiasedWeights, RejectsBadArguments) {
+  util::Rng rng{5};
+  const auto base = complete(6);
+  EXPECT_THROW(community_biased_weights(base, 0, 1.0, 1.0, 2.0, rng),
+               std::invalid_argument);
+  EXPECT_THROW(community_biased_weights(base, 3, 0.0, 1.0, 2.0, rng),
+               std::invalid_argument);
+  EXPECT_THROW(community_biased_weights(base, 3, 1.0, 1.0, 0.1, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace socmix::gen

@@ -1,0 +1,111 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace socmix::graph {
+namespace {
+
+Graph triangle_plus_tail() {
+  // 0-1-2 triangle with a tail 2-3.
+  EdgeList edges;
+  edges.add(0, 1);
+  edges.add(1, 2);
+  edges.add(0, 2);
+  edges.add(2, 3);
+  return Graph::from_edges(std::move(edges));
+}
+
+TEST(Graph, CountsNodesAndEdges) {
+  const Graph g = triangle_plus_tail();
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.num_half_edges(), 8u);
+}
+
+TEST(Graph, DegreesMatchStructure) {
+  const Graph g = triangle_plus_tail();
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_EQ(g.degree(2), 3u);
+  EXPECT_EQ(g.degree(3), 1u);
+  EXPECT_EQ(g.min_degree(), 1u);
+  EXPECT_EQ(g.max_degree(), 3u);
+}
+
+TEST(Graph, NeighborsAreSortedAndComplete) {
+  const Graph g = triangle_plus_tail();
+  const auto adj2 = g.neighbors(2);
+  ASSERT_EQ(adj2.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(adj2.begin(), adj2.end()));
+  EXPECT_EQ(adj2[0], 0u);
+  EXPECT_EQ(adj2[1], 1u);
+  EXPECT_EQ(adj2[2], 3u);
+}
+
+TEST(Graph, CleansSelfLoopsAndDuplicates) {
+  EdgeList edges;
+  edges.add(0, 1);
+  edges.add(1, 0);  // reverse duplicate
+  edges.add(0, 0);  // self loop
+  const Graph g = Graph::from_edges(std::move(edges));
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.degree(0), 1u);
+}
+
+TEST(Graph, HasEdgeSymmetric) {
+  const Graph g = triangle_plus_tail();
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 3));
+  EXPECT_FALSE(g.has_edge(3, 0));
+}
+
+TEST(Graph, IndexOfNeighbor) {
+  const Graph g = triangle_plus_tail();
+  EXPECT_EQ(g.index_of_neighbor(2, 0), 0u);
+  EXPECT_EQ(g.index_of_neighbor(2, 3), 2u);
+  EXPECT_EQ(g.index_of_neighbor(0, 3), kInvalidNode);
+  EXPECT_EQ(g.neighbor(2, g.index_of_neighbor(2, 1)), 1u);
+}
+
+TEST(Graph, EmptyGraph) {
+  const Graph g;
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Graph, IsolatedVertexDetected) {
+  EdgeList edges;
+  edges.add(0, 1);
+  edges.ensure_nodes(3);  // vertex 2 isolated
+  const Graph g = Graph::from_edges(std::move(edges));
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_FALSE(g.has_no_isolated_nodes());
+  EXPECT_EQ(g.min_degree(), 0u);
+}
+
+TEST(Graph, FromCsrValidatesOffsets) {
+  EXPECT_THROW(Graph::from_csr({}, {}), std::invalid_argument);
+  EXPECT_THROW(Graph::from_csr({0, 3}, {1}), std::invalid_argument);
+  EXPECT_THROW(Graph::from_csr({1, 2}, {0, 0}), std::invalid_argument);
+}
+
+TEST(Graph, FromCsrRoundTrip) {
+  const Graph g = triangle_plus_tail();
+  const Graph h = Graph::from_csr(
+      {g.offsets().begin(), g.offsets().end()},
+      {g.raw_neighbors().begin(), g.raw_neighbors().end()});
+  EXPECT_EQ(h.num_nodes(), g.num_nodes());
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) EXPECT_EQ(h.degree(v), g.degree(v));
+}
+
+TEST(Graph, MemoryBytesAccountsForArrays) {
+  const Graph g = triangle_plus_tail();
+  EXPECT_EQ(g.memory_bytes(), 5 * sizeof(EdgeIndex) + 8 * sizeof(NodeId));
+}
+
+}  // namespace
+}  // namespace socmix::graph

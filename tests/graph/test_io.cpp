@@ -1,0 +1,127 @@
+#include "graph/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace socmix::graph {
+namespace {
+
+TEST(LoadEdgeList, ParsesSnapFormat) {
+  std::istringstream in{
+      "# comment line\n"
+      "% another comment\n"
+      "0 1\n"
+      "1\t2\n"
+      "\n"
+      "2 0\n"};
+  const LoadResult result = load_edge_list(in);
+  EXPECT_EQ(result.graph.num_nodes(), 3u);
+  EXPECT_EQ(result.graph.num_edges(), 3u);
+  EXPECT_EQ(result.edges_parsed, 3u);
+}
+
+TEST(LoadEdgeList, DensifiesSparseIds) {
+  std::istringstream in{"1000000 5\n5 99\n"};
+  const LoadResult result = load_edge_list(in);
+  EXPECT_EQ(result.graph.num_nodes(), 3u);
+  EXPECT_EQ(result.graph.num_edges(), 2u);
+}
+
+TEST(LoadEdgeList, SymmetrizesDirectedInput) {
+  std::istringstream in{"0 1\n1 0\n"};
+  const LoadResult result = load_edge_list(in);
+  EXPECT_EQ(result.graph.num_edges(), 1u);
+  EXPECT_EQ(result.duplicates_dropped, 1u);
+}
+
+TEST(LoadEdgeList, CountsDroppedSelfLoops) {
+  std::istringstream in{"0 0\n0 1\n"};
+  const LoadResult result = load_edge_list(in);
+  EXPECT_EQ(result.self_loops_dropped, 1u);
+  EXPECT_EQ(result.graph.num_edges(), 1u);
+}
+
+TEST(LoadEdgeList, ThrowsOnMalformedLine) {
+  std::istringstream one_field{"0\n"};
+  EXPECT_THROW(load_edge_list(one_field), std::runtime_error);
+  std::istringstream non_numeric{"a b\n"};
+  EXPECT_THROW(load_edge_list(non_numeric), std::runtime_error);
+  std::istringstream negative{"-1 2\n"};
+  EXPECT_THROW(load_edge_list(negative), std::runtime_error);
+}
+
+TEST(LoadEdgeList, ExtraColumnsIgnored) {
+  std::istringstream in{"0 1 0.75 timestamp\n"};
+  const LoadResult result = load_edge_list(in);
+  EXPECT_EQ(result.graph.num_edges(), 1u);
+}
+
+TEST(EdgeListIo, TextRoundTrip) {
+  EdgeList edges;
+  edges.add(0, 1);
+  edges.add(1, 2);
+  edges.add(0, 3);
+  const Graph g = Graph::from_edges(std::move(edges));
+
+  std::stringstream buffer;
+  save_edge_list(g, buffer);
+  const LoadResult reloaded = load_edge_list(buffer);
+  ASSERT_EQ(reloaded.graph.num_nodes(), g.num_nodes());
+  ASSERT_EQ(reloaded.graph.num_edges(), g.num_edges());
+}
+
+TEST(BinaryIo, RoundTripPreservesStructure) {
+  EdgeList edges;
+  for (NodeId v = 0; v < 50; ++v) edges.add(v, (v + 1) % 50);
+  edges.add(0, 25);
+  const Graph g = Graph::from_edges(std::move(edges));
+
+  std::stringstream buffer;
+  save_binary(g, buffer);
+  const Graph h = load_binary(buffer);
+  ASSERT_EQ(h.num_nodes(), g.num_nodes());
+  ASSERT_EQ(h.num_edges(), g.num_edges());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto a = g.neighbors(v);
+    const auto b = h.neighbors(v);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+TEST(BinaryIo, RejectsBadMagic) {
+  std::istringstream in{"NOPE-not-a-socmix-file"};
+  EXPECT_THROW(load_binary(in), std::runtime_error);
+}
+
+TEST(BinaryIo, RejectsTruncatedStream) {
+  EdgeList edges;
+  edges.add(0, 1);
+  const Graph g = Graph::from_edges(std::move(edges));
+  std::stringstream buffer;
+  save_binary(g, buffer);
+  const std::string full = buffer.str();
+  std::istringstream truncated{full.substr(0, full.size() / 2)};
+  EXPECT_THROW(load_binary(truncated), std::runtime_error);
+}
+
+TEST(FileIo, MissingFileThrows) {
+  EXPECT_THROW(load_edge_list_file("/nonexistent/file.txt"), std::runtime_error);
+  EXPECT_THROW(load_binary_file("/nonexistent/file.bin"), std::runtime_error);
+}
+
+TEST(FileIo, BinaryFileRoundTrip) {
+  EdgeList edges;
+  edges.add(0, 1);
+  edges.add(1, 2);
+  const Graph g = Graph::from_edges(std::move(edges));
+  const std::string path = testing::TempDir() + "/socmix_io_test.bin";
+  save_binary_file(g, path);
+  const Graph h = load_binary_file(path);
+  EXPECT_EQ(h.num_edges(), 2u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace socmix::graph

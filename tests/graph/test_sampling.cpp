@@ -1,0 +1,106 @@
+#include "graph/sampling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gen/erdos_renyi.hpp"
+#include "gen/reference.hpp"
+#include "graph/components.hpp"
+
+namespace socmix::graph {
+namespace {
+
+TEST(BfsSample, ReturnsRequestedSize) {
+  util::Rng rng{1};
+  const Graph g = gen::complete(100);
+  const auto sample = bfs_sample(g, 30, rng);
+  EXPECT_EQ(sample.graph.num_nodes(), 30u);
+}
+
+TEST(BfsSample, ClampsToGraphSize) {
+  util::Rng rng{2};
+  const Graph g = gen::cycle(10);
+  const auto sample = bfs_sample(g, 1000, rng);
+  EXPECT_EQ(sample.graph.num_nodes(), 10u);
+}
+
+TEST(BfsSample, ConnectedOnConnectedGraph) {
+  // A BFS prefix of a connected graph is connected — the property the
+  // paper relies on when sampling its 10K/100K/1000K subgraphs.
+  util::Rng rng{3};
+  const Graph g = gen::circulant(500, 4);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto sample = bfs_sample(g, 60, rng);
+    EXPECT_TRUE(is_connected(sample.graph));
+  }
+}
+
+TEST(BfsSample, FromFixedStartIsDeterministic) {
+  const Graph g = gen::circulant(200, 6);
+  const auto a = bfs_sample_from(g, 17, 50);
+  const auto b = bfs_sample_from(g, 17, 50);
+  EXPECT_EQ(a.original_id, b.original_id);
+}
+
+TEST(BfsSample, CoversMultipleComponentsWhenNeeded) {
+  // Two disjoint cycles; a 15-node sample must span both.
+  EdgeList edges;
+  for (NodeId v = 0; v < 10; ++v) edges.add(v, (v + 1) % 10);
+  for (NodeId v = 0; v < 10; ++v) edges.add(10 + v, 10 + (v + 1) % 10);
+  const Graph g = Graph::from_edges(std::move(edges));
+  util::Rng rng{4};
+  const auto sample = bfs_sample(g, 15, rng);
+  EXPECT_EQ(sample.graph.num_nodes(), 15u);
+}
+
+TEST(UniformNodeSample, DistinctMembers) {
+  util::Rng rng{5};
+  const Graph g = gen::complete(50);
+  const auto sample = uniform_node_sample(g, 20, rng);
+  const std::set<NodeId> unique{sample.original_id.begin(), sample.original_id.end()};
+  EXPECT_EQ(unique.size(), 20u);
+}
+
+TEST(UniformNodeSample, InducedEdgesOnly) {
+  util::Rng rng{6};
+  const Graph g = gen::path(100);
+  const auto sample = uniform_node_sample(g, 10, rng);
+  // Every sampled edge must exist in the original graph between originals.
+  for (NodeId v = 0; v < sample.graph.num_nodes(); ++v) {
+    for (const NodeId w : sample.graph.neighbors(v)) {
+      EXPECT_TRUE(g.has_edge(sample.original_id[v], sample.original_id[w]));
+    }
+  }
+}
+
+TEST(RandomWalkSample, ReachesTargetOnConnectedGraph) {
+  util::Rng rng{7};
+  const Graph g = gen::circulant(300, 6);
+  const auto sample = random_walk_sample(g, 80, rng);
+  EXPECT_EQ(sample.graph.num_nodes(), 80u);
+}
+
+TEST(RandomWalkSample, HandlesWholeGraphRequest) {
+  util::Rng rng{8};
+  const Graph g = gen::complete(20);
+  const auto sample = random_walk_sample(g, 20, rng);
+  EXPECT_EQ(sample.graph.num_nodes(), 20u);
+}
+
+TEST(SamplingBias, BfsFavorsHighDegreeCore) {
+  // On a star, BFS from anywhere reaches the hub immediately; a small BFS
+  // sample therefore always contains the hub (degree bias the paper notes).
+  util::Rng rng{9};
+  const Graph g = gen::star(200);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto sample = bfs_sample(g, 5, rng);
+    const bool has_hub =
+        std::find(sample.original_id.begin(), sample.original_id.end(), NodeId{0}) !=
+        sample.original_id.end();
+    EXPECT_TRUE(has_hub);
+  }
+}
+
+}  // namespace
+}  // namespace socmix::graph

@@ -1,0 +1,151 @@
+#include "graph/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/reference.hpp"
+#include "graph/graph.hpp"
+
+namespace socmix::graph {
+namespace {
+
+TEST(DegreeStats, CompleteGraph) {
+  const auto stats = degree_stats(gen::complete(6));
+  EXPECT_EQ(stats.min, 5u);
+  EXPECT_EQ(stats.max, 5u);
+  EXPECT_DOUBLE_EQ(stats.mean, 5.0);
+  EXPECT_DOUBLE_EQ(stats.median, 5.0);
+  EXPECT_EQ(stats.histogram[5], 6u);
+}
+
+TEST(DegreeStats, Star) {
+  const auto stats = degree_stats(gen::star(11));
+  EXPECT_EQ(stats.min, 1u);
+  EXPECT_EQ(stats.max, 10u);
+  EXPECT_DOUBLE_EQ(stats.mean, 20.0 / 11.0);
+  EXPECT_DOUBLE_EQ(stats.median, 1.0);
+  EXPECT_EQ(stats.histogram[1], 10u);
+  EXPECT_EQ(stats.histogram[10], 1u);
+}
+
+TEST(DegreeStats, EmptyGraph) {
+  const auto stats = degree_stats(Graph{});
+  EXPECT_EQ(stats.min, 0u);
+  EXPECT_EQ(stats.max, 0u);
+}
+
+TEST(Clustering, TriangleIsFullyClustered) {
+  const Graph g = gen::complete(3);
+  for (NodeId v = 0; v < 3; ++v) EXPECT_DOUBLE_EQ(local_clustering(g, v), 1.0);
+}
+
+TEST(Clustering, StarHasNone) {
+  const Graph g = gen::star(10);
+  EXPECT_DOUBLE_EQ(local_clustering(g, 0), 0.0);
+  EXPECT_DOUBLE_EQ(local_clustering(g, 1), 0.0);  // degree-1 leaf
+}
+
+TEST(Clustering, SquareWithDiagonal) {
+  // 0-1-2-3-0 plus diagonal 0-2: vertex 1 has neighbors {0,2} which are
+  // adjacent -> clustering 1; vertex 0 has {1,2,3}, edges (1,2),(2,3) -> 2/3.
+  EdgeList edges;
+  edges.add(0, 1);
+  edges.add(1, 2);
+  edges.add(2, 3);
+  edges.add(3, 0);
+  edges.add(0, 2);
+  const Graph g = Graph::from_edges(std::move(edges));
+  EXPECT_DOUBLE_EQ(local_clustering(g, 1), 1.0);
+  EXPECT_NEAR(local_clustering(g, 0), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Clustering, AverageExactWhenSampleCoversGraph) {
+  const Graph g = gen::complete(5);
+  util::Rng rng{3};
+  EXPECT_DOUBLE_EQ(average_clustering(g, 5, rng), 1.0);
+  EXPECT_DOUBLE_EQ(average_clustering(g, 100, rng), 1.0);
+}
+
+TEST(BfsDistances, PathGraph) {
+  const auto dist = bfs_distances(gen::path(5), 0);
+  for (NodeId v = 0; v < 5; ++v) EXPECT_EQ(dist[v], v);
+}
+
+TEST(BfsDistances, UnreachableMarked) {
+  EdgeList edges;
+  edges.add(0, 1);
+  edges.ensure_nodes(3);
+  const auto dist = bfs_distances(Graph::from_edges(std::move(edges)), 0);
+  EXPECT_EQ(dist[0], 0u);
+  EXPECT_EQ(dist[1], 1u);
+  EXPECT_EQ(dist[2], kUnreachable);
+}
+
+TEST(EffectiveDiameter, CompleteGraphIsOne) {
+  util::Rng rng{5};
+  EXPECT_DOUBLE_EQ(effective_diameter(gen::complete(20), 5, 0.9, rng), 1.0);
+}
+
+TEST(EffectiveDiameter, PathScalesWithLength) {
+  util::Rng rng{6};
+  const double d = effective_diameter(gen::path(100), 20, 0.9, rng);
+  EXPECT_GT(d, 20.0);
+}
+
+TEST(Assortativity, RegularGraphReportsZero) {
+  EXPECT_DOUBLE_EQ(degree_assortativity(gen::cycle(12)), 0.0);
+  EXPECT_DOUBLE_EQ(degree_assortativity(gen::complete(6)), 0.0);
+}
+
+TEST(Assortativity, StarIsMaximallyDisassortative) {
+  // Every edge joins degree n-1 with degree 1: r = -1.
+  EXPECT_NEAR(degree_assortativity(gen::star(12)), -1.0, 1e-12);
+}
+
+TEST(Assortativity, PathOfFourIsKnown) {
+  // Path 0-1-2-3: endpoint degree pairs (1,2),(2,1),(2,2),(2,2),(2,1),(1,2).
+  // mean = 5/3, var = 2/9, cov = -1/9 -> r = -1/2.
+  EXPECT_NEAR(degree_assortativity(gen::path(4)), -0.5, 1e-12);
+}
+
+TEST(Assortativity, InUnitRange) {
+  util::Rng rng{17};
+  for (int trial = 0; trial < 5; ++trial) {
+    graph::EdgeList edges;
+    for (int e = 0; e < 60; ++e) {
+      edges.add(static_cast<NodeId>(rng.below(30)), static_cast<NodeId>(rng.below(30)));
+    }
+    const auto g = Graph::from_edges(std::move(edges));
+    const double r = degree_assortativity(g);
+    EXPECT_GE(r, -1.0 - 1e-12);
+    EXPECT_LE(r, 1.0 + 1e-12);
+  }
+}
+
+TEST(CutConductance, DumbbellBridgeCut) {
+  // Two K10 cliques and 1 bridge: cutting between them costs 1 edge over
+  // volume ~91 -> tiny conductance.
+  const Graph g = gen::dumbbell(10, 1);
+  std::vector<char> in_set(g.num_nodes(), 0);
+  for (NodeId v = 0; v < 10; ++v) in_set[v] = 1;
+  const double phi = cut_conductance(g, in_set);
+  EXPECT_NEAR(phi, 1.0 / 91.0, 1e-12);
+}
+
+TEST(CutConductance, DegenerateCutsReportOne) {
+  const Graph g = gen::complete(4);
+  const std::vector<char> empty(4, 0);
+  const std::vector<char> full(4, 1);
+  EXPECT_DOUBLE_EQ(cut_conductance(g, empty), 1.0);
+  EXPECT_DOUBLE_EQ(cut_conductance(g, full), 1.0);
+}
+
+TEST(CutConductance, SingletonInCompleteGraph) {
+  const Graph g = gen::complete(5);
+  std::vector<char> in_set(5, 0);
+  in_set[2] = 1;
+  // Vertex volume 4, all 4 edges cut -> conductance 1.
+  EXPECT_DOUBLE_EQ(cut_conductance(g, in_set), 1.0);
+}
+
+}  // namespace
+}  // namespace socmix::graph

@@ -1,0 +1,117 @@
+#include "graph/trim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/erdos_renyi.hpp"
+#include "gen/reference.hpp"
+#include "util/rng.hpp"
+
+namespace socmix::graph {
+namespace {
+
+Graph triangle_with_tail() {
+  // Triangle 0-1-2 plus a path 2-3-4: trimming degree >= 2 peels 4 then 3.
+  EdgeList edges;
+  edges.add(0, 1);
+  edges.add(1, 2);
+  edges.add(0, 2);
+  edges.add(2, 3);
+  edges.add(3, 4);
+  return Graph::from_edges(std::move(edges));
+}
+
+TEST(TrimMinDegree, Degree1KeepsEverything) {
+  const Graph g = triangle_with_tail();
+  const auto trimmed = trim_min_degree(g, 1);
+  EXPECT_EQ(trimmed.graph.num_nodes(), 5u);
+}
+
+TEST(TrimMinDegree, PeelsIteratively) {
+  const Graph g = triangle_with_tail();
+  const auto trimmed = trim_min_degree(g, 2);
+  // Removing 4 (deg 1) drops 3 to degree 1, so 3 goes too: triangle stays.
+  EXPECT_EQ(trimmed.graph.num_nodes(), 3u);
+  EXPECT_EQ(trimmed.graph.num_edges(), 3u);
+  EXPECT_GE(trimmed.graph.min_degree(), 2u);
+}
+
+TEST(TrimMinDegree, CanEmptyTheGraph) {
+  const Graph g = gen::path(10);
+  const auto trimmed = trim_min_degree(g, 2);
+  EXPECT_EQ(trimmed.graph.num_nodes(), 0u);
+}
+
+TEST(TrimMinDegree, ZeroThresholdIsIdentity) {
+  const Graph g = triangle_with_tail();
+  const auto trimmed = trim_min_degree(g, 0);
+  EXPECT_EQ(trimmed.graph.num_nodes(), g.num_nodes());
+  EXPECT_EQ(trimmed.graph.num_edges(), g.num_edges());
+}
+
+TEST(TrimMinDegree, ResultSatisfiesThresholdProperty) {
+  util::Rng rng{11};
+  const Graph g = gen::erdos_renyi_gnm(300, 600, rng);
+  for (const NodeId k : {2u, 3u, 4u, 5u}) {
+    const auto trimmed = trim_min_degree(g, k);
+    if (trimmed.graph.num_nodes() > 0) {
+      EXPECT_GE(trimmed.graph.min_degree(), k) << "k=" << k;
+    }
+  }
+}
+
+TEST(TrimMinDegree, MonotoneShrinkage) {
+  // The paper's Fig 6 observation: each extra trimming level only shrinks
+  // the graph (DBLP: 614,981 -> 145,497 after trimming to degree 5).
+  util::Rng rng{12};
+  const Graph g = gen::erdos_renyi_gnm(500, 900, rng);
+  NodeId previous = g.num_nodes();
+  for (NodeId k = 1; k <= 6; ++k) {
+    const auto trimmed = trim_min_degree(g, k);
+    EXPECT_LE(trimmed.graph.num_nodes(), previous);
+    previous = trimmed.graph.num_nodes();
+  }
+}
+
+TEST(CoreNumbers, CompleteGraph) {
+  const auto core = core_numbers(gen::complete(6));
+  for (const NodeId c : core) EXPECT_EQ(c, 5u);
+}
+
+TEST(CoreNumbers, PathGraph) {
+  const auto core = core_numbers(gen::path(6));
+  for (const NodeId c : core) EXPECT_EQ(c, 1u);
+}
+
+TEST(CoreNumbers, TriangleWithTail) {
+  const auto core = core_numbers(triangle_with_tail());
+  EXPECT_EQ(core[0], 2u);
+  EXPECT_EQ(core[1], 2u);
+  EXPECT_EQ(core[2], 2u);
+  EXPECT_EQ(core[3], 1u);
+  EXPECT_EQ(core[4], 1u);
+}
+
+TEST(CoreNumbers, AgreeWithIterativeTrim) {
+  // v survives trim_min_degree(g, k) iff core_number(v) >= k — the
+  // defining property of the k-core.
+  util::Rng rng{13};
+  const Graph g = gen::erdos_renyi_gnm(200, 500, rng);
+  const auto core = core_numbers(g);
+  for (const NodeId k : {1u, 2u, 3u, 4u}) {
+    const auto trimmed = trim_min_degree(g, k);
+    std::vector<char> survives(g.num_nodes(), 0);
+    for (const NodeId orig : trimmed.original_id) survives[orig] = 1;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      EXPECT_EQ(survives[v] != 0, core[v] >= k) << "v=" << v << " k=" << k;
+    }
+  }
+}
+
+TEST(Degeneracy, KnownValues) {
+  EXPECT_EQ(degeneracy(gen::complete(7)), 6u);
+  EXPECT_EQ(degeneracy(gen::cycle(9)), 2u);
+  EXPECT_EQ(degeneracy(gen::star(10)), 1u);
+}
+
+}  // namespace
+}  // namespace socmix::graph

@@ -1,0 +1,75 @@
+#include "graph/weighted_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/reference.hpp"
+
+namespace socmix::graph {
+namespace {
+
+TEST(WeightedGraph, BuildsAndMergesDuplicates) {
+  const auto g = WeightedGraph::from_edges(
+      {{0, 1, 2.0}, {1, 0, 3.0}, {1, 2, 1.5}, {2, 2, 9.0}});
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);  // self-loop dropped, {0,1} merged
+  EXPECT_DOUBLE_EQ(g.strength(0), 5.0);
+  EXPECT_DOUBLE_EQ(g.strength(1), 6.5);
+  EXPECT_DOUBLE_EQ(g.strength(2), 1.5);
+  EXPECT_DOUBLE_EQ(g.total_strength(), 13.0);
+}
+
+TEST(WeightedGraph, WeightsAreSymmetric) {
+  const auto g = WeightedGraph::from_edges({{0, 1, 2.0}, {1, 2, 0.5}});
+  const auto n1 = g.neighbors(1);
+  const auto w1 = g.weights(1);
+  ASSERT_EQ(n1.size(), 2u);
+  EXPECT_EQ(n1[0], 0u);
+  EXPECT_DOUBLE_EQ(w1[0], 2.0);
+  EXPECT_EQ(n1[1], 2u);
+  EXPECT_DOUBLE_EQ(w1[1], 0.5);
+  // Mirror direction.
+  EXPECT_DOUBLE_EQ(g.weights(0)[0], 2.0);
+}
+
+TEST(WeightedGraph, RejectsNonPositiveMergedWeight) {
+  EXPECT_THROW(WeightedGraph::from_edges({{0, 1, 0.0}}), std::invalid_argument);
+  EXPECT_THROW(WeightedGraph::from_edges({{0, 1, 1.0}, {1, 0, -1.0}}),
+               std::invalid_argument);
+}
+
+TEST(WeightedGraph, FromGraphUnitWeights) {
+  const auto base = gen::complete(5);
+  const auto g = WeightedGraph::from_graph(base);
+  EXPECT_EQ(g.num_nodes(), 5u);
+  EXPECT_EQ(g.num_edges(), 10u);
+  for (NodeId v = 0; v < 5; ++v) {
+    EXPECT_DOUBLE_EQ(g.strength(v), 4.0);
+    EXPECT_EQ(g.degree(v), 4u);
+  }
+  EXPECT_DOUBLE_EQ(g.total_strength(), 20.0);
+}
+
+TEST(WeightedGraph, SkeletonMatchesTopology) {
+  const auto g = WeightedGraph::from_edges({{0, 1, 9.0}, {1, 2, 0.1}, {0, 3, 2.0}});
+  const auto skeleton = g.skeleton();
+  EXPECT_EQ(skeleton.num_nodes(), g.num_nodes());
+  EXPECT_EQ(skeleton.num_edges(), g.num_edges());
+  EXPECT_TRUE(skeleton.has_edge(0, 1));
+  EXPECT_TRUE(skeleton.has_edge(1, 2));
+  EXPECT_FALSE(skeleton.has_edge(0, 2));
+}
+
+TEST(WeightedGraph, DeclaredExtraNodes) {
+  const auto g = WeightedGraph::from_edges({{0, 1, 1.0}}, /*num_nodes=*/4);
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_DOUBLE_EQ(g.strength(3), 0.0);
+}
+
+TEST(WeightedGraph, EmptyGraph) {
+  const WeightedGraph g;
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_DOUBLE_EQ(g.total_strength(), 0.0);
+}
+
+}  // namespace
+}  // namespace socmix::graph

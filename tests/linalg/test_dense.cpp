@@ -1,0 +1,108 @@
+#include "linalg/dense.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/reference.hpp"
+
+namespace socmix::linalg {
+namespace {
+
+TEST(JacobiEigenvalues, DiagonalMatrix) {
+  DenseSym m;
+  m.n = 3;
+  m.a = {2, 0, 0, 0, -1, 0, 0, 0, 5};
+  const auto values = jacobi_eigenvalues(m);
+  ASSERT_EQ(values.size(), 3u);
+  EXPECT_NEAR(values[0], -1, 1e-12);
+  EXPECT_NEAR(values[1], 2, 1e-12);
+  EXPECT_NEAR(values[2], 5, 1e-12);
+}
+
+TEST(JacobiEigenvalues, TwoByTwo) {
+  DenseSym m;
+  m.n = 2;
+  m.a = {0, 1, 1, 0};
+  const auto values = jacobi_eigenvalues(m);
+  EXPECT_NEAR(values[0], -1, 1e-12);
+  EXPECT_NEAR(values[1], 1, 1e-12);
+}
+
+TEST(DenseWalkMatrix, RowSumsViaSimilarity) {
+  // N = D^{-1/2} A D^{-1/2} must satisfy N (D^{1/2} 1) = D^{1/2} 1.
+  const auto g = gen::dumbbell(5, 2);
+  const auto m = dense_walk_matrix(g);
+  const std::size_t n = m.n;
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      acc += m.at(i, j) * std::sqrt(static_cast<double>(g.degree(static_cast<graph::NodeId>(j))));
+    }
+    EXPECT_NEAR(acc, std::sqrt(static_cast<double>(g.degree(static_cast<graph::NodeId>(i)))),
+                1e-12);
+  }
+}
+
+TEST(DenseWalkMatrix, IsSymmetric) {
+  const auto g = gen::dumbbell(4, 1);
+  const auto m = dense_walk_matrix(g);
+  for (std::size_t i = 0; i < m.n; ++i)
+    for (std::size_t j = 0; j < m.n; ++j) EXPECT_DOUBLE_EQ(m.at(i, j), m.at(j, i));
+}
+
+TEST(DenseWalkMatrix, LazinessShiftsDiagonal) {
+  const auto g = gen::complete(4);
+  const auto lazy = dense_walk_matrix(g, 0.5);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(lazy.at(i, i), 0.5);
+  // Off-diagonal scaled by (1 - laziness).
+  const auto plain = dense_walk_matrix(g, 0.0);
+  EXPECT_DOUBLE_EQ(lazy.at(0, 1), 0.5 * plain.at(0, 1));
+}
+
+TEST(DenseWalkMatrix, ThrowsOnIsolatedVertex) {
+  graph::EdgeList edges;
+  edges.add(0, 1);
+  edges.ensure_nodes(3);
+  const auto g = graph::Graph::from_edges(std::move(edges));
+  EXPECT_THROW(dense_walk_matrix(g), std::invalid_argument);
+}
+
+TEST(DenseTransitionMatrix, RowStochastic) {
+  const auto g = gen::dumbbell(4, 2);
+  const auto p = dense_transition_matrix(g);
+  const std::size_t n = g.num_nodes();
+  for (std::size_t i = 0; i < n; ++i) {
+    double row = 0;
+    for (std::size_t j = 0; j < n; ++j) row += p[i * n + j];
+    EXPECT_NEAR(row, 1.0, 1e-12);
+  }
+}
+
+TEST(DenseSlem, CompleteGraphClosedForm) {
+  // K_n: mu = 1/(n-1).
+  for (const graph::NodeId n : {3u, 5u, 10u, 25u}) {
+    EXPECT_NEAR(dense_slem(gen::complete(n)), 1.0 / (n - 1.0), 1e-10) << "n=" << n;
+  }
+}
+
+TEST(DenseSlem, OddCycleClosedForm) {
+  // C_n (odd): mu = |cos(pi (n-1)/n)| = cos(pi/n ... ) — the most negative
+  // eigenvalue dominates: mu = -cos(2 pi floor(n/2) / n).
+  const double n = 11;
+  const double expected = std::fabs(std::cos(2 * M_PI * 5 / n));
+  EXPECT_NEAR(dense_slem(gen::cycle(11)), expected, 1e-10);
+}
+
+TEST(DenseSlem, BipartiteGraphsArePeriodic) {
+  EXPECT_NEAR(dense_slem(gen::star(8)), 1.0, 1e-10);
+  EXPECT_NEAR(dense_slem(gen::complete_bipartite(3, 4)), 1.0, 1e-10);
+}
+
+TEST(DenseSlem, HypercubeClosedForm) {
+  // Q_d is bipartite: lambda_min = -1 -> mu = 1.
+  EXPECT_NEAR(dense_slem(gen::hypercube(4)), 1.0, 1e-10);
+}
+
+}  // namespace
+}  // namespace socmix::linalg

@@ -1,0 +1,168 @@
+#include "linalg/lanczos.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "gen/barabasi_albert.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "gen/reference.hpp"
+#include "graph/components.hpp"
+#include "linalg/dense.hpp"
+#include "linalg/vector_ops.hpp"
+#include "util/rng.hpp"
+
+namespace socmix::linalg {
+namespace {
+
+TEST(Lanczos, CompleteGraphClosedForm) {
+  // K_n: lambda_2 = ... = lambda_n = -1/(n-1) -> mu = 1/(n-1).
+  for (const graph::NodeId n : {3u, 8u, 20u, 100u}) {
+    const auto s = slem_spectrum(WalkOperator{gen::complete(n)});
+    EXPECT_TRUE(s.converged);
+    EXPECT_NEAR(s.slem, 1.0 / (n - 1.0), 1e-8) << "n=" << n;
+    EXPECT_NEAR(s.lambda2, -1.0 / (n - 1.0), 1e-8) << "n=" << n;
+  }
+}
+
+TEST(Lanczos, OddCycleClosedForm) {
+  // C_n eigenvalues cos(2 pi k/n); for odd n the SLEM is |cos(pi(n-1)/n)|.
+  for (const graph::NodeId n : {5u, 11u, 25u}) {
+    const auto s = slem_spectrum(WalkOperator{gen::cycle(n)});
+    const double lambda2 = std::cos(2 * std::numbers::pi / n);
+    const double lambda_min = std::cos(2 * std::numbers::pi * ((n - 1) / 2) / n);
+    EXPECT_NEAR(s.lambda2, lambda2, 1e-8) << "n=" << n;
+    EXPECT_NEAR(s.lambda_min, lambda_min, 1e-8) << "n=" << n;
+    EXPECT_NEAR(s.slem, std::max(lambda2, std::fabs(lambda_min)), 1e-8);
+  }
+}
+
+TEST(Lanczos, BipartiteGraphsHaveSlemOne) {
+  for (const auto* name : {"star", "bipartite", "hypercube"}) {
+    graph::Graph g;
+    if (std::string_view{name} == "star") g = gen::star(30);
+    if (std::string_view{name} == "bipartite") g = gen::complete_bipartite(6, 9);
+    if (std::string_view{name} == "hypercube") g = gen::hypercube(5);
+    const auto s = slem_spectrum(WalkOperator{g});
+    EXPECT_NEAR(s.slem, 1.0, 1e-7) << name;
+    EXPECT_NEAR(s.lambda_min, -1.0, 1e-7) << name;
+  }
+}
+
+TEST(Lanczos, HypercubeLambda2ClosedForm) {
+  // Q_d: eigenvalues 1 - 2k/d -> lambda_2 = 1 - 2/d.
+  for (const unsigned d : {3u, 5u, 7u}) {
+    const auto s = slem_spectrum(WalkOperator{gen::hypercube(d)});
+    EXPECT_NEAR(s.lambda2, 1.0 - 2.0 / d, 1e-8) << "d=" << d;
+  }
+}
+
+TEST(Lanczos, LazyWalkUnmapsToSimpleSpectrum) {
+  // The lazy operator (I+N)/2 reports eigenvalues mapped back to P-space,
+  // so results must agree with the simple walk where both are ergodic.
+  const auto g = gen::complete(12);
+  const auto simple = slem_spectrum(WalkOperator{g, 0.0});
+  const auto lazy = slem_spectrum(WalkOperator{g, 0.5});
+  EXPECT_NEAR(simple.lambda2, lazy.lambda2, 1e-7);
+  EXPECT_NEAR(simple.lambda_min, lazy.lambda_min, 1e-7);
+}
+
+TEST(Lanczos, LazyWalkBreaksPeriodicity) {
+  // Star is periodic (mu = 1) but its lazy chain mixes: lambda of lazy =
+  // (1 + lambda)/2 in [0, 1], so in P-space lambda_min maps back to -1 but
+  // the *lazy* SLEM max((1+l2)/2, |(1+lmin)/2|) = 1/2.
+  const auto g = gen::star(20);
+  const WalkOperator lazy{g, 0.5};
+  const auto s = slem_spectrum(lazy);
+  // Reported in P-space:
+  EXPECT_NEAR(s.lambda_min, -1.0, 1e-7);
+  EXPECT_NEAR(s.lambda2, 0.0, 1e-7);
+  // The lazy chain's own SLEM:
+  EXPECT_NEAR(lazy.map_eigenvalue(s.lambda2), 0.5, 1e-7);
+}
+
+class LanczosVsDense : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LanczosVsDense, AgreesOnRandomGraphs) {
+  util::Rng rng{GetParam()};
+  const auto g = graph::largest_component(gen::erdos_renyi_gnm(80, 200, rng)).graph;
+  const auto lanczos = slem_spectrum(WalkOperator{g});
+  const double exact = dense_slem(g);
+  EXPECT_NEAR(lanczos.slem, exact, 1e-7) << "seed=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LanczosVsDense,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+TEST(Lanczos, BarabasiAlbertVsDense) {
+  util::Rng rng{42};
+  const auto g = gen::barabasi_albert(150, 3, rng);
+  const auto lanczos = slem_spectrum(WalkOperator{g});
+  EXPECT_NEAR(lanczos.slem, dense_slem(g), 1e-7);
+}
+
+TEST(Lanczos, DumbbellSlowMixing) {
+  // Sparse-cut graphs push mu toward 1; the single-bridge dumbbell must be
+  // much slower than the two-clique volume suggests.
+  const auto tight = slem_spectrum(WalkOperator{gen::dumbbell(20, 10)});
+  const auto loose = slem_spectrum(WalkOperator{gen::dumbbell(20, 1)});
+  EXPECT_GT(loose.slem, tight.slem);
+  EXPECT_GT(loose.slem, 0.99);
+}
+
+TEST(Lanczos, Lambda2VectorIsEigenvector) {
+  const auto g = gen::dumbbell(12, 1);
+  const WalkOperator op{g};
+  const auto s = slem_spectrum_with_vector(op);
+  ASSERT_EQ(s.lambda2_vector.size(), op.dim());
+  EXPECT_NEAR(norm2(s.lambda2_vector), 1.0, 1e-9);
+
+  Vec out(op.dim());
+  op.apply(s.lambda2_vector, out);
+  // || N v - lambda2 v || should be tiny.
+  axpy(-s.lambda2, s.lambda2_vector, out);
+  EXPECT_LT(norm2(out), 1e-6);
+}
+
+TEST(Lanczos, TwoNodeGraph) {
+  // Single edge: spectrum {1, -1}; deflated spectrum {-1}.
+  const auto s = slem_spectrum(WalkOperator{gen::path(2)});
+  EXPECT_TRUE(s.converged);
+  EXPECT_NEAR(s.slem, 1.0, 1e-10);
+  EXPECT_NEAR(s.lambda_min, -1.0, 1e-10);
+}
+
+TEST(Lanczos, DeterministicForFixedSeed) {
+  util::Rng rng{9};
+  const auto g = graph::largest_component(gen::erdos_renyi_gnm(100, 250, rng)).graph;
+  LanczosOptions opt;
+  opt.seed = 777;
+  const auto a = slem_spectrum(WalkOperator{g}, opt);
+  const auto b = slem_spectrum(WalkOperator{g}, opt);
+  EXPECT_DOUBLE_EQ(a.slem, b.slem);
+  EXPECT_EQ(a.iterations, b.iterations);
+}
+
+TEST(Lanczos, SeedInsensitiveResult) {
+  util::Rng rng{10};
+  const auto g = graph::largest_component(gen::erdos_renyi_gnm(100, 250, rng)).graph;
+  LanczosOptions opt_a;
+  opt_a.seed = 1;
+  LanczosOptions opt_b;
+  opt_b.seed = 999;
+  const auto a = slem_spectrum(WalkOperator{g}, opt_a);
+  const auto b = slem_spectrum(WalkOperator{g}, opt_b);
+  EXPECT_NEAR(a.slem, b.slem, 1e-7);
+}
+
+TEST(Lanczos, IterationCapRespected) {
+  const auto g = gen::dumbbell(40, 1);
+  LanczosOptions opt;
+  opt.max_iterations = 10;
+  const auto s = slem_spectrum(WalkOperator{g}, opt);
+  EXPECT_LE(s.iterations, 10u);
+}
+
+}  // namespace
+}  // namespace socmix::linalg

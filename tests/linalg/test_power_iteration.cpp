@@ -1,0 +1,77 @@
+#include "linalg/power_iteration.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/erdos_renyi.hpp"
+#include "gen/reference.hpp"
+#include "graph/components.hpp"
+#include "linalg/dense.hpp"
+#include "linalg/lanczos.hpp"
+#include "util/rng.hpp"
+
+namespace socmix::linalg {
+namespace {
+
+TEST(PowerIteration, CompleteGraph) {
+  const auto r = power_iteration_slem(WalkOperator{gen::complete(10)});
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(std::fabs(r.eigenvalue), 1.0 / 9.0, 1e-6);
+}
+
+TEST(PowerIteration, MatchesDenseOnRandomGraph) {
+  util::Rng rng{21};
+  const auto g = graph::largest_component(gen::erdos_renyi_gnm(70, 180, rng)).graph;
+  const auto r = power_iteration_slem(WalkOperator{g});
+  EXPECT_NEAR(std::fabs(r.eigenvalue), dense_slem(g), 1e-5);
+}
+
+TEST(PowerIteration, MatchesLanczosOnDumbbell) {
+  const auto g = gen::dumbbell(15, 2);
+  const auto power = power_iteration_slem(WalkOperator{g});
+  const auto lanczos = slem_spectrum(WalkOperator{g});
+  EXPECT_NEAR(std::fabs(power.eigenvalue), lanczos.slem, 1e-5);
+}
+
+TEST(PowerIteration, SignOfDominantEigenvalue) {
+  // K_n: the deflated dominant eigenvalue is negative (-1/(n-1)).
+  const auto r = power_iteration_slem(WalkOperator{gen::complete(8)});
+  EXPECT_LT(r.eigenvalue, 0.0);
+}
+
+TEST(PowerIteration, TrivialGraphConverges) {
+  const auto r = power_iteration_slem(WalkOperator{gen::path(2)});
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(std::fabs(r.eigenvalue), 1.0, 1e-5);
+}
+
+TEST(PowerIteration, IterationCapReported) {
+  PowerIterationOptions opt;
+  opt.max_iterations = 5;
+  opt.tolerance = 0;  // force running to the cap
+  const auto r = power_iteration_slem(WalkOperator{gen::dumbbell(10, 1)}, opt);
+  EXPECT_EQ(r.iterations, 5u);
+  EXPECT_FALSE(r.converged);
+}
+
+TEST(PowerIteration, NeedsMoreIterationsThanLanczosOnSmallGap) {
+  // The design-choice ablation: on a slow-mixing graph, Lanczos converges
+  // in far fewer operator applications than power iteration.
+  const auto g = gen::dumbbell(25, 1);
+
+  LanczosOptions lopt;
+  lopt.tolerance = 1e-8;
+  const auto lanczos = slem_spectrum(WalkOperator{g}, lopt);
+
+  PowerIterationOptions popt;
+  popt.tolerance = 1e-12;
+  const auto power = power_iteration_slem(WalkOperator{g}, popt);
+
+  EXPECT_TRUE(lanczos.converged);
+  EXPECT_TRUE(power.converged);
+  EXPECT_LT(lanczos.iterations, power.iterations);
+}
+
+}  // namespace
+}  // namespace socmix::linalg

@@ -1,0 +1,88 @@
+#include "markov/conductance.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "gen/erdos_renyi.hpp"
+#include "gen/reference.hpp"
+#include "graph/components.hpp"
+#include "graph/stats.hpp"
+#include "util/rng.hpp"
+
+namespace socmix::markov {
+namespace {
+
+TEST(SweepCut, FindsDumbbellBridge) {
+  // The optimal cut of a single-bridge dumbbell is clique-vs-clique; the
+  // spectral embedding must find it (or something equally good).
+  const auto g = gen::dumbbell(12, 1);
+  const auto report = spectral_cut(g);
+  // Exact bridge cut: 1 edge / volume (12*11 + 1) = 133.
+  EXPECT_NEAR(report.cut.conductance, 1.0 / 133.0, 1e-9);
+  EXPECT_EQ(report.cut.set_size, 12u);
+}
+
+TEST(SweepCut, ConductanceMatchesDirectComputation) {
+  util::Rng rng{3};
+  const auto g = graph::largest_component(gen::erdos_renyi_gnm(80, 240, rng)).graph;
+  const auto report = spectral_cut(g);
+  const double direct = graph::cut_conductance(g, report.cut.in_set);
+  EXPECT_NEAR(report.cut.conductance, direct, 1e-9);
+}
+
+TEST(SweepCut, CheegerSandwichHolds) {
+  for (const int variant : {0, 1, 2}) {
+    graph::Graph g;
+    if (variant == 0) g = gen::dumbbell(10, 1);
+    if (variant == 1) g = gen::complete(20);
+    if (variant == 2) {
+      util::Rng rng{7};
+      g = graph::largest_component(gen::erdos_renyi_gnm(100, 300, rng)).graph;
+    }
+    const auto report = spectral_cut(g);
+    // (1 - lambda2)/2 <= Phi(found cut); the found cut upper-bounds the true
+    // Phi, so only the lower side is a strict invariant.
+    EXPECT_GE(report.cut.conductance + 1e-9, report.cheeger_lower) << variant;
+    EXPECT_LE(report.cheeger_lower, report.cheeger_upper) << variant;
+  }
+}
+
+TEST(SweepCut, BothSidesNonEmpty) {
+  const auto g = gen::dumbbell(6, 2);
+  const auto report = spectral_cut(g);
+  EXPECT_GE(report.cut.set_size, 1u);
+  EXPECT_LT(report.cut.set_size, g.num_nodes());
+  const auto members = std::accumulate(report.cut.in_set.begin(), report.cut.in_set.end(), 0);
+  EXPECT_EQ(static_cast<std::size_t>(members), report.cut.set_size);
+}
+
+TEST(SweepCut, EmbeddingSizeMismatchThrows) {
+  const auto g = gen::complete(5);
+  EXPECT_THROW(sweep_cut(g, std::vector<double>(3, 0.0)), std::invalid_argument);
+}
+
+TEST(SweepCut, TinyGraphDegenerates) {
+  const auto g = gen::path(2);
+  const std::vector<double> embedding{0.0, 1.0};
+  const auto cut = sweep_cut(g, embedding);
+  // Only one prefix cut exists: a single vertex, conductance 1/min(1,1)=1.
+  EXPECT_DOUBLE_EQ(cut.conductance, 1.0);
+  EXPECT_EQ(cut.set_size, 1u);
+}
+
+TEST(SweepCut, MoreBridgesRaiseConductance) {
+  const auto cut1 = spectral_cut(gen::dumbbell(12, 1)).cut.conductance;
+  const auto cut4 = spectral_cut(gen::dumbbell(12, 4)).cut.conductance;
+  EXPECT_LT(cut1, cut4);
+}
+
+TEST(SweepCut, Lambda2TracksConductance) {
+  // The paper's §3.2 link: smaller conductance <-> lambda2 closer to 1.
+  const auto tight = spectral_cut(gen::dumbbell(12, 6));
+  const auto loose = spectral_cut(gen::dumbbell(12, 1));
+  EXPECT_GT(loose.lambda2, tight.lambda2);
+}
+
+}  // namespace
+}  // namespace socmix::markov

@@ -1,0 +1,128 @@
+#include "markov/evolution.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "gen/erdos_renyi.hpp"
+#include "gen/reference.hpp"
+#include "graph/components.hpp"
+#include "linalg/dense.hpp"
+#include "linalg/vector_ops.hpp"
+#include "markov/stationary.hpp"
+#include "util/rng.hpp"
+
+namespace socmix::markov {
+namespace {
+
+TEST(Evolution, StepPreservesDistribution) {
+  util::Rng rng{1};
+  const auto g = graph::largest_component(gen::erdos_renyi_gnm(60, 150, rng)).graph;
+  DistributionEvolver evolver{g};
+  auto dist = evolver.point_mass(0);
+  for (int t = 0; t < 20; ++t) {
+    evolver.advance(dist, 1);
+    EXPECT_TRUE(is_distribution(dist)) << "t=" << t;
+  }
+}
+
+TEST(Evolution, MatchesDenseMatrixPower) {
+  util::Rng rng{2};
+  const auto g = graph::largest_component(gen::erdos_renyi_gnm(30, 70, rng)).graph;
+  const std::size_t n = g.num_nodes();
+  const auto p = linalg::dense_transition_matrix(g);
+
+  // Dense: x P^5 starting from e_0.
+  std::vector<double> x(n, 0.0);
+  x[0] = 1.0;
+  for (int t = 0; t < 5; ++t) {
+    std::vector<double> next(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j) next[j] += x[i] * p[i * n + j];
+    x = next;
+  }
+
+  DistributionEvolver evolver{g};
+  auto dist = evolver.point_mass(0);
+  evolver.advance(dist, 5);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(dist[i], x[i], 1e-12);
+}
+
+TEST(Evolution, CompleteGraphOneStep) {
+  // From a point mass on K_n, one step gives uniform over the other n-1.
+  const auto g = gen::complete(5);
+  DistributionEvolver evolver{g};
+  auto dist = evolver.point_mass(2);
+  evolver.advance(dist, 1);
+  EXPECT_DOUBLE_EQ(dist[2], 0.0);
+  for (const graph::NodeId v : {0u, 1u, 3u, 4u}) EXPECT_DOUBLE_EQ(dist[v], 0.25);
+}
+
+TEST(Evolution, StationaryIsFixedPoint) {
+  util::Rng rng{3};
+  const auto g = graph::largest_component(gen::erdos_renyi_gnm(50, 120, rng)).graph;
+  DistributionEvolver evolver{g};
+  auto pi = stationary_distribution(g);
+  const auto before = pi;
+  evolver.advance(pi, 10);
+  for (std::size_t i = 0; i < pi.size(); ++i) EXPECT_NEAR(pi[i], before[i], 1e-12);
+}
+
+TEST(Evolution, TvdTrajectoryDecreasesOnAperiodicGraph) {
+  const auto g = gen::complete(20);
+  const auto pi = stationary_distribution(g);
+  const auto traj = tvd_trajectory(g, 0, 30, pi);
+  ASSERT_EQ(traj.size(), 30u);
+  // Complete graphs mix essentially immediately.
+  EXPECT_LT(traj[5], 1e-5);
+  // Monotone decay (up to numerical noise) for this chain.
+  for (std::size_t t = 1; t < traj.size(); ++t) EXPECT_LE(traj[t], traj[t - 1] + 1e-12);
+}
+
+TEST(Evolution, PeriodicChainNeverMixes) {
+  // Star graph: a point mass on a leaf oscillates leaf <-> hub forever.
+  const auto g = gen::star(10);
+  const auto pi = stationary_distribution(g);
+  const auto traj = tvd_trajectory(g, 1, 50, pi);
+  EXPECT_GT(traj.back(), 0.3);  // stays far from pi
+}
+
+TEST(Evolution, LazyWalkMixesPeriodicChain) {
+  const auto g = gen::star(10);
+  const auto pi = stationary_distribution(g);
+  const auto traj = tvd_trajectory(g, 1, 100, pi, /*laziness=*/0.5);
+  EXPECT_LT(traj.back(), 1e-6);
+}
+
+TEST(Evolution, TrajectoryCallbackEarlyStop) {
+  const auto g = gen::complete(10);
+  DistributionEvolver evolver{g};
+  std::size_t calls = 0;
+  evolver.trajectory(0, 100, [&](std::size_t, std::span<const double>) {
+    return ++calls < 3;
+  });
+  EXPECT_EQ(calls, 3u);
+}
+
+TEST(Evolution, RejectsIsolatedVertex) {
+  graph::EdgeList edges;
+  edges.add(0, 1);
+  edges.ensure_nodes(3);
+  const auto g = graph::Graph::from_edges(std::move(edges));
+  EXPECT_THROW(DistributionEvolver{g}, std::invalid_argument);
+}
+
+TEST(Evolution, DumbbellMixesSlowerThanComplete) {
+  // The paper's core qualitative fact: community structure slows mixing.
+  const auto fast = gen::complete(40);
+  const auto slow = gen::dumbbell(20, 1);  // same vertex count
+  const auto pi_fast = stationary_distribution(fast);
+  const auto pi_slow = stationary_distribution(slow);
+  const auto traj_fast = tvd_trajectory(fast, 0, 50, pi_fast);
+  const auto traj_slow = tvd_trajectory(slow, 0, 50, pi_slow);
+  EXPECT_LT(traj_fast[20], traj_slow[20]);
+  EXPECT_GT(traj_slow[20], 0.1);
+}
+
+}  // namespace
+}  // namespace socmix::markov

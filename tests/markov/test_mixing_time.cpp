@@ -1,0 +1,190 @@
+#include "markov/mixing_time.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "gen/erdos_renyi.hpp"
+#include "gen/reference.hpp"
+#include "graph/components.hpp"
+#include "linalg/lanczos.hpp"
+#include "util/rng.hpp"
+
+namespace socmix::markov {
+namespace {
+
+// ---------------------------------------------------------------- bounds --
+
+TEST(SpectralBounds, LowerBoundFormula) {
+  const SpectralBounds b{0.9};
+  // mu/(2(1-mu)) * ln(1/2eps) with eps = 0.1: 4.5 * ln 5.
+  EXPECT_NEAR(b.lower(0.1), 4.5 * std::log(5.0), 1e-12);
+}
+
+TEST(SpectralBounds, UpperBoundFormula) {
+  const SpectralBounds b{0.9};
+  EXPECT_NEAR(b.upper(0.1, 1000), (std::log(1000.0) + std::log(10.0)) / 0.1, 1e-9);
+}
+
+TEST(SpectralBounds, LowerBelowUpper) {
+  for (const double mu : {0.3, 0.9, 0.99, 0.9999}) {
+    const SpectralBounds b{mu};
+    for (const double eps : {0.25, 0.1, 1e-3, 1e-6}) {
+      EXPECT_LE(b.lower(eps), b.upper(eps, 10000)) << mu << " " << eps;
+    }
+  }
+}
+
+TEST(SpectralBounds, MonotoneInEpsilonAndMu) {
+  const SpectralBounds b{0.99};
+  EXPECT_LT(b.lower(0.1), b.lower(0.01));
+  EXPECT_LT(b.lower(0.01), b.lower(0.001));
+  const SpectralBounds faster{0.9};
+  EXPECT_LT(faster.lower(0.01), b.lower(0.01));
+}
+
+TEST(SpectralBounds, PeriodicChainIsInfinite) {
+  const SpectralBounds b{1.0};
+  EXPECT_TRUE(std::isinf(b.lower(0.1)));
+  EXPECT_TRUE(std::isinf(b.upper(0.1, 100)));
+}
+
+TEST(SpectralBounds, EpsilonAtInvertsLower) {
+  const SpectralBounds b{0.995};
+  for (const double eps : {0.2, 0.05, 1e-3}) {
+    const double t = b.lower(eps);
+    EXPECT_NEAR(b.epsilon_at(t), eps, eps * 1e-9);
+  }
+}
+
+TEST(SpectralBounds, EpsilonAtZeroStepsIsHalf) {
+  const SpectralBounds b{0.9};
+  EXPECT_DOUBLE_EQ(b.epsilon_at(0.0), 0.5);
+}
+
+// --------------------------------------------------------------- sampled --
+
+TEST(SampledMixing, CompleteGraphMixesImmediately) {
+  const auto g = gen::complete(30);
+  const auto sources = all_sources(g);
+  const auto sampled = measure_sampled_mixing(g, sources, 10);
+  // K_n from any vertex reaches TVD < 0.05 after ~2 steps.
+  EXPECT_LE(sampled.worst_mixing_time(0.05), 2u);
+}
+
+TEST(SampledMixing, WorstIsMaxOfPerSource) {
+  const auto g = gen::dumbbell(10, 1);
+  const auto sources = all_sources(g);
+  const auto sampled = measure_sampled_mixing(g, sources, 200);
+  const std::size_t worst = sampled.worst_mixing_time(0.1);
+  for (std::size_t s = 0; s < sampled.num_sources(); ++s) {
+    EXPECT_LE(sampled.mixing_time(s, 0.1), worst);
+  }
+}
+
+TEST(SampledMixing, MixingTimeMonotoneInEpsilon) {
+  const auto g = gen::dumbbell(8, 2);
+  const auto sampled = measure_sampled_mixing(g, all_sources(g), 300);
+  for (std::size_t s = 0; s < sampled.num_sources(); ++s) {
+    EXPECT_LE(sampled.mixing_time(s, 0.2), sampled.mixing_time(s, 0.1));
+    EXPECT_LE(sampled.mixing_time(s, 0.1), sampled.mixing_time(s, 0.01));
+  }
+}
+
+TEST(SampledMixing, NotMixedSentinel) {
+  // Periodic star: never reaches pi.
+  const auto g = gen::star(8);
+  const auto sampled = measure_sampled_mixing(g, all_sources(g), 50);
+  EXPECT_EQ(sampled.worst_mixing_time(0.01), kNotMixed);
+  const auto avg = sampled.average_mixing_time(0.01);
+  EXPECT_EQ(avg.unmixed_sources, sampled.num_sources());
+  EXPECT_DOUBLE_EQ(avg.mean_steps, 50.0);
+}
+
+TEST(SampledMixing, AverageBelowWorst) {
+  const auto g = gen::dumbbell(10, 1);
+  const auto sampled = measure_sampled_mixing(g, all_sources(g), 400);
+  const auto worst = sampled.worst_mixing_time(0.1);
+  ASSERT_NE(worst, kNotMixed);
+  const auto avg = sampled.average_mixing_time(0.1);
+  EXPECT_EQ(avg.unmixed_sources, 0u);
+  EXPECT_LE(avg.mean_steps, static_cast<double>(worst));
+}
+
+TEST(SampledMixing, SlemLowerBoundHolds) {
+  // Theorem 2: T(eps) >= mu/(2(1-mu)) ln(1/2eps). The sampled worst mixing
+  // time over *all* sources is exactly T(eps) restricted to the step grid,
+  // so it must respect the bound.
+  util::Rng rng{5};
+  const auto g = graph::largest_component(gen::erdos_renyi_gnm(60, 120, rng)).graph;
+  const auto spectrum = linalg::slem_spectrum(linalg::WalkOperator{g});
+  const auto sampled = measure_sampled_mixing(g, all_sources(g), 500);
+  const SpectralBounds bounds{spectrum.slem};
+  for (const double eps : {0.1, 0.01}) {
+    const std::size_t t = sampled.worst_mixing_time(eps);
+    ASSERT_NE(t, kNotMixed) << "eps=" << eps;
+    EXPECT_GE(static_cast<double>(t) + 1.0, bounds.lower(eps)) << "eps=" << eps;
+  }
+}
+
+TEST(SampledMixing, TvdAtMatchesTrajectories) {
+  const auto g = gen::cycle(9);
+  const auto sampled = measure_sampled_mixing(g, all_sources(g), 20);
+  const auto at5 = sampled.tvd_at(5);
+  ASSERT_EQ(at5.size(), sampled.num_sources());
+  for (std::size_t s = 0; s < at5.size(); ++s) EXPECT_DOUBLE_EQ(at5[s], sampled.tvd(s, 5));
+}
+
+TEST(SampledMixing, SortedTvdIsSorted) {
+  util::Rng rng{6};
+  const auto g = graph::largest_component(gen::erdos_renyi_gnm(40, 100, rng)).graph;
+  const auto sampled = measure_sampled_mixing(g, all_sources(g), 15);
+  const auto sorted = sampled.sorted_tvd_at(10);
+  EXPECT_TRUE(std::is_sorted(sorted.begin(), sorted.end()));
+}
+
+TEST(SampledMixing, PercentileCurvesOrdered) {
+  const auto g = gen::dumbbell(12, 1);
+  const auto sampled = measure_sampled_mixing(g, all_sources(g), 100);
+  const auto curves = sampled.percentile_curves();
+  ASSERT_EQ(curves.top.size(), 100u);
+  for (std::size_t t = 0; t < 100; ++t) {
+    EXPECT_LE(curves.top[t], curves.median[t] + 1e-12);
+    EXPECT_LE(curves.median[t], curves.bottom[t] + 1e-12);
+    EXPECT_LE(curves.bottom[t], curves.max[t] + 1e-12);
+    EXPECT_LE(curves.top[t], curves.mean[t] + 1e-12);
+    EXPECT_LE(curves.mean[t], curves.max[t] + 1e-12);
+  }
+}
+
+TEST(SampledMixing, RaggedTrajectoriesRejected) {
+  EXPECT_THROW(SampledMixing({0, 1}, {{0.5}, {0.5, 0.4}}), std::invalid_argument);
+  EXPECT_THROW(SampledMixing({0}, {{0.5}, {0.4}}), std::invalid_argument);
+}
+
+TEST(PickSources, DistinctAndInRange) {
+  util::Rng rng{7};
+  const auto g = gen::complete(50);
+  const auto sources = pick_sources(g, 20, rng);
+  ASSERT_EQ(sources.size(), 20u);
+  std::set<graph::NodeId> unique{sources.begin(), sources.end()};
+  EXPECT_EQ(unique.size(), 20u);
+  for (const auto s : sources) EXPECT_LT(s, 50u);
+}
+
+TEST(PickSources, CountAboveNReturnsAll) {
+  util::Rng rng{8};
+  const auto g = gen::complete(10);
+  EXPECT_EQ(pick_sources(g, 100, rng).size(), 10u);
+}
+
+TEST(AllSources, EnumeratesEveryVertex) {
+  const auto g = gen::cycle(7);
+  const auto sources = all_sources(g);
+  ASSERT_EQ(sources.size(), 7u);
+  for (graph::NodeId v = 0; v < 7; ++v) EXPECT_EQ(sources[v], v);
+}
+
+}  // namespace
+}  // namespace socmix::markov

@@ -1,0 +1,77 @@
+#include "markov/random_walk.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/reference.hpp"
+#include "linalg/vector_ops.hpp"
+#include "markov/stationary.hpp"
+#include "util/rng.hpp"
+
+namespace socmix::markov {
+namespace {
+
+TEST(SampleWalk, LengthAndAdjacency) {
+  util::Rng rng{1};
+  const auto g = gen::cycle(10);
+  const auto walk = sample_walk(g, 3, 25, rng);
+  ASSERT_EQ(walk.size(), 26u);
+  EXPECT_EQ(walk.front(), 3u);
+  for (std::size_t i = 1; i < walk.size(); ++i) {
+    EXPECT_TRUE(g.has_edge(walk[i - 1], walk[i])) << "step " << i;
+  }
+}
+
+TEST(SampleWalk, ZeroLengthIsJustStart) {
+  util::Rng rng{2};
+  const auto g = gen::complete(5);
+  const auto walk = sample_walk(g, 2, 0, rng);
+  ASSERT_EQ(walk.size(), 1u);
+  EXPECT_EQ(walk[0], 2u);
+}
+
+TEST(WalkEndpoint, MatchesWalkDistributionSupport) {
+  util::Rng rng{3};
+  const auto g = gen::path(4);
+  for (int i = 0; i < 50; ++i) {
+    const auto end = walk_endpoint(g, 0, 2, rng);
+    // After 2 steps from vertex 0 of a path: only 0 or 2 reachable.
+    EXPECT_TRUE(end == 0u || end == 2u);
+  }
+}
+
+TEST(EndpointDistribution, IsDistribution) {
+  util::Rng rng{4};
+  const auto g = gen::complete(8);
+  const auto freq = endpoint_distribution(g, 0, 5, 1000, rng);
+  EXPECT_TRUE(is_distribution(freq, 1e-9));
+}
+
+TEST(EndpointDistribution, ConvergesToStationary) {
+  // Monte-Carlo check of Theorem 1: long-walk endpoints ~ pi = deg/2m.
+  util::Rng rng{5};
+  const auto g = gen::star(4);  // lazy? star is periodic, use dumbbell
+  const auto g2 = gen::dumbbell(5, 2);
+  const auto pi = stationary_distribution(g2);
+  const auto freq = endpoint_distribution(g2, 0, 200, 20000, rng);
+  // Periodic parity effects absent (dumbbell has odd cycles). 20k samples
+  // -> standard error ~ 1/sqrt(20000) ~ 0.007 per coordinate.
+  EXPECT_LT(linalg::total_variation(freq, pi), 0.05);
+  (void)g;
+}
+
+TEST(EndpointDistribution, ZeroWalksIsZeroVector) {
+  util::Rng rng{6};
+  const auto g = gen::complete(4);
+  const auto freq = endpoint_distribution(g, 0, 5, 0, rng);
+  for (const double f : freq) EXPECT_DOUBLE_EQ(f, 0.0);
+}
+
+TEST(SampleWalk, DeterministicGivenRngState) {
+  const auto g = gen::complete(20);
+  util::Rng a{99};
+  util::Rng b{99};
+  EXPECT_EQ(sample_walk(g, 0, 30, a), sample_walk(g, 0, 30, b));
+}
+
+}  // namespace
+}  // namespace socmix::markov

@@ -1,0 +1,60 @@
+#include "markov/stationary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "gen/erdos_renyi.hpp"
+#include "gen/reference.hpp"
+#include "graph/components.hpp"
+#include "util/rng.hpp"
+
+namespace socmix::markov {
+namespace {
+
+TEST(Stationary, SumsToOne) {
+  util::Rng rng{1};
+  const auto g = graph::largest_component(gen::erdos_renyi_gnm(100, 300, rng)).graph;
+  const auto pi = stationary_distribution(g);
+  const double sum = std::accumulate(pi.begin(), pi.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  EXPECT_TRUE(is_distribution(pi));
+}
+
+TEST(Stationary, ProportionalToDegree) {
+  const auto g = gen::star(5);  // hub degree 4, leaves degree 1, 2m = 8
+  const auto pi = stationary_distribution(g);
+  EXPECT_DOUBLE_EQ(pi[0], 0.5);
+  for (int leaf = 1; leaf < 5; ++leaf) EXPECT_DOUBLE_EQ(pi[leaf], 0.125);
+}
+
+TEST(Stationary, UniformOnRegularGraph) {
+  // Theorem 1's remark: regular graphs have uniform pi.
+  const auto g = gen::cycle(10);
+  const auto pi = stationary_distribution(g);
+  for (const double p : pi) EXPECT_DOUBLE_EQ(p, 0.1);
+}
+
+TEST(Stationary, IsInvariantUnderP) {
+  util::Rng rng{2};
+  const auto g = graph::largest_component(gen::erdos_renyi_gnm(80, 200, rng)).graph;
+  const auto pi = stationary_distribution(g);
+  EXPECT_LT(stationarity_residual(g, pi), 1e-14);
+}
+
+TEST(Stationary, NonStationaryHasResidual) {
+  const auto g = gen::star(6);
+  std::vector<double> uniform(6, 1.0 / 6.0);
+  EXPECT_GT(stationarity_residual(g, uniform), 0.01);
+}
+
+TEST(IsDistribution, AcceptsValidRejectsInvalid) {
+  EXPECT_TRUE(is_distribution(std::vector<double>{0.5, 0.5}));
+  EXPECT_TRUE(is_distribution(std::vector<double>{1.0}));
+  EXPECT_FALSE(is_distribution(std::vector<double>{0.6, 0.6}));
+  EXPECT_FALSE(is_distribution(std::vector<double>{1.5, -0.5}));
+  EXPECT_FALSE(is_distribution(std::vector<double>{0.3, 0.3}));
+}
+
+}  // namespace
+}  // namespace socmix::markov

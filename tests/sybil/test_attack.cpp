@@ -1,0 +1,103 @@
+#include "sybil/attack.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/erdos_renyi.hpp"
+#include "gen/reference.hpp"
+#include "graph/components.hpp"
+#include "util/rng.hpp"
+
+namespace socmix::sybil {
+namespace {
+
+TEST(Attack, CompositeStructure) {
+  const auto honest = gen::complete(50);
+  AttackConfig config;
+  config.sybil_nodes = 30;
+  config.attack_edges = 5;
+  const auto attacked = attach_sybil_region(honest, config);
+
+  EXPECT_EQ(attacked.graph.num_nodes(), 80u);
+  EXPECT_EQ(attacked.num_honest(), 50u);
+  EXPECT_EQ(attacked.num_sybil(), 30u);
+  EXPECT_EQ(attacked.attack_edges, 5u);
+  EXPECT_FALSE(attacked.is_sybil(0));
+  EXPECT_FALSE(attacked.is_sybil(49));
+  EXPECT_TRUE(attacked.is_sybil(50));
+  EXPECT_TRUE(attacked.is_sybil(79));
+}
+
+TEST(Attack, ExactAttackEdgeCount) {
+  const auto honest = gen::complete(40);
+  AttackConfig config;
+  config.sybil_nodes = 20;
+  config.attack_edges = 7;
+  const auto attacked = attach_sybil_region(honest, config);
+
+  std::size_t crossing = 0;
+  for (graph::NodeId v = 0; v < attacked.sybil_base; ++v) {
+    for (const graph::NodeId w : attacked.graph.neighbors(v)) {
+      if (attacked.is_sybil(w)) ++crossing;
+    }
+  }
+  EXPECT_EQ(crossing, 7u);
+}
+
+TEST(Attack, HonestRegionUnchanged) {
+  const auto honest = gen::cycle(30);
+  AttackConfig config;
+  config.sybil_nodes = 10;
+  config.attack_edges = 2;
+  const auto attacked = attach_sybil_region(honest, config);
+  for (graph::NodeId v = 0; v < 30; ++v) {
+    for (const graph::NodeId w : honest.neighbors(v)) {
+      EXPECT_TRUE(attacked.graph.has_edge(v, w));
+    }
+  }
+}
+
+TEST(Attack, CompositeIsConnected) {
+  util::Rng rng{3};
+  const auto honest =
+      graph::largest_component(gen::erdos_renyi_gnm(100, 300, rng)).graph;
+  AttackConfig config;
+  config.sybil_nodes = 50;
+  config.attack_edges = 3;
+  const auto attacked = attach_sybil_region(honest, config);
+  EXPECT_TRUE(graph::is_connected(attacked.graph));
+}
+
+TEST(Attack, SybilRegionDensityKnob) {
+  const auto honest = gen::complete(20);
+  AttackConfig sparse;
+  sparse.sybil_nodes = 100;
+  sparse.attack_edges = 1;
+  sparse.sybil_avg_degree = 2.0;
+  AttackConfig dense = sparse;
+  dense.sybil_avg_degree = 12.0;
+  const auto g_sparse = attach_sybil_region(honest, sparse);
+  const auto g_dense = attach_sybil_region(honest, dense);
+  EXPECT_GT(g_dense.graph.num_edges(), g_sparse.graph.num_edges() + 200);
+}
+
+TEST(Attack, RejectsBadConfig) {
+  const auto honest = gen::complete(10);
+  AttackConfig no_sybils;
+  no_sybils.sybil_nodes = 0;
+  EXPECT_THROW(attach_sybil_region(honest, no_sybils), std::invalid_argument);
+  AttackConfig no_edges;
+  no_edges.attack_edges = 0;
+  EXPECT_THROW(attach_sybil_region(honest, no_edges), std::invalid_argument);
+}
+
+TEST(Attack, DeterministicPerSeed) {
+  const auto honest = gen::complete(25);
+  AttackConfig config;
+  config.seed = 42;
+  const auto a = attach_sybil_region(honest, config);
+  const auto b = attach_sybil_region(honest, config);
+  EXPECT_EQ(a.graph.num_edges(), b.graph.num_edges());
+}
+
+}  // namespace
+}  // namespace socmix::sybil

@@ -1,0 +1,77 @@
+#include "sybil/permutation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace socmix::sybil {
+namespace {
+
+// Bijectivity over the full domain for a spread of sizes, including
+// non-powers-of-two that exercise cycle-walking.
+class PermutationDomain : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PermutationDomain, IsBijective) {
+  const std::uint64_t size = GetParam();
+  const KeyedPermutation sigma{0xdeadbeef, size};
+  std::set<std::uint64_t> images;
+  for (std::uint64_t x = 0; x < size; ++x) {
+    const std::uint64_t y = sigma.apply(x);
+    EXPECT_LT(y, size);
+    images.insert(y);
+  }
+  EXPECT_EQ(images.size(), size);  // injective + bounded => bijective
+}
+
+TEST_P(PermutationDomain, InverseRoundTrips) {
+  const std::uint64_t size = GetParam();
+  const KeyedPermutation sigma{0x1234567, size};
+  for (std::uint64_t x = 0; x < size; ++x) {
+    EXPECT_EQ(sigma.invert(sigma.apply(x)), x);
+    EXPECT_EQ(sigma.apply(sigma.invert(x)), x);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PermutationDomain,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 13, 16, 31, 100, 257,
+                                           1000, 4096, 10007));
+
+TEST(KeyedPermutation, DeterministicPerKey) {
+  const KeyedPermutation a{42, 100};
+  const KeyedPermutation b{42, 100};
+  for (std::uint64_t x = 0; x < 100; ++x) EXPECT_EQ(a.apply(x), b.apply(x));
+}
+
+TEST(KeyedPermutation, DifferentKeysDiffer) {
+  const KeyedPermutation a{1, 1000};
+  const KeyedPermutation b{2, 1000};
+  std::size_t same = 0;
+  for (std::uint64_t x = 0; x < 1000; ++x) {
+    if (a.apply(x) == b.apply(x)) ++same;
+  }
+  EXPECT_LT(same, 20u);  // expected ~1 coincidence for random permutations
+}
+
+TEST(KeyedPermutation, LooksUniform) {
+  // Each position should be hit roughly uniformly across many keys.
+  const std::uint64_t size = 10;
+  std::vector<int> image_of_zero(size, 0);
+  for (std::uint64_t key = 0; key < 5000; ++key) {
+    ++image_of_zero[KeyedPermutation{key, size}.apply(0)];
+  }
+  for (const int count : image_of_zero) EXPECT_NEAR(count, 500, 150);
+}
+
+TEST(KeyedPermutation, SizeOneIsIdentity) {
+  const KeyedPermutation sigma{99, 1};
+  EXPECT_EQ(sigma.apply(0), 0u);
+  EXPECT_EQ(sigma.invert(0), 0u);
+}
+
+TEST(KeyedPermutation, RejectsEmptyDomain) {
+  EXPECT_THROW((KeyedPermutation{1, 0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace socmix::sybil

@@ -1,0 +1,149 @@
+#include "sybil/routes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <utility>
+
+#include "gen/erdos_renyi.hpp"
+#include "gen/reference.hpp"
+#include "graph/components.hpp"
+#include "util/rng.hpp"
+
+namespace socmix::sybil {
+namespace {
+
+TEST(UndirectedKey, OrderFree) {
+  EXPECT_EQ(undirected_key({3, 9}), undirected_key({9, 3}));
+  EXPECT_NE(undirected_key({3, 9}), undirected_key({3, 8}));
+}
+
+TEST(RouteTable, NextOutIndexIsPermutation) {
+  // For every node and instance, in_index -> out_index must be a bijection
+  // on [0, deg): this is the property that makes routes back-traceable.
+  util::Rng rng{1};
+  const auto g = graph::largest_component(gen::erdos_renyi_gnm(40, 120, rng)).graph;
+  const RouteTable routes{g, /*protocol_seed=*/7};
+  for (const std::uint32_t instance : {0u, 1u, 5u}) {
+    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+      const graph::NodeId deg = g.degree(v);
+      std::vector<char> seen(deg, 0);
+      for (graph::NodeId i = 0; i < deg; ++i) {
+        const graph::NodeId out = routes.next_out_index(instance, v, i);
+        ASSERT_LT(out, deg);
+        EXPECT_EQ(seen[out], 0) << "collision at node " << v;
+        seen[out] = 1;
+      }
+    }
+  }
+}
+
+TEST(RouteTable, RouteIsDeterministic) {
+  const auto g = gen::circulant(50, 4);
+  const RouteTable routes{g, 99};
+  const auto a = routes.route_vertices(3, 10, 20);
+  const auto b = routes.route_vertices(3, 10, 20);
+  EXPECT_EQ(a, b);
+}
+
+TEST(RouteTable, DifferentInstancesDiverge) {
+  const auto g = gen::circulant(200, 6);
+  const RouteTable routes{g, 1};
+  const auto a = routes.route_vertices(0, 0, 30);
+  const auto b = routes.route_vertices(1, 0, 30);
+  EXPECT_NE(a, b);
+}
+
+TEST(RouteTable, RouteFollowsEdges) {
+  util::Rng rng{2};
+  const auto g = graph::largest_component(gen::erdos_renyi_gnm(60, 180, rng)).graph;
+  const RouteTable routes{g, 3};
+  const auto walk = routes.route_vertices(2, 5, 15);
+  ASSERT_EQ(walk.size(), 16u);
+  for (std::size_t i = 1; i < walk.size(); ++i) {
+    EXPECT_TRUE(g.has_edge(walk[i - 1], walk[i]));
+  }
+}
+
+TEST(RouteTable, TailMatchesVertexSequence) {
+  const auto g = gen::circulant(80, 4);
+  const RouteTable routes{g, 5};
+  for (const std::size_t w : {1u, 3u, 10u}) {
+    const auto walk = routes.route_vertices(2, 7, w);
+    const auto tail = routes.route_tail(2, 7, w);
+    ASSERT_TRUE(tail.has_value());
+    EXPECT_EQ(tail->from, walk[walk.size() - 2]);
+    EXPECT_EQ(tail->to, walk.back());
+  }
+}
+
+TEST(RouteTable, ZeroLengthHasNoTail) {
+  const auto g = gen::complete(5);
+  const RouteTable routes{g, 1};
+  EXPECT_FALSE(routes.route_tail(0, 0, 0).has_value());
+}
+
+TEST(RouteTable, ConvergenceProperty) {
+  // SybilLimit's crucial property: once two routes in the same instance
+  // traverse the same directed edge, they coincide forever after. Verify
+  // by walking all vertices and indexing position of each directed edge.
+  util::Rng rng{3};
+  const auto g = graph::largest_component(gen::erdos_renyi_gnm(50, 150, rng)).graph;
+  const RouteTable routes{g, 11};
+  const std::size_t w = 12;
+  const std::uint32_t instance = 4;
+
+  std::vector<std::vector<graph::NodeId>> walks;
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    walks.push_back(routes.route_vertices(instance, v, w));
+  }
+  for (std::size_t a = 0; a < walks.size(); ++a) {
+    for (std::size_t b = a + 1; b < walks.size(); ++b) {
+      // Find a common directed edge at positions i (walk a) and j (walk b).
+      for (std::size_t i = 1; i < walks[a].size(); ++i) {
+        for (std::size_t j = 1; j < walks[b].size(); ++j) {
+          if (walks[a][i - 1] == walks[b][j - 1] && walks[a][i] == walks[b][j]) {
+            // Suffixes must agree step for step.
+            std::size_t ia = i;
+            std::size_t jb = j;
+            while (ia + 1 < walks[a].size() && jb + 1 < walks[b].size()) {
+              ++ia;
+              ++jb;
+              ASSERT_EQ(walks[a][ia], walks[b][jb])
+                  << "routes diverged after sharing edge";
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(RouteTable, BackTraceability) {
+  // sigma is invertible, so distinct routes cannot merge *backwards*: two
+  // different vertices' routes entering the same node at the same step via
+  // the same edge are impossible. Equivalent check: in one instance, the
+  // map (directed edge) -> (next directed edge) is injective.
+  util::Rng rng{4};
+  const auto g = graph::largest_component(gen::erdos_renyi_gnm(40, 120, rng)).graph;
+  const RouteTable routes{g, 13};
+  const std::uint32_t instance = 2;
+
+  std::map<std::pair<graph::NodeId, graph::NodeId>, std::pair<graph::NodeId, graph::NodeId>>
+      successor_of;
+  std::set<std::pair<graph::NodeId, graph::NodeId>> images;
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    const auto adj = g.neighbors(u);
+    for (graph::NodeId i = 0; i < adj.size(); ++i) {
+      // Directed edge (adj[i] -> u) continues to (u -> next).
+      const graph::NodeId out = routes.next_out_index(instance, u, i);
+      const auto next = std::make_pair(u, g.neighbor(u, out));
+      const bool inserted = images.insert(next).second;
+      EXPECT_TRUE(inserted) << "two edges map to the same successor";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace socmix::sybil

@@ -1,0 +1,83 @@
+#include "sybil/sybil_guard.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/erdos_renyi.hpp"
+#include "gen/reference.hpp"
+#include "graph/components.hpp"
+#include "markov/mixing_time.hpp"
+#include "util/rng.hpp"
+
+namespace socmix::sybil {
+namespace {
+
+graph::Graph expander(graph::NodeId n, std::uint64_t seed) {
+  util::Rng rng{seed};
+  return graph::largest_component(
+             gen::erdos_renyi_gnm(n, static_cast<std::uint64_t>(n) * 4, rng))
+      .graph;
+}
+
+TEST(SybilGuard, DefaultRouteLengthIsSqrtNLogN) {
+  const auto g = expander(400, 1);
+  const SybilGuard guard{g, {}};
+  const double n = static_cast<double>(g.num_nodes());
+  EXPECT_EQ(guard.route_length(),
+            static_cast<std::size_t>(std::ceil(std::sqrt(n * std::log(n)))));
+}
+
+TEST(SybilGuard, ExplicitRouteLengthRespected) {
+  const auto g = expander(100, 2);
+  SybilGuardParams params;
+  params.route_length = 23;
+  const SybilGuard guard{g, params};
+  EXPECT_EQ(guard.route_length(), 23u);
+  EXPECT_EQ(guard.route(0).size(), 24u);
+}
+
+TEST(SybilGuard, SelfAcceptance) {
+  const auto g = expander(200, 3);
+  const SybilGuard guard{g, {}};
+  EXPECT_TRUE(guard.accepts(7, 7));  // routes trivially share vertices
+}
+
+TEST(SybilGuard, LongRoutesIntersectOnExpanders) {
+  // Theta(sqrt(n log n)) routes intersect w.h.p. on fast-mixing graphs —
+  // SybilGuard's core claim.
+  const auto g = expander(500, 4);
+  const SybilGuard guard{g, {}};
+  util::Rng rng{5};
+  const auto suspects = markov::pick_sources(g, 60, rng);
+  const double rate = guard.admission_rate(0, suspects);
+  EXPECT_GT(rate, 0.9);
+}
+
+TEST(SybilGuard, ShortRoutesMissOften) {
+  const auto g = expander(500, 6);
+  SybilGuardParams params;
+  params.route_length = 2;
+  const SybilGuard guard{g, params};
+  util::Rng rng{7};
+  const auto suspects = markov::pick_sources(g, 60, rng);
+  EXPECT_LT(guard.admission_rate(0, suspects), 0.5);
+}
+
+TEST(SybilGuard, AdmissionRateEmptySuspects) {
+  const auto g = expander(50, 8);
+  const SybilGuard guard{g, {}};
+  EXPECT_DOUBLE_EQ(guard.admission_rate(0, {}), 0.0);
+}
+
+TEST(SybilGuard, RoutesFollowEdges) {
+  const auto g = gen::circulant(100, 6);
+  const SybilGuard guard{g, {}};
+  const auto route = guard.route(10);
+  for (std::size_t i = 1; i < route.size(); ++i) {
+    EXPECT_TRUE(g.has_edge(route[i - 1], route[i]));
+  }
+}
+
+}  // namespace
+}  // namespace socmix::sybil

@@ -1,0 +1,134 @@
+#include "sybil/sybil_infer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/datasets.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "graph/components.hpp"
+#include "markov/mixing_time.hpp"
+#include "util/rng.hpp"
+
+namespace socmix::sybil {
+namespace {
+
+graph::Graph expander(graph::NodeId n, std::uint64_t seed) {
+  util::Rng rng{seed};
+  return graph::largest_component(
+             gen::erdos_renyi_gnm(n, static_cast<std::uint64_t>(n) * 5, rng))
+      .graph;
+}
+
+SybilInferParams params_with_seeds(const graph::Graph& honest_region,
+                                   std::size_t num_seeds, std::uint64_t seed) {
+  SybilInferParams params;
+  util::Rng rng{seed};
+  params.seeds = markov::pick_sources(honest_region, num_seeds, rng);
+  params.walks_per_seed = 30;
+  params.walk_length = 10;
+  params.mh_iterations = 15000;
+  params.seed = seed;
+  return params;
+}
+
+TEST(SybilInfer, ValidatesArguments) {
+  const auto g = expander(50, 1);
+  SybilInferParams no_seeds;
+  EXPECT_THROW(sybil_infer(g, no_seeds), std::invalid_argument);
+  SybilInferParams bad_p;
+  bad_p.seeds = {0};
+  bad_p.p_in = 1.0;
+  EXPECT_THROW(sybil_infer(g, bad_p), std::invalid_argument);
+  SybilInferParams bad_seed;
+  bad_seed.seeds = {999};
+  EXPECT_THROW(sybil_infer(g, bad_seed), std::invalid_argument);
+}
+
+TEST(SybilInfer, ProbabilitiesAreValidAndSeedsPinned) {
+  const auto honest = expander(200, 2);
+  AttackConfig atk;
+  atk.sybil_nodes = 60;
+  atk.attack_edges = 4;
+  atk.seed = 2;
+  const auto attacked = attach_sybil_region(honest, atk);
+
+  const auto params = params_with_seeds(honest, 30, 2);
+  const auto result = sybil_infer(attacked.graph, params);
+  ASSERT_EQ(result.honest_probability.size(), attacked.graph.num_nodes());
+  for (const double p : result.honest_probability) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+  for (const auto s : params.seeds) {
+    EXPECT_DOUBLE_EQ(result.honest_probability[s], 1.0);  // never flipped
+  }
+  EXPECT_GT(result.acceptance_rate, 0.0);
+}
+
+TEST(SybilInfer, SeparatesSybilsOnFastMixingGraph) {
+  // The regime SybilInfer was designed for: expander honest region, few
+  // attack edges — Sybils should be overwhelmingly classified out.
+  const auto honest = expander(250, 3);
+  AttackConfig atk;
+  atk.sybil_nodes = 80;
+  atk.attack_edges = 4;
+  atk.seed = 3;
+  const auto attacked = attach_sybil_region(honest, atk);
+
+  const auto eval =
+      evaluate_sybil_infer(attacked, params_with_seeds(honest, 40, 3));
+  EXPECT_GT(eval.sybil_recall, 0.9);
+  EXPECT_GT(eval.honest_recall, 0.8);
+}
+
+TEST(SybilInfer, DeterministicPerSeed) {
+  const auto honest = expander(120, 4);
+  AttackConfig atk;
+  atk.sybil_nodes = 40;
+  atk.attack_edges = 3;
+  atk.seed = 4;
+  const auto attacked = attach_sybil_region(honest, atk);
+  const auto params = params_with_seeds(honest, 20, 4);
+  const auto a = sybil_infer(attacked.graph, params);
+  const auto b = sybil_infer(attacked.graph, params);
+  for (std::size_t v = 0; v < a.honest_probability.size(); ++v) {
+    EXPECT_DOUBLE_EQ(a.honest_probability[v], b.honest_probability[v]);
+  }
+}
+
+TEST(SybilInfer, SlowMixingHonestRegionHurtsHonestRecall) {
+  // The paper's point applied to SybilInfer: when the honest region itself
+  // has community structure, honest communities far from the seeds receive
+  // few walk endpoints and get misclassified — honest recall drops
+  // relative to the expander case at identical attack strength.
+  AttackConfig atk;
+  atk.sybil_nodes = 80;
+  atk.attack_edges = 4;
+  atk.seed = 5;
+
+  const auto fast_honest = expander(250, 5);
+  const auto fast_attacked = attach_sybil_region(fast_honest, atk);
+  // Seeds concentrated in one community of the slow graph.
+  const auto slow_honest = gen::build_dataset(*gen::find_dataset("Physics 1"), 1560, 5);
+  const auto slow_attacked = attach_sybil_region(slow_honest, atk);
+
+  SybilInferParams fast_params = params_with_seeds(fast_honest, 40, 5);
+  SybilInferParams slow_params = fast_params;
+  slow_params.seeds.clear();
+  for (graph::NodeId s = 0; s < 40; ++s) slow_params.seeds.push_back(s);  // one block
+
+  const auto fast_eval = evaluate_sybil_infer(fast_attacked, fast_params);
+  const auto slow_eval = evaluate_sybil_infer(slow_attacked, slow_params);
+  EXPECT_LT(slow_eval.honest_recall + 0.1, fast_eval.honest_recall);
+}
+
+TEST(SybilInfer, HonestSetThresholding) {
+  SybilInferResult result;
+  result.honest_probability = {0.9, 0.1, 0.5, 0.7};
+  const auto at_half = result.honest_set(0.5);
+  EXPECT_EQ(at_half, (std::vector<graph::NodeId>{0, 2, 3}));
+  const auto strict = result.honest_set(0.8);
+  EXPECT_EQ(strict, (std::vector<graph::NodeId>{0}));
+}
+
+}  // namespace
+}  // namespace socmix::sybil

@@ -1,0 +1,67 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace socmix::util {
+namespace {
+
+TEST(CsvQuote, PlainCellUnchanged) {
+  EXPECT_EQ(csv_quote("hello"), "hello");
+  EXPECT_EQ(csv_quote("123.5"), "123.5");
+}
+
+TEST(CsvQuote, QuotesSpecialCharacters) {
+  EXPECT_EQ(csv_quote("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_quote("line\nbreak"), "\"line\nbreak\"");
+  EXPECT_EQ(csv_quote("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvWriter, WritesRowsToFile) {
+  const std::string path = testing::TempDir() + "/socmix_csv_test.csv";
+  {
+    CsvWriter csv{path};
+    ASSERT_TRUE(csv.ok());
+    csv.row({"a", "b,c"});
+    csv.row({"1", "2"});
+  }
+  std::ifstream in{path};
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(ss.str(), "a,\"b,c\"\n1,2\n");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, UnwritablePathDegradesToNoop) {
+  CsvWriter csv{"/nonexistent_dir_zzz/file.csv"};
+  EXPECT_FALSE(csv.ok());
+  csv.row({"ignored"});  // must not crash
+}
+
+TEST(CsvWriter, MoveTransfersOwnership) {
+  const std::string path = testing::TempDir() + "/socmix_csv_move.csv";
+  {
+    CsvWriter a{path};
+    CsvWriter b{std::move(a)};
+    EXPECT_FALSE(a.ok());  // NOLINT(bugprone-use-after-move): testing moved-from state
+    EXPECT_TRUE(b.ok());
+    b.row({"x"});
+  }
+  std::ifstream in{path};
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x");
+  std::remove(path.c_str());
+}
+
+TEST(EnsureDirectory, CreatesAndAcceptsExisting) {
+  const std::string dir = testing::TempDir() + "/socmix_dir_test";
+  EXPECT_TRUE(ensure_directory(dir));
+  EXPECT_TRUE(ensure_directory(dir));  // already exists
+}
+
+}  // namespace
+}  // namespace socmix::util

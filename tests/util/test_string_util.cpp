@@ -1,0 +1,90 @@
+#include "util/string_util.hpp"
+
+#include <gtest/gtest.h>
+
+namespace socmix::util {
+namespace {
+
+TEST(Trim, RemovesSurroundingWhitespace) {
+  EXPECT_EQ(trim("  hello \t\n"), "hello");
+  EXPECT_EQ(trim("hello"), "hello");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t "), "");
+  EXPECT_EQ(trim("a b"), "a b");
+}
+
+TEST(Split, KeepsEmptyFields) {
+  const auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Split, SingleField) {
+  const auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(SplitWs, DropsEmptyFields) {
+  const auto parts = split_ws("  1\t2   3\n");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "1");
+  EXPECT_EQ(parts[1], "2");
+  EXPECT_EQ(parts[2], "3");
+}
+
+TEST(SplitWs, EmptyInput) {
+  EXPECT_TRUE(split_ws("").empty());
+  EXPECT_TRUE(split_ws("   ").empty());
+}
+
+TEST(StartsWith, Basics) {
+  EXPECT_TRUE(starts_with("--flag", "--"));
+  EXPECT_FALSE(starts_with("-", "--"));
+  EXPECT_TRUE(starts_with("abc", ""));
+}
+
+TEST(ParseI64, ValidInputs) {
+  EXPECT_EQ(parse_i64("42"), 42);
+  EXPECT_EQ(parse_i64("-7"), -7);
+  EXPECT_EQ(parse_i64("  123 "), 123);
+  EXPECT_EQ(parse_i64("0"), 0);
+}
+
+TEST(ParseI64, RejectsGarbage) {
+  EXPECT_FALSE(parse_i64("12x").has_value());
+  EXPECT_FALSE(parse_i64("").has_value());
+  EXPECT_FALSE(parse_i64("1.5").has_value());
+  EXPECT_FALSE(parse_i64("99999999999999999999999").has_value());
+}
+
+TEST(ParseF64, ValidInputs) {
+  EXPECT_DOUBLE_EQ(parse_f64("2.5").value(), 2.5);
+  EXPECT_DOUBLE_EQ(parse_f64("-1e-3").value(), -1e-3);
+  EXPECT_DOUBLE_EQ(parse_f64(" 0.0 ").value(), 0.0);
+}
+
+TEST(ParseF64, RejectsGarbage) {
+  EXPECT_FALSE(parse_f64("abc").has_value());
+  EXPECT_FALSE(parse_f64("1.5x").has_value());
+  EXPECT_FALSE(parse_f64("").has_value());
+}
+
+TEST(WithCommas, GroupsThousands) {
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(with_commas(999), "999");
+  EXPECT_EQ(with_commas(1000), "1,000");
+  EXPECT_EQ(with_commas(1234567), "1,234,567");
+  EXPECT_EQ(with_commas(-1234), "-1,234");
+}
+
+TEST(ToLower, Basics) {
+  EXPECT_EQ(to_lower("Wiki-Vote"), "wiki-vote");
+  EXPECT_EQ(to_lower("ABC123"), "abc123");
+}
+
+}  // namespace
+}  // namespace socmix::util

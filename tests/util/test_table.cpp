@@ -1,0 +1,69 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace socmix::util {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t;
+  t.header({"Name", "Value"});
+  t.row({"a", "1"});
+  t.row({"longer", "22"});
+  const std::string out = t.str();
+  EXPECT_NE(out.find("Name    Value"), std::string::npos);
+  EXPECT_NE(out.find("------  -----"), std::string::npos);
+  EXPECT_NE(out.find("longer  22"), std::string::npos);
+}
+
+TEST(TextTable, PadsShortRows) {
+  TextTable t;
+  t.header({"A", "B", "C"});
+  t.row({"x"});
+  EXPECT_NO_THROW({ const auto s = t.str(); });
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(TextTable, HeaderResetsRows) {
+  TextTable t;
+  t.header({"A"});
+  t.row({"1"});
+  t.header({"B"});
+  EXPECT_EQ(t.rows(), 0u);
+}
+
+TEST(TextTable, EmptyTablePrintsNothing) {
+  TextTable t;
+  EXPECT_TRUE(t.str().empty());
+}
+
+TEST(TextTable, WiderCellGrowsColumn) {
+  TextTable t;
+  t.header({"X"});
+  t.row({"wide-cell-here"});
+  const std::string out = t.str();
+  EXPECT_NE(out.find("wide-cell-here"), std::string::npos);
+  EXPECT_NE(out.find("--------------"), std::string::npos);
+}
+
+TEST(Formatting, FixedDecimals) {
+  EXPECT_EQ(fmt_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_fixed(1.0, 4), "1.0000");
+}
+
+TEST(Formatting, Scientific) {
+  EXPECT_EQ(fmt_sci(12345.0, 2), "1.23e+04");
+}
+
+TEST(Formatting, AutoSwitchesRegimes) {
+  EXPECT_EQ(fmt_auto(0.0), "0");
+  EXPECT_EQ(fmt_auto(0.5), "0.5000");
+  EXPECT_EQ(fmt_auto(123.0), "123.00");
+  EXPECT_EQ(fmt_auto(1e-7), "1.00e-07");
+  EXPECT_EQ(fmt_auto(1e9), "1.00e+09");
+}
+
+}  // namespace
+}  // namespace socmix::util

@@ -1,0 +1,232 @@
+// socmix — command-line front end to the measurement library.
+//
+//   socmix info     --edges g.txt                    structural report
+//   socmix measure  --edges g.txt [--sources N]      mixing measurement
+//   socmix sample   --edges g.txt --method bfs --size 10000 --out s.txt
+//   socmix trim     --edges g.txt --min-degree 5 --out t.txt
+//   socmix convert  --arcs d.txt --out u.txt         directed -> undirected
+//   socmix sybil    --edges g.txt [--w 2,4,..]       SybilLimit admission sweep
+//   socmix generate --dataset "Physics 1" [--nodes N] --out g.txt
+//
+// Every subcommand also accepts --dataset NAME (+ --nodes) in place of
+// --edges to run on a synthetic Table-1 stand-in, and --seed for
+// reproducibility.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "core/measurement.hpp"
+#include "digraph/io.hpp"
+#include "digraph/scc.hpp"
+#include "gen/datasets.hpp"
+#include "graph/components.hpp"
+#include "graph/io.hpp"
+#include "graph/sampling.hpp"
+#include "graph/stats.hpp"
+#include "graph/trim.hpp"
+#include "markov/conductance.hpp"
+#include "sybil/sybil_limit.hpp"
+#include "util/cli.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+using namespace socmix;
+
+namespace {
+
+int usage() {
+  std::fputs(
+      "usage: socmix <info|measure|sample|trim|convert|sybil|generate> [options]\n"
+      "  input:  --edges FILE | --dataset NAME [--nodes N]   (--seed N)\n"
+      "  info                                    structural report\n"
+      "  measure [--sources N] [--steps N] [--eps X]\n"
+      "  sample  --method bfs|uniform|walk --size N --out FILE\n"
+      "  trim    --min-degree K --out FILE\n"
+      "  convert --arcs FILE --out FILE          directed -> undirected\n"
+      "  sybil   [--w 2,4,8,16] [--suspects N]\n"
+      "  generate --dataset NAME [--nodes N] --out FILE\n",
+      stderr);
+  return 2;
+}
+
+/// Loads --edges FILE or builds --dataset NAME; exits with a message on error.
+graph::Graph load_input(const util::Cli& cli, std::string& name) {
+  const auto seed = static_cast<std::uint64_t>(cli.get_i64("seed", 42));
+  if (cli.has("edges")) {
+    name = cli.get("edges", "");
+    const auto loaded = graph::load_edge_list_file(name);
+    std::fprintf(stderr, "loaded %s: %u nodes, %llu edges\n", name.c_str(),
+                 loaded.graph.num_nodes(),
+                 static_cast<unsigned long long>(loaded.graph.num_edges()));
+    return loaded.graph;
+  }
+  const std::string dataset = cli.get("dataset", "");
+  if (dataset.empty()) {
+    throw std::runtime_error{"need --edges FILE or --dataset NAME"};
+  }
+  const auto spec = gen::find_dataset(dataset);
+  if (!spec) throw std::runtime_error{"unknown dataset '" + dataset + "'"};
+  name = spec->name + " stand-in";
+  const auto nodes = static_cast<graph::NodeId>(cli.get_i64("nodes", 0));
+  return gen::build_dataset(*spec, nodes, seed);
+}
+
+void save_output(const graph::Graph& g, const std::string& path) {
+  std::ofstream out{path};
+  if (!out) throw std::runtime_error{"cannot open " + path};
+  graph::save_edge_list(g, out);
+  std::fprintf(stderr, "wrote %s: %u nodes, %llu edges\n", path.c_str(), g.num_nodes(),
+               static_cast<unsigned long long>(g.num_edges()));
+}
+
+int cmd_info(const util::Cli& cli) {
+  std::string name;
+  const auto raw = load_input(cli, name);
+  const auto lcc = graph::largest_component(raw).graph;
+  const auto seed = static_cast<std::uint64_t>(cli.get_i64("seed", 42));
+  util::Rng rng{seed};
+
+  const auto deg = graph::degree_stats(lcc);
+  std::printf("%s\n", name.c_str());
+  std::printf("largest component: n=%s m=%s (of %s raw)\n",
+              util::with_commas(lcc.num_nodes()).c_str(),
+              util::with_commas(static_cast<std::int64_t>(lcc.num_edges())).c_str(),
+              util::with_commas(raw.num_nodes()).c_str());
+  std::printf("degrees: min=%u median=%.0f mean=%.2f max=%u\n", deg.min, deg.median,
+              deg.mean, deg.max);
+  std::printf("clustering (1k sample): %.4f\n",
+              graph::average_clustering(lcc, 1000, rng));
+  std::printf("effective diameter (90%%): %.0f\n",
+              graph::effective_diameter(lcc, 8, 0.9, rng));
+  std::printf("degeneracy: %u\n", graph::degeneracy(lcc));
+  std::printf("assortativity: %+.4f\n", graph::degree_assortativity(lcc));
+  const auto cut = markov::spectral_cut(lcc);
+  std::printf("spectral cut: conductance %.5f (side %zu); Cheeger %.5f..%.5f\n",
+              cut.cut.conductance, cut.cut.set_size, cut.cheeger_lower,
+              cut.cheeger_upper);
+  return 0;
+}
+
+int cmd_measure(const util::Cli& cli) {
+  std::string name;
+  const auto raw = load_input(cli, name);
+  const auto lcc = graph::largest_component(raw).graph;
+
+  core::MeasurementOptions options;
+  options.sources = static_cast<std::size_t>(cli.get_i64("sources", 200));
+  options.max_steps = static_cast<std::size_t>(cli.get_i64("steps", 400));
+  options.seed = static_cast<std::uint64_t>(cli.get_i64("seed", 42));
+  const double eps = cli.get_f64("eps", 0.1);
+
+  const auto report = core::measure_mixing(lcc, name, options);
+  std::printf("%s\n", core::summarize(report).c_str());
+  std::printf("T(%.3g) bounds: %.1f .. %.1f steps\n", eps, report.lower_bound(eps),
+              report.upper_bound(eps));
+  const auto worst = report.sampled->worst_mixing_time(eps);
+  const auto avg = report.sampled->average_mixing_time(eps);
+  if (worst != markov::kNotMixed) {
+    std::printf("sampled: worst source mixed in %zu steps; ", worst);
+  } else {
+    std::printf("sampled: worst source NOT mixed within %zu steps; ",
+                options.max_steps);
+  }
+  std::printf("average %.1f steps (%zu/%zu unmixed)\n", avg.mean_steps,
+              avg.unmixed_sources, report.sampled->num_sources());
+  return 0;
+}
+
+int cmd_sample(const util::Cli& cli) {
+  std::string name;
+  const auto g = load_input(cli, name);
+  const auto size = static_cast<graph::NodeId>(cli.get_i64("size", 10000));
+  const std::string method = cli.get("method", "bfs");
+  util::Rng rng{static_cast<std::uint64_t>(cli.get_i64("seed", 42))};
+
+  graph::ExtractedSubgraph sample;
+  if (method == "bfs") sample = graph::bfs_sample(g, size, rng);
+  else if (method == "uniform") sample = graph::uniform_node_sample(g, size, rng);
+  else if (method == "walk") sample = graph::random_walk_sample(g, size, rng);
+  else throw std::runtime_error{"unknown --method '" + method + "'"};
+
+  save_output(sample.graph, cli.get("out", "sample.txt"));
+  return 0;
+}
+
+int cmd_trim(const util::Cli& cli) {
+  std::string name;
+  const auto g = load_input(cli, name);
+  const auto k = static_cast<graph::NodeId>(cli.get_i64("min-degree", 2));
+  const auto trimmed = graph::trim_min_degree(g, k);
+  std::fprintf(stderr, "trim to min degree %u: kept %u of %u nodes\n", k,
+               trimmed.graph.num_nodes(), g.num_nodes());
+  save_output(trimmed.graph, cli.get("out", "trimmed.txt"));
+  return 0;
+}
+
+int cmd_convert(const util::Cli& cli) {
+  const std::string path = cli.get("arcs", "");
+  if (path.empty()) throw std::runtime_error{"convert needs --arcs FILE"};
+  const auto loaded = digraph::load_directed_edge_list_file(path);
+  const auto scc = digraph::largest_scc(loaded.graph);
+  const auto sym = digraph::symmetrize(loaded.graph);
+  std::fprintf(stderr,
+               "%s: %llu arcs, reciprocity %.3f, largest SCC %u of %u nodes\n",
+               path.c_str(), static_cast<unsigned long long>(loaded.graph.num_arcs()),
+               sym.reciprocity, scc.graph.num_nodes(), loaded.graph.num_nodes());
+  save_output(sym.graph, cli.get("out", "undirected.txt"));
+  return 0;
+}
+
+int cmd_sybil(const util::Cli& cli) {
+  std::string name;
+  const auto g = graph::largest_component(load_input(cli, name)).graph;
+
+  sybil::AdmissionSweepConfig config;
+  for (const auto token : util::split(cli.get("w", "2,4,8,16,24,32"), ',')) {
+    if (const auto v = util::parse_i64(token)) {
+      config.route_lengths.push_back(static_cast<std::size_t>(*v));
+    }
+  }
+  config.suspect_sample = static_cast<std::size_t>(cli.get_i64("suspects", 200));
+  config.seed = static_cast<std::uint64_t>(cli.get_i64("seed", 42));
+
+  const auto points = sybil::admission_sweep(g, config);
+  util::TextTable table;
+  table.header({"w", "honest admitted"});
+  for (const auto& point : points) {
+    table.row({std::to_string(point.route_length),
+               util::fmt_fixed(100.0 * point.admitted_fraction, 1) + "%"});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_generate(const util::Cli& cli) {
+  std::string name;
+  const auto g = load_input(cli, name);  // --dataset path of load_input
+  save_output(g, cli.get("out", "generated.txt"));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const util::Cli cli{argc - 1, argv + 1};
+  try {
+    if (command == "info") return cmd_info(cli);
+    if (command == "measure") return cmd_measure(cli);
+    if (command == "sample") return cmd_sample(cli);
+    if (command == "trim") return cmd_trim(cli);
+    if (command == "convert") return cmd_convert(cli);
+    if (command == "sybil") return cmd_sybil(cli);
+    if (command == "generate") return cmd_generate(cli);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "socmix %s: %s\n", command.c_str(), e.what());
+    return 1;
+  }
+  return usage();
+}
