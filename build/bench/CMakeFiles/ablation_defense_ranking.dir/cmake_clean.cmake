@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_defense_ranking.dir/ablation_defense_ranking.cpp.o"
+  "CMakeFiles/ablation_defense_ranking.dir/ablation_defense_ranking.cpp.o.d"
+  "ablation_defense_ranking"
+  "ablation_defense_ranking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_defense_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_interaction_weights.dir/ablation_interaction_weights.cpp.o"
+  "CMakeFiles/ablation_interaction_weights.dir/ablation_interaction_weights.cpp.o.d"
+  "ablation_interaction_weights"
+  "ablation_interaction_weights.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_interaction_weights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_null_model.dir/ablation_null_model.cpp.o"
+  "CMakeFiles/ablation_null_model.dir/ablation_null_model.cpp.o.d"
+  "ablation_null_model"
+  "ablation_null_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_null_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

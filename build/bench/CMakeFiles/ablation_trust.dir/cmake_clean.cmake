@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_trust.dir/ablation_trust.cpp.o"
+  "CMakeFiles/ablation_trust.dir/ablation_trust.cpp.o.d"
+  "ablation_trust"
+  "ablation_trust.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_trust.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

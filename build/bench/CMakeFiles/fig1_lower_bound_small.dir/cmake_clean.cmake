@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_lower_bound_small.dir/fig1_lower_bound_small.cpp.o"
+  "CMakeFiles/fig1_lower_bound_small.dir/fig1_lower_bound_small.cpp.o.d"
+  "fig1_lower_bound_small"
+  "fig1_lower_bound_small.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_lower_bound_small.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig1_lower_bound_small.
+# This may be replaced when dependencies are built.

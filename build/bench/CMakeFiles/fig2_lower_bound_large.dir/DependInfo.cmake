@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig2_lower_bound_large.cpp" "bench/CMakeFiles/fig2_lower_bound_large.dir/fig2_lower_bound_large.cpp.o" "gcc" "bench/CMakeFiles/fig2_lower_bound_large.dir/fig2_lower_bound_large.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/socmix_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sybil/CMakeFiles/socmix_sybil.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/socmix_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/digraph/CMakeFiles/socmix_digraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/markov/CMakeFiles/socmix_markov.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/socmix_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/socmix_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/socmix_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_cdf_short_walks.dir/fig3_cdf_short_walks.cpp.o"
+  "CMakeFiles/fig3_cdf_short_walks.dir/fig3_cdf_short_walks.cpp.o.d"
+  "fig3_cdf_short_walks"
+  "fig3_cdf_short_walks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_cdf_short_walks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

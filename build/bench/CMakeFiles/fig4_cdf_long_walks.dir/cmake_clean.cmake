@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_cdf_long_walks.dir/fig4_cdf_long_walks.cpp.o"
+  "CMakeFiles/fig4_cdf_long_walks.dir/fig4_cdf_long_walks.cpp.o.d"
+  "fig4_cdf_long_walks"
+  "fig4_cdf_long_walks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_cdf_long_walks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

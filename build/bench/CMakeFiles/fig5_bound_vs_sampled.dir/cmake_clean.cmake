@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_bound_vs_sampled.dir/fig5_bound_vs_sampled.cpp.o"
+  "CMakeFiles/fig5_bound_vs_sampled.dir/fig5_bound_vs_sampled.cpp.o.d"
+  "fig5_bound_vs_sampled"
+  "fig5_bound_vs_sampled.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_bound_vs_sampled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_trimming.dir/fig6_trimming.cpp.o"
+  "CMakeFiles/fig6_trimming.dir/fig6_trimming.cpp.o.d"
+  "fig6_trimming"
+  "fig6_trimming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_trimming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_sybillimit_admission.dir/fig8_sybillimit_admission.cpp.o"
+  "CMakeFiles/fig8_sybillimit_admission.dir/fig8_sybillimit_admission.cpp.o.d"
+  "fig8_sybillimit_admission"
+  "fig8_sybillimit_admission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_sybillimit_admission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

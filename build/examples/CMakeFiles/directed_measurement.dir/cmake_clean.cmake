@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/directed_measurement.dir/directed_measurement.cpp.o"
+  "CMakeFiles/directed_measurement.dir/directed_measurement.cpp.o.d"
+  "directed_measurement"
+  "directed_measurement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/directed_measurement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

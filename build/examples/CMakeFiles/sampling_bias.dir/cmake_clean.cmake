@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sampling_bias.dir/sampling_bias.cpp.o"
+  "CMakeFiles/sampling_bias.dir/sampling_bias.cpp.o.d"
+  "sampling_bias"
+  "sampling_bias.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sampling_bias.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sybil_tuning.dir/sybil_tuning.cpp.o"
+  "CMakeFiles/sybil_tuning.dir/sybil_tuning.cpp.o.d"
+  "sybil_tuning"
+  "sybil_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sybil_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socmix_core.dir/experiment.cpp.o"
+  "CMakeFiles/socmix_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/socmix_core.dir/measurement.cpp.o"
+  "CMakeFiles/socmix_core.dir/measurement.cpp.o.d"
+  "libsocmix_core.a"
+  "libsocmix_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socmix_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

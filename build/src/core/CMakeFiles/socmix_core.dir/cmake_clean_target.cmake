@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsocmix_core.a"
+)

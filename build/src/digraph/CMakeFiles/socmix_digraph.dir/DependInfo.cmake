@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/digraph/digraph.cpp" "src/digraph/CMakeFiles/socmix_digraph.dir/digraph.cpp.o" "gcc" "src/digraph/CMakeFiles/socmix_digraph.dir/digraph.cpp.o.d"
+  "/root/repo/src/digraph/io.cpp" "src/digraph/CMakeFiles/socmix_digraph.dir/io.cpp.o" "gcc" "src/digraph/CMakeFiles/socmix_digraph.dir/io.cpp.o.d"
+  "/root/repo/src/digraph/scc.cpp" "src/digraph/CMakeFiles/socmix_digraph.dir/scc.cpp.o" "gcc" "src/digraph/CMakeFiles/socmix_digraph.dir/scc.cpp.o.d"
+  "/root/repo/src/digraph/walk.cpp" "src/digraph/CMakeFiles/socmix_digraph.dir/walk.cpp.o" "gcc" "src/digraph/CMakeFiles/socmix_digraph.dir/walk.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/socmix_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/socmix_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/socmix_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

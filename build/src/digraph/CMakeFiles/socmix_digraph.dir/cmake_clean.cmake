@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socmix_digraph.dir/digraph.cpp.o"
+  "CMakeFiles/socmix_digraph.dir/digraph.cpp.o.d"
+  "CMakeFiles/socmix_digraph.dir/io.cpp.o"
+  "CMakeFiles/socmix_digraph.dir/io.cpp.o.d"
+  "CMakeFiles/socmix_digraph.dir/scc.cpp.o"
+  "CMakeFiles/socmix_digraph.dir/scc.cpp.o.d"
+  "CMakeFiles/socmix_digraph.dir/walk.cpp.o"
+  "CMakeFiles/socmix_digraph.dir/walk.cpp.o.d"
+  "libsocmix_digraph.a"
+  "libsocmix_digraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socmix_digraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

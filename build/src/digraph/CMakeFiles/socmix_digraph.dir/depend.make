@@ -1,0 +1,2 @@
+# Empty dependencies file for socmix_digraph.
+# This may be replaced when dependencies are built.

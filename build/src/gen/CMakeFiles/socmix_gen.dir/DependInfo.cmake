@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/barabasi_albert.cpp" "src/gen/CMakeFiles/socmix_gen.dir/barabasi_albert.cpp.o" "gcc" "src/gen/CMakeFiles/socmix_gen.dir/barabasi_albert.cpp.o.d"
+  "/root/repo/src/gen/configuration.cpp" "src/gen/CMakeFiles/socmix_gen.dir/configuration.cpp.o" "gcc" "src/gen/CMakeFiles/socmix_gen.dir/configuration.cpp.o.d"
+  "/root/repo/src/gen/datasets.cpp" "src/gen/CMakeFiles/socmix_gen.dir/datasets.cpp.o" "gcc" "src/gen/CMakeFiles/socmix_gen.dir/datasets.cpp.o.d"
+  "/root/repo/src/gen/erdos_renyi.cpp" "src/gen/CMakeFiles/socmix_gen.dir/erdos_renyi.cpp.o" "gcc" "src/gen/CMakeFiles/socmix_gen.dir/erdos_renyi.cpp.o.d"
+  "/root/repo/src/gen/powerlaw_cluster.cpp" "src/gen/CMakeFiles/socmix_gen.dir/powerlaw_cluster.cpp.o" "gcc" "src/gen/CMakeFiles/socmix_gen.dir/powerlaw_cluster.cpp.o.d"
+  "/root/repo/src/gen/reference.cpp" "src/gen/CMakeFiles/socmix_gen.dir/reference.cpp.o" "gcc" "src/gen/CMakeFiles/socmix_gen.dir/reference.cpp.o.d"
+  "/root/repo/src/gen/sbm.cpp" "src/gen/CMakeFiles/socmix_gen.dir/sbm.cpp.o" "gcc" "src/gen/CMakeFiles/socmix_gen.dir/sbm.cpp.o.d"
+  "/root/repo/src/gen/watts_strogatz.cpp" "src/gen/CMakeFiles/socmix_gen.dir/watts_strogatz.cpp.o" "gcc" "src/gen/CMakeFiles/socmix_gen.dir/watts_strogatz.cpp.o.d"
+  "/root/repo/src/gen/weights.cpp" "src/gen/CMakeFiles/socmix_gen.dir/weights.cpp.o" "gcc" "src/gen/CMakeFiles/socmix_gen.dir/weights.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/socmix_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/socmix_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

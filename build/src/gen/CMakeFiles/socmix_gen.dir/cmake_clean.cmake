@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socmix_gen.dir/barabasi_albert.cpp.o"
+  "CMakeFiles/socmix_gen.dir/barabasi_albert.cpp.o.d"
+  "CMakeFiles/socmix_gen.dir/configuration.cpp.o"
+  "CMakeFiles/socmix_gen.dir/configuration.cpp.o.d"
+  "CMakeFiles/socmix_gen.dir/datasets.cpp.o"
+  "CMakeFiles/socmix_gen.dir/datasets.cpp.o.d"
+  "CMakeFiles/socmix_gen.dir/erdos_renyi.cpp.o"
+  "CMakeFiles/socmix_gen.dir/erdos_renyi.cpp.o.d"
+  "CMakeFiles/socmix_gen.dir/powerlaw_cluster.cpp.o"
+  "CMakeFiles/socmix_gen.dir/powerlaw_cluster.cpp.o.d"
+  "CMakeFiles/socmix_gen.dir/reference.cpp.o"
+  "CMakeFiles/socmix_gen.dir/reference.cpp.o.d"
+  "CMakeFiles/socmix_gen.dir/sbm.cpp.o"
+  "CMakeFiles/socmix_gen.dir/sbm.cpp.o.d"
+  "CMakeFiles/socmix_gen.dir/watts_strogatz.cpp.o"
+  "CMakeFiles/socmix_gen.dir/watts_strogatz.cpp.o.d"
+  "CMakeFiles/socmix_gen.dir/weights.cpp.o"
+  "CMakeFiles/socmix_gen.dir/weights.cpp.o.d"
+  "libsocmix_gen.a"
+  "libsocmix_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socmix_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/components.cpp" "src/graph/CMakeFiles/socmix_graph.dir/components.cpp.o" "gcc" "src/graph/CMakeFiles/socmix_graph.dir/components.cpp.o.d"
+  "/root/repo/src/graph/edge_list.cpp" "src/graph/CMakeFiles/socmix_graph.dir/edge_list.cpp.o" "gcc" "src/graph/CMakeFiles/socmix_graph.dir/edge_list.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/graph/CMakeFiles/socmix_graph.dir/graph.cpp.o" "gcc" "src/graph/CMakeFiles/socmix_graph.dir/graph.cpp.o.d"
+  "/root/repo/src/graph/io.cpp" "src/graph/CMakeFiles/socmix_graph.dir/io.cpp.o" "gcc" "src/graph/CMakeFiles/socmix_graph.dir/io.cpp.o.d"
+  "/root/repo/src/graph/sampling.cpp" "src/graph/CMakeFiles/socmix_graph.dir/sampling.cpp.o" "gcc" "src/graph/CMakeFiles/socmix_graph.dir/sampling.cpp.o.d"
+  "/root/repo/src/graph/stats.cpp" "src/graph/CMakeFiles/socmix_graph.dir/stats.cpp.o" "gcc" "src/graph/CMakeFiles/socmix_graph.dir/stats.cpp.o.d"
+  "/root/repo/src/graph/subgraph.cpp" "src/graph/CMakeFiles/socmix_graph.dir/subgraph.cpp.o" "gcc" "src/graph/CMakeFiles/socmix_graph.dir/subgraph.cpp.o.d"
+  "/root/repo/src/graph/trim.cpp" "src/graph/CMakeFiles/socmix_graph.dir/trim.cpp.o" "gcc" "src/graph/CMakeFiles/socmix_graph.dir/trim.cpp.o.d"
+  "/root/repo/src/graph/weighted_graph.cpp" "src/graph/CMakeFiles/socmix_graph.dir/weighted_graph.cpp.o" "gcc" "src/graph/CMakeFiles/socmix_graph.dir/weighted_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/socmix_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socmix_graph.dir/components.cpp.o"
+  "CMakeFiles/socmix_graph.dir/components.cpp.o.d"
+  "CMakeFiles/socmix_graph.dir/edge_list.cpp.o"
+  "CMakeFiles/socmix_graph.dir/edge_list.cpp.o.d"
+  "CMakeFiles/socmix_graph.dir/graph.cpp.o"
+  "CMakeFiles/socmix_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/socmix_graph.dir/io.cpp.o"
+  "CMakeFiles/socmix_graph.dir/io.cpp.o.d"
+  "CMakeFiles/socmix_graph.dir/sampling.cpp.o"
+  "CMakeFiles/socmix_graph.dir/sampling.cpp.o.d"
+  "CMakeFiles/socmix_graph.dir/stats.cpp.o"
+  "CMakeFiles/socmix_graph.dir/stats.cpp.o.d"
+  "CMakeFiles/socmix_graph.dir/subgraph.cpp.o"
+  "CMakeFiles/socmix_graph.dir/subgraph.cpp.o.d"
+  "CMakeFiles/socmix_graph.dir/trim.cpp.o"
+  "CMakeFiles/socmix_graph.dir/trim.cpp.o.d"
+  "CMakeFiles/socmix_graph.dir/weighted_graph.cpp.o"
+  "CMakeFiles/socmix_graph.dir/weighted_graph.cpp.o.d"
+  "libsocmix_graph.a"
+  "libsocmix_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socmix_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/dense.cpp" "src/linalg/CMakeFiles/socmix_linalg.dir/dense.cpp.o" "gcc" "src/linalg/CMakeFiles/socmix_linalg.dir/dense.cpp.o.d"
+  "/root/repo/src/linalg/lanczos.cpp" "src/linalg/CMakeFiles/socmix_linalg.dir/lanczos.cpp.o" "gcc" "src/linalg/CMakeFiles/socmix_linalg.dir/lanczos.cpp.o.d"
+  "/root/repo/src/linalg/power_iteration.cpp" "src/linalg/CMakeFiles/socmix_linalg.dir/power_iteration.cpp.o" "gcc" "src/linalg/CMakeFiles/socmix_linalg.dir/power_iteration.cpp.o.d"
+  "/root/repo/src/linalg/tridiag.cpp" "src/linalg/CMakeFiles/socmix_linalg.dir/tridiag.cpp.o" "gcc" "src/linalg/CMakeFiles/socmix_linalg.dir/tridiag.cpp.o.d"
+  "/root/repo/src/linalg/vector_ops.cpp" "src/linalg/CMakeFiles/socmix_linalg.dir/vector_ops.cpp.o" "gcc" "src/linalg/CMakeFiles/socmix_linalg.dir/vector_ops.cpp.o.d"
+  "/root/repo/src/linalg/walk_operator.cpp" "src/linalg/CMakeFiles/socmix_linalg.dir/walk_operator.cpp.o" "gcc" "src/linalg/CMakeFiles/socmix_linalg.dir/walk_operator.cpp.o.d"
+  "/root/repo/src/linalg/weighted_operator.cpp" "src/linalg/CMakeFiles/socmix_linalg.dir/weighted_operator.cpp.o" "gcc" "src/linalg/CMakeFiles/socmix_linalg.dir/weighted_operator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/socmix_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/socmix_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socmix_linalg.dir/dense.cpp.o"
+  "CMakeFiles/socmix_linalg.dir/dense.cpp.o.d"
+  "CMakeFiles/socmix_linalg.dir/lanczos.cpp.o"
+  "CMakeFiles/socmix_linalg.dir/lanczos.cpp.o.d"
+  "CMakeFiles/socmix_linalg.dir/power_iteration.cpp.o"
+  "CMakeFiles/socmix_linalg.dir/power_iteration.cpp.o.d"
+  "CMakeFiles/socmix_linalg.dir/tridiag.cpp.o"
+  "CMakeFiles/socmix_linalg.dir/tridiag.cpp.o.d"
+  "CMakeFiles/socmix_linalg.dir/vector_ops.cpp.o"
+  "CMakeFiles/socmix_linalg.dir/vector_ops.cpp.o.d"
+  "CMakeFiles/socmix_linalg.dir/walk_operator.cpp.o"
+  "CMakeFiles/socmix_linalg.dir/walk_operator.cpp.o.d"
+  "CMakeFiles/socmix_linalg.dir/weighted_operator.cpp.o"
+  "CMakeFiles/socmix_linalg.dir/weighted_operator.cpp.o.d"
+  "libsocmix_linalg.a"
+  "libsocmix_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socmix_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

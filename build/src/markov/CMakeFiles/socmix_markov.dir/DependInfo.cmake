@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/markov/conductance.cpp" "src/markov/CMakeFiles/socmix_markov.dir/conductance.cpp.o" "gcc" "src/markov/CMakeFiles/socmix_markov.dir/conductance.cpp.o.d"
+  "/root/repo/src/markov/estimators.cpp" "src/markov/CMakeFiles/socmix_markov.dir/estimators.cpp.o" "gcc" "src/markov/CMakeFiles/socmix_markov.dir/estimators.cpp.o.d"
+  "/root/repo/src/markov/evolution.cpp" "src/markov/CMakeFiles/socmix_markov.dir/evolution.cpp.o" "gcc" "src/markov/CMakeFiles/socmix_markov.dir/evolution.cpp.o.d"
+  "/root/repo/src/markov/mixing_time.cpp" "src/markov/CMakeFiles/socmix_markov.dir/mixing_time.cpp.o" "gcc" "src/markov/CMakeFiles/socmix_markov.dir/mixing_time.cpp.o.d"
+  "/root/repo/src/markov/random_walk.cpp" "src/markov/CMakeFiles/socmix_markov.dir/random_walk.cpp.o" "gcc" "src/markov/CMakeFiles/socmix_markov.dir/random_walk.cpp.o.d"
+  "/root/repo/src/markov/stationary.cpp" "src/markov/CMakeFiles/socmix_markov.dir/stationary.cpp.o" "gcc" "src/markov/CMakeFiles/socmix_markov.dir/stationary.cpp.o.d"
+  "/root/repo/src/markov/trust_walk.cpp" "src/markov/CMakeFiles/socmix_markov.dir/trust_walk.cpp.o" "gcc" "src/markov/CMakeFiles/socmix_markov.dir/trust_walk.cpp.o.d"
+  "/root/repo/src/markov/weighted_evolution.cpp" "src/markov/CMakeFiles/socmix_markov.dir/weighted_evolution.cpp.o" "gcc" "src/markov/CMakeFiles/socmix_markov.dir/weighted_evolution.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/socmix_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/socmix_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/socmix_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socmix_markov.dir/conductance.cpp.o"
+  "CMakeFiles/socmix_markov.dir/conductance.cpp.o.d"
+  "CMakeFiles/socmix_markov.dir/estimators.cpp.o"
+  "CMakeFiles/socmix_markov.dir/estimators.cpp.o.d"
+  "CMakeFiles/socmix_markov.dir/evolution.cpp.o"
+  "CMakeFiles/socmix_markov.dir/evolution.cpp.o.d"
+  "CMakeFiles/socmix_markov.dir/mixing_time.cpp.o"
+  "CMakeFiles/socmix_markov.dir/mixing_time.cpp.o.d"
+  "CMakeFiles/socmix_markov.dir/random_walk.cpp.o"
+  "CMakeFiles/socmix_markov.dir/random_walk.cpp.o.d"
+  "CMakeFiles/socmix_markov.dir/stationary.cpp.o"
+  "CMakeFiles/socmix_markov.dir/stationary.cpp.o.d"
+  "CMakeFiles/socmix_markov.dir/trust_walk.cpp.o"
+  "CMakeFiles/socmix_markov.dir/trust_walk.cpp.o.d"
+  "CMakeFiles/socmix_markov.dir/weighted_evolution.cpp.o"
+  "CMakeFiles/socmix_markov.dir/weighted_evolution.cpp.o.d"
+  "libsocmix_markov.a"
+  "libsocmix_markov.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socmix_markov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for socmix_markov.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sybil/attack.cpp" "src/sybil/CMakeFiles/socmix_sybil.dir/attack.cpp.o" "gcc" "src/sybil/CMakeFiles/socmix_sybil.dir/attack.cpp.o.d"
+  "/root/repo/src/sybil/permutation.cpp" "src/sybil/CMakeFiles/socmix_sybil.dir/permutation.cpp.o" "gcc" "src/sybil/CMakeFiles/socmix_sybil.dir/permutation.cpp.o.d"
+  "/root/repo/src/sybil/ranking.cpp" "src/sybil/CMakeFiles/socmix_sybil.dir/ranking.cpp.o" "gcc" "src/sybil/CMakeFiles/socmix_sybil.dir/ranking.cpp.o.d"
+  "/root/repo/src/sybil/routes.cpp" "src/sybil/CMakeFiles/socmix_sybil.dir/routes.cpp.o" "gcc" "src/sybil/CMakeFiles/socmix_sybil.dir/routes.cpp.o.d"
+  "/root/repo/src/sybil/sybil_guard.cpp" "src/sybil/CMakeFiles/socmix_sybil.dir/sybil_guard.cpp.o" "gcc" "src/sybil/CMakeFiles/socmix_sybil.dir/sybil_guard.cpp.o.d"
+  "/root/repo/src/sybil/sybil_infer.cpp" "src/sybil/CMakeFiles/socmix_sybil.dir/sybil_infer.cpp.o" "gcc" "src/sybil/CMakeFiles/socmix_sybil.dir/sybil_infer.cpp.o.d"
+  "/root/repo/src/sybil/sybil_limit.cpp" "src/sybil/CMakeFiles/socmix_sybil.dir/sybil_limit.cpp.o" "gcc" "src/sybil/CMakeFiles/socmix_sybil.dir/sybil_limit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/markov/CMakeFiles/socmix_markov.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/socmix_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/socmix_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/socmix_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

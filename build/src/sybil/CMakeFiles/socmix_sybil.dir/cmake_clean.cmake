@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socmix_sybil.dir/attack.cpp.o"
+  "CMakeFiles/socmix_sybil.dir/attack.cpp.o.d"
+  "CMakeFiles/socmix_sybil.dir/permutation.cpp.o"
+  "CMakeFiles/socmix_sybil.dir/permutation.cpp.o.d"
+  "CMakeFiles/socmix_sybil.dir/ranking.cpp.o"
+  "CMakeFiles/socmix_sybil.dir/ranking.cpp.o.d"
+  "CMakeFiles/socmix_sybil.dir/routes.cpp.o"
+  "CMakeFiles/socmix_sybil.dir/routes.cpp.o.d"
+  "CMakeFiles/socmix_sybil.dir/sybil_guard.cpp.o"
+  "CMakeFiles/socmix_sybil.dir/sybil_guard.cpp.o.d"
+  "CMakeFiles/socmix_sybil.dir/sybil_infer.cpp.o"
+  "CMakeFiles/socmix_sybil.dir/sybil_infer.cpp.o.d"
+  "CMakeFiles/socmix_sybil.dir/sybil_limit.cpp.o"
+  "CMakeFiles/socmix_sybil.dir/sybil_limit.cpp.o.d"
+  "libsocmix_sybil.a"
+  "libsocmix_sybil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socmix_sybil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

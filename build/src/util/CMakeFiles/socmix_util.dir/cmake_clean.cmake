@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socmix_util.dir/cli.cpp.o"
+  "CMakeFiles/socmix_util.dir/cli.cpp.o.d"
+  "CMakeFiles/socmix_util.dir/csv.cpp.o"
+  "CMakeFiles/socmix_util.dir/csv.cpp.o.d"
+  "CMakeFiles/socmix_util.dir/logging.cpp.o"
+  "CMakeFiles/socmix_util.dir/logging.cpp.o.d"
+  "CMakeFiles/socmix_util.dir/rng.cpp.o"
+  "CMakeFiles/socmix_util.dir/rng.cpp.o.d"
+  "CMakeFiles/socmix_util.dir/string_util.cpp.o"
+  "CMakeFiles/socmix_util.dir/string_util.cpp.o.d"
+  "CMakeFiles/socmix_util.dir/table.cpp.o"
+  "CMakeFiles/socmix_util.dir/table.cpp.o.d"
+  "CMakeFiles/socmix_util.dir/timer.cpp.o"
+  "CMakeFiles/socmix_util.dir/timer.cpp.o.d"
+  "libsocmix_util.a"
+  "libsocmix_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socmix_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/gen/test_barabasi_albert.cpp" "tests/CMakeFiles/test_gen.dir/gen/test_barabasi_albert.cpp.o" "gcc" "tests/CMakeFiles/test_gen.dir/gen/test_barabasi_albert.cpp.o.d"
+  "/root/repo/tests/gen/test_configuration.cpp" "tests/CMakeFiles/test_gen.dir/gen/test_configuration.cpp.o" "gcc" "tests/CMakeFiles/test_gen.dir/gen/test_configuration.cpp.o.d"
+  "/root/repo/tests/gen/test_datasets.cpp" "tests/CMakeFiles/test_gen.dir/gen/test_datasets.cpp.o" "gcc" "tests/CMakeFiles/test_gen.dir/gen/test_datasets.cpp.o.d"
+  "/root/repo/tests/gen/test_erdos_renyi.cpp" "tests/CMakeFiles/test_gen.dir/gen/test_erdos_renyi.cpp.o" "gcc" "tests/CMakeFiles/test_gen.dir/gen/test_erdos_renyi.cpp.o.d"
+  "/root/repo/tests/gen/test_powerlaw_cluster.cpp" "tests/CMakeFiles/test_gen.dir/gen/test_powerlaw_cluster.cpp.o" "gcc" "tests/CMakeFiles/test_gen.dir/gen/test_powerlaw_cluster.cpp.o.d"
+  "/root/repo/tests/gen/test_reference.cpp" "tests/CMakeFiles/test_gen.dir/gen/test_reference.cpp.o" "gcc" "tests/CMakeFiles/test_gen.dir/gen/test_reference.cpp.o.d"
+  "/root/repo/tests/gen/test_sbm.cpp" "tests/CMakeFiles/test_gen.dir/gen/test_sbm.cpp.o" "gcc" "tests/CMakeFiles/test_gen.dir/gen/test_sbm.cpp.o.d"
+  "/root/repo/tests/gen/test_watts_strogatz.cpp" "tests/CMakeFiles/test_gen.dir/gen/test_watts_strogatz.cpp.o" "gcc" "tests/CMakeFiles/test_gen.dir/gen/test_watts_strogatz.cpp.o.d"
+  "/root/repo/tests/gen/test_weights.cpp" "tests/CMakeFiles/test_gen.dir/gen/test_weights.cpp.o" "gcc" "tests/CMakeFiles/test_gen.dir/gen/test_weights.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/socmix_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sybil/CMakeFiles/socmix_sybil.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/socmix_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/digraph/CMakeFiles/socmix_digraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/markov/CMakeFiles/socmix_markov.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/socmix_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/socmix_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/socmix_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

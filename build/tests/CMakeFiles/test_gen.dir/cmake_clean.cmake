@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gen.dir/gen/test_barabasi_albert.cpp.o"
+  "CMakeFiles/test_gen.dir/gen/test_barabasi_albert.cpp.o.d"
+  "CMakeFiles/test_gen.dir/gen/test_configuration.cpp.o"
+  "CMakeFiles/test_gen.dir/gen/test_configuration.cpp.o.d"
+  "CMakeFiles/test_gen.dir/gen/test_datasets.cpp.o"
+  "CMakeFiles/test_gen.dir/gen/test_datasets.cpp.o.d"
+  "CMakeFiles/test_gen.dir/gen/test_erdos_renyi.cpp.o"
+  "CMakeFiles/test_gen.dir/gen/test_erdos_renyi.cpp.o.d"
+  "CMakeFiles/test_gen.dir/gen/test_powerlaw_cluster.cpp.o"
+  "CMakeFiles/test_gen.dir/gen/test_powerlaw_cluster.cpp.o.d"
+  "CMakeFiles/test_gen.dir/gen/test_reference.cpp.o"
+  "CMakeFiles/test_gen.dir/gen/test_reference.cpp.o.d"
+  "CMakeFiles/test_gen.dir/gen/test_sbm.cpp.o"
+  "CMakeFiles/test_gen.dir/gen/test_sbm.cpp.o.d"
+  "CMakeFiles/test_gen.dir/gen/test_watts_strogatz.cpp.o"
+  "CMakeFiles/test_gen.dir/gen/test_watts_strogatz.cpp.o.d"
+  "CMakeFiles/test_gen.dir/gen/test_weights.cpp.o"
+  "CMakeFiles/test_gen.dir/gen/test_weights.cpp.o.d"
+  "test_gen"
+  "test_gen.pdb"
+  "test_gen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/graph/test_components.cpp" "tests/CMakeFiles/test_graph.dir/graph/test_components.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/graph/test_components.cpp.o.d"
+  "/root/repo/tests/graph/test_edge_list.cpp" "tests/CMakeFiles/test_graph.dir/graph/test_edge_list.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/graph/test_edge_list.cpp.o.d"
+  "/root/repo/tests/graph/test_graph.cpp" "tests/CMakeFiles/test_graph.dir/graph/test_graph.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/graph/test_graph.cpp.o.d"
+  "/root/repo/tests/graph/test_io.cpp" "tests/CMakeFiles/test_graph.dir/graph/test_io.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/graph/test_io.cpp.o.d"
+  "/root/repo/tests/graph/test_io_roundtrip.cpp" "tests/CMakeFiles/test_graph.dir/graph/test_io_roundtrip.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/graph/test_io_roundtrip.cpp.o.d"
+  "/root/repo/tests/graph/test_sampling.cpp" "tests/CMakeFiles/test_graph.dir/graph/test_sampling.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/graph/test_sampling.cpp.o.d"
+  "/root/repo/tests/graph/test_stats.cpp" "tests/CMakeFiles/test_graph.dir/graph/test_stats.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/graph/test_stats.cpp.o.d"
+  "/root/repo/tests/graph/test_subgraph.cpp" "tests/CMakeFiles/test_graph.dir/graph/test_subgraph.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/graph/test_subgraph.cpp.o.d"
+  "/root/repo/tests/graph/test_trim.cpp" "tests/CMakeFiles/test_graph.dir/graph/test_trim.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/graph/test_trim.cpp.o.d"
+  "/root/repo/tests/graph/test_weighted_graph.cpp" "tests/CMakeFiles/test_graph.dir/graph/test_weighted_graph.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/graph/test_weighted_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/socmix_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sybil/CMakeFiles/socmix_sybil.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/socmix_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/digraph/CMakeFiles/socmix_digraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/markov/CMakeFiles/socmix_markov.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/socmix_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/socmix_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/socmix_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

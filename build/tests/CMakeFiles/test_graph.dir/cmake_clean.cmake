@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graph.dir/graph/test_components.cpp.o"
+  "CMakeFiles/test_graph.dir/graph/test_components.cpp.o.d"
+  "CMakeFiles/test_graph.dir/graph/test_edge_list.cpp.o"
+  "CMakeFiles/test_graph.dir/graph/test_edge_list.cpp.o.d"
+  "CMakeFiles/test_graph.dir/graph/test_graph.cpp.o"
+  "CMakeFiles/test_graph.dir/graph/test_graph.cpp.o.d"
+  "CMakeFiles/test_graph.dir/graph/test_io.cpp.o"
+  "CMakeFiles/test_graph.dir/graph/test_io.cpp.o.d"
+  "CMakeFiles/test_graph.dir/graph/test_io_roundtrip.cpp.o"
+  "CMakeFiles/test_graph.dir/graph/test_io_roundtrip.cpp.o.d"
+  "CMakeFiles/test_graph.dir/graph/test_sampling.cpp.o"
+  "CMakeFiles/test_graph.dir/graph/test_sampling.cpp.o.d"
+  "CMakeFiles/test_graph.dir/graph/test_stats.cpp.o"
+  "CMakeFiles/test_graph.dir/graph/test_stats.cpp.o.d"
+  "CMakeFiles/test_graph.dir/graph/test_subgraph.cpp.o"
+  "CMakeFiles/test_graph.dir/graph/test_subgraph.cpp.o.d"
+  "CMakeFiles/test_graph.dir/graph/test_trim.cpp.o"
+  "CMakeFiles/test_graph.dir/graph/test_trim.cpp.o.d"
+  "CMakeFiles/test_graph.dir/graph/test_weighted_graph.cpp.o"
+  "CMakeFiles/test_graph.dir/graph/test_weighted_graph.cpp.o.d"
+  "test_graph"
+  "test_graph.pdb"
+  "test_graph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_linalg.dir/linalg/test_dense.cpp.o"
+  "CMakeFiles/test_linalg.dir/linalg/test_dense.cpp.o.d"
+  "CMakeFiles/test_linalg.dir/linalg/test_lanczos.cpp.o"
+  "CMakeFiles/test_linalg.dir/linalg/test_lanczos.cpp.o.d"
+  "CMakeFiles/test_linalg.dir/linalg/test_power_iteration.cpp.o"
+  "CMakeFiles/test_linalg.dir/linalg/test_power_iteration.cpp.o.d"
+  "CMakeFiles/test_linalg.dir/linalg/test_tridiag.cpp.o"
+  "CMakeFiles/test_linalg.dir/linalg/test_tridiag.cpp.o.d"
+  "CMakeFiles/test_linalg.dir/linalg/test_vector_ops.cpp.o"
+  "CMakeFiles/test_linalg.dir/linalg/test_vector_ops.cpp.o.d"
+  "CMakeFiles/test_linalg.dir/linalg/test_walk_operator.cpp.o"
+  "CMakeFiles/test_linalg.dir/linalg/test_walk_operator.cpp.o.d"
+  "CMakeFiles/test_linalg.dir/linalg/test_weighted_operator.cpp.o"
+  "CMakeFiles/test_linalg.dir/linalg/test_weighted_operator.cpp.o.d"
+  "test_linalg"
+  "test_linalg.pdb"
+  "test_linalg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/markov/test_chain_properties.cpp" "tests/CMakeFiles/test_markov.dir/markov/test_chain_properties.cpp.o" "gcc" "tests/CMakeFiles/test_markov.dir/markov/test_chain_properties.cpp.o.d"
+  "/root/repo/tests/markov/test_conductance.cpp" "tests/CMakeFiles/test_markov.dir/markov/test_conductance.cpp.o" "gcc" "tests/CMakeFiles/test_markov.dir/markov/test_conductance.cpp.o.d"
+  "/root/repo/tests/markov/test_estimators.cpp" "tests/CMakeFiles/test_markov.dir/markov/test_estimators.cpp.o" "gcc" "tests/CMakeFiles/test_markov.dir/markov/test_estimators.cpp.o.d"
+  "/root/repo/tests/markov/test_evolution.cpp" "tests/CMakeFiles/test_markov.dir/markov/test_evolution.cpp.o" "gcc" "tests/CMakeFiles/test_markov.dir/markov/test_evolution.cpp.o.d"
+  "/root/repo/tests/markov/test_mixing_time.cpp" "tests/CMakeFiles/test_markov.dir/markov/test_mixing_time.cpp.o" "gcc" "tests/CMakeFiles/test_markov.dir/markov/test_mixing_time.cpp.o.d"
+  "/root/repo/tests/markov/test_random_walk.cpp" "tests/CMakeFiles/test_markov.dir/markov/test_random_walk.cpp.o" "gcc" "tests/CMakeFiles/test_markov.dir/markov/test_random_walk.cpp.o.d"
+  "/root/repo/tests/markov/test_stationary.cpp" "tests/CMakeFiles/test_markov.dir/markov/test_stationary.cpp.o" "gcc" "tests/CMakeFiles/test_markov.dir/markov/test_stationary.cpp.o.d"
+  "/root/repo/tests/markov/test_trust_walk.cpp" "tests/CMakeFiles/test_markov.dir/markov/test_trust_walk.cpp.o" "gcc" "tests/CMakeFiles/test_markov.dir/markov/test_trust_walk.cpp.o.d"
+  "/root/repo/tests/markov/test_weighted_evolution.cpp" "tests/CMakeFiles/test_markov.dir/markov/test_weighted_evolution.cpp.o" "gcc" "tests/CMakeFiles/test_markov.dir/markov/test_weighted_evolution.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/socmix_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sybil/CMakeFiles/socmix_sybil.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/socmix_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/digraph/CMakeFiles/socmix_digraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/markov/CMakeFiles/socmix_markov.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/socmix_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/socmix_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/socmix_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_markov.dir/markov/test_chain_properties.cpp.o"
+  "CMakeFiles/test_markov.dir/markov/test_chain_properties.cpp.o.d"
+  "CMakeFiles/test_markov.dir/markov/test_conductance.cpp.o"
+  "CMakeFiles/test_markov.dir/markov/test_conductance.cpp.o.d"
+  "CMakeFiles/test_markov.dir/markov/test_estimators.cpp.o"
+  "CMakeFiles/test_markov.dir/markov/test_estimators.cpp.o.d"
+  "CMakeFiles/test_markov.dir/markov/test_evolution.cpp.o"
+  "CMakeFiles/test_markov.dir/markov/test_evolution.cpp.o.d"
+  "CMakeFiles/test_markov.dir/markov/test_mixing_time.cpp.o"
+  "CMakeFiles/test_markov.dir/markov/test_mixing_time.cpp.o.d"
+  "CMakeFiles/test_markov.dir/markov/test_random_walk.cpp.o"
+  "CMakeFiles/test_markov.dir/markov/test_random_walk.cpp.o.d"
+  "CMakeFiles/test_markov.dir/markov/test_stationary.cpp.o"
+  "CMakeFiles/test_markov.dir/markov/test_stationary.cpp.o.d"
+  "CMakeFiles/test_markov.dir/markov/test_trust_walk.cpp.o"
+  "CMakeFiles/test_markov.dir/markov/test_trust_walk.cpp.o.d"
+  "CMakeFiles/test_markov.dir/markov/test_weighted_evolution.cpp.o"
+  "CMakeFiles/test_markov.dir/markov/test_weighted_evolution.cpp.o.d"
+  "test_markov"
+  "test_markov.pdb"
+  "test_markov[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_markov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

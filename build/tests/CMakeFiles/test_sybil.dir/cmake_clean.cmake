@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sybil.dir/sybil/test_attack.cpp.o"
+  "CMakeFiles/test_sybil.dir/sybil/test_attack.cpp.o.d"
+  "CMakeFiles/test_sybil.dir/sybil/test_permutation.cpp.o"
+  "CMakeFiles/test_sybil.dir/sybil/test_permutation.cpp.o.d"
+  "CMakeFiles/test_sybil.dir/sybil/test_ranking.cpp.o"
+  "CMakeFiles/test_sybil.dir/sybil/test_ranking.cpp.o.d"
+  "CMakeFiles/test_sybil.dir/sybil/test_routes.cpp.o"
+  "CMakeFiles/test_sybil.dir/sybil/test_routes.cpp.o.d"
+  "CMakeFiles/test_sybil.dir/sybil/test_sybil_guard.cpp.o"
+  "CMakeFiles/test_sybil.dir/sybil/test_sybil_guard.cpp.o.d"
+  "CMakeFiles/test_sybil.dir/sybil/test_sybil_infer.cpp.o"
+  "CMakeFiles/test_sybil.dir/sybil/test_sybil_infer.cpp.o.d"
+  "CMakeFiles/test_sybil.dir/sybil/test_sybil_limit.cpp.o"
+  "CMakeFiles/test_sybil.dir/sybil/test_sybil_limit.cpp.o.d"
+  "test_sybil"
+  "test_sybil.pdb"
+  "test_sybil[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sybil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/test_cli.cpp" "tests/CMakeFiles/test_util.dir/util/test_cli.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_cli.cpp.o.d"
+  "/root/repo/tests/util/test_csv.cpp" "tests/CMakeFiles/test_util.dir/util/test_csv.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_csv.cpp.o.d"
+  "/root/repo/tests/util/test_rng.cpp" "tests/CMakeFiles/test_util.dir/util/test_rng.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_rng.cpp.o.d"
+  "/root/repo/tests/util/test_string_util.cpp" "tests/CMakeFiles/test_util.dir/util/test_string_util.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_string_util.cpp.o.d"
+  "/root/repo/tests/util/test_table.cpp" "tests/CMakeFiles/test_util.dir/util/test_table.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_table.cpp.o.d"
+  "/root/repo/tests/util/test_timer_logging.cpp" "tests/CMakeFiles/test_util.dir/util/test_timer_logging.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_timer_logging.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/socmix_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sybil/CMakeFiles/socmix_sybil.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/socmix_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/digraph/CMakeFiles/socmix_digraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/markov/CMakeFiles/socmix_markov.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/socmix_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/socmix_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/socmix_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

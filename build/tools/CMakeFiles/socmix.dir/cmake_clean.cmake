@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socmix.dir/socmix_cli.cpp.o"
+  "CMakeFiles/socmix.dir/socmix_cli.cpp.o.d"
+  "socmix"
+  "socmix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socmix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
