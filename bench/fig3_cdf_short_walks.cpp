@@ -8,6 +8,9 @@
 //   --scale F     node-count multiplier (default 1.0)
 //   --sources N   source sample size (default 400; 0 = every vertex)
 //   --seed N
+//   --threads N   worker threads for source-block evolution (default:
+//                 SOCMIX_THREADS, then hardware); output is identical
+//                 for every value
 #include <cstdio>
 #include <iostream>
 

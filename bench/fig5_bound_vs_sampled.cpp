@@ -11,6 +11,9 @@
 //   --sources N   source sample (default 100; 0 = every vertex)
 //   --steps N     max walk length (default 500)
 //   --seed N
+//   --threads N   worker threads for source-block evolution (default:
+//                 SOCMIX_THREADS, then hardware); output is identical
+//                 for every value
 #include <cstdio>
 #include <iostream>
 

@@ -14,6 +14,9 @@
 //   --sources N   sampled-measurement sources per panel (default 40)
 //   --steps N     max walk length (default 120)
 //   --seed N
+//   --threads N   worker threads for source-block evolution and SpMV
+//                 (default: SOCMIX_THREADS, then hardware); output is
+//                 identical for every value
 #include <cstdio>
 #include <iostream>
 

@@ -11,9 +11,12 @@
 #include "linalg/power_iteration.hpp"
 #include "linalg/vector_ops.hpp"
 #include "linalg/walk_operator.hpp"
+#include "markov/batched_evolver.hpp"
 #include "markov/evolution.hpp"
 #include "markov/mixing_time.hpp"
 #include "markov/random_walk.hpp"
+#include "markov/stationary.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -110,6 +113,131 @@ void BM_SlemPowerIteration(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SlemPowerIteration)->Unit(benchmark::kMillisecond);
+
+// ------------------------------------------------- parallel/batched SpMM --
+// The multi-source evolution engine behind measure_sampled_mixing. Items
+// are lane-edge updates (half_edges x lanes per sweep), so items/s is
+// directly comparable across block sizes and against BM_DistributionStep
+// (the scalar path, one lane per sweep).
+
+void BM_BatchedEvolution(benchmark::State& state) {
+  util::set_thread_count(1);  // isolate block-reuse from threading
+  const auto g = make_ba(static_cast<graph::NodeId>(state.range(0)));
+  const auto block = static_cast<std::size_t>(state.range(1));
+  markov::BatchedEvolver evolver{g, 0.0, block};
+  std::vector<graph::NodeId> sources(block);
+  for (std::size_t b = 0; b < block; ++b) sources[b] = static_cast<graph::NodeId>(b);
+  evolver.seed_point_masses(sources);
+  for (auto _ : state) {
+    evolver.step();
+    benchmark::DoNotOptimize(&evolver);
+  }
+  util::set_thread_count(0);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_half_edges()) *
+                          static_cast<std::int64_t>(block));
+}
+BENCHMARK(BM_BatchedEvolution)
+    ->Args({100000, 1})->Args({100000, 4})->Args({100000, 8})->Args({100000, 16})
+    ->Args({100000, 32})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_BatchedEvolutionFusedTvd(benchmark::State& state) {
+  util::set_thread_count(1);
+  const auto g = make_ba(static_cast<graph::NodeId>(state.range(0)));
+  const auto block = static_cast<std::size_t>(state.range(1));
+  const auto pi = markov::stationary_distribution(g);
+  markov::BatchedEvolver evolver{g, 0.0, block};
+  std::vector<graph::NodeId> sources(block);
+  for (std::size_t b = 0; b < block; ++b) sources[b] = static_cast<graph::NodeId>(b);
+  evolver.seed_point_masses(sources);
+  std::vector<double> tvd(block);
+  for (auto _ : state) {
+    evolver.step_with_tvd(pi, tvd);
+    benchmark::DoNotOptimize(tvd.data());
+  }
+  util::set_thread_count(0);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_half_edges()) *
+                          static_cast<std::int64_t>(block));
+}
+BENCHMARK(BM_BatchedEvolutionFusedTvd)
+    ->Args({100000, 8})->Args({100000, 32})->Unit(benchmark::kMicrosecond);
+
+// End-to-end multi-source mixing measurement: the seed's scalar
+// one-source-at-a-time loop vs the batched + threaded engine. Items are
+// lane-edge updates (sources x steps x half_edges).
+
+constexpr std::size_t kMixSources = 32;
+constexpr std::size_t kMixSteps = 10;
+
+void BM_MultiSourceMixingScalar(benchmark::State& state) {
+  util::set_thread_count(1);  // the seed path: one source at a time, one core
+  const auto g = make_ba(static_cast<graph::NodeId>(state.range(0)));
+  const auto pi = markov::stationary_distribution(g);
+  for (auto _ : state) {
+    // The pre-batching implementation of measure_sampled_mixing.
+    markov::DistributionEvolver evolver{g};
+    std::vector<std::vector<double>> trajectories;
+    for (std::size_t s = 0; s < kMixSources; ++s) {
+      std::vector<double> traj;
+      evolver.trajectory(static_cast<graph::NodeId>(s), kMixSteps,
+                         [&](std::size_t, std::span<const double> dist) {
+                           traj.push_back(linalg::total_variation(dist, pi));
+                           return true;
+                         });
+      trajectories.push_back(std::move(traj));
+    }
+    benchmark::DoNotOptimize(trajectories.data());
+  }
+  util::set_thread_count(0);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_half_edges()) *
+                          static_cast<std::int64_t>(kMixSources * kMixSteps));
+}
+BENCHMARK(BM_MultiSourceMixingScalar)
+    ->Arg(100000)->Arg(1000000)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+void BM_MultiSourceMixingBatched(benchmark::State& state) {
+  util::set_thread_count(static_cast<std::size_t>(state.range(1)));
+  const auto g = make_ba(static_cast<graph::NodeId>(state.range(0)));
+  std::vector<graph::NodeId> sources(kMixSources);
+  for (std::size_t s = 0; s < kMixSources; ++s) sources[s] = static_cast<graph::NodeId>(s);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(markov::measure_sampled_mixing(g, sources, kMixSteps));
+  }
+  util::set_thread_count(0);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_half_edges()) *
+                          static_cast<std::int64_t>(kMixSources * kMixSteps));
+}
+BENCHMARK(BM_MultiSourceMixingBatched)
+    ->Args({100000, 1})->Args({100000, 4})
+    ->Args({1000000, 1})->Args({1000000, 4})
+    ->UseRealTime()->Unit(benchmark::kMillisecond);
+
+// Thread scaling of the row-partitioned symmetric SpMV that Lanczos and
+// power iteration sit on.
+void BM_SpMVThreaded(benchmark::State& state) {
+  util::set_thread_count(static_cast<std::size_t>(state.range(1)));
+  const auto g = make_ba(static_cast<graph::NodeId>(state.range(0)));
+  const linalg::WalkOperator op{g};
+  std::vector<double> x(op.dim());
+  std::vector<double> y(op.dim());
+  util::Rng rng{1};
+  linalg::randomize_unit(x, rng);
+  for (auto _ : state) {
+    op.apply(x, y);
+    benchmark::DoNotOptimize(y.data());
+    std::swap(x, y);
+  }
+  util::set_thread_count(0);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_half_edges()));
+}
+BENCHMARK(BM_SpMVThreaded)
+    ->Args({100000, 1})->Args({100000, 2})->Args({100000, 4})
+    ->UseRealTime()->Unit(benchmark::kMicrosecond);
 
 void BM_TotalVariation(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));

@@ -4,6 +4,7 @@
 #include <iostream>
 
 #include "util/csv.hpp"
+#include "util/parallel.hpp"
 #include "util/string_util.hpp"
 #include "util/table.hpp"
 
@@ -15,6 +16,8 @@ ExperimentConfig ExperimentConfig::from_cli(const util::Cli& cli) {
   config.sources = static_cast<std::size_t>(cli.get_i64("sources", 0));
   config.max_steps = static_cast<std::size_t>(cli.get_i64("steps", 0));
   config.seed = static_cast<std::uint64_t>(cli.get_i64("seed", 42));
+  config.threads = static_cast<std::size_t>(cli.get_i64("threads", 0));
+  util::set_thread_count(config.threads);
   return config;
 }
 

@@ -17,7 +17,7 @@
 namespace socmix::core {
 
 /// Scale/seed/source knobs common to all experiment drivers, parsed from
-/// --scale, --sources, --steps, --seed.
+/// --scale, --sources, --steps, --seed, --threads.
 struct ExperimentConfig {
   /// Multiplier on each dataset's default node count; 1.0 = bench default.
   /// The paper-scale run uses whatever reaches spec.paper_nodes.
@@ -25,7 +25,13 @@ struct ExperimentConfig {
   std::size_t sources = 0;      ///< 0 = per-experiment default
   std::size_t max_steps = 0;    ///< 0 = per-experiment default
   std::uint64_t seed = 42;
+  /// Worker threads for the parallel evolution/SpMV kernels; 0 defers to
+  /// SOCMIX_THREADS, then hardware concurrency. Results are bit-identical
+  /// for every value — this is purely a speed knob.
+  std::size_t threads = 0;
 
+  /// Parses the CLI and applies `threads` to the global util::parallel
+  /// pool, so every driver honors --threads with no further wiring.
   [[nodiscard]] static ExperimentConfig from_cli(const util::Cli& cli);
 };
 

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/parallel.hpp"
+
 namespace socmix::linalg {
 
 WalkOperator::WalkOperator(const graph::Graph& g, double laziness)
@@ -24,7 +26,7 @@ WalkOperator::WalkOperator(const graph::Graph& g, double laziness)
   }
 }
 
-void WalkOperator::apply(std::span<const double> x, std::span<double> y) const noexcept {
+void WalkOperator::apply(std::span<const double> x, std::span<double> y) const {
   const graph::Graph& g = *graph_;
   const graph::NodeId n = g.num_nodes();
   const auto offsets = g.offsets();
@@ -32,15 +34,21 @@ void WalkOperator::apply(std::span<const double> x, std::span<double> y) const n
   const double walk_weight = 1.0 - laziness_;
 
   // (N x)_i = (1/sqrt d_i) * sum_{j ~ i} x_j / sqrt d_j — a pure gather,
-  // sequential over CSR rows for cache-friendliness.
-  for (graph::NodeId i = 0; i < n; ++i) {
-    double acc = 0.0;
-    for (graph::EdgeIndex e = offsets[i]; e < offsets[i + 1]; ++e) {
-      const graph::NodeId j = neighbors[e];
-      acc += x[j] * inv_sqrt_deg_[j];
+  // so rows can be partitioned across threads: each y[i] is produced by
+  // exactly one thread with a fixed accumulation order, making the result
+  // bit-identical for any thread count. Lanczos and power iteration scale
+  // with cores through this one kernel.
+  util::parallel_for(0, n, kApplyGrain, [&](std::size_t row_lo, std::size_t row_hi) {
+    for (graph::NodeId i = static_cast<graph::NodeId>(row_lo);
+         i < static_cast<graph::NodeId>(row_hi); ++i) {
+      double acc = 0.0;
+      for (graph::EdgeIndex e = offsets[i]; e < offsets[i + 1]; ++e) {
+        const graph::NodeId j = neighbors[e];
+        acc += x[j] * inv_sqrt_deg_[j];
+      }
+      y[i] = walk_weight * acc * inv_sqrt_deg_[i] + laziness_ * x[i];
     }
-    y[i] = walk_weight * acc * inv_sqrt_deg_[i] + laziness_ * x[i];
-  }
+  });
 }
 
 std::vector<double> WalkOperator::top_eigenvector() const {

@@ -29,8 +29,14 @@ class WalkOperator {
   /// alpha = 0 is the simple walk; alpha = 0.5 the standard lazy walk.
   explicit WalkOperator(const graph::Graph& g, double laziness = 0.0);
 
-  /// y = Op * x. x and y must have size dim() and not alias.
-  void apply(std::span<const double> x, std::span<double> y) const noexcept;
+  /// y = Op * x. x and y must have size dim() and not alias. Rows are
+  /// partitioned across the util::parallel pool; the gather formulation
+  /// keeps the result bit-identical for any thread count.
+  void apply(std::span<const double> x, std::span<double> y) const;
+
+  /// Minimum rows per parallel chunk: below this, dispatch overhead beats
+  /// the work, so small graphs run inline on the calling thread.
+  static constexpr std::size_t kApplyGrain = 2048;
 
   [[nodiscard]] std::size_t dim() const noexcept { return inv_sqrt_deg_.size(); }
 

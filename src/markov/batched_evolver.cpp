@@ -1,0 +1,198 @@
+#include "markov/batched_evolver.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+namespace socmix::markov {
+
+namespace {
+
+// How many edges ahead to prefetch the gathered distribution block. The
+// gather chases neighbors[e] through a multi-MB array, which the hardware
+// prefetchers cannot predict; hinting ~8 edges ahead overlaps those line
+// transfers with the FMA work and is worth ~1.5x at B=32 on AVX-512
+// hardware (pure hint — no effect on results).
+constexpr graph::EdgeIndex kPrefetchDistance = 8;
+
+// Compile-time lane count (stride stays runtime so a partially filled
+// block still takes this path): the b-loops unroll and vectorize, and the
+// accumulators live in registers. The floating-point work per lane is the
+// exact operation sequence of DistributionEvolver::step + total_variation
+// (CSR edge order, then ascending-row TVD), so results are bit-identical
+// to the scalar path.
+template <std::size_t B>
+void sweep_fixed(graph::NodeId n, const graph::EdgeIndex* offsets,
+                 const graph::NodeId* neighbors, const double* inv_deg,
+                 const double* cur, double* next, std::size_t stride,
+                 double walk_weight, double laziness, const double* pi,
+                 double* tvd_out) {
+  double tvd_acc[B];
+  if (pi != nullptr) {
+    for (std::size_t b = 0; b < B; ++b) tvd_acc[b] = 0.0;
+  }
+  for (graph::NodeId j = 0; j < n; ++j) {
+    double acc[B];
+    for (std::size_t b = 0; b < B; ++b) acc[b] = 0.0;
+    const graph::EdgeIndex row_end = offsets[j + 1];
+    for (graph::EdgeIndex e = offsets[j]; e < row_end; ++e) {
+      if (e + kPrefetchDistance < row_end) {
+        __builtin_prefetch(
+            cur + static_cast<std::size_t>(neighbors[e + kPrefetchDistance]) * stride, 0, 1);
+      }
+      const graph::NodeId i = neighbors[e];
+      const double w = inv_deg[i];
+      const double* src = cur + static_cast<std::size_t>(i) * stride;
+      for (std::size_t b = 0; b < B; ++b) acc[b] += src[b] * w;
+    }
+    const double* cur_j = cur + static_cast<std::size_t>(j) * stride;
+    double* next_j = next + static_cast<std::size_t>(j) * stride;
+    for (std::size_t b = 0; b < B; ++b) {
+      next_j[b] = walk_weight * acc[b] + laziness * cur_j[b];
+    }
+    if (pi != nullptr) {
+      const double p = pi[j];
+      for (std::size_t b = 0; b < B; ++b) tvd_acc[b] += std::fabs(next_j[b] - p);
+    }
+  }
+  if (pi != nullptr) {
+    for (std::size_t b = 0; b < B; ++b) tvd_out[b] = 0.5 * tvd_acc[b];
+  }
+}
+
+// Runtime-width fallback for remainder blocks (active < block) and odd
+// block sizes. Same operation order as sweep_fixed.
+void sweep_generic(graph::NodeId n, const graph::EdgeIndex* offsets,
+                   const graph::NodeId* neighbors, const double* inv_deg,
+                   const double* cur, double* next, std::size_t stride,
+                   std::size_t lanes, double walk_weight, double laziness,
+                   const double* pi, double* tvd_out) {
+  std::array<double, BatchedEvolver::kMaxBlock> acc{};
+  std::array<double, BatchedEvolver::kMaxBlock> tvd_acc{};
+  for (graph::NodeId j = 0; j < n; ++j) {
+    for (std::size_t b = 0; b < lanes; ++b) acc[b] = 0.0;
+    const graph::EdgeIndex row_end = offsets[j + 1];
+    for (graph::EdgeIndex e = offsets[j]; e < row_end; ++e) {
+      if (e + kPrefetchDistance < row_end) {
+        __builtin_prefetch(
+            cur + static_cast<std::size_t>(neighbors[e + kPrefetchDistance]) * stride, 0, 1);
+      }
+      const graph::NodeId i = neighbors[e];
+      const double w = inv_deg[i];
+      const double* src = cur + static_cast<std::size_t>(i) * stride;
+      for (std::size_t b = 0; b < lanes; ++b) acc[b] += src[b] * w;
+    }
+    const double* cur_j = cur + static_cast<std::size_t>(j) * stride;
+    double* next_j = next + static_cast<std::size_t>(j) * stride;
+    for (std::size_t b = 0; b < lanes; ++b) {
+      next_j[b] = walk_weight * acc[b] + laziness * cur_j[b];
+    }
+    if (pi != nullptr) {
+      const double p = pi[j];
+      for (std::size_t b = 0; b < lanes; ++b) tvd_acc[b] += std::fabs(next_j[b] - p);
+    }
+  }
+  if (pi != nullptr) {
+    for (std::size_t b = 0; b < lanes; ++b) tvd_out[b] = 0.5 * tvd_acc[b];
+  }
+}
+
+}  // namespace
+
+BatchedEvolver::BatchedEvolver(const graph::Graph& g, double laziness, std::size_t block)
+    : graph_(&g), laziness_(laziness), block_(block) {
+  if (laziness < 0.0 || laziness >= 1.0) {
+    throw std::invalid_argument{"BatchedEvolver: laziness must be in [0, 1)"};
+  }
+  if (block < 1 || block > kMaxBlock) {
+    throw std::invalid_argument{"BatchedEvolver: block must be in [1, kMaxBlock]"};
+  }
+  const graph::NodeId n = g.num_nodes();
+  inv_deg_.resize(n);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    const graph::NodeId d = g.degree(v);
+    if (d == 0) {
+      throw std::invalid_argument{
+          "BatchedEvolver: graph has an isolated vertex; extract the largest "
+          "connected component first"};
+    }
+    inv_deg_[v] = 1.0 / static_cast<double>(d);
+  }
+  cur_.resize(static_cast<std::size_t>(n) * block_);
+  next_.resize(static_cast<std::size_t>(n) * block_);
+}
+
+void BatchedEvolver::seed_point_masses(std::span<const graph::NodeId> sources) {
+  if (sources.size() > block_) {
+    throw std::invalid_argument{"BatchedEvolver: more sources than lanes"};
+  }
+  std::fill(cur_.begin(), cur_.end(), 0.0);
+  for (std::size_t b = 0; b < sources.size(); ++b) {
+    if (sources[b] >= dim()) {
+      throw std::out_of_range{"BatchedEvolver: source vertex out of range"};
+    }
+    cur_[static_cast<std::size_t>(sources[b]) * block_ + b] = 1.0;
+  }
+  active_ = sources.size();
+}
+
+void BatchedEvolver::sweep(const double* pi, double* tvd_out) {
+  const graph::Graph& g = *graph_;
+  const graph::NodeId n = g.num_nodes();
+  const auto* offsets = g.offsets().data();
+  const auto* neighbors = g.raw_neighbors().data();
+  const double walk_weight = 1.0 - laziness_;
+
+  // Dispatch on the *active* lane count; stride stays block_, so partially
+  // filled blocks (the tail of an odd source list) still hit an unrolled
+  // kernel when their lane count is a supported width.
+  switch (active_) {
+    case 4:
+      sweep_fixed<4>(n, offsets, neighbors, inv_deg_.data(), cur_.data(),
+                     next_.data(), block_, walk_weight, laziness_, pi, tvd_out);
+      break;
+    case 8:
+      sweep_fixed<8>(n, offsets, neighbors, inv_deg_.data(), cur_.data(),
+                     next_.data(), block_, walk_weight, laziness_, pi, tvd_out);
+      break;
+    case 16:
+      sweep_fixed<16>(n, offsets, neighbors, inv_deg_.data(), cur_.data(),
+                      next_.data(), block_, walk_weight, laziness_, pi, tvd_out);
+      break;
+    case 32:
+      sweep_fixed<32>(n, offsets, neighbors, inv_deg_.data(), cur_.data(),
+                      next_.data(), block_, walk_weight, laziness_, pi, tvd_out);
+      break;
+    default:
+      sweep_generic(n, offsets, neighbors, inv_deg_.data(), cur_.data(), next_.data(),
+                    block_, active_, walk_weight, laziness_, pi, tvd_out);
+      break;
+  }
+  cur_.swap(next_);
+}
+
+void BatchedEvolver::step() { sweep(nullptr, nullptr); }
+
+void BatchedEvolver::step_with_tvd(std::span<const double> pi, std::span<double> tvd_out) {
+  if (pi.size() != dim()) {
+    throw std::invalid_argument{"BatchedEvolver: pi has wrong dimension"};
+  }
+  if (tvd_out.size() < active_) {
+    throw std::invalid_argument{"BatchedEvolver: tvd_out smaller than active lanes"};
+  }
+  sweep(pi.data(), tvd_out.data());
+}
+
+void BatchedEvolver::copy_distribution(std::size_t lane, std::span<double> out) const {
+  if (lane >= active_) {
+    throw std::out_of_range{"BatchedEvolver: lane not active"};
+  }
+  if (out.size() != dim()) {
+    throw std::invalid_argument{"BatchedEvolver: output has wrong dimension"};
+  }
+  const std::size_t n = dim();
+  for (std::size_t v = 0; v < n; ++v) out[v] = cur_[v * block_ + lane];
+}
+
+}  // namespace socmix::markov

@@ -1,0 +1,85 @@
+// Blocked multi-source walk evolution: B distributions per CSR sweep.
+//
+// The sampled measurement (§3.3) evolves a point mass from every source;
+// done one source at a time the graph's offsets/neighbors arrays are
+// streamed once per source per step. This engine advances a block of B
+// lanes through x_{t+1} = x_t P in a single sweep — a row-major multi-
+// vector SpMM — so the CSR arrays and the random accesses into the
+// distribution are amortized across the whole block, and the TVD-to-pi
+// reduction the measurement needs is fused into the same sweep instead of
+// costing a second pass over n doubles per lane.
+//
+// Determinism contract: lane b of a block evolves through *exactly* the
+// floating-point operations of the scalar DistributionEvolver path —
+// per-row accumulation in CSR edge order, the identical laziness affine
+// combination, and a TVD summed over rows in ascending order (matching
+// linalg::total_variation). Trajectories are therefore bit-identical to
+// the single-source path for any block size, block composition, or thread
+// count of the surrounding driver.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace socmix::markov {
+
+class BatchedEvolver {
+ public:
+  /// Block width used by measure_sampled_mixing. 32 lanes of doubles are
+  /// four cache lines per vertex: the random gather per edge transfers
+  /// lines that serve 32 sources instead of one, and the wide inner loop
+  /// keeps the vector units busy while those lines arrive. Measured on a
+  /// BA(1M, 5) graph this is the fastest width from 2..32 both with and
+  /// without -march=native (see bench_results/micro_parallel.csv).
+  static constexpr std::size_t kDefaultBlock = 32;
+  /// Upper bound on the block width (keeps per-row accumulators on the
+  /// stack in the sweep kernel).
+  static constexpr std::size_t kMaxBlock = 32;
+
+  /// Throws on laziness outside [0, 1), an isolated vertex, or
+  /// block outside [1, kMaxBlock].
+  explicit BatchedEvolver(const graph::Graph& g, double laziness = 0.0,
+                          std::size_t block = kDefaultBlock);
+
+  [[nodiscard]] std::size_t dim() const noexcept { return inv_deg_.size(); }
+  [[nodiscard]] std::size_t block() const noexcept { return block_; }
+  /// Lanes currently holding a distribution (set by seed_point_masses).
+  [[nodiscard]] std::size_t active() const noexcept { return active_; }
+  [[nodiscard]] double laziness() const noexcept { return laziness_; }
+
+  /// Resets the block to point masses at `sources` (one lane per source,
+  /// sources.size() <= block()).
+  void seed_point_masses(std::span<const graph::NodeId> sources);
+
+  /// Advances every active lane one step: lane_b <- lane_b * P.
+  void step();
+
+  /// step(), plus writes the total variation distance of each advanced
+  /// lane against `pi` into tvd_out (size >= active()), computed inside
+  /// the same sweep. Bit-identical to calling step() and then
+  /// linalg::total_variation per lane.
+  void step_with_tvd(std::span<const double> pi, std::span<double> tvd_out);
+
+  /// Copies lane `lane` (< active()) into `out` (size dim()).
+  void copy_distribution(std::size_t lane, std::span<double> out) const;
+
+  [[nodiscard]] const graph::Graph& graph() const noexcept { return *graph_; }
+
+ private:
+  /// One SpMM sweep cur_ -> next_ (swapping after); when pi is non-null,
+  /// also accumulates per-lane |next - pi| row by row into tvd_out.
+  void sweep(const double* pi, double* tvd_out);
+
+  const graph::Graph* graph_;
+  std::vector<double> inv_deg_;
+  std::vector<double> cur_;   // [dim x block], row-major: cur_[v*block + lane]
+  std::vector<double> next_;
+  double laziness_;
+  std::size_t block_;
+  std::size_t active_ = 0;
+};
+
+}  // namespace socmix::markov

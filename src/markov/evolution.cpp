@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "linalg/vector_ops.hpp"
+#include "util/parallel.hpp"
 
 namespace socmix::markov {
 
@@ -26,7 +27,7 @@ DistributionEvolver::DistributionEvolver(const graph::Graph& g, double laziness)
 }
 
 void DistributionEvolver::step(std::span<const double> current,
-                               std::span<double> next) const noexcept {
+                               std::span<double> next) const {
   const graph::Graph& g = *graph_;
   const graph::NodeId n = g.num_nodes();
   const auto offsets = g.offsets();
@@ -34,15 +35,20 @@ void DistributionEvolver::step(std::span<const double> current,
   const double walk_weight = 1.0 - laziness_;
 
   // (x P)_j = sum_{i ~ j} x_i / deg(i): gather formulation reads each CSR
-  // row once, sequentially.
-  for (graph::NodeId j = 0; j < n; ++j) {
-    double acc = 0.0;
-    for (graph::EdgeIndex e = offsets[j]; e < offsets[j + 1]; ++e) {
-      const graph::NodeId i = neighbors[e];
-      acc += current[i] * inv_deg_[i];
+  // row once. Rows partition across the pool — each next[j] comes from one
+  // thread with fixed accumulation order, so the step is bit-identical for
+  // any thread count.
+  util::parallel_for(0, n, kStepGrain, [&](std::size_t row_lo, std::size_t row_hi) {
+    for (graph::NodeId j = static_cast<graph::NodeId>(row_lo);
+         j < static_cast<graph::NodeId>(row_hi); ++j) {
+      double acc = 0.0;
+      for (graph::EdgeIndex e = offsets[j]; e < offsets[j + 1]; ++e) {
+        const graph::NodeId i = neighbors[e];
+        acc += current[i] * inv_deg_[i];
+      }
+      next[j] = walk_weight * acc + laziness_ * current[j];
     }
-    next[j] = walk_weight * acc + laziness_ * current[j];
-  }
+  });
 }
 
 void DistributionEvolver::advance(std::vector<double>& dist, std::size_t steps) {

@@ -22,8 +22,12 @@ class DistributionEvolver {
   [[nodiscard]] std::size_t dim() const noexcept { return inv_deg_.size(); }
 
   /// One step: next = current * P. Buffers must have size dim() and must
-  /// not alias.
-  void step(std::span<const double> current, std::span<double> next) const noexcept;
+  /// not alias. Rows are partitioned across the util::parallel pool; the
+  /// gather keeps results bit-identical for any thread count.
+  void step(std::span<const double> current, std::span<double> next) const;
+
+  /// Minimum rows per parallel chunk (small graphs run inline).
+  static constexpr std::size_t kStepGrain = 2048;
 
   /// Advances `dist` in place by `steps` steps (uses an internal scratch
   /// buffer; not thread-safe across concurrent calls on one instance).

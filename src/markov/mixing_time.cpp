@@ -1,13 +1,17 @@
 #include "markov/mixing_time.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+#include <limits>
 #include <numeric>
 #include <stdexcept>
 
 #include "linalg/vector_ops.hpp"
+#include "markov/batched_evolver.hpp"
 #include "markov/evolution.hpp"
 #include "markov/stationary.hpp"
+#include "util/parallel.hpp"
 
 namespace socmix::markov {
 
@@ -140,18 +144,34 @@ SampledMixing measure_sampled_mixing(const graph::Graph& g,
                                      std::span<const graph::NodeId> sources,
                                      std::size_t max_steps, double laziness) {
   const std::vector<double> pi = stationary_distribution(g);
-  DistributionEvolver evolver{g, laziness};
-  std::vector<std::vector<double>> trajectories;
-  trajectories.reserve(sources.size());
-  for (const graph::NodeId source : sources) {
-    std::vector<double> traj;
-    traj.reserve(max_steps);
-    evolver.trajectory(source, max_steps, [&](std::size_t, std::span<const double> dist) {
-      traj.push_back(linalg::total_variation(dist, pi));
-      return true;
-    });
-    trajectories.push_back(std::move(traj));
-  }
+  const std::size_t num_sources = sources.size();
+  std::vector<std::vector<double>> trajectories(num_sources);
+
+  // Sources are evolved B at a time by a BatchedEvolver (one CSR sweep per
+  // step serves the whole block) and the blocks are distributed across the
+  // thread pool. Each lane runs the exact scalar floating-point sequence
+  // and every block is independent, so trajectories are bit-identical for
+  // any thread count — including the old one-source-at-a-time path.
+  constexpr std::size_t kBlock = BatchedEvolver::kDefaultBlock;
+  const std::size_t num_blocks = (num_sources + kBlock - 1) / kBlock;
+  util::parallel_for(0, num_blocks, 1, [&](std::size_t block_lo, std::size_t block_hi) {
+    BatchedEvolver evolver{g, laziness, kBlock};
+    std::array<double, kBlock> tvd{};
+    for (std::size_t blk = block_lo; blk < block_hi; ++blk) {
+      const std::size_t first = blk * kBlock;
+      const std::size_t lanes = std::min(kBlock, num_sources - first);
+      evolver.seed_point_masses(sources.subspan(first, lanes));
+      for (std::size_t b = 0; b < lanes; ++b) {
+        trajectories[first + b].reserve(max_steps);
+      }
+      for (std::size_t t = 0; t < max_steps; ++t) {
+        evolver.step_with_tvd(pi, tvd);
+        for (std::size_t b = 0; b < lanes; ++b) {
+          trajectories[first + b].push_back(tvd[b]);
+        }
+      }
+    }
+  });
   return SampledMixing{{sources.begin(), sources.end()}, std::move(trajectories)};
 }
 

@@ -104,7 +104,10 @@ class SampledMixing {
 };
 
 /// Evolves a point mass from each source for max_steps steps and records
-/// the TVD trajectory. O(sources * max_steps * m) time.
+/// the TVD trajectory. O(sources * max_steps * m) work, executed in
+/// blocks of BatchedEvolver::kDefaultBlock sources per CSR sweep and
+/// distributed over the util::parallel pool (--threads / SOCMIX_THREADS).
+/// Trajectories are bit-identical for every thread count.
 [[nodiscard]] SampledMixing measure_sampled_mixing(const graph::Graph& g,
                                                    std::span<const graph::NodeId> sources,
                                                    std::size_t max_steps,

@@ -1,0 +1,102 @@
+// Shared-memory parallel execution: a persistent thread pool and a blocked
+// parallel_for built on it.
+//
+// Design constraints, in order:
+//  1. Determinism. Every parallel kernel in socmix writes disjoint outputs
+//     per index (pure gathers, per-source trajectories), so results are
+//     bit-identical regardless of thread count or chunk boundaries. The
+//     pool therefore hands out chunks dynamically (good load balance on
+//     skewed-degree graphs) without sacrificing reproducibility.
+//  2. Zero overhead when serial. A pool of size 1 has no worker threads
+//     and parallel_for degenerates to a direct call of the body; small
+//     ranges (<= grain) are likewise run inline.
+//  3. Safe composition. A parallel_for issued from inside a parallel
+//     region runs inline on the calling thread — nested parallelism never
+//     deadlocks and never oversubscribes.
+//
+// Thread count resolution: set_thread_count(n) (wired to --threads by the
+// experiment harness) > SOCMIX_THREADS env var > hardware concurrency.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace socmix::util {
+
+/// Persistent pool of worker threads executing blocked index ranges.
+///
+/// The pool owns `size() - 1` background threads; the thread that calls
+/// for_range participates in the work, so `size()` is the true parallel
+/// width and a pool of size 1 spawns nothing.
+class ThreadPool {
+ public:
+  /// Half-open index range [lo, hi) to process sequentially.
+  using RangeBody = std::function<void(std::size_t lo, std::size_t hi)>;
+
+  /// Creates a pool of total width `threads` (clamped to [1, 1024]; the
+  /// cap swallows size_t-wrapped negatives from careless callers).
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Parallel width: background workers + the calling thread.
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size() + 1; }
+
+  /// Runs body over [begin, end) in chunks of at least `grain` indices.
+  /// Blocks until the whole range is processed. An empty range never
+  /// invokes the body. If any body invocation throws, the first exception
+  /// is rethrown here after remaining work is cancelled; the pool stays
+  /// usable. Reentrant calls (from inside a body) run inline.
+  void for_range(std::size_t begin, std::size_t end, std::size_t grain,
+                 const RangeBody& body);
+
+ private:
+  void worker_loop();
+  /// Claims and runs chunks of the current job until none remain.
+  /// Must be called with the job mutex held (via the unique_lock).
+  void work(std::unique_lock<std::mutex>& lock);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable wake_;  ///< workers: "a job was published"
+  std::condition_variable done_;  ///< caller: "all chunks finished"
+  const RangeBody* body_ = nullptr;
+  std::size_t next_ = 0;       ///< first unclaimed index of the current job
+  std::size_t end_ = 0;        ///< one past the last index
+  std::size_t chunk_ = 1;      ///< chunk size for this job
+  std::size_t in_flight_ = 0;  ///< threads currently inside a body call
+  std::exception_ptr error_;
+  bool busy_ = false;  ///< a job is published; queues concurrent callers
+  bool stop_ = false;
+};
+
+/// max(1, std::thread::hardware_concurrency()).
+[[nodiscard]] std::size_t hardware_threads() noexcept;
+
+/// Thread count used when set_thread_count was never called (or reset to
+/// 0): SOCMIX_THREADS if set to a positive integer, else hardware_threads().
+[[nodiscard]] std::size_t default_thread_count();
+
+/// Overrides the global pool width; 0 restores the default resolution and
+/// requests above 1024 clamp to 1024. Takes effect on the next
+/// parallel_for. Not safe to call concurrently with running parallel work.
+void set_thread_count(std::size_t threads);
+
+/// The width the next parallel_for will use.
+[[nodiscard]] std::size_t thread_count();
+
+/// Lazily constructed process-wide pool at the configured width.
+[[nodiscard]] ThreadPool& global_pool();
+
+/// Blocked parallel loop over [begin, end) on the global pool.
+void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                  const ThreadPool::RangeBody& body);
+
+}  // namespace socmix::util

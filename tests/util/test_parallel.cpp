@@ -1,0 +1,145 @@
+#include "util/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace socmix::util {
+namespace {
+
+// ------------------------------------------------------------ ThreadPool --
+
+TEST(ThreadPool, EmptyRangeNeverInvokesBody) {
+  ThreadPool pool{4};
+  std::atomic<int> calls{0};
+  pool.for_range(5, 5, 1, [&](std::size_t, std::size_t) { ++calls; });
+  pool.for_range(7, 3, 1, [&](std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool{4};
+  constexpr std::size_t kN = 1000;
+  std::vector<int> hits(kN, 0);
+  pool.for_range(0, kN, 3, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) ++hits[i];
+  });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), static_cast<int>(kN));
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i], 1) << i;
+}
+
+TEST(ThreadPool, RespectsRangeOffsets) {
+  ThreadPool pool{2};
+  std::vector<int> hits(100, 0);
+  pool.for_range(10, 90, 7, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) ++hits[i];
+  });
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_EQ(hits[i], (i >= 10 && i < 90) ? 1 : 0);
+}
+
+TEST(ThreadPool, WidthOnePoolRunsInlineAndSpawnsNothing) {
+  ThreadPool pool{1};
+  EXPECT_EQ(pool.size(), 1u);
+  const auto caller = std::this_thread::get_id();
+  pool.for_range(0, 100, 1, [&](std::size_t, std::size_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+}
+
+TEST(ThreadPool, PropagatesFirstExceptionAndStaysUsable) {
+  ThreadPool pool{4};
+  const auto boom = [](std::size_t, std::size_t) -> void {
+    throw std::runtime_error{"boom"};
+  };
+  EXPECT_THROW(pool.for_range(0, 100, 1, boom), std::runtime_error);
+
+  // The pool must survive an exception: the next job runs to completion.
+  std::vector<int> hits(64, 0);
+  pool.for_range(0, 64, 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) ++hits[i];
+  });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 64);
+}
+
+TEST(ThreadPool, ReusableAcrossManyJobs) {
+  ThreadPool pool{3};
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<std::int64_t> sum{0};
+    pool.for_range(0, 200, 5, [&](std::size_t lo, std::size_t hi) {
+      std::int64_t local = 0;
+      for (std::size_t i = lo; i < hi; ++i) local += static_cast<std::int64_t>(i);
+      sum += local;
+    });
+    EXPECT_EQ(sum.load(), 199 * 200 / 2);
+  }
+}
+
+TEST(ThreadPool, NestedForRangeRunsInlineWithoutDeadlock) {
+  ThreadPool pool{4};
+  std::vector<int> hits(256, 0);
+  pool.for_range(0, 16, 1, [&](std::size_t outer_lo, std::size_t outer_hi) {
+    for (std::size_t outer = outer_lo; outer < outer_hi; ++outer) {
+      // Reentrant use of the same pool must not deadlock; it runs inline.
+      pool.for_range(0, 16, 1, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t inner = lo; inner < hi; ++inner) ++hits[outer * 16 + inner];
+      });
+    }
+  });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 256);
+}
+
+// ----------------------------------------------------------- global pool --
+
+TEST(GlobalParallel, SetThreadCountRoundTrip) {
+  set_thread_count(4);
+  EXPECT_EQ(thread_count(), 4u);
+  EXPECT_EQ(global_pool().size(), 4u);
+  set_thread_count(1);
+  EXPECT_EQ(thread_count(), 1u);
+  set_thread_count(0);  // back to default resolution
+  EXPECT_EQ(thread_count(), default_thread_count());
+  EXPECT_GE(default_thread_count(), 1u);
+}
+
+TEST(GlobalParallel, AbsurdThreadCountClampsInsteadOfThrowing) {
+  // A size_t-wrapped negative (e.g. `--threads -1` on the CLI) must not
+  // make the pool try to reserve SIZE_MAX workers.
+  set_thread_count(static_cast<std::size_t>(-1));
+  EXPECT_EQ(thread_count(), 1024u);
+  set_thread_count(0);
+  EXPECT_EQ(thread_count(), default_thread_count());
+}
+
+TEST(GlobalParallel, ParallelForMatchesSerialSum) {
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    set_thread_count(threads);
+    std::vector<double> out(1000);
+    parallel_for(0, out.size(), 16, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) out[i] = static_cast<double>(i) * 0.5;
+    });
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      ASSERT_EQ(out[i], static_cast<double>(i) * 0.5);
+    }
+  }
+  set_thread_count(0);
+}
+
+TEST(GlobalParallel, NestedGlobalParallelForRunsInline) {
+  set_thread_count(4);
+  std::atomic<int> total{0};
+  parallel_for(0, 8, 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      parallel_for(0, 8, 1, [&](std::size_t ilo, std::size_t ihi) {
+        total += static_cast<int>(ihi - ilo);
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 64);
+  set_thread_count(0);
+}
+
+}  // namespace
+}  // namespace socmix::util
