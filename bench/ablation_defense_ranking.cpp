@@ -15,6 +15,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "core/experiment.hpp"
 #include "gen/datasets.hpp"
 #include "sybil/attack.hpp"
 #include "sybil/ranking.hpp"
@@ -27,6 +28,7 @@ using namespace socmix;
 
 int main(int argc, char** argv) {
   const util::Cli cli{argc, argv};
+  core::configure_observability(cli);
   const auto nodes = static_cast<graph::NodeId>(cli.get_i64("nodes", 2000));
   const auto seed = static_cast<std::uint64_t>(cli.get_i64("seed", 42));
 

@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "core/experiment.hpp"
 #include "digraph/io.hpp"
 #include "digraph/scc.hpp"
 #include "digraph/walk.hpp"
@@ -28,6 +29,7 @@ using namespace socmix;
 
 int main(int argc, char** argv) {
   const util::Cli cli{argc, argv};
+  core::configure_observability(cli);
   const auto nodes = static_cast<graph::NodeId>(cli.get_i64("nodes", 2000));
   const auto max_steps = static_cast<std::size_t>(cli.get_i64("steps", 400));
   const auto num_sources = static_cast<std::size_t>(cli.get_i64("sources", 30));

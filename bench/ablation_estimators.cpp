@@ -26,6 +26,7 @@ using namespace socmix;
 
 int main(int argc, char** argv) {
   const util::Cli cli{argc, argv};
+  core::configure_observability(cli);
   const std::string dataset = cli.get("dataset", "Physics 1");
   const auto nodes = static_cast<graph::NodeId>(cli.get_i64("nodes", 2600));
   const auto seed = static_cast<std::uint64_t>(cli.get_i64("seed", 42));

@@ -16,6 +16,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "core/experiment.hpp"
 #include "gen/datasets.hpp"
 #include "gen/weights.hpp"
 #include "linalg/lanczos.hpp"
@@ -28,6 +29,7 @@ using namespace socmix;
 
 int main(int argc, char** argv) {
   const util::Cli cli{argc, argv};
+  core::configure_observability(cli);
   const auto nodes = static_cast<graph::NodeId>(cli.get_i64("nodes", 2600));
   const auto seed = static_cast<std::uint64_t>(cli.get_i64("seed", 42));
 

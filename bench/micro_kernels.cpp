@@ -1,7 +1,15 @@
 // Micro benchmarks (google-benchmark): throughput of the kernels the
 // measurement pipeline is built on, plus the Lanczos-vs-power-iteration
 // ablation called out in DESIGN.md.
+//
+// Custom main (instead of benchmark_main) so the run's accumulated obs
+// metrics land in bench_results/micro_kernels_metrics.json — the counters
+// double as a sanity check that the benchmarked kernels took the expected
+// paths (unrolled vs generic sweeps, fused-TVD, pool utilization).
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <fstream>
 
 #include "gen/barabasi_albert.hpp"
 #include "gen/datasets.hpp"
@@ -16,6 +24,9 @@
 #include "markov/mixing_time.hpp"
 #include "markov/random_walk.hpp"
 #include "markov/stationary.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "util/csv.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
 
@@ -253,3 +264,20 @@ void BM_TotalVariation(benchmark::State& state) {
 BENCHMARK(BM_TotalVariation)->Arg(1000)->Arg(100000);
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  if (const auto dir = util::bench_results_dir()) {
+    const std::string path = *dir + "/micro_kernels_metrics.json";
+    std::ofstream out{path};
+    if (out) {
+      socmix::obs::write_metrics_json(socmix::obs::Registry::instance().snapshot(), out);
+      std::fprintf(stderr, "wrote %s\n", path.c_str());
+    }
+  }
+  return 0;
+}

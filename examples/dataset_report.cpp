@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "core/experiment.hpp"
 #include "core/measurement.hpp"
 #include "gen/datasets.hpp"
 #include "graph/components.hpp"
@@ -25,6 +26,7 @@ using namespace socmix;
 
 int main(int argc, char** argv) {
   const util::Cli cli{argc, argv};
+  core::configure_observability(cli);
   const auto seed = static_cast<std::uint64_t>(cli.get_i64("seed", 42));
 
   graph::Graph raw;

@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "core/experiment.hpp"
 #include "digraph/io.hpp"
 #include "digraph/scc.hpp"
 #include "digraph/walk.hpp"
@@ -27,6 +28,7 @@ using namespace socmix;
 
 int main(int argc, char** argv) {
   const util::Cli cli{argc, argv};
+  core::configure_observability(cli);
   const auto seed = static_cast<std::uint64_t>(cli.get_i64("seed", 42));
 
   // 1. Obtain a directed graph.

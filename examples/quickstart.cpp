@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "core/experiment.hpp"
 #include "core/measurement.hpp"
 #include "gen/datasets.hpp"
 #include "graph/components.hpp"
@@ -22,6 +23,7 @@ using namespace socmix;
 
 int main(int argc, char** argv) {
   const util::Cli cli{argc, argv};
+  core::configure_observability(cli);
 
   // 1. Get a graph.
   graph::Graph raw;

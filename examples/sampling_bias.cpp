@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "core/experiment.hpp"
 #include "gen/datasets.hpp"
 #include "graph/components.hpp"
 #include "graph/sampling.hpp"
@@ -42,6 +43,7 @@ void accumulate(SampleStats& stats, const graph::Graph& sample) {
 
 int main(int argc, char** argv) {
   const util::Cli cli{argc, argv};
+  core::configure_observability(cli);
   const std::string dataset = cli.get("dataset", "Physics 3");
   const auto nodes = static_cast<graph::NodeId>(cli.get_i64("nodes", 8000));
   const auto sample_size = static_cast<graph::NodeId>(cli.get_i64("sample", 2500));

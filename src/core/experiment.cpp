@@ -3,6 +3,8 @@
 #include <cmath>
 #include <iostream>
 
+#include "obs/export.hpp"
+#include "obs/progress.hpp"
 #include "util/csv.hpp"
 #include "util/parallel.hpp"
 #include "util/string_util.hpp"
@@ -18,7 +20,17 @@ ExperimentConfig ExperimentConfig::from_cli(const util::Cli& cli) {
   config.seed = static_cast<std::uint64_t>(cli.get_i64("seed", 42));
   config.threads = static_cast<std::size_t>(cli.get_i64("threads", 0));
   util::set_thread_count(config.threads);
+  configure_observability(cli);
   return config;
+}
+
+void configure_observability(const util::Cli& cli) {
+  const std::string metrics = cli.get("metrics-out", "");
+  const std::string trace = cli.get("trace-out", "");
+  obs::set_metrics_out(metrics);
+  obs::set_trace_out(trace);
+  obs::set_progress_enabled(cli.get_flag("progress"));
+  if (!metrics.empty() || !trace.empty()) obs::flush_on_exit();
 }
 
 graph::Graph build_scaled_dataset(const gen::DatasetSpec& spec,

@@ -31,9 +31,20 @@ struct ExperimentConfig {
   std::size_t threads = 0;
 
   /// Parses the CLI and applies `threads` to the global util::parallel
-  /// pool, so every driver honors --threads with no further wiring.
+  /// pool, so every driver honors --threads with no further wiring. Also
+  /// calls configure_observability, so --metrics-out / --trace-out /
+  /// --progress work in every driver.
   [[nodiscard]] static ExperimentConfig from_cli(const util::Cli& cli);
 };
+
+/// Wires the shared observability flags into the obs layer:
+///   --metrics-out=PATH   metrics snapshot at exit (JSON; CSV if *.csv)
+///   --trace-out=PATH     Chrome trace_event JSON of recorded spans
+///   --progress           coarse progress + ETA on stderr
+/// Registers the exit-time flush when any output is requested. Drivers that
+/// go through ExperimentConfig::from_cli get this for free; tools that parse
+/// their own Cli call it directly.
+void configure_observability(const util::Cli& cli);
 
 /// Builds a Table-1 stand-in at config.scale times its default size and
 /// returns its largest connected component.

@@ -1,18 +1,24 @@
 #include "core/measurement.hpp"
 
 #include "linalg/walk_operator.hpp"
+#include "obs/obs.hpp"
 #include "util/rng.hpp"
+#include "util/timer.hpp"
 
 namespace socmix::core {
 
 MixingReport measure_mixing(const graph::Graph& g, std::string name,
                             const MeasurementOptions& options) {
+  SOCMIX_TRACE_SPAN("measure_mixing");
+  SOCMIX_COUNTER_ADD("core.measurements", 1);
   MixingReport report;
   report.name = std::move(name);
   report.nodes = g.num_nodes();
   report.edges = g.num_edges();
 
   if (options.spectral && g.num_nodes() > 0) {
+    SOCMIX_TRACE_SPAN("phase.spectral");
+    const util::Timer timer;
     const linalg::WalkOperator op{g, options.laziness};
     const auto spectrum = linalg::slem_spectrum(op, options.lanczos);
     report.spectral_ran = true;
@@ -21,16 +27,22 @@ MixingReport measure_mixing(const graph::Graph& g, std::string name,
     report.lambda2 = spectrum.lambda2;
     report.lambda_min = spectrum.lambda_min;
     report.lanczos_iterations = spectrum.iterations;
+    report.spectral_seconds = timer.seconds();
+    SOCMIX_GAUGE_SET("core.phase.spectral_seconds", report.spectral_seconds);
   }
 
   if (options.sampled && g.num_nodes() > 0 &&
       (options.sources > 0 || options.all_sources)) {
+    SOCMIX_TRACE_SPAN("phase.sampled");
+    const util::Timer timer;
     util::Rng rng{options.seed};
     const auto sources = options.all_sources
                              ? markov::all_sources(g)
                              : markov::pick_sources(g, options.sources, rng);
     report.sampled =
         markov::measure_sampled_mixing(g, sources, options.max_steps, options.laziness);
+    report.sampled_seconds = timer.seconds();
+    SOCMIX_GAUGE_SET("core.phase.sampled_seconds", report.sampled_seconds);
   }
   return report;
 }

@@ -59,6 +59,12 @@ struct MixingReport {
   // Sampled results (present when sampling ran).
   std::optional<markov::SampledMixing> sampled;
 
+  // Phase wall-clock seconds, mirrored into the obs gauges
+  // core.phase.spectral_seconds / core.phase.sampled_seconds — the single
+  // source of truth drivers report timing from (no per-driver stopwatches).
+  double spectral_seconds = 0.0;
+  double sampled_seconds = 0.0;
+
   /// Theorem-2 bound evaluator for this graph's mu.
   [[nodiscard]] markov::SpectralBounds bounds() const noexcept { return {slem}; }
 

@@ -27,6 +27,7 @@
 #include "linalg/tridiag.hpp"
 #include "linalg/vector_ops.hpp"
 #include "linalg/walk_operator.hpp"
+#include "obs/obs.hpp"
 #include "util/rng.hpp"
 
 namespace socmix::linalg {
@@ -87,6 +88,8 @@ inline void full_reorthogonalize(std::span<double> v, std::span<const double> de
 template <WalkLikeOperator Op>
 SpectrumResult run_lanczos(const Op& op, const LanczosOptions& options,
                            bool want_vector) {
+  SOCMIX_TRACE_SPAN("lanczos.solve");
+  SOCMIX_COUNTER_ADD("linalg.lanczos.solves", 1);
   const std::size_t n = op.dim();
   SpectrumResult result;
   if (n == 0) return result;
@@ -125,6 +128,8 @@ SpectrumResult run_lanczos(const Op& op, const LanczosOptions& options,
                         /*want_vectors=*/true);
     const double res_top = std::fabs(beta_next * eig.vectors[(k - 1) * k + (k - 1)]);
     const double res_bot = std::fabs(beta_next * eig.vectors[0 * k + (k - 1)]);
+    SOCMIX_GAUGE_SET("linalg.lanczos.residual_top", res_top);
+    SOCMIX_GAUGE_SET("linalg.lanczos.residual_bottom", res_bot);
     return res_top <= options.tolerance && res_bot <= options.tolerance;
   };
 
@@ -161,6 +166,8 @@ SpectrumResult run_lanczos(const Op& op, const LanczosOptions& options,
 
   result.iterations = dim;
   result.converged = converged;
+  SOCMIX_COUNTER_ADD("linalg.lanczos.iterations", dim);
+  SOCMIX_GAUGE_SET("linalg.lanczos.last_iterations", dim);
 
   // Ritz values approximate the *deflated* operator's spectrum: its largest
   // is lambda_2 of the (possibly lazy) operator; map back to P's spectrum.

@@ -4,11 +4,14 @@
 #include <vector>
 
 #include "linalg/vector_ops.hpp"
+#include "obs/obs.hpp"
 
 namespace socmix::linalg {
 
 PowerIterationResult power_iteration_slem(const WalkOperator& op,
                                           const PowerIterationOptions& options) {
+  SOCMIX_TRACE_SPAN("power_iteration.solve");
+  SOCMIX_COUNTER_ADD("linalg.power.solves", 1);
   PowerIterationResult result;
   const std::size_t n = op.dim();
   if (n <= 1) {
@@ -50,6 +53,8 @@ PowerIterationResult power_iteration_slem(const WalkOperator& op,
   // the Rayleigh quotient may hover near a combination; report by modulus.
   const double laziness = op.laziness();
   result.eigenvalue = (estimate - laziness) / (1.0 - laziness);
+  SOCMIX_COUNTER_ADD("linalg.power.iterations", result.iterations);
+  SOCMIX_GAUGE_SET("linalg.power.last_iterations", result.iterations);
   return result;
 }
 

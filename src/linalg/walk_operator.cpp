@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
 #include "util/parallel.hpp"
 
 namespace socmix::linalg {
@@ -27,8 +28,11 @@ WalkOperator::WalkOperator(const graph::Graph& g, double laziness)
 }
 
 void WalkOperator::apply(std::span<const double> x, std::span<double> y) const {
+  SOCMIX_TRACE_SPAN("spmv.apply");
   const graph::Graph& g = *graph_;
   const graph::NodeId n = g.num_nodes();
+  SOCMIX_COUNTER_ADD("linalg.spmv.applies", 1);
+  SOCMIX_COUNTER_ADD("linalg.spmv.rows", n);
   const auto offsets = g.offsets();
   const auto neighbors = g.raw_neighbors();
   const double walk_weight = 1.0 - laziness_;

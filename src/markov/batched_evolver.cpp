@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <array>
+#include <chrono>
 #include <cmath>
 #include <stdexcept>
+
+#include "obs/obs.hpp"
 
 namespace socmix::markov {
 
@@ -138,11 +141,19 @@ void BatchedEvolver::seed_point_masses(std::span<const graph::NodeId> sources) {
 }
 
 void BatchedEvolver::sweep(const double* pi, double* tvd_out) {
+  SOCMIX_TRACE_SPAN("evolver.sweep");
   const graph::Graph& g = *graph_;
   const graph::NodeId n = g.num_nodes();
   const auto* offsets = g.offsets().data();
   const auto* neighbors = g.raw_neighbors().data();
   const double walk_weight = 1.0 - laziness_;
+
+#if SOCMIX_OBS_ENABLED
+  // Sweep-granular accounting only: the kernels below stay untouched.
+  const auto sweep_start = std::chrono::steady_clock::now();
+  const bool unrolled =
+      active_ == 4 || active_ == 8 || active_ == 16 || active_ == 32;
+#endif
 
   // Dispatch on the *active* lane count; stride stays block_, so partially
   // filled blocks (the tail of an odd source list) still hit an unrolled
@@ -170,6 +181,26 @@ void BatchedEvolver::sweep(const double* pi, double* tvd_out) {
       break;
   }
   cur_.swap(next_);
+
+#if SOCMIX_OBS_ENABLED
+  const double sweep_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - sweep_start)
+          .count();
+  SOCMIX_COUNTER_ADD("markov.evolver.sweeps", 1);
+  SOCMIX_COUNTER_ADD("markov.evolver.rows_swept", n);
+  SOCMIX_COUNTER_ADD("markov.evolver.lane_steps", active_);
+  if (unrolled) {
+    SOCMIX_COUNTER_ADD("markov.evolver.sweeps_unrolled", 1);
+  } else {
+    SOCMIX_COUNTER_ADD("markov.evolver.sweeps_generic", 1);
+  }
+  if (pi != nullptr) {
+    SOCMIX_COUNTER_ADD("markov.evolver.fused_tvd_sweeps", 1);
+    SOCMIX_TIME_OBSERVE("markov.evolver.fused_tvd_sweep_seconds", sweep_seconds);
+  } else {
+    SOCMIX_TIME_OBSERVE("markov.evolver.sweep_seconds", sweep_seconds);
+  }
+#endif
 }
 
 void BatchedEvolver::step() { sweep(nullptr, nullptr); }

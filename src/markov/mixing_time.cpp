@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <numeric>
 #include <stdexcept>
@@ -11,6 +12,7 @@
 #include "markov/batched_evolver.hpp"
 #include "markov/evolution.hpp"
 #include "markov/stationary.hpp"
+#include "obs/obs.hpp"
 #include "util/parallel.hpp"
 
 namespace socmix::markov {
@@ -143,6 +145,7 @@ SampledMixing::PercentileCurves SampledMixing::percentile_curves(
 SampledMixing measure_sampled_mixing(const graph::Graph& g,
                                      std::span<const graph::NodeId> sources,
                                      std::size_t max_steps, double laziness) {
+  SOCMIX_TRACE_SPAN("measure_sampled_mixing");
   const std::vector<double> pi = stationary_distribution(g);
   const std::size_t num_sources = sources.size();
   std::vector<std::vector<double>> trajectories(num_sources);
@@ -154,24 +157,45 @@ SampledMixing measure_sampled_mixing(const graph::Graph& g,
   // any thread count — including the old one-source-at-a-time path.
   constexpr std::size_t kBlock = BatchedEvolver::kDefaultBlock;
   const std::size_t num_blocks = (num_sources + kBlock - 1) / kBlock;
+  SOCMIX_COUNTER_ADD("markov.sampled.runs", 1);
+  SOCMIX_COUNTER_ADD("markov.sampled.sources", num_sources);
+  SOCMIX_COUNTER_ADD("markov.sampled.source_blocks", num_blocks);
+  // Completed source blocks drive the --progress ETA: every block costs
+  // the same max_steps sweeps, so block rate extrapolates directly.
+  obs::ProgressMeter progress{"sampled-mixing", num_blocks};
   util::parallel_for(0, num_blocks, 1, [&](std::size_t block_lo, std::size_t block_hi) {
     BatchedEvolver evolver{g, laziness, kBlock};
     std::array<double, kBlock> tvd{};
     for (std::size_t blk = block_lo; blk < block_hi; ++blk) {
+      SOCMIX_TRACE_SPAN("evolve_block");
       const std::size_t first = blk * kBlock;
       const std::size_t lanes = std::min(kBlock, num_sources - first);
       evolver.seed_point_masses(sources.subspan(first, lanes));
       for (std::size_t b = 0; b < lanes; ++b) {
         trajectories[first + b].reserve(max_steps);
       }
+#if SOCMIX_OBS_ENABLED
+      // Lanes whose TVD has not yet dropped below the paper's headline
+      // eps = 0.1 (markov.sampled.tvd_crossings counts first crossings).
+      std::uint32_t above_eps = (lanes >= 32 ? 0xffffffffu : (1u << lanes) - 1u);
+#endif
       for (std::size_t t = 0; t < max_steps; ++t) {
         evolver.step_with_tvd(pi, tvd);
         for (std::size_t b = 0; b < lanes; ++b) {
           trajectories[first + b].push_back(tvd[b]);
+#if SOCMIX_OBS_ENABLED
+          if ((above_eps & (1u << b)) != 0 && tvd[b] < 0.1) {
+            above_eps &= ~(1u << b);
+            SOCMIX_COUNTER_ADD("markov.sampled.tvd_crossings", 1);
+          }
+#endif
         }
       }
+      SOCMIX_COUNTER_ADD("markov.sampled.steps", lanes * max_steps);
+      progress.add(1);
     }
   });
+  progress.finish();
   return SampledMixing{{sources.begin(), sources.end()}, std::move(trajectories)};
 }
 

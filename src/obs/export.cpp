@@ -1,0 +1,195 @@
+#include "obs/export.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+
+#include "obs/trace.hpp"
+
+namespace socmix::obs {
+
+namespace {
+
+/// JSON string escaping for metric names (quotes, backslashes, control
+/// characters; names are ASCII in practice).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// Full-precision doubles that stay valid JSON (no inf/nan literals).
+void append_double(std::ostream& out, double v) {
+  if (v != v) {
+    out << "null";
+    return;
+  }
+  out << std::setprecision(17) << v;
+}
+
+std::mutex g_config_mutex;
+std::string g_metrics_path;
+std::string g_trace_path;
+std::atomic<bool> g_atexit_registered{false};
+
+bool ends_with_csv(const std::string& path) {
+  return path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
+}
+
+}  // namespace
+
+void write_metrics_json(const MetricsSnapshot& snapshot, std::ostream& out) {
+  out << "{\"counters\":{";
+  for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+    if (i > 0) out << ",";
+    out << "\"" << json_escape(snapshot.counters[i].name)
+        << "\":" << snapshot.counters[i].value;
+  }
+  out << "},\"gauges\":{";
+  for (std::size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    if (i > 0) out << ",";
+    out << "\"" << json_escape(snapshot.gauges[i].name) << "\":";
+    append_double(out, snapshot.gauges[i].value);
+  }
+  out << "},\"histograms\":{";
+  for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const auto& h = snapshot.histograms[i];
+    if (i > 0) out << ",";
+    out << "\"" << json_escape(h.name) << "\":{\"bounds\":[";
+    for (std::size_t b = 0; b < h.bounds.size(); ++b) {
+      if (b > 0) out << ",";
+      append_double(out, h.bounds[b]);
+    }
+    out << "],\"counts\":[";
+    for (std::size_t b = 0; b < h.counts.size(); ++b) {
+      if (b > 0) out << ",";
+      out << h.counts[b];
+    }
+    out << "],\"count\":" << h.count << ",\"sum\":";
+    append_double(out, h.sum);
+    out << "}";
+  }
+  out << "}}";
+}
+
+void write_metrics_csv(const MetricsSnapshot& snapshot, std::ostream& out) {
+  out << "kind,name,value,count,sum\n";
+  for (const auto& c : snapshot.counters) {
+    out << "counter," << c.name << "," << c.value << ",,\n";
+  }
+  for (const auto& g : snapshot.gauges) {
+    out << "gauge," << g.name << ",";
+    append_double(out, g.value);
+    out << ",,\n";
+  }
+  for (const auto& h : snapshot.histograms) {
+    out << "histogram," << h.name << ",," << h.count << ",";
+    append_double(out, h.sum);
+    out << "\n";
+  }
+}
+
+void write_metrics_summary(const MetricsSnapshot& snapshot, std::ostream& out) {
+  std::size_t width = 0;
+  for (const auto& c : snapshot.counters) width = std::max(width, c.name.size());
+  for (const auto& g : snapshot.gauges) width = std::max(width, g.name.size());
+  for (const auto& h : snapshot.histograms) width = std::max(width, h.name.size());
+
+  out << "== metrics ==\n";
+  for (const auto& c : snapshot.counters) {
+    out << "  " << std::left << std::setw(static_cast<int>(width)) << c.name << "  "
+        << c.value << "\n";
+  }
+  for (const auto& g : snapshot.gauges) {
+    out << "  " << std::left << std::setw(static_cast<int>(width)) << g.name << "  "
+        << std::setprecision(6) << g.value << "\n";
+  }
+  for (const auto& h : snapshot.histograms) {
+    out << "  " << std::left << std::setw(static_cast<int>(width)) << h.name << "  n="
+        << h.count;
+    if (h.count > 0) {
+      out << " mean=" << std::setprecision(6)
+          << h.sum / static_cast<double>(h.count);
+    }
+    out << "\n";
+  }
+}
+
+void set_metrics_out(std::string path) {
+  const std::lock_guard<std::mutex> lock{g_config_mutex};
+  g_metrics_path = std::move(path);
+}
+
+void set_trace_out(std::string path) {
+  const bool enable = !path.empty();
+  {
+    const std::lock_guard<std::mutex> lock{g_config_mutex};
+    g_trace_path = std::move(path);
+  }
+  set_tracing_enabled(enable);
+}
+
+void flush() {
+  std::string metrics_path;
+  std::string trace_path;
+  {
+    const std::lock_guard<std::mutex> lock{g_config_mutex};
+    metrics_path = g_metrics_path;
+    trace_path = g_trace_path;
+  }
+
+  if (!metrics_path.empty()) {
+    const MetricsSnapshot snapshot = Registry::instance().snapshot();
+    std::ofstream out{metrics_path};
+    if (out) {
+      if (ends_with_csv(metrics_path)) {
+        write_metrics_csv(snapshot, out);
+      } else {
+        write_metrics_json(snapshot, out);
+      }
+    } else {
+      std::fprintf(stderr, "obs: cannot write metrics to %s\n", metrics_path.c_str());
+    }
+    std::ostringstream summary;
+    write_metrics_summary(snapshot, summary);
+    std::fputs(summary.str().c_str(), stderr);
+  }
+
+  if (!trace_path.empty()) {
+    std::ofstream out{trace_path};
+    if (out) {
+      write_trace_json(out);
+      if (const std::uint64_t dropped = trace_dropped_events(); dropped > 0) {
+        std::fprintf(stderr, "obs: trace dropped %llu events (per-thread buffer full)\n",
+                     static_cast<unsigned long long>(dropped));
+      }
+    } else {
+      std::fprintf(stderr, "obs: cannot write trace to %s\n", trace_path.c_str());
+    }
+  }
+}
+
+void flush_on_exit() {
+  if (!g_atexit_registered.exchange(true)) {
+    std::atexit([] { flush(); });
+  }
+}
+
+}  // namespace socmix::obs

@@ -1,0 +1,44 @@
+// Metrics/trace exporters and end-of-process flushing.
+//
+// Drivers configure output paths once (core::configure_observability wires
+// --metrics-out / --trace-out here) and call flush_on_exit(); flush() then
+// writes a metrics snapshot (JSON, or CSV when the path ends in ".csv"), a
+// Chrome trace_event file, and a human-readable summary table on stderr.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace socmix::obs {
+
+/// Serializes a snapshot as a single JSON object:
+///   {"counters": {...}, "gauges": {...},
+///    "histograms": {"name": {"bounds": [...], "counts": [...],
+///                            "count": N, "sum": S}}}
+void write_metrics_json(const MetricsSnapshot& snapshot, std::ostream& out);
+
+/// Serializes a snapshot as rows of `kind,name,value,count,sum`.
+void write_metrics_csv(const MetricsSnapshot& snapshot, std::ostream& out);
+
+/// Renders the snapshot as an aligned, human-readable table (histograms as
+/// count/mean, not full buckets).
+void write_metrics_summary(const MetricsSnapshot& snapshot, std::ostream& out);
+
+/// Where flush() writes the metrics snapshot; ".csv" suffix selects the
+/// CSV exporter, anything else gets JSON. Empty disables.
+void set_metrics_out(std::string path);
+/// Where flush() writes the Chrome trace; also enables span recording when
+/// non-empty. Empty disables.
+void set_trace_out(std::string path);
+
+/// Writes whatever outputs are configured (and a summary table to stderr
+/// when a metrics path is set). Idempotent per configuration; safe to call
+/// with nothing configured.
+void flush();
+
+/// Registers flush() via std::atexit exactly once.
+void flush_on_exit();
+
+}  // namespace socmix::obs

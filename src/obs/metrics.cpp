@@ -1,0 +1,178 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+
+namespace socmix::obs {
+
+namespace detail {
+
+namespace {
+
+/// Monotonically assigned thread slots; hashing onto shards keeps shard
+/// choice stable per thread and spreads pool workers across lines.
+std::atomic<std::size_t> g_next_thread_slot{0};
+
+}  // namespace
+
+std::size_t shard_index() noexcept {
+  thread_local const std::size_t slot =
+      g_next_thread_slot.fetch_add(1, std::memory_order_relaxed);
+  return slot % kShards;
+}
+
+}  // namespace detail
+
+std::uint64_t Counter::value() const noexcept {
+  std::uint64_t sum = 0;
+  for (const auto& cell : data_->cells) sum += cell.value.load(std::memory_order_relaxed);
+  return sum;
+}
+
+void Histogram::observe(double v) const noexcept {
+  // Inclusive upper bounds (bucket i counts v <= bounds[i], Prometheus
+  // "le" style), so lower_bound: first bound >= v.
+  const auto& bounds = data_->bounds;
+  const std::size_t bucket = static_cast<std::size_t>(
+      std::lower_bound(bounds.begin(), bounds.end(), v) - bounds.begin());
+  detail::HistogramShard& shard = data_->shards[detail::shard_index()];
+  shard.counts[bucket].fetch_add(1, std::memory_order_relaxed);
+  shard.count.fetch_add(1, std::memory_order_relaxed);
+  shard.sum.fetch_add(v, std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::count() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& shard : data_->shards) {
+    total += shard.count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::sum() const noexcept {
+  double total = 0.0;
+  for (const auto& shard : data_->shards) {
+    total += shard.sum.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(data_->bounds.size() + 1, 0);
+  for (const auto& shard : data_->shards) {
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out[i] += shard.counts[i].load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+std::span<const double> time_bounds() noexcept {
+  // 1us .. 100s, half-decade steps: wide enough for a prefetched SpMM sweep
+  // and a full Lanczos solve alike.
+  static constexpr std::array<double, 17> kBounds = {
+      1e-6, 3.16e-6, 1e-5, 3.16e-5, 1e-4, 3.16e-4, 1e-3, 3.16e-3, 1e-2,
+      3.16e-2, 1e-1, 3.16e-1, 1.0, 3.16, 10.0, 31.6, 100.0};
+  return kBounds;
+}
+
+Registry& Registry::instance() {
+  static Registry* registry = new Registry();  // never destroyed: handles
+                                               // outlive static teardown
+  return *registry;
+}
+
+Counter Registry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  if (const auto it = counter_index_.find(name); it != counter_index_.end()) {
+    return Counter{it->second};
+  }
+  if (gauge_index_.contains(name) || histogram_index_.contains(name)) {
+    throw std::invalid_argument{"obs: '" + std::string{name} +
+                                "' already registered as another metric kind"};
+  }
+  detail::CounterData& data = counters_.emplace_back();
+  data.name = std::string{name};
+  counter_index_.emplace(data.name, &data);
+  return Counter{&data};
+}
+
+Gauge Registry::gauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  if (const auto it = gauge_index_.find(name); it != gauge_index_.end()) {
+    return Gauge{it->second};
+  }
+  if (counter_index_.contains(name) || histogram_index_.contains(name)) {
+    throw std::invalid_argument{"obs: '" + std::string{name} +
+                                "' already registered as another metric kind"};
+  }
+  detail::GaugeData& data = gauges_.emplace_back();
+  data.name = std::string{name};
+  gauge_index_.emplace(data.name, &data);
+  return Gauge{&data};
+}
+
+Histogram Registry::histogram(std::string_view name, std::span<const double> bounds) {
+  if (bounds.empty() || !std::is_sorted(bounds.begin(), bounds.end())) {
+    throw std::invalid_argument{"obs: histogram bounds must be non-empty and ascending"};
+  }
+  const std::lock_guard<std::mutex> lock{mutex_};
+  if (const auto it = histogram_index_.find(name); it != histogram_index_.end()) {
+    if (it->second->bounds.size() != bounds.size() ||
+        !std::equal(bounds.begin(), bounds.end(), it->second->bounds.begin())) {
+      throw std::invalid_argument{"obs: histogram '" + std::string{name} +
+                                  "' re-registered with different bounds"};
+    }
+    return Histogram{it->second};
+  }
+  if (counter_index_.contains(name) || gauge_index_.contains(name)) {
+    throw std::invalid_argument{"obs: '" + std::string{name} +
+                                "' already registered as another metric kind"};
+  }
+  detail::HistogramData& data = histograms_.emplace_back();
+  data.name = std::string{name};
+  data.bounds.assign(bounds.begin(), bounds.end());
+  data.shards = std::vector<detail::HistogramShard>(detail::kShards);
+  for (auto& shard : data.shards) {
+    shard.counts = std::vector<std::atomic<std::uint64_t>>(bounds.size() + 1);
+  }
+  histogram_index_.emplace(data.name, &data);
+  return Histogram{&data};
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  MetricsSnapshot snap;
+  snap.counters.reserve(counter_index_.size());
+  for (const auto& [name, data] : counter_index_) {
+    snap.counters.push_back({name, Counter{data}.value()});
+  }
+  snap.gauges.reserve(gauge_index_.size());
+  for (const auto& [name, data] : gauge_index_) {
+    snap.gauges.push_back({name, Gauge{data}.value()});
+  }
+  snap.histograms.reserve(histogram_index_.size());
+  for (const auto& [name, data] : histogram_index_) {
+    const Histogram h{data};
+    snap.histograms.push_back({name, data->bounds, h.bucket_counts(), h.count(), h.sum()});
+  }
+  return snap;
+}
+
+void Registry::reset() {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  for (auto& data : counters_) {
+    for (auto& cell : data.cells) cell.value.store(0, std::memory_order_relaxed);
+  }
+  for (auto& data : gauges_) data.value.store(0.0, std::memory_order_relaxed);
+  for (auto& data : histograms_) {
+    for (auto& shard : data.shards) {
+      for (auto& c : shard.counts) c.store(0, std::memory_order_relaxed);
+      shard.count.store(0, std::memory_order_relaxed);
+      shard.sum.store(0.0, std::memory_order_relaxed);
+    }
+  }
+}
+
+}  // namespace socmix::obs

@@ -1,0 +1,189 @@
+// Process-wide metrics registry: named counters, gauges, and fixed-bucket
+// histograms cheap enough for the measurement pipeline's hot paths.
+//
+// Design constraints, in order:
+//  1. Hot-path cost. A Counter::add is one relaxed fetch_add on a
+//     cache-line-padded shard picked by the calling thread, so concurrent
+//     writers from the util::parallel pool never contend on a line. A
+//     Histogram::observe is three relaxed atomic adds (bucket, count, sum).
+//  2. Snapshot-while-updating safety. All cells are std::atomic; snapshot()
+//     reads them with relaxed loads, so a snapshot taken mid-run is a
+//     well-defined (if slightly torn across metrics) view and TSan-clean.
+//  3. Registration is cold. Handles are looked up by name under a mutex
+//     once (call sites cache them in a function-local static — see the
+//     SOCMIX_COUNTER_ADD family in obs.hpp) and stay valid for the process
+//     lifetime; the registry never deallocates cells.
+//
+// This layer sits *below* util (util::parallel is itself instrumented), so
+// it depends on nothing but the standard library.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace socmix::obs {
+
+namespace detail {
+
+/// Shards per metric. 16 covers the pool widths the repo targets without
+/// bloating snapshot cost; threads hash onto shards, so occasional sharing
+/// only costs a contended add, never a torn value.
+inline constexpr std::size_t kShards = 16;
+
+/// One cache line per shard so concurrent writers never false-share.
+struct alignas(64) CounterCell {
+  std::atomic<std::uint64_t> value{0};
+};
+
+/// Index of the calling thread's shard (stable per thread).
+[[nodiscard]] std::size_t shard_index() noexcept;
+
+struct CounterData {
+  std::string name;
+  CounterCell cells[kShards];
+};
+
+struct GaugeData {
+  std::string name;
+  std::atomic<double> value{0.0};
+};
+
+struct alignas(64) HistogramShard {
+  /// counts[i] tallies observations <= bounds[i]; the last slot is the
+  /// overflow bucket (> bounds.back()).
+  std::vector<std::atomic<std::uint64_t>> counts;
+  std::atomic<double> sum{0.0};
+  std::atomic<std::uint64_t> count{0};
+};
+
+struct HistogramData {
+  std::string name;
+  std::vector<double> bounds;  ///< ascending upper bounds
+  std::vector<HistogramShard> shards;
+};
+
+}  // namespace detail
+
+/// Monotonic event tally. Copyable handle; all copies share storage.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) const noexcept {
+    data_->cells[detail::shard_index()].value.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Sum over shards (relaxed; exact once writers have quiesced).
+  [[nodiscard]] std::uint64_t value() const noexcept;
+
+ private:
+  friend class Registry;
+  explicit Counter(detail::CounterData* data) noexcept : data_(data) {}
+  detail::CounterData* data_;
+};
+
+/// Last-write-wins scalar (iteration counts, residuals, phase seconds).
+class Gauge {
+ public:
+  void set(double v) const noexcept { data_->value.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const noexcept {
+    return data_->value.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Registry;
+  explicit Gauge(detail::GaugeData* data) noexcept : data_(data) {}
+  detail::GaugeData* data_;
+};
+
+/// Fixed-bucket histogram; bucket i counts observations <= bounds[i], the
+/// implicit last bucket counts the overflow.
+class Histogram {
+ public:
+  void observe(double v) const noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept;
+  [[nodiscard]] double sum() const noexcept;
+  /// Summed per-bucket counts, length bounds().size() + 1.
+  [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const;
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept {
+    return data_->bounds;
+  }
+
+ private:
+  friend class Registry;
+  explicit Histogram(detail::HistogramData* data) noexcept : data_(data) {}
+  detail::HistogramData* data_;
+};
+
+/// Exponential seconds buckets 1us .. ~100s, the default for phase/kernel
+/// timings.
+[[nodiscard]] std::span<const double> time_bounds() noexcept;
+
+/// Point-in-time view of every registered metric.
+struct MetricsSnapshot {
+  struct CounterSample {
+    std::string name;
+    std::uint64_t value;
+  };
+  struct GaugeSample {
+    std::string name;
+    double value;
+  };
+  struct HistogramSample {
+    std::string name;
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> counts;  ///< bounds.size() + 1 (overflow last)
+    std::uint64_t count;
+    double sum;
+  };
+
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+};
+
+/// Process-wide name -> metric table.
+class Registry {
+ public:
+  [[nodiscard]] static Registry& instance();
+
+  /// Returns the metric registered under `name`, creating it on first use.
+  /// A name registered as one kind must not be requested as another
+  /// (throws std::invalid_argument). Re-registering a histogram with
+  /// different bounds also throws.
+  [[nodiscard]] Counter counter(std::string_view name);
+  [[nodiscard]] Gauge gauge(std::string_view name);
+  [[nodiscard]] Histogram histogram(std::string_view name, std::span<const double> bounds);
+
+  /// Seconds-bucketed histogram with the default time_bounds().
+  [[nodiscard]] Histogram time_histogram(std::string_view name) {
+    return histogram(name, time_bounds());
+  }
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Zeroes every value (names stay registered; handles stay valid).
+  /// For tests and benchmark harnesses, not concurrent hot paths.
+  void reset();
+
+ private:
+  Registry() = default;
+
+  mutable std::mutex mutex_;
+  // deques: stable addresses for handed-out handles.
+  std::deque<detail::CounterData> counters_;
+  std::deque<detail::GaugeData> gauges_;
+  std::deque<detail::HistogramData> histograms_;
+  std::map<std::string, detail::CounterData*, std::less<>> counter_index_;
+  std::map<std::string, detail::GaugeData*, std::less<>> gauge_index_;
+  std::map<std::string, detail::HistogramData*, std::less<>> histogram_index_;
+};
+
+}  // namespace socmix::obs

@@ -1,0 +1,128 @@
+#include "obs/trace.hpp"
+
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+namespace socmix::obs {
+
+namespace {
+
+/// Per-thread capacity: 64k events * 24 bytes = ~1.5 MB/thread worst case,
+/// allocated lazily on the first recorded span.
+constexpr std::size_t kThreadCapacity = 1 << 16;
+
+std::atomic<bool> g_tracing_enabled{false};
+std::atomic<std::uint64_t> g_dropped{0};
+
+struct TraceEvent {
+  const char* name;
+  std::uint64_t start_ns;
+  std::uint64_t end_ns;
+};
+
+/// One recording thread's buffer. Owned by the global table (not the
+/// thread) so events survive thread exit and export can walk them. The
+/// mutex serializes the owning thread's appends against export/clear.
+struct ThreadBuffer {
+  std::mutex mutex;
+  std::vector<TraceEvent> events;
+  std::uint32_t tid = 0;
+};
+
+struct BufferTable {
+  std::mutex mutex;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers;
+};
+
+BufferTable& table() {
+  static BufferTable* t = new BufferTable();  // leaked: see Registry::instance
+  return *t;
+}
+
+ThreadBuffer& thread_buffer() {
+  thread_local ThreadBuffer* buffer = [] {
+    auto owned = std::make_unique<ThreadBuffer>();
+    ThreadBuffer* raw = owned.get();
+    BufferTable& t = table();
+    const std::lock_guard<std::mutex> lock{t.mutex};
+    raw->tid = static_cast<std::uint32_t>(t.buffers.size());
+    raw->events.reserve(kThreadCapacity);
+    t.buffers.push_back(std::move(owned));
+    return raw;
+  }();
+  return *buffer;
+}
+
+std::chrono::steady_clock::time_point trace_epoch() noexcept {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+}  // namespace
+
+void set_tracing_enabled(bool enabled) noexcept {
+  if (enabled) (void)trace_epoch();  // pin the epoch before the first span
+  g_tracing_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool tracing_enabled() noexcept {
+  return g_tracing_enabled.load(std::memory_order_relaxed);
+}
+
+std::uint64_t trace_now_ns() noexcept {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now() - trace_epoch())
+                                        .count());
+}
+
+std::uint64_t trace_dropped_events() noexcept {
+  return g_dropped.load(std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void record_span(const char* name, std::uint64_t start_ns, std::uint64_t end_ns) noexcept {
+  ThreadBuffer& buffer = thread_buffer();
+  const std::lock_guard<std::mutex> lock{buffer.mutex};
+  if (buffer.events.size() >= kThreadCapacity) {
+    g_dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  buffer.events.push_back({name, start_ns, end_ns});
+}
+
+}  // namespace detail
+
+void write_trace_json(std::ostream& out) {
+  BufferTable& t = table();
+  const std::lock_guard<std::mutex> table_lock{t.mutex};
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const auto& buffer : t.buffers) {
+    const std::lock_guard<std::mutex> lock{buffer->mutex};
+    for (const TraceEvent& e : buffer->events) {
+      if (!first) out << ",";
+      first = false;
+      // ts/dur are microseconds; keep sub-us precision with fractions.
+      out << "{\"name\":\"" << e.name << "\",\"ph\":\"X\",\"pid\":1,\"tid\":"
+          << buffer->tid << ",\"ts\":" << static_cast<double>(e.start_ns) / 1e3
+          << ",\"dur\":" << static_cast<double>(e.end_ns - e.start_ns) / 1e3 << "}";
+    }
+  }
+  out << "]}";
+}
+
+void clear_trace() {
+  BufferTable& t = table();
+  const std::lock_guard<std::mutex> table_lock{t.mutex};
+  for (const auto& buffer : t.buffers) {
+    const std::lock_guard<std::mutex> lock{buffer->mutex};
+    buffer->events.clear();
+  }
+  g_dropped.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace socmix::obs

@@ -1,0 +1,68 @@
+// Scoped tracing spans recorded into per-thread ring buffers, exportable
+// as Chrome trace_event JSON (open in about://tracing or ui.perfetto.dev).
+//
+// Cost model: with tracing disabled (the default) a span is one relaxed
+// atomic load and a branch. Enabled, begin/end are two steady_clock reads
+// plus a short critical section on the calling thread's own buffer mutex —
+// uncontended except while an export is draining. Span names must be
+// string literals (or otherwise outlive the process); only the pointer is
+// stored.
+//
+// Buffers are bounded (kThreadCapacity events per thread). When a buffer
+// fills, the newest events are dropped and counted, so a runaway loop
+// degrades the trace instead of memory.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace socmix::obs {
+
+/// Turns span recording on/off process-wide (off by default). Spans opened
+/// while enabled record even if tracing is disabled before they close.
+void set_tracing_enabled(bool enabled) noexcept;
+[[nodiscard]] bool tracing_enabled() noexcept;
+
+/// Nanoseconds since the process's trace epoch (first use).
+[[nodiscard]] std::uint64_t trace_now_ns() noexcept;
+
+namespace detail {
+void record_span(const char* name, std::uint64_t start_ns, std::uint64_t end_ns) noexcept;
+}  // namespace detail
+
+/// RAII span: records [construction, destruction) on the calling thread.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) noexcept {
+    if (tracing_enabled()) {
+      name_ = name;
+      start_ns_ = trace_now_ns();
+    }
+  }
+  ~TraceSpan() {
+    if (name_ != nullptr) detail::record_span(name_, start_ns_, trace_now_ns());
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  std::uint64_t start_ns_ = 0;
+};
+
+/// Number of events dropped so far because a thread's buffer was full.
+[[nodiscard]] std::uint64_t trace_dropped_events() noexcept;
+
+/// Writes every recorded span as Chrome trace_event JSON ("X" complete
+/// events, one tid per recording thread). Safe to call while spans are
+/// still being recorded; events recorded after the call may be missed.
+void write_trace_json(std::ostream& out);
+
+/// Discards all recorded events (buffers stay allocated).
+void clear_trace();
+
+}  // namespace socmix::obs

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "markov/mixing_time.hpp"
+#include "obs/obs.hpp"
 #include "util/rng.hpp"
 
 namespace socmix::sybil {
@@ -26,6 +27,8 @@ std::vector<DirectedEdge> SybilLimit::registration_tails(graph::NodeId node) con
       tails.push_back(*tail);
     }
   }
+  SOCMIX_COUNTER_ADD("sybil.routes_walked", instances_);
+  SOCMIX_COUNTER_ADD("sybil.route_dead_ends", instances_ - tails.size());
   return tails;
 }
 
@@ -44,20 +47,29 @@ SybilLimit::Verifier SybilLimit::make_verifier(graph::NodeId node) const {
 
 bool SybilLimit::Verifier::intersects(const SybilLimit& protocol,
                                       graph::NodeId suspect) const {
+  SOCMIX_COUNTER_ADD("sybil.intersection_checks", 1);
   for (const DirectedEdge tail : protocol.registration_tails(suspect)) {
-    if (tail_index_.contains(undirected_key(tail))) return true;
+    if (tail_index_.contains(undirected_key(tail))) {
+      SOCMIX_COUNTER_ADD("sybil.intersections", 1);
+      return true;
+    }
   }
   return false;
 }
 
 bool SybilLimit::Verifier::admit(const SybilLimit& protocol, graph::NodeId suspect) {
   // Gather the verifier tails this suspect intersects.
+  SOCMIX_COUNTER_ADD("sybil.admission_trials", 1);
   std::vector<std::uint32_t> candidates;
   for (const DirectedEdge tail : protocol.registration_tails(suspect)) {
     const auto it = tail_index_.find(undirected_key(tail));
     if (it != tail_index_.end()) candidates.push_back(it->second);
   }
-  if (candidates.empty()) return false;
+  if (candidates.empty()) {
+    SOCMIX_COUNTER_ADD("sybil.rejected_no_intersection", 1);
+    return false;
+  }
+  SOCMIX_COUNTER_ADD("sybil.intersections", 1);
 
   // Balance condition: assign to the least-loaded intersecting tail; the
   // load after assignment must stay within b = h * max(log r, (A+1)/r).
@@ -67,15 +79,20 @@ bool SybilLimit::Verifier::admit(const SybilLimit& protocol, graph::NodeId suspe
   const double r = static_cast<double>(protocol.instances());
   const double bound = protocol.params().balance_factor *
                        std::max(std::log(r), (static_cast<double>(accepted_) + 1.0) / r);
-  if (static_cast<double>(load_[least]) + 1.0 > bound) return false;
+  if (static_cast<double>(load_[least]) + 1.0 > bound) {
+    SOCMIX_COUNTER_ADD("sybil.rejected_balance", 1);
+    return false;
+  }
 
   ++load_[least];
   ++accepted_;
+  SOCMIX_COUNTER_ADD("sybil.admitted", 1);
   return true;
 }
 
 std::vector<AdmissionPoint> admission_sweep(const graph::Graph& g,
                                             const AdmissionSweepConfig& config) {
+  SOCMIX_TRACE_SPAN("sybil.admission_sweep");
   util::Rng rng{config.seed};
 
   const std::vector<graph::NodeId> suspects =

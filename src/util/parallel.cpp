@@ -1,9 +1,13 @@
 #include "util/parallel.hpp"
 
 #include <algorithm>
+#include <array>
+#include <chrono>
 #include <cstdlib>
 #include <memory>
 #include <string>
+
+#include "obs/obs.hpp"
 
 namespace socmix::util {
 
@@ -17,6 +21,20 @@ thread_local bool t_inside_parallel_region = false;
 /// negatives from CLI parsing (`--threads -1`) — clamp here instead of
 /// asking the OS for billions of workers.
 constexpr std::size_t kMaxThreads = 1024;
+
+#if SOCMIX_OBS_ENABLED
+/// Utilization = busy-thread-time / (width * wall-time) per pooled job;
+/// deciles make saturation vs straggler jobs visible at a glance.
+constexpr std::array<double, 10> kUtilizationBounds = {0.1, 0.2, 0.3, 0.4, 0.5,
+                                                       0.6, 0.7, 0.8, 0.9, 1.0};
+
+std::uint64_t steady_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+#endif
 
 }  // namespace
 
@@ -58,11 +76,23 @@ void ThreadPool::work(std::unique_lock<std::mutex>& lock) {
     std::exception_ptr thrown;
     const bool was_inside = t_inside_parallel_region;
     t_inside_parallel_region = true;
+#if SOCMIX_OBS_ENABLED
+    const std::uint64_t chunk_start = steady_ns();
+#endif
     try {
       (*body)(lo, hi);
     } catch (...) {
       thrown = std::current_exception();
     }
+#if SOCMIX_OBS_ENABLED
+    {
+      const std::uint64_t chunk_ns = steady_ns() - chunk_start;
+      busy_ns_.fetch_add(chunk_ns, std::memory_order_relaxed);
+      SOCMIX_COUNTER_ADD("util.pool.chunks", 1);
+      SOCMIX_TIME_OBSERVE("util.pool.chunk_seconds",
+                          static_cast<double>(chunk_ns) / 1e9);
+    }
+#endif
     t_inside_parallel_region = was_inside;
 
     lock.lock();
@@ -82,9 +112,14 @@ void ThreadPool::for_range(std::size_t begin, std::size_t end, std::size_t grain
   const std::size_t min_chunk = std::max<std::size_t>(1, grain);
   // Serial fast paths: width-1 pool, tiny range, or reentrant call.
   if (size() == 1 || n <= min_chunk || t_inside_parallel_region) {
+    SOCMIX_COUNTER_ADD("util.pool.inline_runs", 1);
     body(begin, end);
     return;
   }
+  SOCMIX_COUNTER_ADD("util.pool.jobs", 1);
+#if SOCMIX_OBS_ENABLED
+  const std::uint64_t job_start = steady_ns();
+#endif
 
   // ~4 chunks per thread balances skewed per-index cost against dispatch
   // overhead; grain bounds it below so cache-line-sized work stays fused.
@@ -99,6 +134,7 @@ void ThreadPool::for_range(std::size_t begin, std::size_t end, std::size_t grain
   end_ = end;
   chunk_ = chunk;
   error_ = nullptr;
+  busy_ns_.store(0, std::memory_order_relaxed);
   wake_.notify_all();
   work(lock);  // the calling thread participates
   done_.wait(lock, [this] { return next_ >= end_ && in_flight_ == 0; });
@@ -106,8 +142,25 @@ void ThreadPool::for_range(std::size_t begin, std::size_t end, std::size_t grain
   busy_ = false;
   const std::exception_ptr err = error_;
   error_ = nullptr;
+#if SOCMIX_OBS_ENABLED
+  // Read under the lock: a queued caller zeroes busy_ns_ for its own job
+  // the moment we release it.
+  const std::uint64_t job_busy_ns = busy_ns_.load(std::memory_order_relaxed);
+#endif
   done_.notify_all();  // release any caller queued behind this job
   lock.unlock();
+#if SOCMIX_OBS_ENABLED
+  {
+    const std::uint64_t wall_ns = steady_ns() - job_start;
+    if (wall_ns > 0) {
+      const double utilization =
+          static_cast<double>(job_busy_ns) /
+          (static_cast<double>(wall_ns) * static_cast<double>(size()));
+      SOCMIX_HISTOGRAM_OBSERVE("util.pool.utilization", kUtilizationBounds,
+                               utilization);
+    }
+  }
+#endif
   if (err) std::rethrow_exception(err);
 }
 
@@ -162,6 +215,7 @@ ThreadPool& global_pool() {
 
 void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
                   const ThreadPool::RangeBody& body) {
+  SOCMIX_COUNTER_ADD("util.pool.parallel_for_calls", 1);
   // Reentrant calls must not touch the global pool (and must not resize
   // it mid-job); run inline without consulting the registry.
   if (t_inside_parallel_region) {

@@ -18,8 +18,10 @@
 // experiment harness) > SOCMIX_THREADS env var > hardware concurrency.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <functional>
 #include <mutex>
@@ -72,6 +74,11 @@ class ThreadPool {
   std::size_t end_ = 0;        ///< one past the last index
   std::size_t chunk_ = 1;      ///< chunk size for this job
   std::size_t in_flight_ = 0;  ///< threads currently inside a body call
+  /// Nanoseconds spent inside body calls for the current job; together
+  /// with the job's wall time this yields the pool-utilization metric
+  /// (obs: util.pool.utilization). Only written when instrumentation is
+  /// compiled in.
+  std::atomic<std::uint64_t> busy_ns_{0};
   std::exception_ptr error_;
   bool busy_ = false;  ///< a job is published; queues concurrent callers
   bool stop_ = false;

@@ -1,4 +1,6 @@
-// Wall-clock stopwatch used by experiment drivers to report phase timings.
+// Low-level wall-clock stopwatch. Phase timings that drivers *report* come
+// from MixingReport / the obs metrics registry (single source of truth);
+// Timer is the clock those measurements are taken with.
 #pragma once
 
 #include <chrono>

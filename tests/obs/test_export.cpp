@@ -1,0 +1,73 @@
+// Exporter formats: metrics JSON/CSV/summary serialization of a snapshot
+// built by hand, including escaping and non-finite handling.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+
+namespace socmix::obs {
+namespace {
+
+MetricsSnapshot sample_snapshot() {
+  MetricsSnapshot snap;
+  snap.counters.push_back({"alpha.count", 42});
+  snap.counters.push_back({"beta.count", 0});
+  snap.gauges.push_back({"alpha.gauge", 2.5});
+  snap.histograms.push_back({"alpha.hist", {1.0, 2.0}, {3, 1, 0}, 4, 5.75});
+  return snap;
+}
+
+TEST(Export, MetricsJsonShape) {
+  std::ostringstream out;
+  write_metrics_json(sample_snapshot(), out);
+  const std::string json = out.str();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"counters\":{\"alpha.count\":42,\"beta.count\":0}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"gauges\":{\"alpha.gauge\":2.5}"), std::string::npos);
+  EXPECT_NE(json.find("\"alpha.hist\":{\"bounds\":[1,2],\"counts\":[3,1,0],"
+                      "\"count\":4,\"sum\":5.75}"),
+            std::string::npos);
+}
+
+TEST(Export, MetricsJsonEscapesAndNan) {
+  MetricsSnapshot snap;
+  snap.counters.push_back({"weird\"name\\", 1});
+  snap.gauges.push_back({"nan.gauge", std::nan("")});
+  std::ostringstream out;
+  write_metrics_json(snap, out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"weird\\\"name\\\\\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"nan.gauge\":null"), std::string::npos);
+  EXPECT_EQ(json.find("nan,"), std::string::npos);
+}
+
+TEST(Export, MetricsCsvRows) {
+  std::ostringstream out;
+  write_metrics_csv(sample_snapshot(), out);
+  const std::string csv = out.str();
+  EXPECT_EQ(csv.rfind("kind,name,value,count,sum\n", 0), 0u);
+  EXPECT_NE(csv.find("counter,alpha.count,42,,\n"), std::string::npos);
+  EXPECT_NE(csv.find("gauge,alpha.gauge,2.5,,\n"), std::string::npos);
+  EXPECT_NE(csv.find("histogram,alpha.hist,,4,5.75\n"), std::string::npos);
+}
+
+TEST(Export, SummaryListsEveryMetric) {
+  std::ostringstream out;
+  write_metrics_summary(sample_snapshot(), out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("== metrics =="), std::string::npos);
+  EXPECT_NE(text.find("alpha.count"), std::string::npos);
+  EXPECT_NE(text.find("alpha.gauge"), std::string::npos);
+  // Histogram renders as n= / mean=, not raw buckets.
+  EXPECT_NE(text.find("n=4"), std::string::npos);
+  EXPECT_NE(text.find("mean=1.4375"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace socmix::obs

@@ -1,0 +1,170 @@
+// Metrics registry semantics: counter/gauge/histogram behavior, name/kind
+// collision rules, exact sums under concurrent writers, and snapshot
+// consistency while updates are in flight (the TSan-relevant case).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <numeric>
+#include <thread>
+
+#include "obs/metrics.hpp"
+#include "util/parallel.hpp"
+
+namespace socmix::obs {
+namespace {
+
+// The registry is process-wide and never forgets names, so every test uses
+// its own metric names to stay independent of execution order.
+
+TEST(Metrics, CounterAccumulates) {
+  const Counter c = Registry::instance().counter("test.counter.accumulates");
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Metrics, CounterHandlesShareStorage) {
+  const Counter a = Registry::instance().counter("test.counter.shared");
+  const Counter b = Registry::instance().counter("test.counter.shared");
+  a.add(3);
+  b.add(4);
+  EXPECT_EQ(a.value(), 7u);
+  EXPECT_EQ(b.value(), 7u);
+}
+
+TEST(Metrics, GaugeLastWriteWins) {
+  const Gauge g = Registry::instance().gauge("test.gauge.lww");
+  EXPECT_EQ(g.value(), 0.0);
+  g.set(1.5);
+  g.set(-2.25);
+  EXPECT_EQ(g.value(), -2.25);
+}
+
+TEST(Metrics, HistogramBucketsByUpperBound) {
+  const std::array<double, 3> bounds{1.0, 2.0, 4.0};
+  const Histogram h = Registry::instance().histogram("test.hist.buckets", bounds);
+  // One observation per bucket, including the overflow bucket.
+  h.observe(0.5);   // <= 1
+  h.observe(1.0);   // <= 1 (bounds are inclusive upper limits)
+  h.observe(1.5);   // <= 2
+  h.observe(4.0);   // <= 4
+  h.observe(100.0); // overflow
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.5 + 4.0 + 100.0);
+  const auto counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), bounds.size() + 1);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+}
+
+TEST(Metrics, TimeBoundsAreAscending) {
+  const auto bounds = time_bounds();
+  ASSERT_GT(bounds.size(), 2u);
+  EXPECT_TRUE(std::is_sorted(bounds.begin(), bounds.end()));
+  const Histogram h = Registry::instance().time_histogram("test.hist.time");
+  h.observe(1e-5);
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(Metrics, KindCollisionThrows) {
+  (void)Registry::instance().counter("test.kind.collision");
+  EXPECT_THROW((void)Registry::instance().gauge("test.kind.collision"),
+               std::invalid_argument);
+  EXPECT_THROW((void)Registry::instance().time_histogram("test.kind.collision"),
+               std::invalid_argument);
+}
+
+TEST(Metrics, HistogramBoundsMismatchThrows) {
+  const std::array<double, 2> a{1.0, 2.0};
+  const std::array<double, 2> b{1.0, 3.0};
+  (void)Registry::instance().histogram("test.hist.bounds", a);
+  EXPECT_NO_THROW((void)Registry::instance().histogram("test.hist.bounds", a));
+  EXPECT_THROW((void)Registry::instance().histogram("test.hist.bounds", b),
+               std::invalid_argument);
+}
+
+TEST(Metrics, SnapshotContainsRegisteredMetrics) {
+  const Counter c = Registry::instance().counter("test.snapshot.counter");
+  const Gauge g = Registry::instance().gauge("test.snapshot.gauge");
+  c.add(7);
+  g.set(3.5);
+  const MetricsSnapshot snap = Registry::instance().snapshot();
+
+  const auto counter = std::find_if(snap.counters.begin(), snap.counters.end(),
+                                    [](const auto& s) { return s.name == "test.snapshot.counter"; });
+  ASSERT_NE(counter, snap.counters.end());
+  EXPECT_EQ(counter->value, 7u);
+
+  const auto gauge = std::find_if(snap.gauges.begin(), snap.gauges.end(),
+                                  [](const auto& s) { return s.name == "test.snapshot.gauge"; });
+  ASSERT_NE(gauge, snap.gauges.end());
+  EXPECT_EQ(gauge->value, 3.5);
+}
+
+TEST(Metrics, ConcurrentCounterIncrementsSumExactly) {
+  // Pool workers hammer one counter and one histogram; relaxed sharded adds
+  // must still sum exactly once the job completes (for_range is a barrier).
+  const Counter c = Registry::instance().counter("test.concurrent.counter");
+  const Histogram h = Registry::instance().time_histogram("test.concurrent.hist");
+  constexpr std::size_t kItems = 100000;
+  util::ThreadPool pool{4};
+  pool.for_range(0, kItems, 1000, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      c.add(1);
+      if (i % 100 == 0) h.observe(1e-4);
+    }
+  });
+  EXPECT_EQ(c.value(), kItems);
+  EXPECT_EQ(h.count(), kItems / 100);
+  const auto counts = h.bucket_counts();
+  EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), std::uint64_t{0}),
+            kItems / 100);
+}
+
+TEST(Metrics, SnapshotWhileUpdatingIsMonotone) {
+  // A snapshot taken mid-update must be a sane (possibly stale) view: the
+  // counter value can only grow. Run under SOCMIX_SANITIZE=thread this is
+  // also the data-race check for the relaxed read path.
+  const Counter c = Registry::instance().counter("test.snapshot.racing");
+  std::atomic<bool> stop{false};
+  std::thread writer{[&] {
+    while (!stop.load(std::memory_order_relaxed)) c.add(1);
+  }};
+  std::uint64_t last = 0;
+  for (int i = 0; i < 200; ++i) {
+    const MetricsSnapshot snap = Registry::instance().snapshot();
+    const auto it = std::find_if(snap.counters.begin(), snap.counters.end(),
+                                 [](const auto& s) { return s.name == "test.snapshot.racing"; });
+    ASSERT_NE(it, snap.counters.end());
+    EXPECT_GE(it->value, last);
+    last = it->value;
+  }
+  stop.store(true);
+  writer.join();
+  EXPECT_GE(c.value(), last);
+}
+
+TEST(Metrics, ResetZeroesValuesButKeepsHandles) {
+  const Counter c = Registry::instance().counter("test.reset.counter");
+  const Gauge g = Registry::instance().gauge("test.reset.gauge");
+  const Histogram h = Registry::instance().time_histogram("test.reset.hist");
+  c.add(5);
+  g.set(2.0);
+  h.observe(1e-3);
+  Registry::instance().reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0.0);
+  // Handles stay live after reset.
+  c.add(1);
+  EXPECT_EQ(c.value(), 1u);
+}
+
+}  // namespace
+}  // namespace socmix::obs

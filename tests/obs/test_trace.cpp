@@ -1,0 +1,159 @@
+// Tracing spans: enable/disable gating, Chrome trace_event export shape,
+// span nesting, and per-thread buffer ordering.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace socmix::obs {
+namespace {
+
+struct ParsedEvent {
+  std::string name;
+  std::uint32_t tid = 0;
+  double ts = 0.0;   // microseconds
+  double dur = 0.0;  // microseconds
+};
+
+// The exporter emits a fixed field order per event
+// ({"name":...,"ph":"X","pid":1,"tid":N,"ts":T,"dur":D}), so a scan is
+// enough to parse it back without a JSON library.
+std::vector<ParsedEvent> parse_events(const std::string& json) {
+  std::vector<ParsedEvent> events;
+  const std::string name_key = "{\"name\":\"";
+  std::size_t pos = 0;
+  while ((pos = json.find(name_key, pos)) != std::string::npos) {
+    ParsedEvent e;
+    pos += name_key.size();
+    const std::size_t name_end = json.find('"', pos);
+    e.name = json.substr(pos, name_end - pos);
+    const auto field = [&](const char* key) {
+      const std::size_t at = json.find(key, name_end);
+      EXPECT_NE(at, std::string::npos) << key << " missing for " << e.name;
+      return std::stod(json.substr(at + std::string(key).size()));
+    };
+    EXPECT_NE(json.find("\"ph\":\"X\"", name_end), std::string::npos);
+    e.tid = static_cast<std::uint32_t>(field("\"tid\":"));
+    e.ts = field("\"ts\":");
+    e.dur = field("\"dur\":");
+    pos = name_end;
+    events.push_back(std::move(e));
+  }
+  return events;
+}
+
+std::string export_trace() {
+  std::ostringstream out;
+  write_trace_json(out);
+  return out.str();
+}
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override { clear_trace(); }
+  void TearDown() override {
+    set_tracing_enabled(false);
+    clear_trace();
+  }
+};
+
+TEST_F(TraceTest, DisabledSpansRecordNothing) {
+  set_tracing_enabled(false);
+  { const TraceSpan span{"should_not_appear"}; }
+  const std::string json = export_trace();
+  EXPECT_EQ(json.find("should_not_appear"), std::string::npos);
+  // An empty trace is still a complete document.
+  EXPECT_EQ(json, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}");
+}
+
+TEST_F(TraceTest, EnabledSpanIsExported) {
+  set_tracing_enabled(true);
+  { const TraceSpan span{"unit_span"}; }
+  const auto events = parse_events(export_trace());
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "unit_span");
+  EXPECT_GE(events[0].ts, 0.0);
+  EXPECT_GE(events[0].dur, 0.0);
+}
+
+TEST_F(TraceTest, NestedSpansStayWithinParent) {
+  set_tracing_enabled(true);
+  {
+    const TraceSpan outer{"outer"};
+    const TraceSpan inner{"inner"};
+  }
+  const auto events = parse_events(export_trace());
+  ASSERT_EQ(events.size(), 2u);
+  // Destruction order: inner closes (and records) first.
+  EXPECT_EQ(events[0].name, "inner");
+  EXPECT_EQ(events[1].name, "outer");
+  const ParsedEvent& inner = events[0];
+  const ParsedEvent& outer = events[1];
+  EXPECT_GE(inner.ts, outer.ts);
+  EXPECT_LE(inner.ts + inner.dur, outer.ts + outer.dur + 1e-6);
+  EXPECT_EQ(inner.tid, outer.tid);
+}
+
+TEST_F(TraceTest, PerThreadEventsAreOrderedAndTidsDistinct) {
+  set_tracing_enabled(true);
+  const auto record_three = [](const char* a, const char* b, const char* c) {
+    { const TraceSpan s{a}; }
+    { const TraceSpan s{b}; }
+    { const TraceSpan s{c}; }
+  };
+  std::thread t1{[&] { record_three("t1.a", "t1.b", "t1.c"); }};
+  std::thread t2{[&] { record_three("t2.a", "t2.b", "t2.c"); }};
+  t1.join();
+  t2.join();
+  const auto events = parse_events(export_trace());
+  ASSERT_EQ(events.size(), 6u);
+
+  std::uint32_t tid1 = 0, tid2 = 0;
+  for (const auto& e : events) {
+    if (e.name.rfind("t1.", 0) == 0) tid1 = e.tid;
+    if (e.name.rfind("t2.", 0) == 0) tid2 = e.tid;
+  }
+  EXPECT_NE(tid1, tid2);
+
+  // Within one thread's buffer, completion (ts + dur) is nondecreasing in
+  // export order, and the names appear in program order.
+  for (const char* prefix : {"t1.", "t2."}) {
+    std::vector<ParsedEvent> own;
+    for (const auto& e : events) {
+      if (e.name.rfind(prefix, 0) == 0) own.push_back(e);
+    }
+    ASSERT_EQ(own.size(), 3u);
+    EXPECT_EQ(own[0].name.back(), 'a');
+    EXPECT_EQ(own[1].name.back(), 'b');
+    EXPECT_EQ(own[2].name.back(), 'c');
+    EXPECT_LE(own[0].ts + own[0].dur, own[1].ts + own[1].dur + 1e-6);
+    EXPECT_LE(own[1].ts + own[1].dur, own[2].ts + own[2].dur + 1e-6);
+  }
+}
+
+TEST_F(TraceTest, SpanOpenAcrossDisableStillRecords) {
+  set_tracing_enabled(true);
+  {
+    const TraceSpan span{"straddler"};
+    set_tracing_enabled(false);
+  }
+  const auto events = parse_events(export_trace());
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "straddler");
+}
+
+TEST_F(TraceTest, ClearTraceDiscardsEvents) {
+  set_tracing_enabled(true);
+  { const TraceSpan span{"gone"}; }
+  clear_trace();
+  EXPECT_EQ(parse_events(export_trace()).size(), 0u);
+  EXPECT_EQ(trace_dropped_events(), 0u);
+}
+
+}  // namespace
+}  // namespace socmix::obs

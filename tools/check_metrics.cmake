@@ -1,0 +1,68 @@
+# Runs `socmix measure` with --metrics-out/--trace-out and validates the
+# emitted files: the metrics JSON must contain every pipeline key a measure
+# run deterministically registers, and the trace must be a Chrome
+# trace_event document with the pipeline's spans.
+#
+# Driven by the obs_cli_e2e ctest (see tools/CMakeLists.txt):
+#   cmake -DSOCMIX_BIN=... -DOUT_DIR=... -P check_metrics.cmake
+if(NOT DEFINED SOCMIX_BIN OR NOT DEFINED OUT_DIR)
+  message(FATAL_ERROR "usage: cmake -DSOCMIX_BIN=<socmix> -DOUT_DIR=<dir> -P check_metrics.cmake")
+endif()
+
+file(MAKE_DIRECTORY "${OUT_DIR}")
+set(metrics_file "${OUT_DIR}/metrics.json")
+set(trace_file "${OUT_DIR}/trace.json")
+
+execute_process(
+  COMMAND "${SOCMIX_BIN}" measure --dataset "Physics 1" --nodes 600
+          --sources 32 --steps 40 --seed 7
+          --metrics-out "${metrics_file}" --trace-out "${trace_file}" --progress
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE run_stdout
+  ERROR_VARIABLE run_stderr)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "socmix measure failed (${rc}):\n${run_stdout}\n${run_stderr}")
+endif()
+
+# --progress must have reported block completions on stderr.
+if(NOT run_stderr MATCHES "\\[sampled-mixing\\]")
+  message(FATAL_ERROR "--progress produced no progress line on stderr:\n${run_stderr}")
+endif()
+
+if(NOT EXISTS "${metrics_file}")
+  message(FATAL_ERROR "--metrics-out wrote nothing to ${metrics_file}")
+endif()
+file(READ "${metrics_file}" metrics)
+if(NOT metrics MATCHES "^\\{\"counters\":\\{")
+  message(FATAL_ERROR "metrics JSON has unexpected shape: ${metrics}")
+endif()
+foreach(key
+    "core.measurements"
+    "core.phase.spectral_seconds"
+    "core.phase.sampled_seconds"
+    "linalg.lanczos.solves"
+    "linalg.spmv.applies"
+    "markov.evolver.sweeps"
+    "markov.evolver.rows_swept"
+    "markov.sampled.runs"
+    "markov.sampled.sources"
+    "util.pool.parallel_for_calls")
+  if(NOT metrics MATCHES "\"${key}\":")
+    message(FATAL_ERROR "metrics JSON is missing key '${key}'")
+  endif()
+endforeach()
+
+if(NOT EXISTS "${trace_file}")
+  message(FATAL_ERROR "--trace-out wrote nothing to ${trace_file}")
+endif()
+file(READ "${trace_file}" trace)
+if(NOT trace MATCHES "^\\{\"displayTimeUnit\":\"ms\",\"traceEvents\":\\[")
+  message(FATAL_ERROR "trace JSON has unexpected shape")
+endif()
+foreach(span "measure_mixing" "phase.spectral" "phase.sampled" "evolve_block")
+  if(NOT trace MATCHES "\"name\":\"${span}\"")
+    message(FATAL_ERROR "trace JSON is missing span '${span}'")
+  endif()
+endforeach()
+
+message(STATUS "obs CLI e2e: metrics + trace outputs validated")

@@ -40,6 +40,7 @@ int usage() {
   std::fputs(
       "usage: socmix <info|measure|sample|trim|convert|sybil|generate> [options]\n"
       "  input:  --edges FILE | --dataset NAME [--nodes N]   (--seed N)\n"
+      "  obs:    --metrics-out FILE (.json/.csv)  --trace-out FILE  --progress\n"
       "  info                                    structural report\n"
       "  measure [--sources N] [--steps N] [--eps X]\n"
       "  sample  --method bfs|uniform|walk --size N --out FILE\n"
@@ -216,6 +217,7 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
   const util::Cli cli{argc - 1, argv + 1};
+  core::configure_observability(cli);
   try {
     if (command == "info") return cmd_info(cli);
     if (command == "measure") return cmd_measure(cli);
