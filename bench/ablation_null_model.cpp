@@ -50,6 +50,7 @@ int main(int argc, char** argv) {
     core::MeasurementOptions options;
     options.sampled = false;
     options.seed = config.seed;
+    options.checkpoint = config.checkpoint;
     const auto original = core::measure_mixing(g, name, options);
     const auto null_report = core::measure_mixing(null_graph, name, options);
 

@@ -37,6 +37,7 @@ int main(int argc, char** argv) {
     core::MeasurementOptions options;
     options.sampled = false;
     options.seed = config.seed;
+    options.checkpoint = config.checkpoint;
     const auto report = core::measure_mixing(g, spec.name, options);
     std::cout << core::summarize(report) << "\n";
     std::fflush(stdout);

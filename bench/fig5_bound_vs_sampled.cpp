@@ -44,6 +44,7 @@ int main(int argc, char** argv) {
     options.all_sources = sources == 0;
     options.max_steps = max_steps;
     options.seed = config.seed;
+    options.checkpoint = config.checkpoint;
     const auto report = core::measure_mixing(g, spec.name, options);
     std::cout << core::summarize(report) << "\n";
     std::fflush(stdout);

@@ -65,6 +65,7 @@ int main(int argc, char** argv) {
       options.sources = sources;
       options.max_steps = max_steps;
       options.seed = config.seed;
+      options.checkpoint = config.checkpoint;
       const auto report = core::measure_mixing(g, spec.name, options);
 
       const auto bounds = report.bounds();

@@ -18,6 +18,7 @@
 #include "graph/sampling.hpp"
 #include "sybil/attack.hpp"
 #include "sybil/sybil_limit.hpp"
+#include "util/string_util.hpp"
 #include "util/table.hpp"
 
 using namespace socmix;
@@ -65,6 +66,11 @@ int main(int argc, char** argv) {
     sweep.verifier_sample = 3;
     sweep.r0 = r0;
     sweep.seed = config.seed;
+    sweep.checkpoint = config.checkpoint;
+    // Per-panel stem: panels share one --checkpoint-dir without clobbering.
+    if (sweep.checkpoint.enabled()) {
+      sweep.checkpoint.name = "fig8-" + util::slugify(label);
+    }
     const auto points = sybil::admission_sweep(g, sweep);
 
     core::Series s;

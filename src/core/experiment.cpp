@@ -1,10 +1,12 @@
 #include "core/experiment.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <iostream>
 
 #include "obs/export.hpp"
 #include "obs/progress.hpp"
+#include "resilience/fault.hpp"
 #include "util/csv.hpp"
 #include "util/parallel.hpp"
 #include "util/string_util.hpp"
@@ -21,6 +23,7 @@ ExperimentConfig ExperimentConfig::from_cli(const util::Cli& cli) {
   config.threads = static_cast<std::size_t>(cli.get_i64("threads", 0));
   util::set_thread_count(config.threads);
   configure_observability(cli);
+  config.checkpoint = configure_resilience(cli);
   return config;
 }
 
@@ -31,6 +34,17 @@ void configure_observability(const util::Cli& cli) {
   obs::set_trace_out(trace);
   obs::set_progress_enabled(cli.get_flag("progress"));
   if (!metrics.empty() || !trace.empty()) obs::flush_on_exit();
+}
+
+resilience::CheckpointOptions configure_resilience(const util::Cli& cli) {
+  resilience::CheckpointOptions checkpoint;
+  checkpoint.dir = cli.get("checkpoint-dir", "");
+  checkpoint.interval =
+      static_cast<std::size_t>(std::max<std::int64_t>(1, cli.get_i64("checkpoint-interval", 8)));
+  resilience::configure_faults_from_env();
+  const std::string fault = cli.get("fault-inject", "");
+  if (!fault.empty()) resilience::arm_fault(fault);
+  return checkpoint;
 }
 
 graph::Graph build_scaled_dataset(const gen::DatasetSpec& spec,

@@ -12,6 +12,7 @@
 #include "core/measurement.hpp"
 #include "gen/datasets.hpp"
 #include "graph/graph.hpp"
+#include "resilience/checkpoint.hpp"
 #include "util/cli.hpp"
 
 namespace socmix::core {
@@ -29,11 +30,17 @@ struct ExperimentConfig {
   /// SOCMIX_THREADS, then hardware concurrency. Results are bit-identical
   /// for every value — this is purely a speed knob.
   std::size_t threads = 0;
+  /// Checkpoint/resume for the long sweeps, parsed from --checkpoint-dir /
+  /// --checkpoint-interval (dir empty = off). Drivers forward this into
+  /// MeasurementOptions.checkpoint / AdmissionSweepConfig.checkpoint.
+  resilience::CheckpointOptions checkpoint;
 
   /// Parses the CLI and applies `threads` to the global util::parallel
   /// pool, so every driver honors --threads with no further wiring. Also
-  /// calls configure_observability, so --metrics-out / --trace-out /
-  /// --progress work in every driver.
+  /// calls configure_observability (--metrics-out / --trace-out /
+  /// --progress) and configure_resilience (--checkpoint-dir /
+  /// --checkpoint-interval / --fault-inject), so those flags work in
+  /// every driver.
   [[nodiscard]] static ExperimentConfig from_cli(const util::Cli& cli);
 };
 
@@ -45,6 +52,17 @@ struct ExperimentConfig {
 /// go through ExperimentConfig::from_cli get this for free; tools that parse
 /// their own Cli call it directly.
 void configure_observability(const util::Cli& cli);
+
+/// Wires the shared resilience flags:
+///   --checkpoint-dir=DIR      snapshot completed sweep blocks into DIR
+///   --checkpoint-interval=N   write every N completed blocks (default 8)
+///   --fault-inject=SPEC       arm a deterministic fault (<site>:<nth>
+///                             [:abort|:error]; see resilience/fault.hpp);
+///                             the SOCMIX_FAULT env var is honored too,
+///                             with the flag taking precedence
+/// Returns the parsed checkpoint options. Drivers that go through
+/// ExperimentConfig::from_cli get this for free.
+[[nodiscard]] resilience::CheckpointOptions configure_resilience(const util::Cli& cli);
 
 /// Builds a Table-1 stand-in at config.scale times its default size and
 /// returns its largest connected component.

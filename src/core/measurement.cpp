@@ -3,6 +3,7 @@
 #include "linalg/walk_operator.hpp"
 #include "obs/obs.hpp"
 #include "util/rng.hpp"
+#include "util/string_util.hpp"
 #include "util/timer.hpp"
 
 namespace socmix::core {
@@ -39,8 +40,14 @@ MixingReport measure_mixing(const graph::Graph& g, std::string name,
     const auto sources = options.all_sources
                              ? markov::all_sources(g)
                              : markov::pick_sources(g, options.sources, rng);
-    report.sampled =
-        markov::measure_sampled_mixing(g, sources, options.max_steps, options.laziness);
+    markov::SampledMixingOptions sampled_options;
+    sampled_options.max_steps = options.max_steps;
+    sampled_options.laziness = options.laziness;
+    sampled_options.checkpoint = options.checkpoint;
+    if (sampled_options.checkpoint.enabled() && sampled_options.checkpoint.name.empty()) {
+      sampled_options.checkpoint.name = "mixing-" + util::slugify(report.name);
+    }
+    report.sampled = markov::measure_sampled_mixing(g, sources, sampled_options);
     report.sampled_seconds = timer.seconds();
     SOCMIX_GAUGE_SET("core.phase.sampled_seconds", report.sampled_seconds);
   }

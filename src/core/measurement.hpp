@@ -40,6 +40,12 @@ struct MeasurementOptions {
   bool spectral = true;
   bool sampled = true;
   std::uint64_t seed = 42;
+  /// Crash tolerance for the sampled sweep (dir empty = off): completed
+  /// source blocks are snapshotted to checkpoint.dir and an interrupted
+  /// run resumes bit-identically. When checkpoint.name is empty it is
+  /// derived from the measurement name, so multi-dataset drivers sharing
+  /// one --checkpoint-dir keep distinct snapshots.
+  resilience::CheckpointOptions checkpoint;
 };
 
 /// Everything the paper reports about one graph.

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "util/rng.hpp"
+
 namespace socmix::graph {
 
 Graph Graph::from_edges(EdgeList edges) {
@@ -70,6 +72,22 @@ bool Graph::has_no_isolated_nodes() const noexcept {
   for (NodeId v = 0; v < n; ++v)
     if (degree(v) == 0) return false;
   return true;
+}
+
+std::uint64_t structural_fingerprint(const Graph& g) noexcept {
+  constexpr std::size_t kMaxSamples = 1u << 16;
+  std::uint64_t h = util::hash_combine(g.num_nodes(), g.num_half_edges());
+  const auto sample = [&h](const auto& array) {
+    const std::size_t size = array.size();
+    const std::size_t stride = size <= kMaxSamples ? 1 : size / kMaxSamples;
+    for (std::size_t i = 0; i < size; i += stride) {
+      h = util::hash_combine(h, static_cast<std::uint64_t>(array[i]));
+    }
+    if (size > 0) h = util::hash_combine(h, static_cast<std::uint64_t>(array[size - 1]));
+  };
+  sample(g.offsets());
+  sample(g.raw_neighbors());
+  return h;
 }
 
 }  // namespace socmix::graph

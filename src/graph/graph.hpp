@@ -86,4 +86,11 @@ class Graph {
   std::vector<NodeId> neighbors_;    // size 2m, each list sorted
 };
 
+/// Deterministic structural fingerprint of a graph: hashes n, m, and a
+/// bounded stride-sample of the CSR arrays (at most ~64K positions each,
+/// so it stays O(1)-ish on paper-scale graphs). Used by the resilience
+/// layer to refuse resuming a checkpoint against a different graph; not a
+/// collision-resistant digest.
+[[nodiscard]] std::uint64_t structural_fingerprint(const Graph& g) noexcept;
+
 }  // namespace socmix::graph

@@ -8,6 +8,8 @@
 #include <string>
 #include <unordered_map>
 
+#include "obs/obs.hpp"
+#include "resilience/fault.hpp"
 #include "util/string_util.hpp"
 
 namespace socmix::graph {
@@ -25,7 +27,7 @@ void write_u64(std::ostream& out, std::uint64_t v) {
 [[nodiscard]] std::uint64_t read_u64(std::istream& in) {
   char buf[8];
   in.read(buf, 8);
-  if (!in) throw std::runtime_error{"load_binary: truncated stream"};
+  if (!in) throw std::runtime_error{"truncated stream"};
   std::uint64_t v = 0;
   for (int i = 0; i < 8; ++i)
     v |= static_cast<std::uint64_t>(static_cast<unsigned char>(buf[i])) << (8 * i);
@@ -34,13 +36,30 @@ void write_u64(std::ostream& out, std::uint64_t v) {
 
 }  // namespace
 
-LoadResult load_edge_list(std::istream& in) {
+LoadResult load_edge_list(std::istream& in, const EdgeListOptions& options) {
   LoadResult result;
   EdgeList edges;
   std::unordered_map<std::uint64_t, NodeId> remap;
   const auto densify = [&](std::uint64_t raw) -> NodeId {
     const auto [it, inserted] = remap.try_emplace(raw, static_cast<NodeId>(remap.size()));
     return it->second;
+  };
+
+  const auto reject = [&](const std::string& what) -> bool {
+    // Strict: fail on the first bad line. Lenient: count and skip, up to
+    // the tolerance — a file that is mostly garbage is the wrong format.
+    if (!options.lenient) {
+      SOCMIX_COUNTER_ADD("graph.io.load_failures", 1);
+      throw std::runtime_error{what};
+    }
+    ++result.malformed_lines;
+    if (result.malformed_lines > options.max_malformed) {
+      SOCMIX_COUNTER_ADD("graph.io.load_failures", 1);
+      throw std::runtime_error{"load_edge_list: more than " +
+                               std::to_string(options.max_malformed) +
+                               " malformed lines; last: " + what};
+    }
+    return false;
   };
 
   std::string line;
@@ -50,17 +69,27 @@ LoadResult load_edge_list(std::istream& in) {
     if (trimmed.empty() || trimmed.front() == '#' || trimmed.front() == '%') continue;
     const auto fields = util::split_ws(trimmed);
     if (fields.size() < 2) {
-      throw std::runtime_error{"load_edge_list: malformed line " +
-                               std::to_string(result.lines_read) + ": '" + line + "'"};
+      reject("load_edge_list: malformed line " + std::to_string(result.lines_read) +
+             ": '" + line + "'");
+      continue;
     }
     const auto u = util::parse_i64(fields[0]);
     const auto v = util::parse_i64(fields[1]);
     if (!u || !v || *u < 0 || *v < 0) {
-      throw std::runtime_error{"load_edge_list: non-integer vertex id at line " +
-                               std::to_string(result.lines_read)};
+      reject("load_edge_list: non-integer vertex id at line " +
+             std::to_string(result.lines_read));
+      continue;
     }
     ++result.edges_parsed;
     edges.add(densify(static_cast<std::uint64_t>(*u)), densify(static_cast<std::uint64_t>(*v)));
+  }
+  if (result.malformed_lines > 0) {
+    SOCMIX_COUNTER_ADD("graph.io.malformed_lines", result.malformed_lines);
+  }
+  if (options.lenient && result.edges_parsed == 0 && result.malformed_lines > 0) {
+    SOCMIX_COUNTER_ADD("graph.io.load_failures", 1);
+    throw std::runtime_error{"load_edge_list: no parsable edges (" +
+                             std::to_string(result.malformed_lines) + " malformed lines)"};
   }
 
   const std::size_t raw_edges = edges.size();
@@ -71,10 +100,14 @@ LoadResult load_edge_list(std::istream& in) {
   return result;
 }
 
-LoadResult load_edge_list_file(const std::string& path) {
+LoadResult load_edge_list_file(const std::string& path, const EdgeListOptions& options) {
+  resilience::fault_point("graph.load");
   std::ifstream in{path};
-  if (!in) throw std::runtime_error{"load_edge_list_file: cannot open " + path};
-  return load_edge_list(in);
+  if (!in) {
+    SOCMIX_COUNTER_ADD("graph.io.load_failures", 1);
+    throw std::runtime_error{"load_edge_list_file: cannot open " + path};
+  }
+  return load_edge_list(in, options);
 }
 
 void save_edge_list(const Graph& g, std::ostream& out) {
@@ -102,24 +135,55 @@ void save_binary(const Graph& g, std::ostream& out) {
 }
 
 Graph load_binary(std::istream& in) {
+  const auto rejected = [](const std::string& what) -> std::runtime_error {
+    SOCMIX_COUNTER_ADD("graph.io.binary_rejected", 1);
+    return std::runtime_error{"load_binary: " + what};
+  };
+
   char magic[4];
   in.read(magic, 4);
   if (!in || std::string_view{magic, 4} != std::string_view{kMagic, 4}) {
-    throw std::runtime_error{"load_binary: bad magic"};
+    throw rejected("bad magic (not a socmix binary graph)");
   }
-  const std::uint64_t num_offsets = read_u64(in);
-  const std::uint64_t num_neighbors = read_u64(in);
-  std::vector<EdgeIndex> offsets(num_offsets);
-  for (auto& off : offsets) off = read_u64(in);
+  std::uint64_t num_offsets = 0;
+  std::uint64_t num_neighbors = 0;
+  std::vector<EdgeIndex> offsets;
+  try {
+    num_offsets = read_u64(in);
+    num_neighbors = read_u64(in);
+    // Plausibility before allocation: a garbage header must not turn into
+    // a terabyte-sized vector (bad_alloc at best, OOM-kill at worst).
+    constexpr std::uint64_t kMaxPlausible = std::uint64_t{1} << 36;  // 64G entries
+    if (num_offsets == 0 || num_offsets > kMaxPlausible || num_neighbors > kMaxPlausible) {
+      throw std::runtime_error{"implausible header sizes (offsets=" +
+                               std::to_string(num_offsets) +
+                               ", neighbors=" + std::to_string(num_neighbors) + ")"};
+    }
+    offsets.resize(num_offsets);
+    for (auto& off : offsets) off = read_u64(in);
+  } catch (const std::runtime_error& e) {
+    throw rejected(e.what());
+  }
   std::vector<NodeId> neighbors(num_neighbors);
   for (auto& v : neighbors) {
     char buf[4];
     in.read(buf, 4);
-    if (!in) throw std::runtime_error{"load_binary: truncated stream"};
+    if (!in) throw rejected("truncated stream (neighbors)");
     NodeId x = 0;
     for (int i = 0; i < 4; ++i)
       x |= static_cast<NodeId>(static_cast<unsigned char>(buf[i])) << (8 * i);
     v = x;
+  }
+  // Structural validation: the CSR invariants every kernel indexes by.
+  if (offsets.front() != 0 || offsets.back() != num_neighbors) {
+    throw rejected("corrupt CSR (offset endpoints disagree with neighbor count)");
+  }
+  const NodeId n = static_cast<NodeId>(num_offsets - 1);
+  for (std::size_t i = 0; i + 1 < offsets.size(); ++i) {
+    if (offsets[i] > offsets[i + 1]) throw rejected("corrupt CSR (non-monotone offsets)");
+  }
+  for (const NodeId v : neighbors) {
+    if (v >= n) throw rejected("corrupt CSR (neighbor id out of range)");
   }
   return Graph::from_csr(std::move(offsets), std::move(neighbors));
 }
@@ -131,8 +195,12 @@ void save_binary_file(const Graph& g, const std::string& path) {
 }
 
 Graph load_binary_file(const std::string& path) {
+  resilience::fault_point("graph.load");
   std::ifstream in{path, std::ios::binary};
-  if (!in) throw std::runtime_error{"load_binary_file: cannot open " + path};
+  if (!in) {
+    SOCMIX_COUNTER_ADD("graph.io.load_failures", 1);
+    throw std::runtime_error{"load_binary_file: cannot open " + path};
+  }
   return load_binary(in);
 }
 

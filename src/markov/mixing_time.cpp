@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <bit>
 #include <cmath>
 #include <cstdint>
 #include <limits>
@@ -13,7 +14,9 @@
 #include "markov/evolution.hpp"
 #include "markov/stationary.hpp"
 #include "obs/obs.hpp"
+#include "resilience/fault.hpp"
 #include "util/parallel.hpp"
+#include "util/rng.hpp"
 
 namespace socmix::markov {
 
@@ -142,10 +145,24 @@ SampledMixing::PercentileCurves SampledMixing::percentile_curves(
   return out;
 }
 
+std::uint64_t sampled_mixing_fingerprint(const graph::Graph& g,
+                                         std::span<const graph::NodeId> sources,
+                                         std::size_t max_steps, double laziness) {
+  std::uint64_t h = graph::structural_fingerprint(g);
+  h = util::hash_combine(h, sources.size());
+  for (const graph::NodeId s : sources) h = util::hash_combine(h, s);
+  h = util::hash_combine(h, max_steps);
+  h = util::hash_combine(h, std::bit_cast<std::uint64_t>(laziness));
+  h = util::hash_combine(h, BatchedEvolver::kDefaultBlock);
+  return h;
+}
+
 SampledMixing measure_sampled_mixing(const graph::Graph& g,
                                      std::span<const graph::NodeId> sources,
-                                     std::size_t max_steps, double laziness) {
+                                     const SampledMixingOptions& options) {
   SOCMIX_TRACE_SPAN("measure_sampled_mixing");
+  const std::size_t max_steps = options.max_steps;
+  const double laziness = options.laziness;
   const std::vector<double> pi = stationary_distribution(g);
   const std::size_t num_sources = sources.size();
   std::vector<std::vector<double>> trajectories(num_sources);
@@ -160,14 +177,44 @@ SampledMixing measure_sampled_mixing(const graph::Graph& g,
   SOCMIX_COUNTER_ADD("markov.sampled.runs", 1);
   SOCMIX_COUNTER_ADD("markov.sampled.sources", num_sources);
   SOCMIX_COUNTER_ADD("markov.sampled.source_blocks", num_blocks);
+
+  // Crash tolerance: completed blocks are checkpointed, and restored
+  // blocks are replayed from their stored (bit-exact) trajectories instead
+  // of being recomputed, so resume composes with the determinism contract.
+  resilience::BlockCheckpoint checkpoint{
+      options.checkpoint,
+      sampled_mixing_fingerprint(g, sources, max_steps, laziness), num_blocks};
+  std::vector<std::size_t> pending;
+  pending.reserve(num_blocks);
+  if (checkpoint.enabled()) checkpoint.restore();
+  for (std::size_t blk = 0; blk < num_blocks; ++blk) {
+    if (!checkpoint.is_restored(blk)) {
+      pending.push_back(blk);
+      continue;
+    }
+    const std::vector<double>& payload = checkpoint.restored_payload(blk);
+    const std::size_t first = blk * kBlock;
+    const std::size_t lanes = std::min(kBlock, num_sources - first);
+    if (payload.size() != lanes * max_steps) {  // shape drift: recompute
+      pending.push_back(blk);
+      continue;
+    }
+    for (std::size_t b = 0; b < lanes; ++b) {
+      const auto begin = payload.begin() + static_cast<std::ptrdiff_t>(b * max_steps);
+      trajectories[first + b].assign(begin, begin + static_cast<std::ptrdiff_t>(max_steps));
+    }
+  }
+
   // Completed source blocks drive the --progress ETA: every block costs
   // the same max_steps sweeps, so block rate extrapolates directly.
   obs::ProgressMeter progress{"sampled-mixing", num_blocks};
-  util::parallel_for(0, num_blocks, 1, [&](std::size_t block_lo, std::size_t block_hi) {
+  progress.add(num_blocks - pending.size());
+  util::parallel_for(0, pending.size(), 1, [&](std::size_t lo, std::size_t hi) {
     BatchedEvolver evolver{g, laziness, kBlock};
     std::array<double, kBlock> tvd{};
-    for (std::size_t blk = block_lo; blk < block_hi; ++blk) {
+    for (std::size_t p = lo; p < hi; ++p) {
       SOCMIX_TRACE_SPAN("evolve_block");
+      const std::size_t blk = pending[p];
       const std::size_t first = blk * kBlock;
       const std::size_t lanes = std::min(kBlock, num_sources - first);
       evolver.seed_point_masses(sources.subspan(first, lanes));
@@ -192,11 +239,34 @@ SampledMixing measure_sampled_mixing(const graph::Graph& g,
         }
       }
       SOCMIX_COUNTER_ADD("markov.sampled.steps", lanes * max_steps);
+      // The block is complete the moment its checkpoint record lands; the
+      // fault site sits before record() so an abort here loses exactly the
+      // blocks not yet recorded — the scenario resume must cover.
+      resilience::fault_point("block.complete");
+      if (checkpoint.enabled()) {
+        std::vector<double> payload;
+        payload.reserve(lanes * max_steps);
+        for (std::size_t b = 0; b < lanes; ++b) {
+          payload.insert(payload.end(), trajectories[first + b].begin(),
+                         trajectories[first + b].end());
+        }
+        checkpoint.record(blk, std::move(payload));
+      }
       progress.add(1);
     }
   });
+  checkpoint.finalize();
   progress.finish();
   return SampledMixing{{sources.begin(), sources.end()}, std::move(trajectories)};
+}
+
+SampledMixing measure_sampled_mixing(const graph::Graph& g,
+                                     std::span<const graph::NodeId> sources,
+                                     std::size_t max_steps, double laziness) {
+  SampledMixingOptions options;
+  options.max_steps = max_steps;
+  options.laziness = laziness;
+  return measure_sampled_mixing(g, sources, options);
 }
 
 std::vector<graph::NodeId> pick_sources(const graph::Graph& g, std::size_t count,

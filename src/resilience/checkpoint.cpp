@@ -1,0 +1,95 @@
+#include "resilience/checkpoint.hpp"
+
+#include <filesystem>
+
+#include "obs/obs.hpp"
+#include "resilience/snapshot.hpp"
+
+namespace socmix::resilience {
+
+BlockCheckpoint::BlockCheckpoint(CheckpointOptions options, std::uint64_t fingerprint,
+                                 std::size_t num_blocks)
+    : options_(std::move(options)), fingerprint_(fingerprint), num_blocks_(num_blocks) {
+  if (options_.interval == 0) options_.interval = 1;
+  if (!enabled()) return;
+  std::filesystem::create_directories(options_.dir);
+  const std::string stem = options_.name.empty() ? "snapshot" : options_.name;
+  path_ = options_.dir + "/" + stem + ".ckpt";
+}
+
+std::size_t BlockCheckpoint::restore() {
+  if (!enabled()) return 0;
+  const LoadedSnapshot snapshot = load_snapshot_with_fallback(path_, fingerprint_);
+  if (snapshot.status != SnapshotStatus::kOk) return 0;
+
+  ByteReader reader{snapshot.payload};
+  const std::uint64_t stored_blocks = reader.u64();
+  const std::uint64_t completed = reader.u64();
+  if (!reader.ok() || stored_blocks != num_blocks_ || completed > num_blocks_) {
+    // A valid frame whose payload disagrees with the sweep shape: treat it
+    // like corruption (the fingerprint should have caught config drift).
+    SOCMIX_COUNTER_ADD("resilience.corrupt_discarded", 1);
+    return 0;
+  }
+  std::unordered_map<std::size_t, std::vector<double>> restored;
+  restored.reserve(completed);
+  for (std::uint64_t i = 0; i < completed; ++i) {
+    const std::uint64_t block = reader.u64();
+    const std::uint64_t len = reader.u64();
+    if (!reader.ok() || block >= num_blocks_ || len * sizeof(double) > reader.remaining()) {
+      SOCMIX_COUNTER_ADD("resilience.corrupt_discarded", 1);
+      return 0;
+    }
+    std::vector<double> payload(len);
+    for (auto& v : payload) v = reader.f64();
+    restored.emplace(block, std::move(payload));
+  }
+  if (!reader.ok()) {
+    SOCMIX_COUNTER_ADD("resilience.corrupt_discarded", 1);
+    return 0;
+  }
+
+  const std::lock_guard<std::mutex> lock{mutex_};
+  completed_ = std::move(restored);
+  restored_count_ = completed_.size();
+  SOCMIX_COUNTER_ADD("resilience.resume_blocks_skipped", restored_count_);
+  return restored_count_;
+}
+
+bool BlockCheckpoint::is_restored(std::size_t block) const {
+  return completed_.contains(block);
+}
+
+const std::vector<double>& BlockCheckpoint::restored_payload(std::size_t block) const {
+  const auto it = completed_.find(block);
+  return it == completed_.end() ? empty_ : it->second;
+}
+
+void BlockCheckpoint::record(std::size_t block, std::vector<double> payload) {
+  if (!enabled()) return;
+  const std::lock_guard<std::mutex> lock{mutex_};
+  completed_.emplace(block, std::move(payload));
+  if (++since_last_write_ >= options_.interval) write_locked();
+}
+
+void BlockCheckpoint::finalize() {
+  if (!enabled()) return;
+  const std::lock_guard<std::mutex> lock{mutex_};
+  if (since_last_write_ == 0 && completed_.size() == restored_count_) return;
+  write_locked();
+}
+
+void BlockCheckpoint::write_locked() {
+  ByteWriter writer;
+  writer.u64(num_blocks_);
+  writer.u64(completed_.size());
+  for (const auto& [block, payload] : completed_) {
+    writer.u64(block);
+    writer.u64(payload.size());
+    for (const double v : payload) writer.f64(v);
+  }
+  write_snapshot(path_, fingerprint_, writer.data());
+  since_last_write_ = 0;
+}
+
+}  // namespace socmix::resilience

@@ -1,10 +1,12 @@
 #include "sybil/sybil_limit.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "markov/mixing_time.hpp"
 #include "obs/obs.hpp"
+#include "resilience/fault.hpp"
 #include "util/rng.hpp"
 
 namespace socmix::sybil {
@@ -90,6 +92,22 @@ bool SybilLimit::Verifier::admit(const SybilLimit& protocol, graph::NodeId suspe
   return true;
 }
 
+namespace {
+
+/// Everything an admission sweep's per-point results depend on.
+std::uint64_t sweep_fingerprint(const graph::Graph& g, const AdmissionSweepConfig& config) {
+  std::uint64_t h = graph::structural_fingerprint(g);
+  h = util::hash_combine(h, config.route_lengths.size());
+  for (const std::size_t w : config.route_lengths) h = util::hash_combine(h, w);
+  h = util::hash_combine(h, config.suspect_sample);
+  h = util::hash_combine(h, config.verifier_sample);
+  h = util::hash_combine(h, std::bit_cast<std::uint64_t>(config.r0));
+  h = util::hash_combine(h, std::bit_cast<std::uint64_t>(config.balance_factor));
+  return util::hash_combine(h, config.seed);
+}
+
+}  // namespace
+
 std::vector<AdmissionPoint> admission_sweep(const graph::Graph& g,
                                             const AdmissionSweepConfig& config) {
   SOCMIX_TRACE_SPAN("sybil.admission_sweep");
@@ -102,9 +120,25 @@ std::vector<AdmissionPoint> admission_sweep(const graph::Graph& g,
   const std::vector<graph::NodeId> verifiers =
       markov::pick_sources(g, std::max<std::size_t>(1, config.verifier_sample), rng);
 
+  // Route-length points are independent (each re-derives its protocol seed
+  // from config.seed and w), so each one is a checkpoint block holding its
+  // admitted fraction.
+  resilience::CheckpointOptions checkpoint_options = config.checkpoint;
+  if (checkpoint_options.enabled() && checkpoint_options.name.empty()) {
+    checkpoint_options.name = "sybil-admission";
+  }
+  resilience::BlockCheckpoint checkpoint{checkpoint_options, sweep_fingerprint(g, config),
+                                         config.route_lengths.size()};
+  if (checkpoint.enabled()) checkpoint.restore();
+
   std::vector<AdmissionPoint> out;
   out.reserve(config.route_lengths.size());
-  for (const std::size_t w : config.route_lengths) {
+  for (std::size_t i = 0; i < config.route_lengths.size(); ++i) {
+    const std::size_t w = config.route_lengths[i];
+    if (checkpoint.is_restored(i) && checkpoint.restored_payload(i).size() == 1) {
+      out.push_back({w, checkpoint.restored_payload(i).front()});
+      continue;
+    }
     SybilLimitParams params;
     params.route_length = w;
     params.r0 = config.r0;
@@ -121,10 +155,13 @@ std::vector<AdmissionPoint> admission_sweep(const graph::Graph& g,
         if (verifier.admit(protocol, suspect)) ++admitted;
       }
     }
-    out.push_back({w, trials == 0 ? 0.0
-                                  : static_cast<double>(admitted) /
-                                        static_cast<double>(trials)});
+    const double fraction =
+        trials == 0 ? 0.0 : static_cast<double>(admitted) / static_cast<double>(trials);
+    resilience::fault_point("block.complete");
+    checkpoint.record(i, {fraction});
+    out.push_back({w, fraction});
   }
+  checkpoint.finalize();
   return out;
 }
 

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "resilience/checkpoint.hpp"
 #include "sybil/routes.hpp"
 
 namespace socmix::sybil {
@@ -110,6 +111,11 @@ struct AdmissionSweepConfig {
   double r0 = 4.0;
   double balance_factor = 4.0;
   std::uint64_t seed = 20101101;  // IMC'10 conference date
+  /// Crash tolerance (dir empty = off): each route-length point is one
+  /// checkpoint block, so an interrupted sweep resumes by skipping the
+  /// points already measured — bit-identical, since points only depend on
+  /// (graph, config, w).
+  resilience::CheckpointOptions checkpoint;
 };
 
 [[nodiscard]] std::vector<AdmissionPoint> admission_sweep(const graph::Graph& g,

@@ -1,0 +1,38 @@
+#include "util/checksum.hpp"
+
+#include <array>
+
+namespace socmix::util {
+
+namespace {
+
+/// Table-driven CRC-32, table generated at static-init time from the
+/// reflected IEEE polynomial.
+constexpr std::array<std::uint32_t, 256> make_table() noexcept {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) ? (0xedb88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kTable = make_table();
+
+}  // namespace
+
+std::uint32_t crc32_update(std::uint32_t state, std::span<const std::byte> data) noexcept {
+  for (const std::byte b : data) {
+    state = kTable[(state ^ static_cast<std::uint32_t>(b)) & 0xffu] ^ (state >> 8);
+  }
+  return state;
+}
+
+std::uint32_t crc32(std::span<const std::byte> data) noexcept {
+  return crc32_final(crc32_update(kCrc32Init, data));
+}
+
+}  // namespace socmix::util

@@ -89,4 +89,18 @@ std::string to_lower(std::string_view s) {
   return out;
 }
 
+std::string slugify(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      out.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    } else if (!out.empty() && out.back() != '-') {
+      out.push_back('-');
+    }
+  }
+  while (!out.empty() && out.back() == '-') out.pop_back();
+  return out.empty() ? "snapshot" : out;
+}
+
 }  // namespace socmix::util

@@ -32,4 +32,9 @@ namespace socmix::util {
 /// Lower-case an ASCII string.
 [[nodiscard]] std::string to_lower(std::string_view s);
 
+/// Filesystem-safe slug: lower-cased, runs of non-alphanumerics collapsed
+/// to single '-', trimmed of leading/trailing '-'; "snapshot" when nothing
+/// survives. Used for checkpoint file stems derived from dataset names.
+[[nodiscard]] std::string slugify(std::string_view s);
+
 }  // namespace socmix::util

@@ -106,6 +106,76 @@ TEST(BinaryIo, RejectsTruncatedStream) {
   EXPECT_THROW(load_binary(truncated), std::runtime_error);
 }
 
+TEST(LoadEdgeList, LenientModeSkipsAndCountsGarbageLines) {
+  std::istringstream in{
+      "0 1\n"
+      "garbage line\n"
+      "1 2\n"
+      "-3 4\n"
+      "2 0\n"};
+  EdgeListOptions options;
+  options.lenient = true;
+  const LoadResult result = load_edge_list(in, options);
+  EXPECT_EQ(result.graph.num_edges(), 3u);
+  EXPECT_EQ(result.malformed_lines, 2u);
+}
+
+TEST(LoadEdgeList, LenientModeCapsTolerance) {
+  std::string text;
+  for (int i = 0; i < 5; ++i) text += "not an edge\n";
+  text += "0 1\n";
+  std::istringstream in{text};
+  EdgeListOptions options;
+  options.lenient = true;
+  options.max_malformed = 3;
+  EXPECT_THROW(load_edge_list(in, options), std::runtime_error);
+}
+
+TEST(LoadEdgeList, LenientModeStillRejectsAllGarbageInput) {
+  std::istringstream in{"alpha beta?\ngamma\n"};
+  EdgeListOptions options;
+  options.lenient = true;
+  EXPECT_THROW(load_edge_list(in, options), std::runtime_error);
+}
+
+TEST(BinaryIo, RejectsImplausibleHeaderWithoutAllocating) {
+  // "SMX1" + offsets count claiming ~2^60 entries: must throw a parse
+  // error immediately, not attempt an exabyte allocation.
+  std::string frame{"SMX1"};
+  for (int field = 0; field < 2; ++field) {
+    for (int i = 0; i < 8; ++i) frame.push_back(static_cast<char>(0x11));
+  }
+  std::istringstream in{frame};
+  EXPECT_THROW(load_binary(in), std::runtime_error);
+}
+
+TEST(BinaryIo, RejectsNonMonotoneOffsets) {
+  EdgeList edges;
+  edges.add(0, 1);
+  edges.add(1, 2);
+  const Graph g = Graph::from_edges(std::move(edges));
+  std::stringstream buffer;
+  save_binary(g, buffer);
+  std::string frame = buffer.str();
+  // Offsets start at byte 20 (magic 4 + two u64 sizes); bump offsets[1]
+  // past offsets[2] while leaving the endpoints intact.
+  frame[28] = 9;
+  std::istringstream in{frame};
+  EXPECT_THROW(load_binary(in), std::runtime_error);
+}
+
+TEST(BinaryIo, RejectsOutOfRangeNeighborIds) {
+  EdgeList edges;
+  edges.add(0, 1);
+  const Graph g = Graph::from_edges(std::move(edges));
+  std::stringstream buffer;
+  save_binary(g, buffer);
+  std::string frame = buffer.str();
+  frame[frame.size() - 1] = 0x7f;  // high byte of the last neighbor id
+  std::istringstream in{frame};
+  EXPECT_THROW(load_binary(in), std::runtime_error);
+}
+
 TEST(FileIo, MissingFileThrows) {
   EXPECT_THROW(load_edge_list_file("/nonexistent/file.txt"), std::runtime_error);
   EXPECT_THROW(load_binary_file("/nonexistent/file.bin"), std::runtime_error);

@@ -1,0 +1,189 @@
+#include "resilience/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace socmix::resilience {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<std::byte> as_bytes(std::string_view s) {
+  std::vector<std::byte> out(s.size());
+  std::memcpy(out.data(), s.data(), s.size());
+  return out;
+}
+
+std::vector<char> slurp(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  return {std::istreambuf_iterator<char>{in}, std::istreambuf_iterator<char>{}};
+}
+
+void dump(const std::string& path, std::span<const char> bytes) {
+  std::ofstream out{path, std::ios::binary | std::ios::trunc};
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+class SnapshotTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path{testing::TempDir()} /
+           ("snapshot_test_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+    path_ = (dir_ / "state.ckpt").string();
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+  std::string path_;
+};
+
+constexpr std::uint64_t kPrint = 0x5eedf00ddeadbeefULL;
+
+TEST_F(SnapshotTest, RoundTripsPayloadVerbatim) {
+  const auto payload = as_bytes("forty-two completed blocks of TVD doubles");
+  write_snapshot(path_, kPrint, payload);
+
+  const LoadedSnapshot loaded = load_snapshot(path_, kPrint);
+  ASSERT_EQ(loaded.status, SnapshotStatus::kOk);
+  EXPECT_EQ(loaded.payload, payload);
+  EXPECT_EQ(loaded.path, path_);
+}
+
+TEST_F(SnapshotTest, RoundTripsEmptyPayload) {
+  write_snapshot(path_, kPrint, {});
+  const LoadedSnapshot loaded = load_snapshot(path_, kPrint);
+  ASSERT_EQ(loaded.status, SnapshotStatus::kOk);
+  EXPECT_TRUE(loaded.payload.empty());
+}
+
+TEST_F(SnapshotTest, MissingFileIsClassifiedNotThrown) {
+  const LoadedSnapshot loaded = load_snapshot(path_, kPrint);
+  EXPECT_EQ(loaded.status, SnapshotStatus::kMissing);
+}
+
+TEST_F(SnapshotTest, DetectsTruncationAtEveryLength) {
+  write_snapshot(path_, kPrint, as_bytes("payload"));
+  const auto full = slurp(path_);
+  for (std::size_t keep = 0; keep < full.size(); ++keep) {
+    dump(path_, std::span{full}.first(keep));
+    const LoadedSnapshot loaded = load_snapshot(path_, kPrint);
+    EXPECT_NE(loaded.status, SnapshotStatus::kOk) << "kept " << keep << " bytes";
+  }
+}
+
+TEST_F(SnapshotTest, DetectsBadMagic) {
+  write_snapshot(path_, kPrint, as_bytes("payload"));
+  auto frame = slurp(path_);
+  frame[0] = 'X';
+  dump(path_, frame);
+  EXPECT_EQ(load_snapshot(path_, kPrint).status, SnapshotStatus::kBadMagic);
+}
+
+TEST_F(SnapshotTest, DetectsVersionMismatch) {
+  write_snapshot(path_, kPrint, as_bytes("payload"));
+  auto frame = slurp(path_);
+  frame[4] = static_cast<char>(kSnapshotVersion + 1);  // little-endian u32 at offset 4
+  dump(path_, frame);
+  EXPECT_EQ(load_snapshot(path_, kPrint).status, SnapshotStatus::kBadVersion);
+}
+
+TEST_F(SnapshotTest, DetectsPayloadCorruption) {
+  write_snapshot(path_, kPrint, as_bytes("payload"));
+  auto frame = slurp(path_);
+  frame[24] ^= 0x01;  // first payload byte
+  dump(path_, frame);
+  EXPECT_EQ(load_snapshot(path_, kPrint).status, SnapshotStatus::kBadCrc);
+}
+
+TEST_F(SnapshotTest, DetectsFingerprintMismatch) {
+  write_snapshot(path_, kPrint, as_bytes("payload"));
+  EXPECT_EQ(load_snapshot(path_, kPrint + 1).status, SnapshotStatus::kBadFingerprint);
+}
+
+TEST_F(SnapshotTest, RewriteKeepsPreviousFrameAsFallback) {
+  write_snapshot(path_, kPrint, as_bytes("first"));
+  write_snapshot(path_, kPrint, as_bytes("second"));
+
+  ASSERT_TRUE(fs::exists(path_ + ".prev"));
+  const LoadedSnapshot prev = load_snapshot(path_ + ".prev", kPrint);
+  ASSERT_EQ(prev.status, SnapshotStatus::kOk);
+  EXPECT_EQ(prev.payload, as_bytes("first"));
+  EXPECT_EQ(load_snapshot(path_, kPrint).payload, as_bytes("second"));
+}
+
+TEST_F(SnapshotTest, FallbackRestoresFromPrevWhenCurrentIsCorrupt) {
+  write_snapshot(path_, kPrint, as_bytes("good"));
+  write_snapshot(path_, kPrint, as_bytes("torn"));
+  auto frame = slurp(path_);
+  dump(path_, std::span{frame}.first(frame.size() - 2));  // tear the current frame
+
+  const LoadedSnapshot loaded = load_snapshot_with_fallback(path_, kPrint);
+  ASSERT_EQ(loaded.status, SnapshotStatus::kOk);
+  EXPECT_EQ(loaded.payload, as_bytes("good"));
+  EXPECT_EQ(loaded.path, path_ + ".prev");
+}
+
+TEST_F(SnapshotTest, FallbackReportsPrimaryFailureWhenBothBad) {
+  write_snapshot(path_, kPrint, as_bytes("a"));
+  write_snapshot(path_, kPrint, as_bytes("b"));
+  for (const auto& p : {path_, path_ + ".prev"}) {
+    auto frame = slurp(p);
+    frame[24] ^= 0x40;
+    dump(p, frame);
+  }
+  EXPECT_EQ(load_snapshot_with_fallback(path_, kPrint).status, SnapshotStatus::kBadCrc);
+}
+
+TEST_F(SnapshotTest, WriteLeavesNoTempFileBehind) {
+  write_snapshot(path_, kPrint, as_bytes("payload"));
+  EXPECT_FALSE(fs::exists(path_ + ".tmp"));
+}
+
+TEST_F(SnapshotTest, StatusNamesAreStable) {
+  EXPECT_EQ(snapshot_status_name(SnapshotStatus::kOk), "ok");
+  EXPECT_EQ(snapshot_status_name(SnapshotStatus::kMissing), "missing");
+  EXPECT_EQ(snapshot_status_name(SnapshotStatus::kBadCrc), "bad-crc");
+}
+
+TEST(ByteCodec, RoundTripsEveryFieldType) {
+  ByteWriter w;
+  w.u32(0xdeadbeefu);
+  w.u64(0x0123456789abcdefULL);
+  w.f64(-0.0);
+  w.f64(1.0 / 3.0);
+  w.f64(std::numeric_limits<double>::denorm_min());
+
+  ByteReader r{w.data()};
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_TRUE(std::signbit(r.f64()));
+  EXPECT_EQ(r.f64(), 1.0 / 3.0);  // bit-exact, not approximately
+  EXPECT_EQ(r.f64(), std::numeric_limits<double>::denorm_min());
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(ByteCodec, OverReadLatchesNotOk) {
+  ByteWriter w;
+  w.u32(7);
+  ByteReader r{w.data()};
+  EXPECT_EQ(r.u32(), 7u);
+  EXPECT_EQ(r.u64(), 0u);  // past the end: zeros, ok() drops
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.u32(), 0u);  // and stays dropped
+  EXPECT_FALSE(r.ok());
+}
+
+}  // namespace
+}  // namespace socmix::resilience

@@ -27,6 +27,8 @@
 #include "graph/stats.hpp"
 #include "graph/trim.hpp"
 #include "markov/conductance.hpp"
+#include "markov/mixing_time.hpp"
+#include "resilience/checkpoint.hpp"
 #include "sybil/sybil_limit.hpp"
 #include "util/cli.hpp"
 #include "util/string_util.hpp"
@@ -41,8 +43,9 @@ int usage() {
       "usage: socmix <info|measure|sample|trim|convert|sybil|generate> [options]\n"
       "  input:  --edges FILE | --dataset NAME [--nodes N]   (--seed N)\n"
       "  obs:    --metrics-out FILE (.json/.csv)  --trace-out FILE  --progress\n"
+      "  resil:  --checkpoint-dir DIR [--checkpoint-interval N]  --fault-inject SPEC\n"
       "  info                                    structural report\n"
-      "  measure [--sources N] [--steps N] [--eps X]\n"
+      "  measure [--sources N] [--steps N] [--eps X] [--tvd-out FILE]\n"
       "  sample  --method bfs|uniform|walk --size N --out FILE\n"
       "  trim    --min-degree K --out FILE\n"
       "  convert --arcs FILE --out FILE          directed -> undirected\n"
@@ -110,7 +113,25 @@ int cmd_info(const util::Cli& cli) {
   return 0;
 }
 
-int cmd_measure(const util::Cli& cli) {
+/// Dumps every source's full TVD trajectory at full double precision —
+/// the artifact the resume-equivalence ctest compares byte-for-byte.
+void write_tvd(const markov::SampledMixing& sampled, const std::string& path) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (!out) throw std::runtime_error{"cannot open " + path};
+  std::fprintf(out, "# source tvd(t=1) .. tvd(t=%zu)\n", sampled.max_steps());
+  for (std::size_t s = 0; s < sampled.num_sources(); ++s) {
+    std::fprintf(out, "%u", sampled.sources()[s]);
+    for (std::size_t t = 1; t <= sampled.max_steps(); ++t) {
+      std::fprintf(out, " %.17g", sampled.tvd(s, t));
+    }
+    std::fputc('\n', out);
+  }
+  std::fclose(out);
+  std::fprintf(stderr, "wrote %s: %zu trajectories\n", path.c_str(),
+               sampled.num_sources());
+}
+
+int cmd_measure(const util::Cli& cli, const resilience::CheckpointOptions& checkpoint) {
   std::string name;
   const auto raw = load_input(cli, name);
   const auto lcc = graph::largest_component(raw).graph;
@@ -119,9 +140,11 @@ int cmd_measure(const util::Cli& cli) {
   options.sources = static_cast<std::size_t>(cli.get_i64("sources", 200));
   options.max_steps = static_cast<std::size_t>(cli.get_i64("steps", 400));
   options.seed = static_cast<std::uint64_t>(cli.get_i64("seed", 42));
+  options.checkpoint = checkpoint;
   const double eps = cli.get_f64("eps", 0.1);
 
   const auto report = core::measure_mixing(lcc, name, options);
+  if (cli.has("tvd-out")) write_tvd(*report.sampled, cli.get("tvd-out", ""));
   std::printf("%s\n", core::summarize(report).c_str());
   std::printf("T(%.3g) bounds: %.1f .. %.1f steps\n", eps, report.lower_bound(eps),
               report.upper_bound(eps));
@@ -180,11 +203,12 @@ int cmd_convert(const util::Cli& cli) {
   return 0;
 }
 
-int cmd_sybil(const util::Cli& cli) {
+int cmd_sybil(const util::Cli& cli, const resilience::CheckpointOptions& checkpoint) {
   std::string name;
   const auto g = graph::largest_component(load_input(cli, name)).graph;
 
   sybil::AdmissionSweepConfig config;
+  config.checkpoint = checkpoint;
   for (const auto token : util::split(cli.get("w", "2,4,8,16,24,32"), ',')) {
     if (const auto v = util::parse_i64(token)) {
       config.route_lengths.push_back(static_cast<std::size_t>(*v));
@@ -219,12 +243,13 @@ int main(int argc, char** argv) {
   const util::Cli cli{argc - 1, argv + 1};
   core::configure_observability(cli);
   try {
+    const auto checkpoint = core::configure_resilience(cli);
     if (command == "info") return cmd_info(cli);
-    if (command == "measure") return cmd_measure(cli);
+    if (command == "measure") return cmd_measure(cli, checkpoint);
     if (command == "sample") return cmd_sample(cli);
     if (command == "trim") return cmd_trim(cli);
     if (command == "convert") return cmd_convert(cli);
-    if (command == "sybil") return cmd_sybil(cli);
+    if (command == "sybil") return cmd_sybil(cli, checkpoint);
     if (command == "generate") return cmd_generate(cli);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "socmix %s: %s\n", command.c_str(), e.what());
