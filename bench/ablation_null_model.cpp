@@ -51,6 +51,7 @@ int main(int argc, char** argv) {
     options.sampled = false;
     options.seed = config.seed;
     options.checkpoint = config.checkpoint;
+    options.reorder = config.reorder;
     const auto original = core::measure_mixing(g, name, options);
     const auto null_report = core::measure_mixing(null_graph, name, options);
 

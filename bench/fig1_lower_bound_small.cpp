@@ -37,6 +37,7 @@ int main(int argc, char** argv) {
     options.sampled = false;
     options.seed = config.seed;
     options.checkpoint = config.checkpoint;
+    options.reorder = config.reorder;
     const auto report = core::measure_mixing(g, spec.name, options);
     std::cout << core::summarize(report) << "\n";
 

@@ -65,6 +65,7 @@ int main(int argc, char** argv) {
     options.max_steps = walk_lengths.back();
     options.seed = config.seed;
     options.checkpoint = config.checkpoint;
+    options.reorder = config.reorder;
     const auto report = core::measure_mixing(g, spec.name, options);
 
     std::printf("%s: n=%llu m=%llu sources=%zu\n", spec.name.c_str(),

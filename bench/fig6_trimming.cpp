@@ -57,6 +57,7 @@ int main(int argc, char** argv) {
     options.max_steps = max_steps;
     options.seed = config.seed;
     options.checkpoint = config.checkpoint;
+    options.reorder = config.reorder;
     const auto report = core::measure_mixing(g, "DBLP " + std::to_string(k), options);
 
     summary.row({"DBLP " + std::to_string(k),

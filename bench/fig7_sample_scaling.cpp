@@ -66,6 +66,7 @@ int main(int argc, char** argv) {
       options.max_steps = max_steps;
       options.seed = config.seed;
       options.checkpoint = config.checkpoint;
+      options.reorder = config.reorder;
       const auto report = core::measure_mixing(g, spec.name, options);
 
       const auto bounds = report.bounds();

@@ -67,6 +67,7 @@ int main(int argc, char** argv) {
     sweep.r0 = r0;
     sweep.seed = config.seed;
     sweep.checkpoint = config.checkpoint;
+    sweep.reorder = config.reorder;
     // Per-panel stem: panels share one --checkpoint-dir without clobbering.
     if (sweep.checkpoint.enabled()) {
       sweep.checkpoint.name = "fig8-" + util::slugify(label);

@@ -44,6 +44,7 @@ int main(int argc, char** argv) {
     options.max_steps = 200;
     options.seed = config.seed;
     options.checkpoint = config.checkpoint;
+    options.reorder = config.reorder;
     const auto report = core::measure_mixing(g, spec.name, options);
 
     const char* cls = spec.paper_mixing_class == gen::MixingClass::kFast   ? "fast"

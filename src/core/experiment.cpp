@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <iostream>
+#include <stdexcept>
 
 #include "obs/export.hpp"
 #include "obs/progress.hpp"
@@ -22,9 +23,20 @@ ExperimentConfig ExperimentConfig::from_cli(const util::Cli& cli) {
   config.seed = static_cast<std::uint64_t>(cli.get_i64("seed", 42));
   config.threads = static_cast<std::size_t>(cli.get_i64("threads", 0));
   util::set_thread_count(config.threads);
+  config.reorder = reorder_from_cli(cli);
   configure_observability(cli);
   config.checkpoint = configure_resilience(cli);
   return config;
+}
+
+graph::ReorderMode reorder_from_cli(const util::Cli& cli) {
+  const std::string value = cli.get("reorder", "none");
+  const auto mode = graph::parse_reorder_mode(value);
+  if (!mode) {
+    throw std::invalid_argument{"--reorder=" + value +
+                                ": expected one of none, degree, rcm, bfs"};
+  }
+  return *mode;
 }
 
 void configure_observability(const util::Cli& cli) {

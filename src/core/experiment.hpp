@@ -34,15 +34,25 @@ struct ExperimentConfig {
   /// --checkpoint-interval (dir empty = off). Drivers forward this into
   /// MeasurementOptions.checkpoint / AdmissionSweepConfig.checkpoint.
   resilience::CheckpointOptions checkpoint;
+  /// Vertex ordering for the compute kernels, parsed from
+  /// --reorder=rcm|degree|bfs|none (default none). Drivers forward this
+  /// into MeasurementOptions.reorder / AdmissionSweepConfig.reorder.
+  graph::ReorderMode reorder = graph::ReorderMode::kNone;
 
   /// Parses the CLI and applies `threads` to the global util::parallel
   /// pool, so every driver honors --threads with no further wiring. Also
   /// calls configure_observability (--metrics-out / --trace-out /
   /// --progress) and configure_resilience (--checkpoint-dir /
   /// --checkpoint-interval / --fault-inject), so those flags work in
-  /// every driver.
+  /// every driver. Throws std::invalid_argument on an unknown --reorder
+  /// value.
   [[nodiscard]] static ExperimentConfig from_cli(const util::Cli& cli);
 };
+
+/// Parses --reorder (default "none"); throws std::invalid_argument naming
+/// the bad value and the accepted ones. Shared by from_cli and tools that
+/// parse their own Cli (socmix measure/sybil).
+[[nodiscard]] graph::ReorderMode reorder_from_cli(const util::Cli& cli);
 
 /// Wires the shared observability flags into the obs layer:
 ///   --metrics-out=PATH   metrics snapshot at exit (JSON; CSV if *.csv)

@@ -20,7 +20,11 @@ MixingReport measure_mixing(const graph::Graph& g, std::string name,
   if (options.spectral && g.num_nodes() > 0) {
     SOCMIX_TRACE_SPAN("phase.spectral");
     const util::Timer timer;
-    const linalg::WalkOperator op{g, options.laziness};
+    // Lanczos runs on the relabeled CSR; the spectrum is label-invariant,
+    // so nothing maps back. (Reorder cost is O(m log m) — noise next to
+    // the iteration count, even though the sampled phase reorders again.)
+    const graph::ReorderedGraph reordered = graph::reorder_graph(g, options.reorder);
+    const linalg::WalkOperator op{reordered.active(g), options.laziness};
     const auto spectrum = linalg::slem_spectrum(op, options.lanczos);
     report.spectral_ran = true;
     report.spectral_converged = spectrum.converged;
@@ -44,6 +48,7 @@ MixingReport measure_mixing(const graph::Graph& g, std::string name,
     sampled_options.max_steps = options.max_steps;
     sampled_options.laziness = options.laziness;
     sampled_options.checkpoint = options.checkpoint;
+    sampled_options.reorder = options.reorder;
     if (sampled_options.checkpoint.enabled() && sampled_options.checkpoint.name.empty()) {
       sampled_options.checkpoint.name = "mixing-" + util::slugify(report.name);
     }

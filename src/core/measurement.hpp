@@ -19,6 +19,7 @@
 #include <string>
 
 #include "graph/graph.hpp"
+#include "graph/reorder.hpp"
 #include "linalg/lanczos.hpp"
 #include "markov/mixing_time.hpp"
 
@@ -46,6 +47,11 @@ struct MeasurementOptions {
   /// derived from the measurement name, so multi-dataset drivers sharing
   /// one --checkpoint-dir keep distinct snapshots.
   resilience::CheckpointOptions checkpoint;
+  /// Vertex ordering both phases compute under (--reorder). The spectral
+  /// operator and the sampled walks run on the relabeled CSR; eigenvalues
+  /// are label-invariant and TVD scalars match identity ordering within
+  /// summation-order tolerance, so reported results are ordering-agnostic.
+  graph::ReorderMode reorder = graph::ReorderMode::kNone;
 };
 
 /// Everything the paper reports about one graph.

@@ -25,6 +25,7 @@ WalkOperator::WalkOperator(const graph::Graph& g, double laziness)
     }
     inv_sqrt_deg_[v] = 1.0 / std::sqrt(static_cast<double>(d));
   }
+  scaled_.resize(n);
 }
 
 void WalkOperator::apply(std::span<const double> x, std::span<double> y) const {
@@ -37,18 +38,24 @@ void WalkOperator::apply(std::span<const double> x, std::span<double> y) const {
   const auto neighbors = g.raw_neighbors();
   const double walk_weight = 1.0 - laziness_;
 
-  // (N x)_i = (1/sqrt d_i) * sum_{j ~ i} x_j / sqrt d_j — a pure gather,
-  // so rows can be partitioned across threads: each y[i] is produced by
-  // exactly one thread with a fixed accumulation order, making the result
+  // (N x)_i = (1/sqrt d_i) * sum_{j ~ i} x_j / sqrt d_j. The source-side
+  // scaling is hoisted out of the edge loop: one streaming pass computes
+  // scaled_[j] = x[j] / sqrt d_j, so the irregular inner loop issues a
+  // single gather per edge instead of two (x[j] and inv_sqrt_deg_[j]).
+  // Rows are partitioned across threads: each y[i] is produced by exactly
+  // one thread with a fixed accumulation order, making the result
   // bit-identical for any thread count. Lanczos and power iteration scale
   // with cores through this one kernel.
+  double* const scaled = scaled_.data();
+  util::parallel_for(0, n, kApplyGrain, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t j = lo; j < hi; ++j) scaled[j] = x[j] * inv_sqrt_deg_[j];
+  });
   util::parallel_for(0, n, kApplyGrain, [&](std::size_t row_lo, std::size_t row_hi) {
     for (graph::NodeId i = static_cast<graph::NodeId>(row_lo);
          i < static_cast<graph::NodeId>(row_hi); ++i) {
       double acc = 0.0;
       for (graph::EdgeIndex e = offsets[i]; e < offsets[i + 1]; ++e) {
-        const graph::NodeId j = neighbors[e];
-        acc += x[j] * inv_sqrt_deg_[j];
+        acc += scaled[neighbors[e]];
       }
       y[i] = walk_weight * acc * inv_sqrt_deg_[i] + laziness_ * x[i];
     }
@@ -58,10 +65,11 @@ void WalkOperator::apply(std::span<const double> x, std::span<double> y) const {
 std::vector<double> WalkOperator::top_eigenvector() const {
   const auto n = dim();
   const double two_m = static_cast<double>(graph_->num_half_edges());
+  const double sqrt_two_m = std::sqrt(two_m);  // loop-invariant
   std::vector<double> v(n);
   for (std::size_t i = 0; i < n; ++i) {
     // sqrt(deg_i) / sqrt(2m) == 1 / (inv_sqrt_deg_[i] * sqrt(2m))
-    v[i] = 1.0 / (inv_sqrt_deg_[i] * std::sqrt(two_m));
+    v[i] = 1.0 / (inv_sqrt_deg_[i] * sqrt_two_m);
   }
   return v;
 }

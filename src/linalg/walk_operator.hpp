@@ -31,7 +31,10 @@ class WalkOperator {
 
   /// y = Op * x. x and y must have size dim() and not alias. Rows are
   /// partitioned across the util::parallel pool; the gather formulation
-  /// keeps the result bit-identical for any thread count.
+  /// keeps the result bit-identical for any thread count. Uses an internal
+  /// scratch buffer (the pre-scaled source vector), so concurrent apply()
+  /// calls on the *same* operator are not allowed — concurrent operators
+  /// on one graph are fine.
   void apply(std::span<const double> x, std::span<double> y) const;
 
   /// Minimum rows per parallel chunk: below this, dispatch overhead beats
@@ -57,6 +60,9 @@ class WalkOperator {
  private:
   const graph::Graph* graph_;
   std::vector<double> inv_sqrt_deg_;
+  /// apply() scratch: the pre-scaled source x[j] * inv_sqrt_deg_[j], so
+  /// the edge loop is a single gather. Sized n at construction.
+  mutable std::vector<double> scaled_;
   double laziness_;
 };
 

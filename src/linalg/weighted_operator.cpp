@@ -20,6 +20,16 @@ WeightedWalkOperator::WeightedWalkOperator(const graph::WeightedGraph& g, double
     }
     inv_sqrt_strength_[v] = 1.0 / std::sqrt(s);
   }
+  // Fold the source-side normalization into the edge weights once:
+  // edge_scaled_[e] = w_e / sqrt(strength(neighbor(e))). The apply loop
+  // then issues one gather (x[j]) plus a streaming read of edge_scaled_
+  // instead of gathering inv_sqrt_strength_[j] per edge as well.
+  const auto neighbors = g.raw_neighbors();
+  const auto weights = g.raw_weights();
+  edge_scaled_.resize(weights.size());
+  for (graph::EdgeIndex e = 0; e < weights.size(); ++e) {
+    edge_scaled_[e] = weights[e] * inv_sqrt_strength_[neighbors[e]];
+  }
 }
 
 void WeightedWalkOperator::apply(std::span<const double> x,
@@ -28,14 +38,13 @@ void WeightedWalkOperator::apply(std::span<const double> x,
   const graph::NodeId n = g.num_nodes();
   const auto offsets = g.offsets();
   const auto neighbors = g.raw_neighbors();
-  const auto weights = g.raw_weights();
   const double walk_weight = 1.0 - laziness_;
+  const double* edge_scaled = edge_scaled_.data();
 
   for (graph::NodeId i = 0; i < n; ++i) {
     double acc = 0.0;
     for (graph::EdgeIndex e = offsets[i]; e < offsets[i + 1]; ++e) {
-      const graph::NodeId j = neighbors[e];
-      acc += weights[e] * x[j] * inv_sqrt_strength_[j];
+      acc += edge_scaled[e] * x[neighbors[e]];
     }
     y[i] = walk_weight * acc * inv_sqrt_strength_[i] + laziness_ * x[i];
   }

@@ -34,6 +34,9 @@ class WeightedWalkOperator {
  private:
   const graph::WeightedGraph* graph_;
   std::vector<double> inv_sqrt_strength_;
+  /// Per-edge weight with the source-side 1/sqrt(strength) folded in, so
+  /// apply() gathers only x[j] per edge (built once at construction).
+  std::vector<double> edge_scaled_;
   double laziness_;
 };
 

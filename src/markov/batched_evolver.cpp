@@ -21,13 +21,16 @@ constexpr graph::EdgeIndex kPrefetchDistance = 8;
 
 // Compile-time lane count (stride stays runtime so a partially filled
 // block still takes this path): the b-loops unroll and vectorize, and the
-// accumulators live in registers. The floating-point work per lane is the
-// exact operation sequence of DistributionEvolver::step + total_variation
-// (CSR edge order, then ascending-row TVD), so results are bit-identical
-// to the scalar path.
+// accumulators live in registers. The inner loop is a single gather + add
+// per edge: the per-source scaling src[b] * inv_deg[i] was hoisted into
+// the prescale pass (see BatchedEvolver::sweep), which computes the exact
+// same rounded products, so the floating-point result per lane remains
+// the operation sequence of DistributionEvolver::step + total_variation
+// (CSR edge order, then ascending-row TVD) — bit-identical to the scalar
+// path.
 template <std::size_t B>
 void sweep_fixed(graph::NodeId n, const graph::EdgeIndex* offsets,
-                 const graph::NodeId* neighbors, const double* inv_deg,
+                 const graph::NodeId* neighbors, const double* scaled,
                  const double* cur, double* next, std::size_t stride,
                  double walk_weight, double laziness, const double* pi,
                  double* tvd_out) {
@@ -42,12 +45,10 @@ void sweep_fixed(graph::NodeId n, const graph::EdgeIndex* offsets,
     for (graph::EdgeIndex e = offsets[j]; e < row_end; ++e) {
       if (e + kPrefetchDistance < row_end) {
         __builtin_prefetch(
-            cur + static_cast<std::size_t>(neighbors[e + kPrefetchDistance]) * stride, 0, 1);
+            scaled + static_cast<std::size_t>(neighbors[e + kPrefetchDistance]) * stride, 0, 1);
       }
-      const graph::NodeId i = neighbors[e];
-      const double w = inv_deg[i];
-      const double* src = cur + static_cast<std::size_t>(i) * stride;
-      for (std::size_t b = 0; b < B; ++b) acc[b] += src[b] * w;
+      const double* src = scaled + static_cast<std::size_t>(neighbors[e]) * stride;
+      for (std::size_t b = 0; b < B; ++b) acc[b] += src[b];
     }
     const double* cur_j = cur + static_cast<std::size_t>(j) * stride;
     double* next_j = next + static_cast<std::size_t>(j) * stride;
@@ -67,7 +68,7 @@ void sweep_fixed(graph::NodeId n, const graph::EdgeIndex* offsets,
 // Runtime-width fallback for remainder blocks (active < block) and odd
 // block sizes. Same operation order as sweep_fixed.
 void sweep_generic(graph::NodeId n, const graph::EdgeIndex* offsets,
-                   const graph::NodeId* neighbors, const double* inv_deg,
+                   const graph::NodeId* neighbors, const double* scaled,
                    const double* cur, double* next, std::size_t stride,
                    std::size_t lanes, double walk_weight, double laziness,
                    const double* pi, double* tvd_out) {
@@ -79,12 +80,10 @@ void sweep_generic(graph::NodeId n, const graph::EdgeIndex* offsets,
     for (graph::EdgeIndex e = offsets[j]; e < row_end; ++e) {
       if (e + kPrefetchDistance < row_end) {
         __builtin_prefetch(
-            cur + static_cast<std::size_t>(neighbors[e + kPrefetchDistance]) * stride, 0, 1);
+            scaled + static_cast<std::size_t>(neighbors[e + kPrefetchDistance]) * stride, 0, 1);
       }
-      const graph::NodeId i = neighbors[e];
-      const double w = inv_deg[i];
-      const double* src = cur + static_cast<std::size_t>(i) * stride;
-      for (std::size_t b = 0; b < lanes; ++b) acc[b] += src[b] * w;
+      const double* src = scaled + static_cast<std::size_t>(neighbors[e]) * stride;
+      for (std::size_t b = 0; b < lanes; ++b) acc[b] += src[b];
     }
     const double* cur_j = cur + static_cast<std::size_t>(j) * stride;
     double* next_j = next + static_cast<std::size_t>(j) * stride;
@@ -124,6 +123,7 @@ BatchedEvolver::BatchedEvolver(const graph::Graph& g, double laziness, std::size
   }
   cur_.resize(static_cast<std::size_t>(n) * block_);
   next_.resize(static_cast<std::size_t>(n) * block_);
+  scaled_.resize(static_cast<std::size_t>(n) * block_);
 }
 
 void BatchedEvolver::seed_point_masses(std::span<const graph::NodeId> sources) {
@@ -155,28 +155,44 @@ void BatchedEvolver::sweep(const double* pi, double* tvd_out) {
       active_ == 4 || active_ == 8 || active_ == 16 || active_ == 32;
 #endif
 
+  // Prescale pass: one sequential stream over the block computing
+  // scaled_[i*stride + b] = cur_[i*stride + b] * inv_deg_[i]. Each product
+  // is rounded exactly as the old per-edge multiply was, so hoisting it
+  // changes no bits — it only turns the irregular inner loop into a single
+  // gather + add per edge instead of two gathers + FMA.
+  {
+    const double* cur = cur_.data();
+    double* scaled = scaled_.data();
+    const std::size_t lanes = active_;
+    for (graph::NodeId i = 0; i < n; ++i) {
+      const double w = inv_deg_[i];
+      const std::size_t base = static_cast<std::size_t>(i) * block_;
+      for (std::size_t b = 0; b < lanes; ++b) scaled[base + b] = cur[base + b] * w;
+    }
+  }
+
   // Dispatch on the *active* lane count; stride stays block_, so partially
   // filled blocks (the tail of an odd source list) still hit an unrolled
   // kernel when their lane count is a supported width.
   switch (active_) {
     case 4:
-      sweep_fixed<4>(n, offsets, neighbors, inv_deg_.data(), cur_.data(),
+      sweep_fixed<4>(n, offsets, neighbors, scaled_.data(), cur_.data(),
                      next_.data(), block_, walk_weight, laziness_, pi, tvd_out);
       break;
     case 8:
-      sweep_fixed<8>(n, offsets, neighbors, inv_deg_.data(), cur_.data(),
+      sweep_fixed<8>(n, offsets, neighbors, scaled_.data(), cur_.data(),
                      next_.data(), block_, walk_weight, laziness_, pi, tvd_out);
       break;
     case 16:
-      sweep_fixed<16>(n, offsets, neighbors, inv_deg_.data(), cur_.data(),
+      sweep_fixed<16>(n, offsets, neighbors, scaled_.data(), cur_.data(),
                       next_.data(), block_, walk_weight, laziness_, pi, tvd_out);
       break;
     case 32:
-      sweep_fixed<32>(n, offsets, neighbors, inv_deg_.data(), cur_.data(),
+      sweep_fixed<32>(n, offsets, neighbors, scaled_.data(), cur_.data(),
                       next_.data(), block_, walk_weight, laziness_, pi, tvd_out);
       break;
     default:
-      sweep_generic(n, offsets, neighbors, inv_deg_.data(), cur_.data(), next_.data(),
+      sweep_generic(n, offsets, neighbors, scaled_.data(), cur_.data(), next_.data(),
                     block_, active_, walk_weight, laziness_, pi, tvd_out);
       break;
   }

@@ -77,6 +77,9 @@ class BatchedEvolver {
   std::vector<double> inv_deg_;
   std::vector<double> cur_;   // [dim x block], row-major: cur_[v*block + lane]
   std::vector<double> next_;
+  /// Prescaled block cur_[v*block + b] * inv_deg_[v], recomputed each
+  /// sweep so the irregular edge gather is a single stream (see sweep()).
+  std::vector<double> scaled_;
   double laziness_;
   std::size_t block_;
   std::size_t active_ = 0;

@@ -24,6 +24,7 @@ DistributionEvolver::DistributionEvolver(const graph::Graph& g, double laziness)
     inv_deg_[v] = 1.0 / static_cast<double>(d);
   }
   scratch_.resize(n);
+  scaled_.resize(n);
 }
 
 void DistributionEvolver::step(std::span<const double> current,
@@ -35,16 +36,21 @@ void DistributionEvolver::step(std::span<const double> current,
   const double walk_weight = 1.0 - laziness_;
 
   // (x P)_j = sum_{i ~ j} x_i / deg(i): gather formulation reads each CSR
-  // row once. Rows partition across the pool — each next[j] comes from one
-  // thread with fixed accumulation order, so the step is bit-identical for
-  // any thread count.
+  // row once. The per-source scaling x_i / deg(i) is hoisted into one
+  // streaming prescale pass, so the irregular edge loop issues a single
+  // gather instead of two. Rows partition across the pool — each next[j]
+  // comes from one thread with fixed accumulation order, so the step is
+  // bit-identical for any thread count.
+  double* const scaled = scaled_.data();
+  util::parallel_for(0, n, kStepGrain, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) scaled[i] = current[i] * inv_deg_[i];
+  });
   util::parallel_for(0, n, kStepGrain, [&](std::size_t row_lo, std::size_t row_hi) {
     for (graph::NodeId j = static_cast<graph::NodeId>(row_lo);
          j < static_cast<graph::NodeId>(row_hi); ++j) {
       double acc = 0.0;
       for (graph::EdgeIndex e = offsets[j]; e < offsets[j + 1]; ++e) {
-        const graph::NodeId i = neighbors[e];
-        acc += current[i] * inv_deg_[i];
+        acc += scaled[neighbors[e]];
       }
       next[j] = walk_weight * acc + laziness_ * current[j];
     }

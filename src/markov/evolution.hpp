@@ -23,7 +23,9 @@ class DistributionEvolver {
 
   /// One step: next = current * P. Buffers must have size dim() and must
   /// not alias. Rows are partitioned across the util::parallel pool; the
-  /// gather keeps results bit-identical for any thread count.
+  /// gather keeps results bit-identical for any thread count. Uses an
+  /// internal scratch (the pre-scaled source), so concurrent step() calls
+  /// on the *same* instance are not allowed.
   void step(std::span<const double> current, std::span<double> next) const;
 
   /// Minimum rows per parallel chunk (small graphs run inline).
@@ -49,6 +51,10 @@ class DistributionEvolver {
   const graph::Graph* graph_;
   std::vector<double> inv_deg_;
   std::vector<double> scratch_;
+  /// step() scratch: pre-scaled source current[i] * inv_deg_[i], making
+  /// the edge loop a single gather. Mirrors BatchedEvolver's sweep so the
+  /// two paths stay bit-identical operation for operation.
+  mutable std::vector<double> scaled_;
   double laziness_;
 };
 

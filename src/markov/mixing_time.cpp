@@ -147,13 +147,15 @@ SampledMixing::PercentileCurves SampledMixing::percentile_curves(
 
 std::uint64_t sampled_mixing_fingerprint(const graph::Graph& g,
                                          std::span<const graph::NodeId> sources,
-                                         std::size_t max_steps, double laziness) {
+                                         std::size_t max_steps, double laziness,
+                                         graph::ReorderMode reorder) {
   std::uint64_t h = graph::structural_fingerprint(g);
   h = util::hash_combine(h, sources.size());
   for (const graph::NodeId s : sources) h = util::hash_combine(h, s);
   h = util::hash_combine(h, max_steps);
   h = util::hash_combine(h, std::bit_cast<std::uint64_t>(laziness));
   h = util::hash_combine(h, BatchedEvolver::kDefaultBlock);
+  h = util::hash_combine(h, static_cast<std::uint64_t>(reorder));
   return h;
 }
 
@@ -163,9 +165,25 @@ SampledMixing measure_sampled_mixing(const graph::Graph& g,
   SOCMIX_TRACE_SPAN("measure_sampled_mixing");
   const std::size_t max_steps = options.max_steps;
   const double laziness = options.laziness;
-  const std::vector<double> pi = stationary_distribution(g);
   const std::size_t num_sources = sources.size();
   std::vector<std::vector<double>> trajectories(num_sources);
+
+  // Locality layer: relabel the graph for gather locality and map the
+  // sources into the new id space. Everything below runs on `active`; the
+  // per-step TVD scalars are permutation-invariant up to summation order
+  // (the fused reduction sums rows in ascending *new* labels), so no
+  // permute-back is needed — results are reported under the original
+  // source ids via the untouched `sources` span.
+  const graph::ReorderedGraph reordered = graph::reorder_graph(g, options.reorder);
+  const graph::Graph& active = reordered.active(g);
+  std::vector<graph::NodeId> mapped_sources;
+  if (!reordered.identity()) {
+    mapped_sources.reserve(num_sources);
+    for (const graph::NodeId s : sources) mapped_sources.push_back(reordered.to_new(s));
+  }
+  const std::span<const graph::NodeId> eval_sources =
+      reordered.identity() ? sources : std::span<const graph::NodeId>{mapped_sources};
+  const std::vector<double> pi = stationary_distribution(active);
 
   // Sources are evolved B at a time by a BatchedEvolver (one CSR sweep per
   // step serves the whole block) and the blocks are distributed across the
@@ -183,7 +201,8 @@ SampledMixing measure_sampled_mixing(const graph::Graph& g,
   // of being recomputed, so resume composes with the determinism contract.
   resilience::BlockCheckpoint checkpoint{
       options.checkpoint,
-      sampled_mixing_fingerprint(g, sources, max_steps, laziness), num_blocks};
+      sampled_mixing_fingerprint(g, sources, max_steps, laziness, options.reorder),
+      num_blocks, static_cast<std::uint64_t>(options.reorder)};
   std::vector<std::size_t> pending;
   pending.reserve(num_blocks);
   if (checkpoint.enabled()) checkpoint.restore();
@@ -210,14 +229,14 @@ SampledMixing measure_sampled_mixing(const graph::Graph& g,
   obs::ProgressMeter progress{"sampled-mixing", num_blocks};
   progress.add(num_blocks - pending.size());
   util::parallel_for(0, pending.size(), 1, [&](std::size_t lo, std::size_t hi) {
-    BatchedEvolver evolver{g, laziness, kBlock};
+    BatchedEvolver evolver{active, laziness, kBlock};
     std::array<double, kBlock> tvd{};
     for (std::size_t p = lo; p < hi; ++p) {
       SOCMIX_TRACE_SPAN("evolve_block");
       const std::size_t blk = pending[p];
       const std::size_t first = blk * kBlock;
       const std::size_t lanes = std::min(kBlock, num_sources - first);
-      evolver.seed_point_masses(sources.subspan(first, lanes));
+      evolver.seed_point_masses(eval_sources.subspan(first, lanes));
       for (std::size_t b = 0; b < lanes; ++b) {
         trajectories[first + b].reserve(max_steps);
       }

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "graph/reorder.hpp"
 #include "resilience/checkpoint.hpp"
 #include "util/rng.hpp"
 
@@ -114,6 +115,14 @@ struct SampledMixingOptions {
   /// rerun with the same graph/sources/steps/laziness resumes by skipping
   /// them. Resumed results are bit-identical to an uninterrupted run.
   resilience::CheckpointOptions checkpoint;
+  /// Vertex ordering the kernels compute under. The walk is evolved on the
+  /// relabeled CSR (better gather locality); sources are mapped in and the
+  /// per-step TVD scalars are label-invariant up to summation order, so
+  /// results match identity ordering within 1e-12 per step. Outputs are
+  /// always reported under the caller's original vertex ids. Checkpoints
+  /// are keyed on the mode: a snapshot written under a different ordering
+  /// is classified stale and recomputed.
+  graph::ReorderMode reorder = graph::ReorderMode::kNone;
 };
 
 /// Evolves a point mass from each source for max_steps steps and records
@@ -134,12 +143,13 @@ struct SampledMixingOptions {
 
 /// The fingerprint a sampled-mixing checkpoint is keyed on: the graph's
 /// structural fingerprint combined with the exact source list, step
-/// budget, laziness bits, and the engine's block width. Exposed so tests
-/// and tools can predict snapshot compatibility.
-[[nodiscard]] std::uint64_t sampled_mixing_fingerprint(const graph::Graph& g,
-                                                       std::span<const graph::NodeId> sources,
-                                                       std::size_t max_steps,
-                                                       double laziness);
+/// budget, laziness bits, the engine's block width, and the reorder mode.
+/// Always computed on the *original* graph and source ids, so callers can
+/// predict snapshot compatibility without materializing the reordering.
+[[nodiscard]] std::uint64_t sampled_mixing_fingerprint(
+    const graph::Graph& g, std::span<const graph::NodeId> sources,
+    std::size_t max_steps, double laziness,
+    graph::ReorderMode reorder = graph::ReorderMode::kNone);
 
 /// Uniformly samples `count` distinct sources (all vertices if count >= n).
 [[nodiscard]] std::vector<graph::NodeId> pick_sources(const graph::Graph& g,

@@ -8,8 +8,11 @@
 namespace socmix::resilience {
 
 BlockCheckpoint::BlockCheckpoint(CheckpointOptions options, std::uint64_t fingerprint,
-                                 std::size_t num_blocks)
-    : options_(std::move(options)), fingerprint_(fingerprint), num_blocks_(num_blocks) {
+                                 std::size_t num_blocks, std::uint64_t context)
+    : options_(std::move(options)),
+      fingerprint_(fingerprint),
+      context_(context),
+      num_blocks_(num_blocks) {
   if (options_.interval == 0) options_.interval = 1;
   if (!enabled()) return;
   std::filesystem::create_directories(options_.dir);
@@ -23,6 +26,14 @@ std::size_t BlockCheckpoint::restore() {
   if (snapshot.status != SnapshotStatus::kOk) return 0;
 
   ByteReader reader{snapshot.payload};
+  const std::uint64_t stored_context = reader.u64();
+  if (reader.ok() && stored_context != context_) {
+    // Valid frame from a different execution context (e.g. the sweep ran
+    // under another vertex ordering): its payloads are internally
+    // consistent but not replayable here — stale, not corrupt.
+    SOCMIX_COUNTER_ADD("resilience.stale_discarded", 1);
+    return 0;
+  }
   const std::uint64_t stored_blocks = reader.u64();
   const std::uint64_t completed = reader.u64();
   if (!reader.ok() || stored_blocks != num_blocks_ || completed > num_blocks_) {
@@ -81,6 +92,7 @@ void BlockCheckpoint::finalize() {
 
 void BlockCheckpoint::write_locked() {
   ByteWriter writer;
+  writer.u64(context_);
   writer.u64(num_blocks_);
   writer.u64(completed_.size());
   for (const auto& [block, payload] : completed_) {

@@ -12,6 +12,7 @@
 // thread count.
 //
 // Payload layout (inside the snapshot frame):
+//   u64 context                       execution-context tag (see ctor)
 //   u64 num_blocks                    total blocks in the sweep
 //   u64 completed                     number of (index, payload) records
 //   repeated: u64 block_index, u64 len, len * f64
@@ -48,13 +49,19 @@ class BlockCheckpoint {
  public:
   /// `fingerprint` must cover everything the payloads depend on (graph,
   /// sources, step budget, parameters, seed); restore() only accepts
-  /// snapshots carrying the identical value.
+  /// snapshots carrying the identical value. `context` tags the execution
+  /// environment the payloads were computed under (e.g. the vertex
+  /// reordering mode driving the sweep) — it is recorded in every frame,
+  /// and a frame whose context differs from this run's is classified
+  /// *stale* (counted under resilience.stale_discarded) and recomputed
+  /// rather than replayed.
   BlockCheckpoint(CheckpointOptions options, std::uint64_t fingerprint,
-                  std::size_t num_blocks);
+                  std::size_t num_blocks, std::uint64_t context = 0);
 
   [[nodiscard]] bool enabled() const noexcept { return options_.enabled(); }
   [[nodiscard]] const std::string& path() const noexcept { return path_; }
   [[nodiscard]] std::uint64_t fingerprint() const noexcept { return fingerprint_; }
+  [[nodiscard]] std::uint64_t context() const noexcept { return context_; }
 
   /// Loads the best available snapshot (current, then .prev) and keeps its
   /// completed blocks. Corrupt/stale candidates are counted and ignored —
@@ -83,6 +90,7 @@ class BlockCheckpoint {
 
   CheckpointOptions options_;
   std::uint64_t fingerprint_ = 0;
+  std::uint64_t context_ = 0;
   std::size_t num_blocks_ = 0;
   std::string path_;
 

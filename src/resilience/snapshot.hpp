@@ -36,7 +36,10 @@
 
 namespace socmix::resilience {
 
-inline constexpr std::uint32_t kSnapshotVersion = 1;
+// Version history: 1 = original frame; 2 = BlockCheckpoint payloads gained
+// a leading u64 execution-context word (vertex reorder mode), so files
+// written before it must be rejected as kBadVersion rather than misparsed.
+inline constexpr std::uint32_t kSnapshotVersion = 2;
 
 enum class SnapshotStatus {
   kOk,

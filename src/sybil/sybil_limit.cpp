@@ -103,7 +103,8 @@ std::uint64_t sweep_fingerprint(const graph::Graph& g, const AdmissionSweepConfi
   h = util::hash_combine(h, config.verifier_sample);
   h = util::hash_combine(h, std::bit_cast<std::uint64_t>(config.r0));
   h = util::hash_combine(h, std::bit_cast<std::uint64_t>(config.balance_factor));
-  return util::hash_combine(h, config.seed);
+  h = util::hash_combine(h, config.seed);
+  return util::hash_combine(h, static_cast<std::uint64_t>(config.reorder));
 }
 
 }  // namespace
@@ -113,12 +114,22 @@ std::vector<AdmissionPoint> admission_sweep(const graph::Graph& g,
   SOCMIX_TRACE_SPAN("sybil.admission_sweep");
   util::Rng rng{config.seed};
 
-  const std::vector<graph::NodeId> suspects =
+  // Sample suspects/verifiers on the *original* graph (so the sampled id
+  // sets are ordering-independent), then relabel the graph for route-walk
+  // locality and map the samples in. Fractions are aggregates — nothing to
+  // map back out.
+  std::vector<graph::NodeId> suspects =
       config.suspect_sample == 0
           ? markov::all_sources(g)
           : markov::pick_sources(g, config.suspect_sample, rng);
-  const std::vector<graph::NodeId> verifiers =
+  std::vector<graph::NodeId> verifiers =
       markov::pick_sources(g, std::max<std::size_t>(1, config.verifier_sample), rng);
+  const graph::ReorderedGraph reordered = graph::reorder_graph(g, config.reorder);
+  const graph::Graph& active = reordered.active(g);
+  if (!reordered.identity()) {
+    for (graph::NodeId& s : suspects) s = reordered.to_new(s);
+    for (graph::NodeId& v : verifiers) v = reordered.to_new(v);
+  }
 
   // Route-length points are independent (each re-derives its protocol seed
   // from config.seed and w), so each one is a checkpoint block holding its
@@ -128,7 +139,8 @@ std::vector<AdmissionPoint> admission_sweep(const graph::Graph& g,
     checkpoint_options.name = "sybil-admission";
   }
   resilience::BlockCheckpoint checkpoint{checkpoint_options, sweep_fingerprint(g, config),
-                                         config.route_lengths.size()};
+                                         config.route_lengths.size(),
+                                         static_cast<std::uint64_t>(config.reorder)};
   if (checkpoint.enabled()) checkpoint.restore();
 
   std::vector<AdmissionPoint> out;
@@ -144,7 +156,7 @@ std::vector<AdmissionPoint> admission_sweep(const graph::Graph& g,
     params.r0 = config.r0;
     params.balance_factor = config.balance_factor;
     params.seed = util::hash_combine(config.seed, w);
-    const SybilLimit protocol{g, params};
+    const SybilLimit protocol{active, params};
 
     std::uint64_t admitted = 0;
     std::uint64_t trials = 0;

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "graph/reorder.hpp"
 #include "resilience/checkpoint.hpp"
 #include "sybil/routes.hpp"
 
@@ -116,6 +117,15 @@ struct AdmissionSweepConfig {
   /// points already measured — bit-identical, since points only depend on
   /// (graph, config, w).
   resilience::CheckpointOptions checkpoint;
+  /// Vertex ordering the sweep computes under. The graph is relabeled
+  /// internally and suspect/verifier ids mapped in; reported fractions are
+  /// aggregates, so no output mapping is needed. NOTE: unlike the walk
+  /// measurements, SybilLimit's random routes are keyed on vertex *labels*
+  /// (per-node pseudorandom permutations), so admitted fractions under a
+  /// non-identity ordering are statistically equivalent but not numerically
+  /// identical to kNone. The mode is part of the sweep fingerprint and the
+  /// checkpoint context, so snapshots never mix orderings.
+  graph::ReorderMode reorder = graph::ReorderMode::kNone;
 };
 
 [[nodiscard]] std::vector<AdmissionPoint> admission_sweep(const graph::Graph& g,

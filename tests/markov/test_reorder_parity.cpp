@@ -1,0 +1,131 @@
+// The determinism/tolerance contract of the locality layer (--reorder):
+//
+//  * at a FIXED ordering, results are bit-identical across thread counts
+//    (reordering must not weaken the existing thread-determinism promise);
+//  * across orderings, sampled TVD trajectories may differ from identity
+//    ordering only by floating-point summation order — within 1e-12 per
+//    step — on every Table-1 generator config;
+//  * the SLEM is label-invariant, so spectral results under any ordering
+//    match identity within the Lanczos tolerance;
+//  * the checkpoint fingerprint separates orderings.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "gen/datasets.hpp"
+#include "graph/graph.hpp"
+#include "graph/reorder.hpp"
+#include "linalg/lanczos.hpp"
+#include "linalg/walk_operator.hpp"
+#include "markov/mixing_time.hpp"
+#include "util/parallel.hpp"
+
+namespace socmix::markov {
+namespace {
+
+constexpr graph::ReorderMode kOrderings[] = {
+    graph::ReorderMode::kDegree, graph::ReorderMode::kRcm,
+    graph::ReorderMode::kBfs};
+
+// Small but non-trivial: ~400-node stand-ins keep all 15 configs cheap.
+constexpr graph::NodeId kNodes = 400;
+constexpr std::size_t kSources = 8;
+constexpr std::size_t kSteps = 30;
+
+std::vector<graph::NodeId> spread_sources(const graph::Graph& g) {
+  std::vector<graph::NodeId> sources;
+  const graph::NodeId stride = std::max<graph::NodeId>(1, g.num_nodes() / kSources);
+  for (graph::NodeId v = 0; sources.size() < kSources && v < g.num_nodes();
+       v += stride) {
+    sources.push_back(v);
+  }
+  return sources;
+}
+
+SampledMixing run(const graph::Graph& g, std::span<const graph::NodeId> sources,
+                  graph::ReorderMode mode) {
+  SampledMixingOptions options;
+  options.max_steps = kSteps;
+  options.reorder = mode;
+  return measure_sampled_mixing(g, sources, options);
+}
+
+TEST(ReorderParity, BitIdenticalAcrossThreadCountsAtFixedOrdering) {
+  const auto spec = gen::find_dataset("Livejournal A");
+  const graph::Graph g = gen::build_dataset(*spec, kNodes, 3);
+  const auto sources = spread_sources(g);
+  for (const graph::ReorderMode mode : kOrderings) {
+    util::set_thread_count(1);
+    const SampledMixing serial = run(g, sources, mode);
+    util::set_thread_count(4);
+    const SampledMixing threaded = run(g, sources, mode);
+    util::set_thread_count(0);
+    for (std::size_t s = 0; s < sources.size(); ++s) {
+      for (std::size_t t = 1; t <= kSteps; ++t) {
+        ASSERT_EQ(serial.tvd(s, t), threaded.tvd(s, t))
+            << "mode=" << graph::reorder_mode_name(mode) << " s=" << s
+            << " t=" << t;
+      }
+    }
+  }
+}
+
+TEST(ReorderParity, TvdMatchesIdentityOrderingOnEveryTable1Config) {
+  // The TVD after each step is a sum of |p_v - pi_v| over vertices; a
+  // relabeling only permutes the summation order, so each step may drift
+  // from identity ordering by rounding alone — the documented 1e-12.
+  for (const gen::DatasetSpec& spec : gen::table1_datasets()) {
+    const graph::Graph g = gen::build_dataset(spec, kNodes, 11);
+    const auto sources = spread_sources(g);
+    const SampledMixing identity = run(g, sources, graph::ReorderMode::kNone);
+    for (const graph::ReorderMode mode : kOrderings) {
+      const SampledMixing reordered = run(g, sources, mode);
+      ASSERT_EQ(reordered.num_sources(), identity.num_sources());
+      for (std::size_t s = 0; s < sources.size(); ++s) {
+        for (std::size_t t = 1; t <= kSteps; ++t) {
+          ASSERT_NEAR(reordered.tvd(s, t), identity.tvd(s, t), 1e-12)
+              << spec.name << " mode=" << graph::reorder_mode_name(mode)
+              << " s=" << s << " t=" << t;
+        }
+      }
+    }
+  }
+}
+
+TEST(ReorderParity, SlemMatchesIdentityOrderingWithinLanczosTolerance) {
+  // Eigenvalues are invariant under the similarity transform a relabeling
+  // induces; only the iteration's rounding differs.
+  for (const char* name : {"Physics 1", "Livejournal A", "Facebook"}) {
+    const auto spec = gen::find_dataset(name);
+    const graph::Graph g = gen::build_dataset(*spec, kNodes, 17);
+    const linalg::LanczosOptions options;
+    const linalg::WalkOperator identity_op{g};
+    const auto identity = linalg::slem_spectrum(identity_op, options);
+    ASSERT_TRUE(identity.converged) << name;
+    for (const graph::ReorderMode mode : kOrderings) {
+      const graph::ReorderedGraph reordered = graph::reorder_graph(g, mode);
+      const linalg::WalkOperator op{reordered.active(g)};
+      const auto spectrum = linalg::slem_spectrum(op, options);
+      ASSERT_TRUE(spectrum.converged)
+          << name << " mode=" << graph::reorder_mode_name(mode);
+      EXPECT_NEAR(spectrum.slem, identity.slem, 100 * options.tolerance)
+          << name << " mode=" << graph::reorder_mode_name(mode);
+    }
+  }
+}
+
+TEST(ReorderParity, FingerprintSeparatesOrderings) {
+  const auto spec = gen::find_dataset("Physics 1");
+  const graph::Graph g = gen::build_dataset(*spec, kNodes, 3);
+  const auto sources = spread_sources(g);
+  const std::uint64_t base =
+      sampled_mixing_fingerprint(g, sources, kSteps, 0.0, graph::ReorderMode::kNone);
+  EXPECT_EQ(base, sampled_mixing_fingerprint(g, sources, kSteps, 0.0));
+  for (const graph::ReorderMode mode : kOrderings) {
+    EXPECT_NE(base, sampled_mixing_fingerprint(g, sources, kSteps, 0.0, mode));
+  }
+}
+
+}  // namespace
+}  // namespace socmix::markov

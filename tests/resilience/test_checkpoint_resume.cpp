@@ -13,7 +13,9 @@
 
 #include "graph/edge_list.hpp"
 #include "graph/graph.hpp"
+#include "graph/reorder.hpp"
 #include "markov/mixing_time.hpp"
+#include "obs/obs.hpp"
 #include "resilience/fault.hpp"
 #include "sybil/sybil_limit.hpp"
 #include "util/parallel.hpp"
@@ -107,6 +109,41 @@ TEST_F(CheckpointResumeTest, UnitRejectsForeignFingerprintAndShape) {
   EXPECT_EQ(other_run.restore(), 0u);  // stale: different fingerprint
   BlockCheckpoint other_shape{opts, 99, 5};
   EXPECT_EQ(other_shape.restore(), 0u);  // same run id, different block count
+}
+
+TEST_F(CheckpointResumeTest, UnitRejectsForeignContextAsStale) {
+  // The context word records the execution environment (the vertex
+  // reordering mode, for the sampled sweep); a frame written under a
+  // different context is internally valid but not replayable — it must be
+  // classified stale and recomputed, never silently replayed.
+  CheckpointOptions opts{dir_.string(), "unit", 1};
+  const auto context = [](graph::ReorderMode mode) {
+    return static_cast<std::uint64_t>(mode);
+  };
+  {
+    BlockCheckpoint ckpt{opts, 99, 4, context(graph::ReorderMode::kNone)};
+    ckpt.record(0, {1.0});
+    ckpt.finalize();
+  }
+#if SOCMIX_OBS_ENABLED
+  const auto stale_count = [] {
+    for (const auto& counter : obs::Registry::instance().snapshot().counters) {
+      if (counter.name == "resilience.stale_discarded") return counter.value;
+    }
+    return std::uint64_t{0};
+  };
+  const std::uint64_t stale_before = stale_count();
+#endif
+  BlockCheckpoint other_ordering{opts, 99, 4, context(graph::ReorderMode::kRcm)};
+  EXPECT_EQ(other_ordering.restore(), 0u);
+  EXPECT_EQ(other_ordering.context(), context(graph::ReorderMode::kRcm));
+#if SOCMIX_OBS_ENABLED
+  EXPECT_EQ(stale_count(), stale_before + 1);
+#endif
+  // The matching context still round-trips.
+  BlockCheckpoint same_ordering{opts, 99, 4, context(graph::ReorderMode::kNone)};
+  EXPECT_EQ(same_ordering.restore(), 1u);
+  EXPECT_EQ(same_ordering.restored_payload(0), (std::vector<double>{1.0}));
 }
 
 TEST_F(CheckpointResumeTest, InterruptedMeasurementResumesBitIdentical) {
