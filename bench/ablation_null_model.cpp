@@ -52,6 +52,7 @@ int main(int argc, char** argv) {
     options.seed = config.seed;
     options.checkpoint = config.checkpoint;
     options.reorder = config.reorder;
+    options.frontier = config.frontier;
     const auto original = core::measure_mixing(g, name, options);
     const auto null_report = core::measure_mixing(null_graph, name, options);
 

@@ -58,6 +58,7 @@ int main(int argc, char** argv) {
     options.seed = config.seed;
     options.checkpoint = config.checkpoint;
     options.reorder = config.reorder;
+    options.frontier = config.frontier;
     const auto report = core::measure_mixing(g, "DBLP " + std::to_string(k), options);
 
     summary.row({"DBLP " + std::to_string(k),

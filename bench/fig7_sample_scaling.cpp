@@ -67,6 +67,7 @@ int main(int argc, char** argv) {
       options.seed = config.seed;
       options.checkpoint = config.checkpoint;
       options.reorder = config.reorder;
+      options.frontier = config.frontier;
       const auto report = core::measure_mixing(g, spec.name, options);
 
       const auto bounds = report.bounds();

@@ -68,6 +68,7 @@ int main(int argc, char** argv) {
     sweep.seed = config.seed;
     sweep.checkpoint = config.checkpoint;
     sweep.reorder = config.reorder;
+    sweep.frontier = config.frontier;
     // Per-panel stem: panels share one --checkpoint-dir without clobbering.
     if (sweep.checkpoint.enabled()) {
       sweep.checkpoint.name = "fig8-" + util::slugify(label);

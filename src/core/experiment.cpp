@@ -24,6 +24,7 @@ ExperimentConfig ExperimentConfig::from_cli(const util::Cli& cli) {
   config.threads = static_cast<std::size_t>(cli.get_i64("threads", 0));
   util::set_thread_count(config.threads);
   config.reorder = reorder_from_cli(cli);
+  config.frontier = frontier_from_cli(cli);
   configure_observability(cli);
   config.checkpoint = configure_resilience(cli);
   return config;
@@ -37,6 +38,16 @@ graph::ReorderMode reorder_from_cli(const util::Cli& cli) {
                                 ": expected one of none, degree, rcm, bfs"};
   }
   return *mode;
+}
+
+graph::FrontierPolicy frontier_from_cli(const util::Cli& cli) {
+  const std::string value = cli.get("frontier", "auto");
+  const auto policy = graph::parse_frontier_policy(value);
+  if (!policy) {
+    throw std::invalid_argument{"--frontier=" + value +
+                                ": expected auto, off, or a row fraction in (0, 1]"};
+  }
+  return *policy;
 }
 
 void configure_observability(const util::Cli& cli) {

@@ -11,6 +11,7 @@
 
 #include "core/measurement.hpp"
 #include "gen/datasets.hpp"
+#include "graph/frontier.hpp"
 #include "graph/graph.hpp"
 #include "resilience/checkpoint.hpp"
 #include "util/cli.hpp"
@@ -38,6 +39,12 @@ struct ExperimentConfig {
   /// --reorder=rcm|degree|bfs|none (default none). Drivers forward this
   /// into MeasurementOptions.reorder / AdmissionSweepConfig.reorder.
   graph::ReorderMode reorder = graph::ReorderMode::kNone;
+  /// Adaptive frontier phase of the evolution engine, parsed from
+  /// --frontier=auto|off|<fraction> (default auto). Results are
+  /// bit-identical on or off — this is purely a speed knob. Drivers
+  /// forward this into MeasurementOptions.frontier /
+  /// AdmissionSweepConfig.frontier.
+  graph::FrontierPolicy frontier;
 
   /// Parses the CLI and applies `threads` to the global util::parallel
   /// pool, so every driver honors --threads with no further wiring. Also
@@ -53,6 +60,11 @@ struct ExperimentConfig {
 /// the bad value and the accepted ones. Shared by from_cli and tools that
 /// parse their own Cli (socmix measure/sybil).
 [[nodiscard]] graph::ReorderMode reorder_from_cli(const util::Cli& cli);
+
+/// Parses --frontier (default "auto"); throws std::invalid_argument naming
+/// the bad value and the accepted ones. Shared by from_cli and tools that
+/// parse their own Cli (socmix measure/sybil).
+[[nodiscard]] graph::FrontierPolicy frontier_from_cli(const util::Cli& cli);
 
 /// Wires the shared observability flags into the obs layer:
 ///   --metrics-out=PATH   metrics snapshot at exit (JSON; CSV if *.csv)

@@ -18,6 +18,7 @@
 #include <optional>
 #include <string>
 
+#include "graph/frontier.hpp"
 #include "graph/graph.hpp"
 #include "graph/reorder.hpp"
 #include "linalg/lanczos.hpp"
@@ -52,6 +53,10 @@ struct MeasurementOptions {
   /// are label-invariant and TVD scalars match identity ordering within
   /// summation-order tolerance, so reported results are ordering-agnostic.
   graph::ReorderMode reorder = graph::ReorderMode::kNone;
+  /// Adaptive frontier phase of the sampled evolution (--frontier). While a
+  /// walk's reachable set is small the evolver sweeps only those rows;
+  /// results are bit-identical on or off — purely a speed knob.
+  graph::FrontierPolicy frontier;
 };
 
 /// Everything the paper reports about one graph.

@@ -1,0 +1,121 @@
+#include "graph/frontier.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <charconv>
+#include <cmath>
+#include <string>
+
+namespace socmix::graph {
+
+std::optional<FrontierPolicy> parse_frontier_policy(std::string_view name) noexcept {
+  FrontierPolicy policy;
+  if (name.empty() || name == "auto") {
+    policy.mode = FrontierPolicy::Mode::kAuto;
+    return policy;
+  }
+  if (name == "off") {
+    policy.mode = FrontierPolicy::Mode::kOff;
+    return policy;
+  }
+  double fraction = 0.0;
+  const auto* end = name.data() + name.size();
+  const auto [ptr, ec] = std::from_chars(name.data(), end, fraction);
+  if (ec != std::errc{} || ptr != end) return std::nullopt;
+  if (!(fraction > 0.0) || fraction > 1.0) return std::nullopt;
+  policy.mode = FrontierPolicy::Mode::kThreshold;
+  policy.threshold = fraction;
+  return policy;
+}
+
+std::string frontier_policy_name(const FrontierPolicy& policy) {
+  switch (policy.mode) {
+    case FrontierPolicy::Mode::kAuto:
+      return "auto";
+    case FrontierPolicy::Mode::kOff:
+      return "off";
+    case FrontierPolicy::Mode::kThreshold:
+      break;
+  }
+  // Shortest decimal that round-trips, matching what the flag accepted.
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, policy.threshold);
+  return ec == std::errc{} ? std::string(buf, ptr) : "threshold";
+}
+
+std::uint64_t frontier_context_word(const FrontierPolicy& policy) noexcept {
+  if (!policy.enabled()) return 0;
+  return std::bit_cast<std::uint64_t>(policy.row_fraction());
+}
+
+FrontierSet::FrontierSet(NodeId n) : bits_((static_cast<std::size_t>(n) + 63) / 64), n_(n) {}
+
+void FrontierSet::reset(std::span<const NodeId> seeds) {
+  std::fill(bits_.begin(), bits_.end(), 0);
+  fresh_.clear();
+  for (const NodeId v : seeds) {
+    std::uint64_t& word = bits_[v >> 6];
+    const std::uint64_t mask = std::uint64_t{1} << (v & 63);
+    if ((word & mask) == 0) {
+      word |= mask;
+      fresh_.push_back(v);
+    }
+  }
+  rebuild_ranges();
+}
+
+void FrontierSet::expand(const Graph& g) {
+  const auto offsets = g.offsets();
+  const auto neighbors = g.raw_neighbors();
+  fresh_scratch_.clear();
+  for (const NodeId v : fresh_) {
+    for (EdgeIndex e = offsets[v]; e < offsets[v + 1]; ++e) {
+      const NodeId u = neighbors[e];
+      std::uint64_t& word = bits_[u >> 6];
+      const std::uint64_t mask = std::uint64_t{1} << (u & 63);
+      if ((word & mask) == 0) {
+        word |= mask;
+        fresh_scratch_.push_back(u);
+      }
+    }
+  }
+  fresh_.swap(fresh_scratch_);
+  if (!fresh_.empty()) rebuild_ranges();
+}
+
+EdgeIndex FrontierSet::covered_half_edges(const Graph& g) const noexcept {
+  const auto offsets = g.offsets();
+  EdgeIndex total = 0;
+  for (const RowRange r : ranges_) total += offsets[r.end] - offsets[r.begin];
+  return total;
+}
+
+void FrontierSet::rebuild_ranges() {
+  ranges_.clear();
+  covered_ = 0;
+  // First position >= `from` whose bit equals `value`, or n_ if none. Bits
+  // beyond n_ in the last word are always clear, so the `value` scan stops
+  // on its own and the `!value` scan is clamped below.
+  const auto find_next = [this](NodeId from, bool value) -> NodeId {
+    std::size_t wi = from >> 6;
+    if (wi >= bits_.size()) return n_;
+    std::uint64_t w = value ? bits_[wi] : ~bits_[wi];
+    w &= ~std::uint64_t{0} << (from & 63);
+    while (w == 0) {
+      if (++wi >= bits_.size()) return n_;
+      w = value ? bits_[wi] : ~bits_[wi];
+    }
+    const auto pos = static_cast<NodeId>(wi * 64 + static_cast<std::size_t>(std::countr_zero(w)));
+    return std::min(pos, n_);
+  };
+  NodeId begin = find_next(0, true);
+  while (begin < n_) {
+    const NodeId end = find_next(begin, false);
+    ranges_.push_back({begin, end});
+    covered_ += end - begin;
+    if (end >= n_) break;
+    begin = find_next(end, true);
+  }
+}
+
+}  // namespace socmix::graph

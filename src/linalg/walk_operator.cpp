@@ -62,6 +62,36 @@ void WalkOperator::apply(std::span<const double> x, std::span<double> y) const {
   });
 }
 
+void WalkOperator::apply_rows(std::span<const double> x, std::span<double> y,
+                              std::span<const graph::RowRange> ranges) const {
+  SOCMIX_TRACE_SPAN("spmv.apply_rows");
+  const graph::Graph& g = *graph_;
+  const graph::NodeId n = g.num_nodes();
+  const auto offsets = g.offsets();
+  const auto neighbors = g.raw_neighbors();
+  const double walk_weight = 1.0 - laziness_;
+
+  // Same prescale as apply() — the row restriction only limits which y[i]
+  // are produced, not which x[j] a row may gather.
+  double* const scaled = scaled_.data();
+  util::parallel_for(0, n, kApplyGrain, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t j = lo; j < hi; ++j) scaled[j] = x[j] * inv_sqrt_deg_[j];
+  });
+  graph::NodeId rows = 0;
+  for (const graph::RowRange r : ranges) {
+    rows += r.end - r.begin;
+    for (graph::NodeId i = r.begin; i < r.end; ++i) {
+      double acc = 0.0;
+      for (graph::EdgeIndex e = offsets[i]; e < offsets[i + 1]; ++e) {
+        acc += scaled[neighbors[e]];
+      }
+      y[i] = walk_weight * acc * inv_sqrt_deg_[i] + laziness_ * x[i];
+    }
+  }
+  SOCMIX_COUNTER_ADD("linalg.spmv.applies", 1);
+  SOCMIX_COUNTER_ADD("linalg.spmv.rows", rows);
+}
+
 std::vector<double> WalkOperator::top_eigenvector() const {
   const auto n = dim();
   const double two_m = static_cast<double>(graph_->num_half_edges());

@@ -50,6 +50,25 @@ void WeightedWalkOperator::apply(std::span<const double> x,
   }
 }
 
+void WeightedWalkOperator::apply_rows(std::span<const double> x, std::span<double> y,
+                                      std::span<const graph::RowRange> ranges) const noexcept {
+  const graph::WeightedGraph& g = *graph_;
+  const auto offsets = g.offsets();
+  const auto neighbors = g.raw_neighbors();
+  const double walk_weight = 1.0 - laziness_;
+  const double* edge_scaled = edge_scaled_.data();
+
+  for (const graph::RowRange r : ranges) {
+    for (graph::NodeId i = r.begin; i < r.end; ++i) {
+      double acc = 0.0;
+      for (graph::EdgeIndex e = offsets[i]; e < offsets[i + 1]; ++e) {
+        acc += edge_scaled[e] * x[neighbors[e]];
+      }
+      y[i] = walk_weight * acc * inv_sqrt_strength_[i] + laziness_ * x[i];
+    }
+  }
+}
+
 std::vector<double> WeightedWalkOperator::top_eigenvector() const {
   const auto n = dim();
   const double total = graph_->total_strength();

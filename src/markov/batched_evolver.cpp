@@ -100,15 +100,127 @@ void sweep_generic(graph::NodeId n, const graph::EdgeIndex* offsets,
   }
 }
 
+// Frontier variant of sweep_fixed: runs the identical row body over the
+// closure's row ranges only. Rows outside the closure hold exactly +0.0
+// in cur_/next_/scaled_ (seed invariant + monotone closure), so the dense
+// kernel would have recomputed +0.0 for them and their TVD term
+// fabs(0.0 - pi[j]) is pi[j] bit for bit — accumulated here in the same
+// ascending-row order, interleaved with the swept rows, to keep the
+// per-lane reduction sequence identical to the dense pass.
+template <std::size_t B>
+void frontier_sweep_fixed(std::span<const graph::RowRange> ranges, graph::NodeId n,
+                          const graph::EdgeIndex* offsets, const graph::NodeId* neighbors,
+                          const double* scaled, const double* cur, double* next,
+                          std::size_t stride, double walk_weight, double laziness,
+                          const double* pi, double* tvd_out) {
+  double tvd_acc[B];
+  if (pi != nullptr) {
+    for (std::size_t b = 0; b < B; ++b) tvd_acc[b] = 0.0;
+  }
+  graph::NodeId done = 0;
+  for (const graph::RowRange r : ranges) {
+    if (pi != nullptr) {
+      for (graph::NodeId j = done; j < r.begin; ++j) {
+        const double p = pi[j];
+        for (std::size_t b = 0; b < B; ++b) tvd_acc[b] += p;
+      }
+    }
+    for (graph::NodeId j = r.begin; j < r.end; ++j) {
+      double acc[B];
+      for (std::size_t b = 0; b < B; ++b) acc[b] = 0.0;
+      const graph::EdgeIndex row_end = offsets[j + 1];
+      for (graph::EdgeIndex e = offsets[j]; e < row_end; ++e) {
+        if (e + kPrefetchDistance < row_end) {
+          __builtin_prefetch(
+              scaled + static_cast<std::size_t>(neighbors[e + kPrefetchDistance]) * stride, 0, 1);
+        }
+        const double* src = scaled + static_cast<std::size_t>(neighbors[e]) * stride;
+        for (std::size_t b = 0; b < B; ++b) acc[b] += src[b];
+      }
+      const double* cur_j = cur + static_cast<std::size_t>(j) * stride;
+      double* next_j = next + static_cast<std::size_t>(j) * stride;
+      for (std::size_t b = 0; b < B; ++b) {
+        next_j[b] = walk_weight * acc[b] + laziness * cur_j[b];
+      }
+      if (pi != nullptr) {
+        const double p = pi[j];
+        for (std::size_t b = 0; b < B; ++b) tvd_acc[b] += std::fabs(next_j[b] - p);
+      }
+    }
+    done = r.end;
+  }
+  if (pi != nullptr) {
+    for (graph::NodeId j = done; j < n; ++j) {
+      const double p = pi[j];
+      for (std::size_t b = 0; b < B; ++b) tvd_acc[b] += p;
+    }
+    for (std::size_t b = 0; b < B; ++b) tvd_out[b] = 0.5 * tvd_acc[b];
+  }
+}
+
+// Runtime-width frontier fallback; same operation order as
+// frontier_sweep_fixed.
+void frontier_sweep_generic(std::span<const graph::RowRange> ranges, graph::NodeId n,
+                            const graph::EdgeIndex* offsets, const graph::NodeId* neighbors,
+                            const double* scaled, const double* cur, double* next,
+                            std::size_t stride, std::size_t lanes, double walk_weight,
+                            double laziness, const double* pi, double* tvd_out) {
+  std::array<double, BatchedEvolver::kMaxBlock> acc{};
+  std::array<double, BatchedEvolver::kMaxBlock> tvd_acc{};
+  graph::NodeId done = 0;
+  for (const graph::RowRange r : ranges) {
+    if (pi != nullptr) {
+      for (graph::NodeId j = done; j < r.begin; ++j) {
+        const double p = pi[j];
+        for (std::size_t b = 0; b < lanes; ++b) tvd_acc[b] += p;
+      }
+    }
+    for (graph::NodeId j = r.begin; j < r.end; ++j) {
+      for (std::size_t b = 0; b < lanes; ++b) acc[b] = 0.0;
+      const graph::EdgeIndex row_end = offsets[j + 1];
+      for (graph::EdgeIndex e = offsets[j]; e < row_end; ++e) {
+        if (e + kPrefetchDistance < row_end) {
+          __builtin_prefetch(
+              scaled + static_cast<std::size_t>(neighbors[e + kPrefetchDistance]) * stride, 0, 1);
+        }
+        const double* src = scaled + static_cast<std::size_t>(neighbors[e]) * stride;
+        for (std::size_t b = 0; b < lanes; ++b) acc[b] += src[b];
+      }
+      const double* cur_j = cur + static_cast<std::size_t>(j) * stride;
+      double* next_j = next + static_cast<std::size_t>(j) * stride;
+      for (std::size_t b = 0; b < lanes; ++b) {
+        next_j[b] = walk_weight * acc[b] + laziness * cur_j[b];
+      }
+      if (pi != nullptr) {
+        const double p = pi[j];
+        for (std::size_t b = 0; b < lanes; ++b) tvd_acc[b] += std::fabs(next_j[b] - p);
+      }
+    }
+    done = r.end;
+  }
+  if (pi != nullptr) {
+    for (graph::NodeId j = done; j < n; ++j) {
+      const double p = pi[j];
+      for (std::size_t b = 0; b < lanes; ++b) tvd_acc[b] += p;
+    }
+    for (std::size_t b = 0; b < lanes; ++b) tvd_out[b] = 0.5 * tvd_acc[b];
+  }
+}
+
 }  // namespace
 
-BatchedEvolver::BatchedEvolver(const graph::Graph& g, double laziness, std::size_t block)
-    : graph_(&g), laziness_(laziness), block_(block) {
+BatchedEvolver::BatchedEvolver(const graph::Graph& g, double laziness, std::size_t block,
+                               graph::FrontierPolicy frontier)
+    : graph_(&g), laziness_(laziness), block_(block), policy_(frontier) {
   if (laziness < 0.0 || laziness >= 1.0) {
     throw std::invalid_argument{"BatchedEvolver: laziness must be in [0, 1)"};
   }
   if (block < 1 || block > kMaxBlock) {
     throw std::invalid_argument{"BatchedEvolver: block must be in [1, kMaxBlock]"};
+  }
+  if (policy_.enabled() &&
+      !(policy_.row_fraction() > 0.0 && policy_.row_fraction() <= 1.0)) {
+    throw std::invalid_argument{"BatchedEvolver: frontier threshold must be in (0, 1]"};
   }
   const graph::NodeId n = g.num_nodes();
   inv_deg_.resize(n);
@@ -124,20 +236,55 @@ BatchedEvolver::BatchedEvolver(const graph::Graph& g, double laziness, std::size
   cur_.resize(static_cast<std::size_t>(n) * block_);
   next_.resize(static_cast<std::size_t>(n) * block_);
   scaled_.resize(static_cast<std::size_t>(n) * block_);
+  if (policy_.enabled()) {
+    frontier_ = graph::FrontierSet{n};
+    switch_rows_ = std::max<graph::NodeId>(
+        1, static_cast<graph::NodeId>(policy_.row_fraction() * static_cast<double>(n)));
+  }
 }
 
 void BatchedEvolver::seed_point_masses(std::span<const graph::NodeId> sources) {
   if (sources.size() > block_) {
     throw std::invalid_argument{"BatchedEvolver: more sources than lanes"};
   }
-  std::fill(cur_.begin(), cur_.end(), 0.0);
-  for (std::size_t b = 0; b < sources.size(); ++b) {
-    if (sources[b] >= dim()) {
+  for (const graph::NodeId s : sources) {
+    if (s >= dim()) {
       throw std::out_of_range{"BatchedEvolver: source vertex out of range"};
     }
+  }
+  if (policy_.enabled()) {
+    // Frontier invariant: every row outside the closure must hold exactly
+    // +0.0 in all three buffers (the sparse kernels neither write nor
+    // prescale it, and gathers may read it). Fresh buffers already do;
+    // afterwards only the rows the previous run touched — its final
+    // closure, or everything once it went dense — need re-zeroing.
+    if (dense_dirty_) {
+      std::fill(cur_.begin(), cur_.end(), 0.0);
+      std::fill(next_.begin(), next_.end(), 0.0);
+      std::fill(scaled_.begin(), scaled_.end(), 0.0);
+      dense_dirty_ = false;
+    } else if (seeded_) {
+      for (const graph::RowRange r : frontier_.ranges()) {
+        const auto lo = static_cast<std::ptrdiff_t>(static_cast<std::size_t>(r.begin) * block_);
+        const auto hi = static_cast<std::ptrdiff_t>(static_cast<std::size_t>(r.end) * block_);
+        std::fill(cur_.begin() + lo, cur_.begin() + hi, 0.0);
+        std::fill(next_.begin() + lo, next_.begin() + hi, 0.0);
+        std::fill(scaled_.begin() + lo, scaled_.begin() + hi, 0.0);
+      }
+    }
+    frontier_.reset(sources);
+    sparse_phase_ = true;
+  } else {
+    std::fill(cur_.begin(), cur_.end(), 0.0);
+  }
+  for (std::size_t b = 0; b < sources.size(); ++b) {
     cur_[static_cast<std::size_t>(sources[b]) * block_ + b] = 1.0;
   }
   active_ = sources.size();
+  seeded_ = true;
+  steps_since_seed_ = 0;
+  switch_step_ = 0;
+  rows_swept_ = 0;
 }
 
 void BatchedEvolver::sweep(const double* pi, double* tvd_out) {
@@ -155,55 +302,110 @@ void BatchedEvolver::sweep(const double* pi, double* tvd_out) {
       active_ == 4 || active_ == 8 || active_ == 16 || active_ == 32;
 #endif
 
+  // Frontier phase: grow the support closure first (next_ can be nonzero
+  // only inside S_{t+1} = S_t ∪ N(S_t)), then retire the sparse phase for
+  // good once the closure reaches the policy's row fraction.
+  bool use_frontier = sparse_phase_;
+  if (use_frontier) {
+    frontier_.expand(g);
+    if (frontier_.covered_rows() >= switch_rows_) {
+      sparse_phase_ = false;
+      use_frontier = false;
+      switch_step_ = steps_since_seed_ + 1;
+      SOCMIX_COUNTER_ADD("markov.frontier.switches", 1);
+      SOCMIX_GAUGE_SET("markov.frontier.switch_step", switch_step_);
+    }
+  }
+  const std::span<const graph::RowRange> ranges = frontier_.ranges();
+
   // Prescale pass: one sequential stream over the block computing
   // scaled_[i*stride + b] = cur_[i*stride + b] * inv_deg_[i]. Each product
   // is rounded exactly as the old per-edge multiply was, so hoisting it
   // changes no bits — it only turns the irregular inner loop into a single
-  // gather + add per edge instead of two gathers + FMA.
+  // gather + add per edge instead of two gathers + FMA. In the frontier
+  // phase only closure rows are prescaled; the rest of scaled_ already
+  // holds the +0.0 the dense prescale would produce (seed invariant).
   {
     const double* cur = cur_.data();
     double* scaled = scaled_.data();
     const std::size_t lanes = active_;
-    for (graph::NodeId i = 0; i < n; ++i) {
-      const double w = inv_deg_[i];
-      const std::size_t base = static_cast<std::size_t>(i) * block_;
-      for (std::size_t b = 0; b < lanes; ++b) scaled[base + b] = cur[base + b] * w;
+    const auto prescale = [&](graph::NodeId lo, graph::NodeId hi) {
+      for (graph::NodeId i = lo; i < hi; ++i) {
+        const double w = inv_deg_[i];
+        const std::size_t base = static_cast<std::size_t>(i) * block_;
+        for (std::size_t b = 0; b < lanes; ++b) scaled[base + b] = cur[base + b] * w;
+      }
+    };
+    if (use_frontier) {
+      for (const graph::RowRange r : ranges) prescale(r.begin, r.end);
+    } else {
+      prescale(0, n);
     }
   }
 
   // Dispatch on the *active* lane count; stride stays block_, so partially
   // filled blocks (the tail of an odd source list) still hit an unrolled
   // kernel when their lane count is a supported width.
-  switch (active_) {
-    case 4:
-      sweep_fixed<4>(n, offsets, neighbors, scaled_.data(), cur_.data(),
-                     next_.data(), block_, walk_weight, laziness_, pi, tvd_out);
-      break;
-    case 8:
-      sweep_fixed<8>(n, offsets, neighbors, scaled_.data(), cur_.data(),
-                     next_.data(), block_, walk_weight, laziness_, pi, tvd_out);
-      break;
-    case 16:
-      sweep_fixed<16>(n, offsets, neighbors, scaled_.data(), cur_.data(),
-                      next_.data(), block_, walk_weight, laziness_, pi, tvd_out);
-      break;
-    case 32:
-      sweep_fixed<32>(n, offsets, neighbors, scaled_.data(), cur_.data(),
-                      next_.data(), block_, walk_weight, laziness_, pi, tvd_out);
-      break;
-    default:
-      sweep_generic(n, offsets, neighbors, scaled_.data(), cur_.data(), next_.data(),
-                    block_, active_, walk_weight, laziness_, pi, tvd_out);
-      break;
+  if (use_frontier) {
+    switch (active_) {
+      case 4:
+        frontier_sweep_fixed<4>(ranges, n, offsets, neighbors, scaled_.data(), cur_.data(),
+                                next_.data(), block_, walk_weight, laziness_, pi, tvd_out);
+        break;
+      case 8:
+        frontier_sweep_fixed<8>(ranges, n, offsets, neighbors, scaled_.data(), cur_.data(),
+                                next_.data(), block_, walk_weight, laziness_, pi, tvd_out);
+        break;
+      case 16:
+        frontier_sweep_fixed<16>(ranges, n, offsets, neighbors, scaled_.data(), cur_.data(),
+                                 next_.data(), block_, walk_weight, laziness_, pi, tvd_out);
+        break;
+      case 32:
+        frontier_sweep_fixed<32>(ranges, n, offsets, neighbors, scaled_.data(), cur_.data(),
+                                 next_.data(), block_, walk_weight, laziness_, pi, tvd_out);
+        break;
+      default:
+        frontier_sweep_generic(ranges, n, offsets, neighbors, scaled_.data(), cur_.data(),
+                               next_.data(), block_, active_, walk_weight, laziness_, pi,
+                               tvd_out);
+        break;
+    }
+  } else {
+    switch (active_) {
+      case 4:
+        sweep_fixed<4>(n, offsets, neighbors, scaled_.data(), cur_.data(),
+                       next_.data(), block_, walk_weight, laziness_, pi, tvd_out);
+        break;
+      case 8:
+        sweep_fixed<8>(n, offsets, neighbors, scaled_.data(), cur_.data(),
+                       next_.data(), block_, walk_weight, laziness_, pi, tvd_out);
+        break;
+      case 16:
+        sweep_fixed<16>(n, offsets, neighbors, scaled_.data(), cur_.data(),
+                        next_.data(), block_, walk_weight, laziness_, pi, tvd_out);
+        break;
+      case 32:
+        sweep_fixed<32>(n, offsets, neighbors, scaled_.data(), cur_.data(),
+                        next_.data(), block_, walk_weight, laziness_, pi, tvd_out);
+        break;
+      default:
+        sweep_generic(n, offsets, neighbors, scaled_.data(), cur_.data(), next_.data(),
+                      block_, active_, walk_weight, laziness_, pi, tvd_out);
+        break;
+    }
+    dense_dirty_ = true;
   }
   cur_.swap(next_);
+  ++steps_since_seed_;
+  const graph::NodeId swept = use_frontier ? frontier_.covered_rows() : n;
+  rows_swept_ += swept;
 
 #if SOCMIX_OBS_ENABLED
   const double sweep_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - sweep_start)
           .count();
   SOCMIX_COUNTER_ADD("markov.evolver.sweeps", 1);
-  SOCMIX_COUNTER_ADD("markov.evolver.rows_swept", n);
+  SOCMIX_COUNTER_ADD("markov.evolver.rows_swept", swept);
   SOCMIX_COUNTER_ADD("markov.evolver.lane_steps", active_);
   if (unrolled) {
     SOCMIX_COUNTER_ADD("markov.evolver.sweeps_unrolled", 1);
@@ -215,6 +417,17 @@ void BatchedEvolver::sweep(const double* pi, double* tvd_out) {
     SOCMIX_TIME_OBSERVE("markov.evolver.fused_tvd_sweep_seconds", sweep_seconds);
   } else {
     SOCMIX_TIME_OBSERVE("markov.evolver.sweep_seconds", sweep_seconds);
+  }
+  if (policy_.enabled()) {
+    if (use_frontier) {
+      SOCMIX_COUNTER_ADD("markov.frontier.sweeps_sparse", 1);
+      SOCMIX_COUNTER_ADD("markov.frontier.rows_swept", swept);
+      SOCMIX_COUNTER_ADD("markov.frontier.rows_skipped", n - swept);
+      SOCMIX_TIME_OBSERVE("markov.frontier.sparse_sweep_seconds", sweep_seconds);
+    } else {
+      SOCMIX_COUNTER_ADD("markov.frontier.sweeps_dense", 1);
+      SOCMIX_TIME_OBSERVE("markov.frontier.dense_sweep_seconds", sweep_seconds);
+    }
   }
 #endif
 }

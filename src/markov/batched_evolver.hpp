@@ -16,12 +16,24 @@
 // linalg::total_variation). Trajectories are therefore bit-identical to
 // the single-source path for any block size, block composition, or thread
 // count of the surrounding driver.
+//
+// Frontier phase: with a FrontierPolicy enabled the engine tracks the
+// support closure of the block (graph::FrontierSet) and, while it covers
+// less than the policy's row fraction, sweeps only those rows — each with
+// the identical full-row gather, so every retained row produces the same
+// bits as the dense kernel and every skipped row is exactly the +0.0 the
+// dense kernel would have written. Once the closure saturates the engine
+// switches permanently (until the next seeding) to the dense kernel. The
+// determinism contract above is therefore unchanged: frontier on or off,
+// trajectories are bit-identical (see DESIGN.md "Frontier phase").
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
+#include "graph/frontier.hpp"
 #include "graph/graph.hpp"
 
 namespace socmix::markov {
@@ -39,16 +51,28 @@ class BatchedEvolver {
   /// stack in the sweep kernel).
   static constexpr std::size_t kMaxBlock = 32;
 
-  /// Throws on laziness outside [0, 1), an isolated vertex, or
-  /// block outside [1, kMaxBlock].
+  /// Throws on laziness outside [0, 1), an isolated vertex, block outside
+  /// [1, kMaxBlock], or a frontier threshold outside (0, 1].
   explicit BatchedEvolver(const graph::Graph& g, double laziness = 0.0,
-                          std::size_t block = kDefaultBlock);
+                          std::size_t block = kDefaultBlock,
+                          graph::FrontierPolicy frontier = {});
 
   [[nodiscard]] std::size_t dim() const noexcept { return inv_deg_.size(); }
   [[nodiscard]] std::size_t block() const noexcept { return block_; }
   /// Lanes currently holding a distribution (set by seed_point_masses).
   [[nodiscard]] std::size_t active() const noexcept { return active_; }
   [[nodiscard]] double laziness() const noexcept { return laziness_; }
+  [[nodiscard]] const graph::FrontierPolicy& frontier_policy() const noexcept {
+    return policy_;
+  }
+  /// True while the engine is still sweeping only the support closure.
+  [[nodiscard]] bool in_sparse_phase() const noexcept { return sparse_phase_; }
+  /// Step (1-based, counted from the last seeding) whose sweep first ran
+  /// dense; 0 while still sparse (or with the frontier off).
+  [[nodiscard]] std::size_t switch_step() const noexcept { return switch_step_; }
+  /// Rows swept since the last seeding; the frontier ablation divides
+  /// this by steps * dim() for the rows-swept ratio.
+  [[nodiscard]] std::uint64_t rows_swept() const noexcept { return rows_swept_; }
 
   /// Resets the block to point masses at `sources` (one lane per source,
   /// sources.size() <= block()).
@@ -83,6 +107,21 @@ class BatchedEvolver {
   double laziness_;
   std::size_t block_;
   std::size_t active_ = 0;
+
+  // Frontier phase state. The sparse kernels rely on every row outside
+  // the closure holding exactly +0.0 in cur_/next_/scaled_;
+  // seed_point_masses re-establishes that invariant by zeroing only the
+  // rows the previous run touched (dense_dirty_ tracks when that was
+  // everything).
+  graph::FrontierPolicy policy_;
+  graph::FrontierSet frontier_;
+  graph::NodeId switch_rows_ = 0;
+  bool sparse_phase_ = false;
+  bool dense_dirty_ = false;
+  bool seeded_ = false;
+  std::size_t steps_since_seed_ = 0;
+  std::size_t switch_step_ = 0;
+  std::uint64_t rows_swept_ = 0;
 };
 
 }  // namespace socmix::markov

@@ -1,5 +1,6 @@
 #include "markov/evolution.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "linalg/vector_ops.hpp"
@@ -7,10 +8,15 @@
 
 namespace socmix::markov {
 
-DistributionEvolver::DistributionEvolver(const graph::Graph& g, double laziness)
-    : graph_(&g), laziness_(laziness) {
+DistributionEvolver::DistributionEvolver(const graph::Graph& g, double laziness,
+                                         graph::FrontierPolicy frontier)
+    : graph_(&g), laziness_(laziness), frontier_(frontier) {
   if (laziness < 0.0 || laziness >= 1.0) {
     throw std::invalid_argument{"DistributionEvolver: laziness must be in [0, 1)"};
+  }
+  if (frontier_.enabled() &&
+      !(frontier_.row_fraction() > 0.0 && frontier_.row_fraction() <= 1.0)) {
+    throw std::invalid_argument{"DistributionEvolver: frontier threshold must be in (0, 1]"};
   }
   const graph::NodeId n = g.num_nodes();
   inv_deg_.resize(n);
@@ -70,12 +76,80 @@ std::vector<double> DistributionEvolver::point_mass(graph::NodeId v) const {
   return dist;
 }
 
+void DistributionEvolver::step_frontier(std::span<const double> current,
+                                        std::span<double> next,
+                                        std::span<const graph::RowRange> ranges) const {
+  const graph::Graph& g = *graph_;
+  const auto offsets = g.offsets();
+  const auto neighbors = g.raw_neighbors();
+  const double walk_weight = 1.0 - laziness_;
+
+  // The step() gather restricted to the closure rows. Gathers may reach
+  // rows outside the closure: those hold the +0.0 a dense prescale would
+  // have produced (trajectory() zeroes scaled_ up front and only closure
+  // rows are ever rewritten), so each next[j] is bit-identical to the
+  // dense step. Ranges partition across the pool; each next[j] still
+  // comes from one thread with fixed accumulation order.
+  double* const scaled = scaled_.data();
+  util::parallel_for(0, ranges.size(), kFrontierRangeGrain,
+                     [&](std::size_t lo, std::size_t hi) {
+                       for (std::size_t ri = lo; ri < hi; ++ri) {
+                         for (graph::NodeId i = ranges[ri].begin; i < ranges[ri].end; ++i) {
+                           scaled[i] = current[i] * inv_deg_[i];
+                         }
+                       }
+                     });
+  util::parallel_for(0, ranges.size(), kFrontierRangeGrain,
+                     [&](std::size_t lo, std::size_t hi) {
+                       for (std::size_t ri = lo; ri < hi; ++ri) {
+                         for (graph::NodeId j = ranges[ri].begin; j < ranges[ri].end; ++j) {
+                           double acc = 0.0;
+                           for (graph::EdgeIndex e = offsets[j]; e < offsets[j + 1]; ++e) {
+                             acc += scaled[neighbors[e]];
+                           }
+                           next[j] = walk_weight * acc + laziness_ * current[j];
+                         }
+                       }
+                     });
+}
+
 void DistributionEvolver::trajectory(
     graph::NodeId source, std::size_t max_steps,
     const std::function<bool(std::size_t, std::span<const double>)>& on_step) {
   std::vector<double> dist = point_mass(source);
+  if (!frontier_.enabled()) {
+    for (std::size_t t = 1; t <= max_steps; ++t) {
+      step(dist, scratch_);
+      dist.swap(scratch_);
+      if (!on_step(t, dist)) return;
+    }
+    return;
+  }
+
+  // Frontier phase: a point mass after t steps is supported on the
+  // source's t-hop ball, so sweep only its closure until that saturates.
+  // Rows outside the closure stay exactly +0.0 in dist/scratch_/scaled_
+  // (zeroed here, never rewritten while sparse, and the closure is
+  // monotone), which is bitwise what the dense step computes for them.
+  const graph::NodeId n = graph_->num_nodes();
+  graph::FrontierSet closure{n};
+  const graph::NodeId seed[] = {source};
+  closure.reset(seed);
+  const auto switch_rows = std::max<graph::NodeId>(
+      1, static_cast<graph::NodeId>(frontier_.row_fraction() * static_cast<double>(n)));
+  std::fill(scratch_.begin(), scratch_.end(), 0.0);
+  std::fill(scaled_.begin(), scaled_.end(), 0.0);
+  bool sparse = true;
   for (std::size_t t = 1; t <= max_steps; ++t) {
-    step(dist, scratch_);
+    if (sparse) {
+      closure.expand(*graph_);
+      if (closure.covered_rows() >= switch_rows) sparse = false;
+    }
+    if (sparse) {
+      step_frontier(dist, scratch_, closure.ranges());
+    } else {
+      step(dist, scratch_);
+    }
     dist.swap(scratch_);
     if (!on_step(t, dist)) return;
   }
@@ -83,8 +157,8 @@ void DistributionEvolver::trajectory(
 
 std::vector<double> tvd_trajectory(const graph::Graph& g, graph::NodeId source,
                                    std::size_t max_steps, std::span<const double> pi,
-                                   double laziness) {
-  DistributionEvolver evolver{g, laziness};
+                                   double laziness, graph::FrontierPolicy frontier) {
+  DistributionEvolver evolver{g, laziness, frontier};
   std::vector<double> out;
   out.reserve(max_steps);
   evolver.trajectory(source, max_steps, [&](std::size_t, std::span<const double> dist) {

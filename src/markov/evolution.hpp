@@ -9,6 +9,7 @@
 #include <span>
 #include <vector>
 
+#include "graph/frontier.hpp"
 #include "graph/graph.hpp"
 
 namespace socmix::markov {
@@ -17,7 +18,13 @@ namespace socmix::markov {
 /// (optionally lazy: (1-alpha) P + alpha I) without materializing P.
 class DistributionEvolver {
  public:
-  explicit DistributionEvolver(const graph::Graph& g, double laziness = 0.0);
+  /// `frontier` governs trajectory() only (the one entry point that knows
+  /// the walk starts as a point mass): while the source's support closure
+  /// covers less than the policy's row fraction, steps sweep only those
+  /// rows with the identical full-row gathers — bit-identical to the
+  /// dense step() path, frontier on or off.
+  explicit DistributionEvolver(const graph::Graph& g, double laziness = 0.0,
+                               graph::FrontierPolicy frontier = {});
 
   [[nodiscard]] std::size_t dim() const noexcept { return inv_deg_.size(); }
 
@@ -30,6 +37,9 @@ class DistributionEvolver {
 
   /// Minimum rows per parallel chunk (small graphs run inline).
   static constexpr std::size_t kStepGrain = 2048;
+  /// Minimum closure ranges per parallel chunk in the frontier step
+  /// (early closures are tiny; keep them inline).
+  static constexpr std::size_t kFrontierRangeGrain = 16;
 
   /// Advances `dist` in place by `steps` steps (uses an internal scratch
   /// buffer; not thread-safe across concurrent calls on one instance).
@@ -46,8 +56,17 @@ class DistributionEvolver {
 
   [[nodiscard]] const graph::Graph& graph() const noexcept { return *graph_; }
   [[nodiscard]] double laziness() const noexcept { return laziness_; }
+  [[nodiscard]] const graph::FrontierPolicy& frontier_policy() const noexcept {
+    return frontier_;
+  }
 
  private:
+  /// Frontier step: like step(), but prescales and sweeps only the rows
+  /// in `ranges`; every row of `current`/`scaled_` outside the closure
+  /// must already hold exactly +0.0 (maintained by trajectory()).
+  void step_frontier(std::span<const double> current, std::span<double> next,
+                     std::span<const graph::RowRange> ranges) const;
+
   const graph::Graph* graph_;
   std::vector<double> inv_deg_;
   std::vector<double> scratch_;
@@ -56,6 +75,7 @@ class DistributionEvolver {
   /// two paths stay bit-identical operation for operation.
   mutable std::vector<double> scaled_;
   double laziness_;
+  graph::FrontierPolicy frontier_;
 };
 
 /// Total variation trajectory of a point mass at `source`:
@@ -64,6 +84,7 @@ class DistributionEvolver {
                                                  graph::NodeId source,
                                                  std::size_t max_steps,
                                                  std::span<const double> pi,
-                                                 double laziness = 0.0);
+                                                 double laziness = 0.0,
+                                                 graph::FrontierPolicy frontier = {});
 
 }  // namespace socmix::markov

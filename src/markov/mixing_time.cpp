@@ -199,10 +199,16 @@ SampledMixing measure_sampled_mixing(const graph::Graph& g,
   // Crash tolerance: completed blocks are checkpointed, and restored
   // blocks are replayed from their stored (bit-exact) trajectories instead
   // of being recomputed, so resume composes with the determinism contract.
+  // The context word versions the knobs that don't change results but do
+  // change how they're produced: the ordering and the frontier mode. A
+  // snapshot from a foreign combination classifies stale, not corrupt.
+  const std::uint64_t context =
+      util::hash_combine(static_cast<std::uint64_t>(options.reorder),
+                         graph::frontier_context_word(options.frontier));
   resilience::BlockCheckpoint checkpoint{
       options.checkpoint,
       sampled_mixing_fingerprint(g, sources, max_steps, laziness, options.reorder),
-      num_blocks, static_cast<std::uint64_t>(options.reorder)};
+      num_blocks, context};
   std::vector<std::size_t> pending;
   pending.reserve(num_blocks);
   if (checkpoint.enabled()) checkpoint.restore();
@@ -229,7 +235,7 @@ SampledMixing measure_sampled_mixing(const graph::Graph& g,
   obs::ProgressMeter progress{"sampled-mixing", num_blocks};
   progress.add(num_blocks - pending.size());
   util::parallel_for(0, pending.size(), 1, [&](std::size_t lo, std::size_t hi) {
-    BatchedEvolver evolver{active, laziness, kBlock};
+    BatchedEvolver evolver{active, laziness, kBlock, options.frontier};
     std::array<double, kBlock> tvd{};
     for (std::size_t p = lo; p < hi; ++p) {
       SOCMIX_TRACE_SPAN("evolve_block");
@@ -242,7 +248,7 @@ SampledMixing measure_sampled_mixing(const graph::Graph& g,
       }
 #if SOCMIX_OBS_ENABLED
       // Lanes whose TVD has not yet dropped below the paper's headline
-      // eps = 0.1 (markov.sampled.tvd_crossings counts first crossings).
+      // epsilon (markov.sampled.tvd_crossings counts first crossings).
       std::uint32_t above_eps = (lanes >= 32 ? 0xffffffffu : (1u << lanes) - 1u);
 #endif
       for (std::size_t t = 0; t < max_steps; ++t) {
@@ -250,7 +256,7 @@ SampledMixing measure_sampled_mixing(const graph::Graph& g,
         for (std::size_t b = 0; b < lanes; ++b) {
           trajectories[first + b].push_back(tvd[b]);
 #if SOCMIX_OBS_ENABLED
-          if ((above_eps & (1u << b)) != 0 && tvd[b] < 0.1) {
+          if ((above_eps & (1u << b)) != 0 && tvd[b] < kHeadlineEpsilon) {
             above_eps &= ~(1u << b);
             SOCMIX_COUNTER_ADD("markov.sampled.tvd_crossings", 1);
           }

@@ -18,6 +18,7 @@
 #include <span>
 #include <vector>
 
+#include "graph/frontier.hpp"
 #include "graph/graph.hpp"
 #include "graph/reorder.hpp"
 #include "resilience/checkpoint.hpp"
@@ -48,6 +49,12 @@ struct SpectralBounds {
 
 /// Sentinel step count meaning "TVD never dropped below eps within budget".
 inline constexpr std::size_t kNotMixed = std::numeric_limits<std::size_t>::max();
+
+/// The paper's headline variation-distance threshold for T(eps). The CLI
+/// default, the bench defaults, and the markov.sampled.tvd_crossings
+/// counter all read this one constant so the observability layer can
+/// never drift from the reported mixing-time epsilon.
+inline constexpr double kHeadlineEpsilon = 0.1;
 
 /// Full sampled measurement: TVD trajectories from each source.
 class SampledMixing {
@@ -123,6 +130,13 @@ struct SampledMixingOptions {
   /// are keyed on the mode: a snapshot written under a different ordering
   /// is classified stale and recomputed.
   graph::ReorderMode reorder = graph::ReorderMode::kNone;
+  /// Adaptive frontier phase of the evolution engine (on by default):
+  /// while a source block's support closure covers less than the policy's
+  /// row fraction, sweeps touch only those rows — bit-identical to the
+  /// dense path, so every parity/resume contract is unaffected. Folded
+  /// into the checkpoint context word alongside the ordering, so a
+  /// snapshot written under a different frontier mode classifies stale.
+  graph::FrontierPolicy frontier;
 };
 
 /// Evolves a point mass from each source for max_steps steps and records

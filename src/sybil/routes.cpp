@@ -51,6 +51,32 @@ std::optional<DirectedEdge> RouteTable::route_tail(std::uint32_t instance,
   return DirectedEdge{current, next};
 }
 
+void RouteTable::route_tails(std::uint32_t instances, graph::NodeId start,
+                             std::size_t length, std::vector<DirectedEdge>& out) const {
+  const graph::Graph& g = *graph_;
+  out.clear();
+  if (length == 0 || g.degree(start) == 0 || instances == 0) return;
+
+  // Hop-major order: the hop-h loop touches only vertices of the start's
+  // h-hop ball, so the CSR rows and permutation keys it needs stay hot
+  // across all r instances instead of being re-fetched once per route.
+  std::vector<graph::NodeId> current(instances, start);
+  std::vector<graph::NodeId> next(instances);
+  for (std::uint32_t i = 0; i < instances; ++i) {
+    next[i] = g.neighbor(start, start_out_index(i, start));
+  }
+  for (std::size_t hop = 1; hop < length; ++hop) {
+    for (std::uint32_t i = 0; i < instances; ++i) {
+      const graph::NodeId in_index = g.index_of_neighbor(next[i], current[i]);
+      const graph::NodeId out_index = next_out_index(i, next[i], in_index);
+      current[i] = next[i];
+      next[i] = g.neighbor(current[i], out_index);
+    }
+  }
+  out.resize(instances);
+  for (std::uint32_t i = 0; i < instances; ++i) out[i] = DirectedEdge{current[i], next[i]};
+}
+
 std::vector<graph::NodeId> RouteTable::route_vertices(std::uint32_t instance,
                                                       graph::NodeId start,
                                                       std::size_t length) const {

@@ -57,6 +57,17 @@ class RouteTable {
                                                        graph::NodeId start,
                                                        std::size_t length) const;
 
+  /// Walks instances 0..instances-1 from `start` hop-major: all routes
+  /// advance one hop before any advances the next, so the per-hop working
+  /// set stays inside the start's t-hop ball — the same frontier locality
+  /// the evolution engine exploits, and a large win when r ~ sqrt(m)
+  /// routes share the short SybilLimit length. `out` receives exactly the
+  /// tails route_tail would return in instance order (a pure reordering of
+  /// the identical permutation evaluations); empty when length == 0 or
+  /// start is isolated, matching route_tail's nullopt in every instance.
+  void route_tails(std::uint32_t instances, graph::NodeId start, std::size_t length,
+                   std::vector<DirectedEdge>& out) const;
+
   /// Walks a route and returns the full vertex sequence (length+1 entries,
   /// shorter only if start is isolated).
   [[nodiscard]] std::vector<graph::NodeId> route_vertices(std::uint32_t instance,

@@ -23,10 +23,15 @@ SybilLimit::SybilLimit(const graph::Graph& g, const SybilLimitParams& params)
 
 std::vector<DirectedEdge> SybilLimit::registration_tails(graph::NodeId node) const {
   std::vector<DirectedEdge> tails;
-  tails.reserve(instances_);
-  for (std::uint32_t i = 0; i < instances_; ++i) {
-    if (const auto tail = routes_.route_tail(i, node, params_.route_length)) {
-      tails.push_back(*tail);
+  if (params_.frontier.enabled()) {
+    // Hop-major batch walk: identical tails, t-hop-ball working set.
+    routes_.route_tails(instances_, node, params_.route_length, tails);
+  } else {
+    tails.reserve(instances_);
+    for (std::uint32_t i = 0; i < instances_; ++i) {
+      if (const auto tail = routes_.route_tail(i, node, params_.route_length)) {
+        tails.push_back(*tail);
+      }
     }
   }
   SOCMIX_COUNTER_ADD("sybil.routes_walked", instances_);
@@ -138,9 +143,11 @@ std::vector<AdmissionPoint> admission_sweep(const graph::Graph& g,
   if (checkpoint_options.enabled() && checkpoint_options.name.empty()) {
     checkpoint_options.name = "sybil-admission";
   }
+  const std::uint64_t context =
+      util::hash_combine(static_cast<std::uint64_t>(config.reorder),
+                         graph::frontier_context_word(config.frontier));
   resilience::BlockCheckpoint checkpoint{checkpoint_options, sweep_fingerprint(g, config),
-                                         config.route_lengths.size(),
-                                         static_cast<std::uint64_t>(config.reorder)};
+                                         config.route_lengths.size(), context};
   if (checkpoint.enabled()) checkpoint.restore();
 
   std::vector<AdmissionPoint> out;
@@ -156,6 +163,7 @@ std::vector<AdmissionPoint> admission_sweep(const graph::Graph& g,
     params.r0 = config.r0;
     params.balance_factor = config.balance_factor;
     params.seed = util::hash_combine(config.seed, w);
+    params.frontier = config.frontier;
     const SybilLimit protocol{active, params};
 
     std::uint64_t admitted = 0;

@@ -27,6 +27,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "graph/frontier.hpp"
 #include "graph/graph.hpp"
 #include "graph/reorder.hpp"
 #include "resilience/checkpoint.hpp"
@@ -45,6 +46,13 @@ struct SybilLimitParams {
   double balance_factor = 4.0;
   /// Protocol seed: fixes all route permutations.
   std::uint64_t seed = 0x51b1111317ULL;
+  /// When enabled (the default), the r routes of one node are walked
+  /// hop-major (RouteTable::route_tails): the per-hop working set is the
+  /// node's t-hop ball — the frontier-locality idea of the evolution
+  /// engine applied to routes. The tails are identical either way (pure
+  /// reordering of the same permutation evaluations); the policy's
+  /// threshold is irrelevant here, only enabled()/off is consulted.
+  graph::FrontierPolicy frontier;
 };
 
 /// Per-verifier protocol state over one honest social graph.
@@ -126,6 +134,10 @@ struct AdmissionSweepConfig {
   /// identical to kNone. The mode is part of the sweep fingerprint and the
   /// checkpoint context, so snapshots never mix orderings.
   graph::ReorderMode reorder = graph::ReorderMode::kNone;
+  /// Hop-major route walking (see SybilLimitParams::frontier). Results are
+  /// identical on or off; folded into the checkpoint context so snapshots
+  /// never mix modes.
+  graph::FrontierPolicy frontier;
 };
 
 [[nodiscard]] std::vector<AdmissionPoint> admission_sweep(const graph::Graph& g,

@@ -1,0 +1,177 @@
+#include "graph/frontier.hpp"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <vector>
+
+#include "gen/erdos_renyi.hpp"
+#include "gen/reference.hpp"
+#include "graph/components.hpp"
+#include "graph/edge_list.hpp"
+#include "util/rng.hpp"
+
+namespace socmix::graph {
+namespace {
+
+/// Reference k-hop ball of a seed set, by plain BFS.
+std::vector<char> bfs_ball(const Graph& g, std::span<const NodeId> seeds,
+                           std::size_t hops) {
+  std::vector<char> in(g.num_nodes(), 0);
+  std::deque<std::pair<NodeId, std::size_t>> queue;
+  for (const NodeId s : seeds) {
+    if (!in[s]) {
+      in[s] = 1;
+      queue.emplace_back(s, 0);
+    }
+  }
+  while (!queue.empty()) {
+    const auto [v, d] = queue.front();
+    queue.pop_front();
+    if (d == hops) continue;
+    for (const NodeId u : g.neighbors(v)) {
+      if (!in[u]) {
+        in[u] = 1;
+        queue.emplace_back(u, d + 1);
+      }
+    }
+  }
+  return in;
+}
+
+/// Membership vector implied by the set's ranges.
+std::vector<char> from_ranges(const FrontierSet& set) {
+  std::vector<char> in(set.dim(), 0);
+  NodeId last_end = 0;
+  NodeId covered = 0;
+  for (const RowRange r : set.ranges()) {
+    EXPECT_LT(r.begin, r.end);       // non-empty
+    EXPECT_GE(r.begin, last_end);    // sorted, disjoint, non-adjacent
+    if (last_end > 0) {
+      EXPECT_GT(r.begin, last_end);
+    }
+    last_end = r.end;
+    covered += r.end - r.begin;
+    for (NodeId v = r.begin; v < r.end; ++v) in[v] = 1;
+  }
+  EXPECT_LE(last_end, set.dim());
+  EXPECT_EQ(covered, set.covered_rows());
+  return in;
+}
+
+TEST(FrontierSet, ExpansionMatchesBfsBall) {
+  util::Rng rng{7};
+  const auto g = largest_component(gen::erdos_renyi_gnm(300, 700, rng)).graph;
+  const NodeId seeds[] = {0, static_cast<NodeId>(g.num_nodes() / 2)};
+
+  FrontierSet set{g.num_nodes()};
+  set.reset(seeds);
+  for (std::size_t hops = 0; hops <= 6; ++hops) {
+    const auto expect = bfs_ball(g, seeds, hops);
+    const auto got = from_ranges(set);
+    ASSERT_EQ(got, expect) << "hops=" << hops;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      ASSERT_EQ(set.contains(v), static_cast<bool>(expect[v])) << v;
+    }
+    EdgeIndex half_edges = 0;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (expect[v]) half_edges += g.degree(v);
+    }
+    EXPECT_EQ(set.covered_half_edges(g), half_edges) << "hops=" << hops;
+    set.expand(g);
+  }
+}
+
+TEST(FrontierSet, SaturatesOnConnectedGraphAndStaysPut) {
+  const auto g = gen::cycle(32);
+  const NodeId seed[] = {5};
+  FrontierSet set{g.num_nodes()};
+  set.reset(seed);
+  for (int i = 0; i < 40; ++i) set.expand(g);
+  EXPECT_EQ(set.covered_rows(), g.num_nodes());
+  ASSERT_EQ(set.ranges().size(), 1u);
+  EXPECT_EQ(set.ranges()[0].begin, 0u);
+  EXPECT_EQ(set.ranges()[0].end, g.num_nodes());
+  set.expand(g);  // stable at saturation
+  EXPECT_EQ(set.covered_rows(), g.num_nodes());
+}
+
+TEST(FrontierSet, ResetDiscardsPreviousStateAndDedupsSeeds) {
+  const auto g = gen::cycle(64);
+  FrontierSet set{g.num_nodes()};
+  const NodeId first[] = {0};
+  set.reset(first);
+  for (int i = 0; i < 10; ++i) set.expand(g);
+  const NodeId second[] = {40, 40, 41};
+  set.reset(second);
+  EXPECT_EQ(set.covered_rows(), 2u);
+  ASSERT_EQ(set.ranges().size(), 1u);
+  EXPECT_EQ(set.ranges()[0].begin, 40u);
+  EXPECT_EQ(set.ranges()[0].end, 42u);
+  EXPECT_FALSE(set.contains(0));
+}
+
+TEST(FrontierSet, RangesSplitAroundGaps) {
+  // A path 0-1-2-...-9: seeding {2, 7} after one expand covers
+  // {1,2,3} and {6,7,8} — two exact ranges, no gap coalescing.
+  EdgeList edges;
+  for (NodeId v = 0; v + 1 < 10; ++v) edges.add(v, v + 1);
+  const auto g = Graph::from_edges(std::move(edges));
+  FrontierSet set{g.num_nodes()};
+  const NodeId seeds[] = {2, 7};
+  set.reset(seeds);
+  set.expand(g);
+  ASSERT_EQ(set.ranges().size(), 2u);
+  EXPECT_EQ(set.ranges()[0].begin, 1u);
+  EXPECT_EQ(set.ranges()[0].end, 4u);
+  EXPECT_EQ(set.ranges()[1].begin, 6u);
+  EXPECT_EQ(set.ranges()[1].end, 9u);
+}
+
+TEST(FrontierPolicy, ParseAcceptsTheDocumentedSpellings) {
+  const auto agree = [](std::string_view s, FrontierPolicy::Mode mode) {
+    const auto policy = parse_frontier_policy(s);
+    ASSERT_TRUE(policy.has_value()) << s;
+    EXPECT_EQ(policy->mode, mode) << s;
+  };
+  agree("auto", FrontierPolicy::Mode::kAuto);
+  agree("", FrontierPolicy::Mode::kAuto);
+  agree("off", FrontierPolicy::Mode::kOff);
+  agree("0.25", FrontierPolicy::Mode::kThreshold);
+  agree("1", FrontierPolicy::Mode::kThreshold);
+
+  EXPECT_DOUBLE_EQ(parse_frontier_policy("0.25")->row_fraction(), 0.25);
+  EXPECT_DOUBLE_EQ(parse_frontier_policy("auto")->row_fraction(),
+                   FrontierPolicy::kAutoRowFraction);
+  EXPECT_TRUE(parse_frontier_policy("0.25")->enabled());
+  EXPECT_FALSE(parse_frontier_policy("off")->enabled());
+}
+
+TEST(FrontierPolicy, ParseRejectsOutOfRangeAndGarbage) {
+  for (const std::string_view bad : {"0", "-0.5", "1.5", "abc", "0.5x", "nan"}) {
+    EXPECT_FALSE(parse_frontier_policy(bad).has_value()) << bad;
+  }
+}
+
+TEST(FrontierPolicy, NameRoundTrips) {
+  for (const std::string_view name : {"auto", "off", "0.25"}) {
+    const auto policy = parse_frontier_policy(name);
+    ASSERT_TRUE(policy.has_value());
+    EXPECT_EQ(frontier_policy_name(*policy), name);
+  }
+}
+
+TEST(FrontierPolicy, ContextWordSeparatesModesButNotAutoFromHalf) {
+  const FrontierPolicy off = *parse_frontier_policy("off");
+  const FrontierPolicy automatic = *parse_frontier_policy("auto");
+  const FrontierPolicy half = *parse_frontier_policy("0.5");
+  const FrontierPolicy quarter = *parse_frontier_policy("0.25");
+  EXPECT_EQ(frontier_context_word(off), 0u);
+  EXPECT_NE(frontier_context_word(automatic), 0u);
+  // auto IS a 0.5 threshold — snapshots interchange by design.
+  EXPECT_EQ(frontier_context_word(automatic), frontier_context_word(half));
+  EXPECT_NE(frontier_context_word(automatic), frontier_context_word(quarter));
+}
+
+}  // namespace
+}  // namespace socmix::graph

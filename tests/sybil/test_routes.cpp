@@ -84,6 +84,41 @@ TEST(RouteTable, ZeroLengthHasNoTail) {
   EXPECT_FALSE(routes.route_tail(0, 0, 0).has_value());
 }
 
+TEST(RouteTable, BatchedTailsMatchPerInstanceTails) {
+  // The hop-major batch walk is a pure reordering of the per-instance
+  // permutation evaluations, so every tail must be identical — including
+  // on an irregular graph where routes wander far from the start.
+  util::Rng rng{9};
+  const auto g = graph::largest_component(gen::erdos_renyi_gnm(60, 180, rng)).graph;
+  const RouteTable routes{g, 21};
+  std::vector<DirectedEdge> batched;
+  for (const std::uint32_t instances : {1u, 7u, 32u}) {
+    for (const std::size_t w : {1u, 2u, 10u, 25u}) {
+      for (const graph::NodeId start : {graph::NodeId{0}, graph::NodeId{17}}) {
+        routes.route_tails(instances, start, w, batched);
+        ASSERT_EQ(batched.size(), instances)
+            << "r=" << instances << " w=" << w << " start=" << start;
+        for (std::uint32_t i = 0; i < instances; ++i) {
+          const auto tail = routes.route_tail(i, start, w);
+          ASSERT_TRUE(tail.has_value());
+          EXPECT_EQ(batched[i].from, tail->from) << "instance " << i;
+          EXPECT_EQ(batched[i].to, tail->to) << "instance " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(RouteTable, BatchedTailsEmptyWhenNoRoute) {
+  const auto g = gen::complete(5);
+  const RouteTable routes{g, 1};
+  std::vector<DirectedEdge> tails{{1, 2}};  // must be cleared
+  routes.route_tails(4, 0, 0, tails);
+  EXPECT_TRUE(tails.empty());
+  routes.route_tails(0, 0, 3, tails);
+  EXPECT_TRUE(tails.empty());
+}
+
 TEST(RouteTable, ConvergenceProperty) {
   // SybilLimit's crucial property: once two routes in the same instance
   // traverse the same directed edge, they coincide forever after. Verify

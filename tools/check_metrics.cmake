@@ -15,7 +15,7 @@ set(trace_file "${OUT_DIR}/trace.json")
 
 execute_process(
   COMMAND "${SOCMIX_BIN}" measure --dataset "Physics 1" --nodes 600
-          --sources 32 --steps 40 --seed 7
+          --sources 32 --steps 40 --seed 7 --frontier auto
           --metrics-out "${metrics_file}" --trace-out "${trace_file}" --progress
   RESULT_VARIABLE rc
   OUTPUT_VARIABLE run_stdout
@@ -44,6 +44,7 @@ foreach(key
     "linalg.spmv.applies"
     "markov.evolver.sweeps"
     "markov.evolver.rows_swept"
+    "markov.frontier.switches"
     "markov.sampled.runs"
     "markov.sampled.sources"
     "util.pool.parallel_for_calls")

@@ -45,6 +45,7 @@ int usage() {
       "  obs:    --metrics-out FILE (.json/.csv)  --trace-out FILE  --progress\n"
       "  resil:  --checkpoint-dir DIR [--checkpoint-interval N]  --fault-inject SPEC\n"
       "  perf:   --reorder none|degree|rcm|bfs   vertex ordering for the kernels\n"
+      "          --frontier auto|off|FRAC        adaptive frontier-sparse sweeps\n"
       "  info                                    structural report\n"
       "  measure [--sources N] [--steps N] [--eps X] [--tvd-out FILE]\n"
       "  sample  --method bfs|uniform|walk --size N --out FILE\n"
@@ -143,7 +144,8 @@ int cmd_measure(const util::Cli& cli, const resilience::CheckpointOptions& check
   options.seed = static_cast<std::uint64_t>(cli.get_i64("seed", 42));
   options.checkpoint = checkpoint;
   options.reorder = core::reorder_from_cli(cli);
-  const double eps = cli.get_f64("eps", 0.1);
+  options.frontier = core::frontier_from_cli(cli);
+  const double eps = cli.get_f64("eps", markov::kHeadlineEpsilon);
 
   const auto report = core::measure_mixing(lcc, name, options);
   if (cli.has("tvd-out")) write_tvd(*report.sampled, cli.get("tvd-out", ""));
@@ -219,6 +221,7 @@ int cmd_sybil(const util::Cli& cli, const resilience::CheckpointOptions& checkpo
   config.suspect_sample = static_cast<std::size_t>(cli.get_i64("suspects", 200));
   config.seed = static_cast<std::uint64_t>(cli.get_i64("seed", 42));
   config.reorder = core::reorder_from_cli(cli);
+  config.frontier = core::frontier_from_cli(cli);
 
   const auto points = sybil::admission_sweep(g, config);
   util::TextTable table;
