@@ -53,6 +53,7 @@ int main(int argc, char** argv) {
     options.checkpoint = config.checkpoint;
     options.reorder = config.reorder;
     options.frontier = config.frontier;
+    options.precision = config.precision;
     const auto original = core::measure_mixing(g, name, options);
     const auto null_report = core::measure_mixing(null_graph, name, options);
 

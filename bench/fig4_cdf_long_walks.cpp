@@ -44,6 +44,7 @@ int main(int argc, char** argv) {
     options.checkpoint = config.checkpoint;
     options.reorder = config.reorder;
     options.frontier = config.frontier;
+    options.precision = config.precision;
     const auto report = core::measure_mixing(g, spec.name, options);
 
     std::printf("%s: n=%llu m=%llu sources=%zu\n", spec.name.c_str(),

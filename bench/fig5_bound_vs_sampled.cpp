@@ -47,6 +47,7 @@ int main(int argc, char** argv) {
     options.checkpoint = config.checkpoint;
     options.reorder = config.reorder;
     options.frontier = config.frontier;
+    options.precision = config.precision;
     const auto report = core::measure_mixing(g, spec.name, options);
     std::cout << core::summarize(report) << "\n";
     std::fflush(stdout);

@@ -59,6 +59,7 @@ int main(int argc, char** argv) {
     options.checkpoint = config.checkpoint;
     options.reorder = config.reorder;
     options.frontier = config.frontier;
+    options.precision = config.precision;
     const auto report = core::measure_mixing(g, "DBLP " + std::to_string(k), options);
 
     summary.row({"DBLP " + std::to_string(k),

@@ -9,13 +9,18 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
+#include <string>
+#include <vector>
 
 #include "gen/barabasi_albert.hpp"
 #include "gen/datasets.hpp"
 #include "graph/components.hpp"
+#include "graph/frontier.hpp"
 #include "graph/sampling.hpp"
 #include "linalg/lanczos.hpp"
+#include "linalg/simd/kernels.hpp"
 #include "linalg/power_iteration.hpp"
 #include "linalg/vector_ops.hpp"
 #include "linalg/walk_operator.hpp"
@@ -29,6 +34,8 @@
 #include "util/csv.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
 
 namespace {
 
@@ -263,13 +270,197 @@ void BM_TotalVariation(benchmark::State& state) {
 }
 BENCHMARK(BM_TotalVariation)->Arg(1000)->Arg(100000);
 
+// --------------------------------------------- simd tier/precision roofline --
+// Hand-rolled ablation (not google-benchmark) because it forces kernel
+// tiers via simd::set_tier and emits its own CSVs:
+//   bench_results/micro_simd.csv  per tier x precision throughput of the
+//                                 batched SpMM + fused-TVD sweep,
+//   bench_results/e2e_simd.csv    end-to-end measure_sampled_mixing before
+//                                 (forced scalar) / after (dispatched).
+// Run with --simd-only for just this part (CI smoke), --quick for small
+// sizes, --precision f64|mixed|both to restrict the precision sweep.
+
+namespace simd = socmix::linalg::simd;
+
+std::vector<simd::Tier> available_tiers() {
+  std::vector<simd::Tier> tiers;
+  for (const simd::Tier tier :
+       {simd::Tier::kScalar, simd::Tier::kAvx2, simd::Tier::kAvx512}) {
+    if (simd::tier_available(tier)) tiers.push_back(tier);
+  }
+  return tiers;
+}
+
+/// One timed run of `steps` fused SpMM+TVD sweeps at 32 lanes; returns
+/// wall seconds (best of three to shed scheduler noise).
+double time_batched_sweeps(const graph::Graph& g, std::span<const double> pi,
+                           simd::Precision precision, std::size_t steps) {
+  constexpr std::size_t kLanes = 32;
+  // Frontier off: the roofline measures the dense fused sweep itself.
+  markov::BatchedEvolver evolver{g, 0.0, kLanes, *graph::parse_frontier_policy("off"),
+                                 precision};
+  std::vector<graph::NodeId> sources(kLanes);
+  for (std::size_t b = 0; b < kLanes; ++b) sources[b] = static_cast<graph::NodeId>(b);
+  std::vector<double> tvd(kLanes);
+  double best = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    evolver.seed_point_masses(sources);
+    evolver.step_with_tvd(pi, tvd);  // warm-up sweep: faults in, caches primed
+    const util::Timer timer;
+    for (std::size_t t = 0; t < steps; ++t) evolver.step_with_tvd(pi, tvd);
+    best = std::min(best, timer.seconds());
+    benchmark::DoNotOptimize(tvd.data());
+  }
+  return best;
+}
+
+/// Roofline traffic model for one 32-lane fused sweep: per edge, a gather
+/// of the lane state block plus the streamed neighbor id; per row, the
+/// state read/write pair and the stationary mass. State bytes halve under
+/// --precision mixed — that is the entire point of the mode.
+double sweep_bytes(const graph::Graph& g, simd::Precision precision) {
+  const double lanes = 32.0;
+  const double state = precision == simd::Precision::kMixed ? 4.0 : 8.0;
+  const double m = static_cast<double>(g.num_half_edges());
+  const double n = static_cast<double>(g.num_nodes());
+  return m * (lanes * state + 4.0) + n * lanes * 2.0 * state + n * 8.0;
+}
+
+void run_simd_ablation(bool quick, bool run_f64, bool run_mixed) {
+  util::set_thread_count(1);  // roofline per core; threading is measured above
+  const auto n = static_cast<graph::NodeId>(quick ? 20000 : 200000);
+  const std::size_t steps = quick ? 4 : 24;
+  const auto g = make_ba(n);
+  const auto pi = markov::stationary_distribution(g);
+
+  std::vector<simd::Precision> precisions;
+  if (run_f64) precisions.push_back(simd::Precision::kFloat64);
+  if (run_mixed) precisions.push_back(simd::Precision::kMixed);
+
+  struct Row {
+    simd::Tier tier;
+    simd::Precision precision;
+    double seconds;
+    double gb;
+  };
+  std::vector<Row> rows;
+  double scalar_f64_seconds = 0.0;
+  for (const simd::Tier tier : available_tiers()) {
+    for (const simd::Precision precision : precisions) {
+      if (!simd::set_tier(tier)) continue;
+      const double seconds = time_batched_sweeps(g, pi, precision, steps);
+      simd::reset_tier();
+      const double gb = 1e-9 * sweep_bytes(g, precision) * static_cast<double>(steps);
+      if (tier == simd::Tier::kScalar && precision == simd::Precision::kFloat64) {
+        scalar_f64_seconds = seconds;
+      }
+      rows.push_back({tier, precision, seconds, gb});
+    }
+  }
+
+  std::printf("\n== batched SpMM + fused TVD (n=%u, m=%llu, 32 lanes, %zu sweeps) ==\n",
+              g.num_nodes(), static_cast<unsigned long long>(g.num_edges()), steps);
+  const auto dir = util::bench_results_dir();
+  util::CsvWriter csv{dir ? *dir + "/micro_simd.csv" : "/dev/null"};
+  csv.row({"kernel", "tier", "precision", "seconds", "gb_moved", "gb_per_s",
+           "speedup_vs_scalar_f64"});
+  // When --precision excludes f64 the scalar row of whatever ran first
+  // stands in as the speedup baseline.
+  const double baseline =
+      scalar_f64_seconds > 0.0 ? scalar_f64_seconds : rows.front().seconds;
+  for (const Row& row : rows) {
+    const double speedup = baseline / row.seconds;
+    std::printf("  %-7s %-6s  %8.4f s  %6.2f GB/s  %5.2fx\n",
+                simd::tier_name(row.tier), simd::precision_name(row.precision),
+                row.seconds, row.gb / row.seconds, speedup);
+    csv.row({"batched_spmm_tvd", simd::tier_name(row.tier),
+             simd::precision_name(row.precision), util::fmt_sci(row.seconds, 6),
+             util::fmt_fixed(row.gb, 4), util::fmt_fixed(row.gb / row.seconds, 3),
+             util::fmt_fixed(speedup, 3)});
+  }
+
+  // End-to-end: the sampled mixing measurement before this PR (forced
+  // scalar tier, f64) vs the dispatched best tier, f64 and mixed.
+  const std::size_t e2e_steps = quick ? 4 : 16;
+  std::vector<graph::NodeId> sources(32);
+  for (std::size_t s = 0; s < 32; ++s) sources[s] = static_cast<graph::NodeId>(s);
+  const auto time_e2e = [&](simd::Precision precision) {
+    markov::SampledMixingOptions options;
+    options.max_steps = e2e_steps;
+    options.precision = precision;
+    const util::Timer timer;
+    benchmark::DoNotOptimize(markov::measure_sampled_mixing(g, sources, options));
+    return timer.seconds();
+  };
+  struct E2eRow {
+    const char* config;
+    const char* tier;
+    const char* precision;
+    double seconds;
+  };
+  std::vector<E2eRow> e2e;
+  simd::set_tier(simd::Tier::kScalar);
+  e2e.push_back({"before", "scalar", "f64", time_e2e(simd::Precision::kFloat64)});
+  simd::reset_tier();
+  const char* best = simd::tier_name(simd::active_tier());
+  e2e.push_back({"after", best, "f64", time_e2e(simd::Precision::kFloat64)});
+  e2e.push_back({"after", best, "mixed", time_e2e(simd::Precision::kMixed)});
+
+  std::printf("== end-to-end measure_sampled_mixing (32 sources x %zu steps) ==\n",
+              e2e_steps);
+  util::CsvWriter e2e_csv{dir ? *dir + "/e2e_simd.csv" : "/dev/null"};
+  e2e_csv.row({"config", "tier", "precision", "seconds", "speedup_vs_before"});
+  for (const E2eRow& row : e2e) {
+    const double speedup = e2e.front().seconds / row.seconds;
+    std::printf("  %-6s %-7s %-6s  %8.4f s  %5.2fx\n", row.config, row.tier,
+                row.precision, row.seconds, speedup);
+    e2e_csv.row({row.config, row.tier, row.precision, util::fmt_sci(row.seconds, 6),
+                 util::fmt_fixed(speedup, 3)});
+  }
+  util::set_thread_count(0);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
+  // Strip our custom flags before google-benchmark sees (and rejects) them.
+  bool quick = false;
+  bool simd_only = false;
+  bool run_f64 = true;
+  bool run_mixed = true;
+  std::vector<char*> passthrough;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--simd-only") == 0) {
+      simd_only = true;
+    } else if (std::strncmp(argv[i], "--precision", 11) == 0) {
+      std::string value;
+      if (argv[i][11] == '=') {
+        value = argv[i] + 12;
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      }
+      if (value == "f64" || value == "float64" || value == "double") {
+        run_mixed = false;
+      } else if (value == "mixed") {
+        run_f64 = false;
+      } else if (value != "both") {
+        std::fprintf(stderr, "--precision %s: expected f64, mixed, or both\n",
+                     value.c_str());
+        return 2;
+      }
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  int bench_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&bench_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, passthrough.data())) return 1;
+  if (!simd_only) benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+
+  run_simd_ablation(quick, run_f64, run_mixed);
 
   if (const auto dir = util::bench_results_dir()) {
     const std::string path = *dir + "/micro_kernels_metrics.json";

@@ -46,6 +46,7 @@ int main(int argc, char** argv) {
     options.checkpoint = config.checkpoint;
     options.reorder = config.reorder;
     options.frontier = config.frontier;
+    options.precision = config.precision;
     const auto report = core::measure_mixing(g, spec.name, options);
 
     const char* cls = spec.paper_mixing_class == gen::MixingClass::kFast   ? "fast"

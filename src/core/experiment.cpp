@@ -25,6 +25,7 @@ ExperimentConfig ExperimentConfig::from_cli(const util::Cli& cli) {
   util::set_thread_count(config.threads);
   config.reorder = reorder_from_cli(cli);
   config.frontier = frontier_from_cli(cli);
+  config.precision = precision_from_cli(cli);
   configure_observability(cli);
   config.checkpoint = configure_resilience(cli);
   return config;
@@ -48,6 +49,16 @@ graph::FrontierPolicy frontier_from_cli(const util::Cli& cli) {
                                 ": expected auto, off, or a row fraction in (0, 1]"};
   }
   return *policy;
+}
+
+linalg::simd::Precision precision_from_cli(const util::Cli& cli) {
+  const std::string value = cli.get("precision", "f64");
+  const auto precision = linalg::simd::parse_precision(value);
+  if (!precision) {
+    throw std::invalid_argument{"--precision=" + value +
+                                ": expected f64 or mixed"};
+  }
+  return *precision;
 }
 
 void configure_observability(const util::Cli& cli) {

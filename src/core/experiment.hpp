@@ -13,6 +13,7 @@
 #include "gen/datasets.hpp"
 #include "graph/frontier.hpp"
 #include "graph/graph.hpp"
+#include "linalg/simd/kernels.hpp"
 #include "resilience/checkpoint.hpp"
 #include "util/cli.hpp"
 
@@ -45,6 +46,13 @@ struct ExperimentConfig {
   /// forward this into MeasurementOptions.frontier /
   /// AdmissionSweepConfig.frontier.
   graph::FrontierPolicy frontier;
+  /// Kernel precision, parsed from --precision=f64|mixed (default f64).
+  /// f64 is the exact-parity path (bit-identical across threads, reorder,
+  /// frontier, and simd tiers); mixed stores walk state as float32 with
+  /// float64 compensated accumulation (see linalg/simd/kernels.hpp for
+  /// the accuracy budget). Drivers forward this into
+  /// MeasurementOptions.precision.
+  linalg::simd::Precision precision = linalg::simd::Precision::kFloat64;
 
   /// Parses the CLI and applies `threads` to the global util::parallel
   /// pool, so every driver honors --threads with no further wiring. Also
@@ -65,6 +73,11 @@ struct ExperimentConfig {
 /// the bad value and the accepted ones. Shared by from_cli and tools that
 /// parse their own Cli (socmix measure/sybil).
 [[nodiscard]] graph::FrontierPolicy frontier_from_cli(const util::Cli& cli);
+
+/// Parses --precision (default "f64"); throws std::invalid_argument naming
+/// the bad value and the accepted ones. Shared by from_cli and tools that
+/// parse their own Cli (socmix measure/sybil).
+[[nodiscard]] linalg::simd::Precision precision_from_cli(const util::Cli& cli);
 
 /// Wires the shared observability flags into the obs layer:
 ///   --metrics-out=PATH   metrics snapshot at exit (JSON; CSV if *.csv)

@@ -50,6 +50,7 @@ MixingReport measure_mixing(const graph::Graph& g, std::string name,
     sampled_options.checkpoint = options.checkpoint;
     sampled_options.reorder = options.reorder;
     sampled_options.frontier = options.frontier;
+    sampled_options.precision = options.precision;
     if (sampled_options.checkpoint.enabled() && sampled_options.checkpoint.name.empty()) {
       sampled_options.checkpoint.name = "mixing-" + util::slugify(report.name);
     }

@@ -57,6 +57,12 @@ struct MeasurementOptions {
   /// walk's reachable set is small the evolver sweeps only those rows;
   /// results are bit-identical on or off — purely a speed knob.
   graph::FrontierPolicy frontier;
+  /// Kernel precision of the sampled phase (--precision). f64 (default) is
+  /// the exact-parity path; mixed halves the walk-state gather traffic by
+  /// storing distributions as float32 while accumulating TVD in
+  /// compensated float64 (per-step error bounded by
+  /// linalg::simd::kMixedTvdBudget). The spectral phase always runs f64.
+  linalg::simd::Precision precision = linalg::simd::Precision::kFloat64;
 };
 
 /// Everything the paper reports about one graph.

@@ -1,0 +1,64 @@
+// AVX2 kernel tier: 256-bit vertical ops (4 doubles) + i32 gathers.
+// Compiled with -mavx2 -ffp-contract=off (see src/linalg/CMakeLists.txt);
+// only reached when dispatch.cpp probed AVX2 support at runtime. All
+// shared logic lives in kernels_body.inc — this TU only binds the vector
+// primitives.
+
+#include <immintrin.h>
+
+#include <cstddef>
+#include <span>
+
+#include "linalg/simd/kernels_detail.hpp"
+#include "util/prefetch.hpp"
+
+#if !defined(SOCMIX_SIMD_HAVE_AVX2)
+#error "kernels_avx2.cpp requires SOCMIX_SIMD_HAVE_AVX2 (see src/linalg/CMakeLists.txt)"
+#endif
+
+namespace socmix::linalg::simd::avx2 {
+
+namespace {
+
+using vd = __m256d;
+constexpr std::size_t kW = 4;
+
+inline vd vd_zero() noexcept { return _mm256_setzero_pd(); }
+inline vd vd_loadu(const double* p) noexcept { return _mm256_loadu_pd(p); }
+inline void vd_storeu(double* p, vd v) noexcept { _mm256_storeu_pd(p, v); }
+inline vd vd_set1(double x) noexcept { return _mm256_set1_pd(x); }
+inline vd vd_add(vd a, vd b) noexcept { return _mm256_add_pd(a, b); }
+inline vd vd_sub(vd a, vd b) noexcept { return _mm256_sub_pd(a, b); }
+inline vd vd_mul(vd a, vd b) noexcept { return _mm256_mul_pd(a, b); }
+inline vd vd_abs(vd v) noexcept {
+  return _mm256_andnot_pd(_mm256_set1_pd(-0.0), v);
+}
+inline vd vd_select_ge_abs(vd s, vd t, vd x, vd y) noexcept {
+  const vd m = _mm256_cmp_pd(vd_abs(s), vd_abs(t), _CMP_GE_OQ);
+  return _mm256_blendv_pd(y, x, m);
+}
+inline vd vd_cvt_f32_loadu(const float* p) noexcept {
+  return _mm256_cvtps_pd(_mm_loadu_ps(p));
+}
+inline vd vd_roundtrip_store_f32(float* p, vd v) noexcept {
+  const __m128 f = _mm256_cvtpd_ps(v);
+  _mm_storeu_ps(p, f);
+  return _mm256_cvtps_pd(f);
+}
+// i32 gather: sign-extends the u32 node ids, so it requires
+// num_nodes < 2^31 (see kernels.hpp). The masked form with an all-ones
+// mask is the same instruction but gives the source operand a defined
+// value (the unmasked intrinsic's _mm256_undefined_pd trips
+// -Wmaybe-uninitialized under -Werror).
+inline vd vd_gather_i32(const double* base, const graph::NodeId* idx) noexcept {
+  const vd ones = _mm256_castsi256_pd(_mm256_set1_epi64x(-1));
+  return _mm256_mask_i32gather_pd(
+      _mm256_setzero_pd(), base,
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(idx)), ones, 8);
+}
+
+}  // namespace
+
+#include "linalg/simd/kernels_body.inc"
+
+}  // namespace socmix::linalg::simd::avx2

@@ -1,0 +1,487 @@
+// Scalar (portable) kernel tier.
+//
+// The f64 SpMM kernels are the pre-SIMD BatchedEvolver kernels moved here
+// verbatim — they define the per-lane floating-point operation sequence
+// every other tier must reproduce bit for bit, and compiling them with
+// the build's baseline flags keeps the default build's output identical
+// to the pre-dispatch code. The mixed-precision kernels below are the
+// reference implementation of the f32-state / f64-arithmetic contract
+// (see kernels.hpp): widen on load, round once on store, TVD terms from
+// the *stored* f32 value, Neumaier-compensated f64 reduction.
+//
+// This TU is compiled with -ffp-contract=off (see src/linalg/CMakeLists)
+// so a native build cannot contract the affine epilogues into FMAs —
+// that pins the rounding points the vector tiers match.
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <span>
+
+#include "linalg/simd/kernels_detail.hpp"
+#include "util/prefetch.hpp"
+
+namespace socmix::linalg::simd::scalar {
+
+namespace {
+
+constexpr std::size_t kPrefetchDistance = util::kGatherPrefetchDistance;
+
+// Compile-time lane count (stride stays runtime so a partially filled
+// block still takes this path): the b-loops unroll and vectorize, and the
+// accumulators live in registers. The inner loop is a single gather + add
+// per edge: the per-source scaling src[b] * inv_deg[i] was hoisted into
+// the prescale pass (see BatchedEvolver::sweep), which computes the exact
+// same rounded products, so the floating-point result per lane remains
+// the operation sequence of DistributionEvolver::step + total_variation
+// (CSR edge order, then ascending-row TVD) — bit-identical to the scalar
+// path.
+template <std::size_t B>
+void sweep_fixed(graph::NodeId n, const graph::EdgeIndex* offsets,
+                 const graph::NodeId* neighbors, const double* scaled,
+                 const double* cur, double* next, std::size_t stride,
+                 double walk_weight, double laziness, const double* pi,
+                 double* tvd_out) {
+  double tvd_acc[B];
+  if (pi != nullptr) {
+    for (std::size_t b = 0; b < B; ++b) tvd_acc[b] = 0.0;
+  }
+  for (graph::NodeId j = 0; j < n; ++j) {
+    double acc[B];
+    for (std::size_t b = 0; b < B; ++b) acc[b] = 0.0;
+    const graph::EdgeIndex row_end = offsets[j + 1];
+    for (graph::EdgeIndex e = offsets[j]; e < row_end; ++e) {
+      if (e + kPrefetchDistance < row_end) {
+        util::prefetch_read(
+            scaled + static_cast<std::size_t>(neighbors[e + kPrefetchDistance]) * stride);
+      }
+      const double* src = scaled + static_cast<std::size_t>(neighbors[e]) * stride;
+      for (std::size_t b = 0; b < B; ++b) acc[b] += src[b];
+    }
+    const double* cur_j = cur + static_cast<std::size_t>(j) * stride;
+    double* next_j = next + static_cast<std::size_t>(j) * stride;
+    for (std::size_t b = 0; b < B; ++b) {
+      next_j[b] = walk_weight * acc[b] + laziness * cur_j[b];
+    }
+    if (pi != nullptr) {
+      const double p = pi[j];
+      for (std::size_t b = 0; b < B; ++b) tvd_acc[b] += std::fabs(next_j[b] - p);
+    }
+  }
+  if (pi != nullptr) {
+    for (std::size_t b = 0; b < B; ++b) tvd_out[b] = 0.5 * tvd_acc[b];
+  }
+}
+
+// Runtime-width fallback for remainder blocks (active < block) and odd
+// block sizes. Same operation order as sweep_fixed.
+void sweep_generic(graph::NodeId n, const graph::EdgeIndex* offsets,
+                   const graph::NodeId* neighbors, const double* scaled,
+                   const double* cur, double* next, std::size_t stride,
+                   std::size_t lanes, double walk_weight, double laziness,
+                   const double* pi, double* tvd_out) {
+  std::array<double, kMaxLanes> acc{};
+  std::array<double, kMaxLanes> tvd_acc{};
+  for (graph::NodeId j = 0; j < n; ++j) {
+    for (std::size_t b = 0; b < lanes; ++b) acc[b] = 0.0;
+    const graph::EdgeIndex row_end = offsets[j + 1];
+    for (graph::EdgeIndex e = offsets[j]; e < row_end; ++e) {
+      if (e + kPrefetchDistance < row_end) {
+        util::prefetch_read(
+            scaled + static_cast<std::size_t>(neighbors[e + kPrefetchDistance]) * stride);
+      }
+      const double* src = scaled + static_cast<std::size_t>(neighbors[e]) * stride;
+      for (std::size_t b = 0; b < lanes; ++b) acc[b] += src[b];
+    }
+    const double* cur_j = cur + static_cast<std::size_t>(j) * stride;
+    double* next_j = next + static_cast<std::size_t>(j) * stride;
+    for (std::size_t b = 0; b < lanes; ++b) {
+      next_j[b] = walk_weight * acc[b] + laziness * cur_j[b];
+    }
+    if (pi != nullptr) {
+      const double p = pi[j];
+      for (std::size_t b = 0; b < lanes; ++b) tvd_acc[b] += std::fabs(next_j[b] - p);
+    }
+  }
+  if (pi != nullptr) {
+    for (std::size_t b = 0; b < lanes; ++b) tvd_out[b] = 0.5 * tvd_acc[b];
+  }
+}
+
+// Frontier variant of sweep_fixed: runs the identical row body over the
+// closure's row ranges only. Rows outside the closure hold exactly +0.0
+// in cur_/next_/scaled_ (seed invariant + monotone closure), so the dense
+// kernel would have recomputed +0.0 for them and their TVD term
+// fabs(0.0 - pi[j]) is pi[j] bit for bit — accumulated here in the same
+// ascending-row order, interleaved with the swept rows, to keep the
+// per-lane reduction sequence identical to the dense pass.
+template <std::size_t B>
+void frontier_sweep_fixed(std::span<const graph::RowRange> ranges, graph::NodeId n,
+                          const graph::EdgeIndex* offsets, const graph::NodeId* neighbors,
+                          const double* scaled, const double* cur, double* next,
+                          std::size_t stride, double walk_weight, double laziness,
+                          const double* pi, double* tvd_out) {
+  double tvd_acc[B];
+  if (pi != nullptr) {
+    for (std::size_t b = 0; b < B; ++b) tvd_acc[b] = 0.0;
+  }
+  graph::NodeId done = 0;
+  for (const graph::RowRange r : ranges) {
+    if (pi != nullptr) {
+      for (graph::NodeId j = done; j < r.begin; ++j) {
+        const double p = pi[j];
+        for (std::size_t b = 0; b < B; ++b) tvd_acc[b] += p;
+      }
+    }
+    for (graph::NodeId j = r.begin; j < r.end; ++j) {
+      double acc[B];
+      for (std::size_t b = 0; b < B; ++b) acc[b] = 0.0;
+      const graph::EdgeIndex row_end = offsets[j + 1];
+      for (graph::EdgeIndex e = offsets[j]; e < row_end; ++e) {
+        if (e + kPrefetchDistance < row_end) {
+          util::prefetch_read(
+              scaled + static_cast<std::size_t>(neighbors[e + kPrefetchDistance]) * stride);
+        }
+        const double* src = scaled + static_cast<std::size_t>(neighbors[e]) * stride;
+        for (std::size_t b = 0; b < B; ++b) acc[b] += src[b];
+      }
+      const double* cur_j = cur + static_cast<std::size_t>(j) * stride;
+      double* next_j = next + static_cast<std::size_t>(j) * stride;
+      for (std::size_t b = 0; b < B; ++b) {
+        next_j[b] = walk_weight * acc[b] + laziness * cur_j[b];
+      }
+      if (pi != nullptr) {
+        const double p = pi[j];
+        for (std::size_t b = 0; b < B; ++b) tvd_acc[b] += std::fabs(next_j[b] - p);
+      }
+    }
+    done = r.end;
+  }
+  if (pi != nullptr) {
+    for (graph::NodeId j = done; j < n; ++j) {
+      const double p = pi[j];
+      for (std::size_t b = 0; b < B; ++b) tvd_acc[b] += p;
+    }
+    for (std::size_t b = 0; b < B; ++b) tvd_out[b] = 0.5 * tvd_acc[b];
+  }
+}
+
+// Runtime-width frontier fallback; same operation order as
+// frontier_sweep_fixed.
+void frontier_sweep_generic(std::span<const graph::RowRange> ranges, graph::NodeId n,
+                            const graph::EdgeIndex* offsets, const graph::NodeId* neighbors,
+                            const double* scaled, const double* cur, double* next,
+                            std::size_t stride, std::size_t lanes, double walk_weight,
+                            double laziness, const double* pi, double* tvd_out) {
+  std::array<double, kMaxLanes> acc{};
+  std::array<double, kMaxLanes> tvd_acc{};
+  graph::NodeId done = 0;
+  for (const graph::RowRange r : ranges) {
+    if (pi != nullptr) {
+      for (graph::NodeId j = done; j < r.begin; ++j) {
+        const double p = pi[j];
+        for (std::size_t b = 0; b < lanes; ++b) tvd_acc[b] += p;
+      }
+    }
+    for (graph::NodeId j = r.begin; j < r.end; ++j) {
+      for (std::size_t b = 0; b < lanes; ++b) acc[b] = 0.0;
+      const graph::EdgeIndex row_end = offsets[j + 1];
+      for (graph::EdgeIndex e = offsets[j]; e < row_end; ++e) {
+        if (e + kPrefetchDistance < row_end) {
+          util::prefetch_read(
+              scaled + static_cast<std::size_t>(neighbors[e + kPrefetchDistance]) * stride);
+        }
+        const double* src = scaled + static_cast<std::size_t>(neighbors[e]) * stride;
+        for (std::size_t b = 0; b < lanes; ++b) acc[b] += src[b];
+      }
+      const double* cur_j = cur + static_cast<std::size_t>(j) * stride;
+      double* next_j = next + static_cast<std::size_t>(j) * stride;
+      for (std::size_t b = 0; b < lanes; ++b) {
+        next_j[b] = walk_weight * acc[b] + laziness * cur_j[b];
+      }
+      if (pi != nullptr) {
+        const double p = pi[j];
+        for (std::size_t b = 0; b < lanes; ++b) tvd_acc[b] += std::fabs(next_j[b] - p);
+      }
+    }
+    done = r.end;
+  }
+  if (pi != nullptr) {
+    for (graph::NodeId j = done; j < n; ++j) {
+      const double p = pi[j];
+      for (std::size_t b = 0; b < lanes; ++b) tvd_acc[b] += p;
+    }
+    for (std::size_t b = 0; b < lanes; ++b) tvd_out[b] = 0.5 * tvd_acc[b];
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Mixed precision: f32 state, f64 arithmetic, compensated TVD.
+
+// Neumaier-compensated add: exact for the lost low-order part of each
+// term. The branch selects by magnitude only — both arms compute the same
+// rounded value the branch-free vector form selects, so scalar and SIMD
+// compensation histories are bit-identical.
+inline void neumaier_add(double& sum, double& comp, double term) {
+  const double t = sum + term;
+  if (std::fabs(sum) >= std::fabs(term)) {
+    comp += (sum - t) + term;
+  } else {
+    comp += (term - t) + sum;
+  }
+  sum = t;
+}
+
+// Mixed-precision row sweep over explicit ranges (a dense sweep passes
+// the single range [0, n)). Per lane: accumulate the widened f32 gathers
+// in f64, combine the affine epilogue in f64, round once to f32 on store,
+// and take the TVD term from the *stored* value — so the only deviation
+// from the f64 path is state quantization, never arithmetic. Skipped rows
+// contribute pi[j] exactly (their stored state is +0.0f), interleaved in
+// ascending-row order like the f64 frontier kernels.
+template <std::size_t B>
+void mixed_sweep_fixed(std::span<const graph::RowRange> ranges, graph::NodeId n,
+                       const graph::EdgeIndex* offsets, const graph::NodeId* neighbors,
+                       const float* scaled, const float* cur, float* next,
+                       std::size_t stride, double walk_weight, double laziness,
+                       const double* pi, double* tvd_out) {
+  double sum[B];
+  double comp[B];
+  if (pi != nullptr) {
+    for (std::size_t b = 0; b < B; ++b) {
+      sum[b] = 0.0;
+      comp[b] = 0.0;
+    }
+  }
+  graph::NodeId done = 0;
+  for (const graph::RowRange r : ranges) {
+    if (pi != nullptr) {
+      for (graph::NodeId j = done; j < r.begin; ++j) {
+        const double p = pi[j];
+        for (std::size_t b = 0; b < B; ++b) neumaier_add(sum[b], comp[b], p);
+      }
+    }
+    for (graph::NodeId j = r.begin; j < r.end; ++j) {
+      double acc[B];
+      for (std::size_t b = 0; b < B; ++b) acc[b] = 0.0;
+      const graph::EdgeIndex row_end = offsets[j + 1];
+      for (graph::EdgeIndex e = offsets[j]; e < row_end; ++e) {
+        if (e + kPrefetchDistance < row_end) {
+          util::prefetch_read(
+              scaled + static_cast<std::size_t>(neighbors[e + kPrefetchDistance]) * stride);
+        }
+        const float* src = scaled + static_cast<std::size_t>(neighbors[e]) * stride;
+        for (std::size_t b = 0; b < B; ++b) acc[b] += static_cast<double>(src[b]);
+      }
+      const float* cur_j = cur + static_cast<std::size_t>(j) * stride;
+      float* next_j = next + static_cast<std::size_t>(j) * stride;
+      if (pi != nullptr) {
+        const double p = pi[j];
+        for (std::size_t b = 0; b < B; ++b) {
+          const double v =
+              walk_weight * acc[b] + laziness * static_cast<double>(cur_j[b]);
+          next_j[b] = static_cast<float>(v);
+          neumaier_add(sum[b], comp[b],
+                       std::fabs(static_cast<double>(next_j[b]) - p));
+        }
+      } else {
+        for (std::size_t b = 0; b < B; ++b) {
+          const double v =
+              walk_weight * acc[b] + laziness * static_cast<double>(cur_j[b]);
+          next_j[b] = static_cast<float>(v);
+        }
+      }
+    }
+    done = r.end;
+  }
+  if (pi != nullptr) {
+    for (graph::NodeId j = done; j < n; ++j) {
+      const double p = pi[j];
+      for (std::size_t b = 0; b < B; ++b) neumaier_add(sum[b], comp[b], p);
+    }
+    for (std::size_t b = 0; b < B; ++b) tvd_out[b] = 0.5 * (sum[b] + comp[b]);
+  }
+}
+
+// Runtime-width mixed fallback; same operation order as mixed_sweep_fixed.
+void mixed_sweep_generic(std::span<const graph::RowRange> ranges, graph::NodeId n,
+                         const graph::EdgeIndex* offsets, const graph::NodeId* neighbors,
+                         const float* scaled, const float* cur, float* next,
+                         std::size_t stride, std::size_t lanes, double walk_weight,
+                         double laziness, const double* pi, double* tvd_out) {
+  std::array<double, kMaxLanes> acc{};
+  std::array<double, kMaxLanes> sum{};
+  std::array<double, kMaxLanes> comp{};
+  graph::NodeId done = 0;
+  for (const graph::RowRange r : ranges) {
+    if (pi != nullptr) {
+      for (graph::NodeId j = done; j < r.begin; ++j) {
+        const double p = pi[j];
+        for (std::size_t b = 0; b < lanes; ++b) neumaier_add(sum[b], comp[b], p);
+      }
+    }
+    for (graph::NodeId j = r.begin; j < r.end; ++j) {
+      for (std::size_t b = 0; b < lanes; ++b) acc[b] = 0.0;
+      const graph::EdgeIndex row_end = offsets[j + 1];
+      for (graph::EdgeIndex e = offsets[j]; e < row_end; ++e) {
+        if (e + kPrefetchDistance < row_end) {
+          util::prefetch_read(
+              scaled + static_cast<std::size_t>(neighbors[e + kPrefetchDistance]) * stride);
+        }
+        const float* src = scaled + static_cast<std::size_t>(neighbors[e]) * stride;
+        for (std::size_t b = 0; b < lanes; ++b) acc[b] += static_cast<double>(src[b]);
+      }
+      const float* cur_j = cur + static_cast<std::size_t>(j) * stride;
+      float* next_j = next + static_cast<std::size_t>(j) * stride;
+      if (pi != nullptr) {
+        const double p = pi[j];
+        for (std::size_t b = 0; b < lanes; ++b) {
+          const double v =
+              walk_weight * acc[b] + laziness * static_cast<double>(cur_j[b]);
+          next_j[b] = static_cast<float>(v);
+          neumaier_add(sum[b], comp[b],
+                       std::fabs(static_cast<double>(next_j[b]) - p));
+        }
+      } else {
+        for (std::size_t b = 0; b < lanes; ++b) {
+          const double v =
+              walk_weight * acc[b] + laziness * static_cast<double>(cur_j[b]);
+          next_j[b] = static_cast<float>(v);
+        }
+      }
+    }
+    done = r.end;
+  }
+  if (pi != nullptr) {
+    for (graph::NodeId j = done; j < n; ++j) {
+      const double p = pi[j];
+      for (std::size_t b = 0; b < lanes; ++b) neumaier_add(sum[b], comp[b], p);
+    }
+    for (std::size_t b = 0; b < lanes; ++b) tvd_out[b] = 0.5 * (sum[b] + comp[b]);
+  }
+}
+
+}  // namespace
+
+void spmm_f64(const SpmmArgs& a, const double* scaled, const double* cur, double* next) {
+  if (a.ranges != nullptr) {
+    const std::span<const graph::RowRange> ranges{a.ranges, a.num_ranges};
+    switch (a.lanes) {
+      case 4:
+        frontier_sweep_fixed<4>(ranges, a.n, a.offsets, a.neighbors, scaled, cur, next,
+                                a.stride, a.walk_weight, a.laziness, a.pi, a.tvd_out);
+        break;
+      case 8:
+        frontier_sweep_fixed<8>(ranges, a.n, a.offsets, a.neighbors, scaled, cur, next,
+                                a.stride, a.walk_weight, a.laziness, a.pi, a.tvd_out);
+        break;
+      case 16:
+        frontier_sweep_fixed<16>(ranges, a.n, a.offsets, a.neighbors, scaled, cur, next,
+                                 a.stride, a.walk_weight, a.laziness, a.pi, a.tvd_out);
+        break;
+      case 32:
+        frontier_sweep_fixed<32>(ranges, a.n, a.offsets, a.neighbors, scaled, cur, next,
+                                 a.stride, a.walk_weight, a.laziness, a.pi, a.tvd_out);
+        break;
+      default:
+        frontier_sweep_generic(ranges, a.n, a.offsets, a.neighbors, scaled, cur, next,
+                               a.stride, a.lanes, a.walk_weight, a.laziness, a.pi,
+                               a.tvd_out);
+        break;
+    }
+    return;
+  }
+  switch (a.lanes) {
+    case 4:
+      sweep_fixed<4>(a.n, a.offsets, a.neighbors, scaled, cur, next, a.stride,
+                     a.walk_weight, a.laziness, a.pi, a.tvd_out);
+      break;
+    case 8:
+      sweep_fixed<8>(a.n, a.offsets, a.neighbors, scaled, cur, next, a.stride,
+                     a.walk_weight, a.laziness, a.pi, a.tvd_out);
+      break;
+    case 16:
+      sweep_fixed<16>(a.n, a.offsets, a.neighbors, scaled, cur, next, a.stride,
+                      a.walk_weight, a.laziness, a.pi, a.tvd_out);
+      break;
+    case 32:
+      sweep_fixed<32>(a.n, a.offsets, a.neighbors, scaled, cur, next, a.stride,
+                      a.walk_weight, a.laziness, a.pi, a.tvd_out);
+      break;
+    default:
+      sweep_generic(a.n, a.offsets, a.neighbors, scaled, cur, next, a.stride, a.lanes,
+                    a.walk_weight, a.laziness, a.pi, a.tvd_out);
+      break;
+  }
+}
+
+void spmm_mixed(const SpmmArgs& a, const float* scaled, const float* cur, float* next) {
+  // The dense sweep is the frontier driver with one full-span range — the
+  // per-lane operation sequence is identical either way.
+  const graph::RowRange full{0, a.n};
+  const std::span<const graph::RowRange> ranges =
+      a.ranges != nullptr ? std::span<const graph::RowRange>{a.ranges, a.num_ranges}
+                          : std::span<const graph::RowRange>{&full, 1};
+  switch (a.lanes) {
+    case 4:
+      mixed_sweep_fixed<4>(ranges, a.n, a.offsets, a.neighbors, scaled, cur, next,
+                           a.stride, a.walk_weight, a.laziness, a.pi, a.tvd_out);
+      break;
+    case 8:
+      mixed_sweep_fixed<8>(ranges, a.n, a.offsets, a.neighbors, scaled, cur, next,
+                           a.stride, a.walk_weight, a.laziness, a.pi, a.tvd_out);
+      break;
+    case 16:
+      mixed_sweep_fixed<16>(ranges, a.n, a.offsets, a.neighbors, scaled, cur, next,
+                            a.stride, a.walk_weight, a.laziness, a.pi, a.tvd_out);
+      break;
+    case 32:
+      mixed_sweep_fixed<32>(ranges, a.n, a.offsets, a.neighbors, scaled, cur, next,
+                            a.stride, a.walk_weight, a.laziness, a.pi, a.tvd_out);
+      break;
+    default:
+      mixed_sweep_generic(ranges, a.n, a.offsets, a.neighbors, scaled, cur, next,
+                          a.stride, a.lanes, a.walk_weight, a.laziness, a.pi, a.tvd_out);
+      break;
+  }
+}
+
+void spmv(const SpmvArgs& a, graph::NodeId row_begin, graph::NodeId row_end) {
+  const double walk_weight = a.walk_weight;
+  const double laziness = a.laziness;
+  for (graph::NodeId i = row_begin; i < row_end; ++i) {
+    double acc = 0.0;
+    const graph::EdgeIndex end = a.offsets[i + 1];
+    if (a.edge_scale != nullptr) {
+      for (graph::EdgeIndex e = a.offsets[i]; e < end; ++e) {
+        if (e + kPrefetchDistance < end) {
+          util::prefetch_read(a.gather + a.neighbors[e + kPrefetchDistance]);
+        }
+        acc += a.edge_scale[e] * a.gather[a.neighbors[e]];
+      }
+    } else {
+      for (graph::EdgeIndex e = a.offsets[i]; e < end; ++e) {
+        if (e + kPrefetchDistance < end) {
+          util::prefetch_read(a.gather + a.neighbors[e + kPrefetchDistance]);
+        }
+        acc += a.gather[a.neighbors[e]];
+      }
+    }
+    const double base = walk_weight * acc;
+    a.y[i] = (a.row_scale != nullptr ? base * a.row_scale[i] : base) + laziness * a.x[i];
+  }
+}
+
+void prescale_f64(const double* x, const double* w, double* out, std::size_t begin,
+                  std::size_t end) {
+  for (std::size_t i = begin; i < end; ++i) out[i] = x[i] * w[i];
+}
+
+void prescale_mixed(const float* x, const double* w, float* out, std::size_t begin,
+                    std::size_t end) {
+  for (std::size_t i = begin; i < end; ++i) {
+    out[i] = static_cast<float>(static_cast<double>(x[i]) * w[i]);
+  }
+}
+
+}  // namespace socmix::linalg::simd::scalar

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "linalg/simd/kernels.hpp"
 #include "obs/obs.hpp"
 #include "util/parallel.hpp"
 
@@ -44,21 +45,27 @@ void WalkOperator::apply(std::span<const double> x, std::span<double> y) const {
   // single gather per edge instead of two (x[j] and inv_sqrt_deg_[j]).
   // Rows are partitioned across threads: each y[i] is produced by exactly
   // one thread with a fixed accumulation order, making the result
-  // bit-identical for any thread count. Lanczos and power iteration scale
-  // with cores through this one kernel.
+  // bit-identical for any thread count — and the simd dispatch table
+  // guarantees the same bits for any kernel tier (the vector tier gathers
+  // in hardware but sums edges in scalar order; see linalg/simd). Lanczos
+  // and power iteration scale with cores through this one kernel.
   double* const scaled = scaled_.data();
+  const simd::KernelTable& kernels = simd::dispatch();
   util::parallel_for(0, n, kApplyGrain, [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t j = lo; j < hi; ++j) scaled[j] = x[j] * inv_sqrt_deg_[j];
+    kernels.prescale_f64(x.data(), inv_sqrt_deg_.data(), scaled, lo, hi);
   });
+  simd::SpmvArgs args;
+  args.offsets = offsets.data();
+  args.neighbors = neighbors.data();
+  args.gather = scaled;
+  args.x = x.data();
+  args.y = y.data();
+  args.walk_weight = walk_weight;
+  args.laziness = laziness_;
+  args.row_scale = inv_sqrt_deg_.data();
   util::parallel_for(0, n, kApplyGrain, [&](std::size_t row_lo, std::size_t row_hi) {
-    for (graph::NodeId i = static_cast<graph::NodeId>(row_lo);
-         i < static_cast<graph::NodeId>(row_hi); ++i) {
-      double acc = 0.0;
-      for (graph::EdgeIndex e = offsets[i]; e < offsets[i + 1]; ++e) {
-        acc += scaled[neighbors[e]];
-      }
-      y[i] = walk_weight * acc * inv_sqrt_deg_[i] + laziness_ * x[i];
-    }
+    kernels.spmv(args, static_cast<graph::NodeId>(row_lo),
+                 static_cast<graph::NodeId>(row_hi));
   });
 }
 
@@ -74,19 +81,23 @@ void WalkOperator::apply_rows(std::span<const double> x, std::span<double> y,
   // Same prescale as apply() — the row restriction only limits which y[i]
   // are produced, not which x[j] a row may gather.
   double* const scaled = scaled_.data();
+  const simd::KernelTable& kernels = simd::dispatch();
   util::parallel_for(0, n, kApplyGrain, [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t j = lo; j < hi; ++j) scaled[j] = x[j] * inv_sqrt_deg_[j];
+    kernels.prescale_f64(x.data(), inv_sqrt_deg_.data(), scaled, lo, hi);
   });
+  simd::SpmvArgs args;
+  args.offsets = offsets.data();
+  args.neighbors = neighbors.data();
+  args.gather = scaled;
+  args.x = x.data();
+  args.y = y.data();
+  args.walk_weight = walk_weight;
+  args.laziness = laziness_;
+  args.row_scale = inv_sqrt_deg_.data();
   graph::NodeId rows = 0;
   for (const graph::RowRange r : ranges) {
     rows += r.end - r.begin;
-    for (graph::NodeId i = r.begin; i < r.end; ++i) {
-      double acc = 0.0;
-      for (graph::EdgeIndex e = offsets[i]; e < offsets[i + 1]; ++e) {
-        acc += scaled[neighbors[e]];
-      }
-      y[i] = walk_weight * acc * inv_sqrt_deg_[i] + laziness_ * x[i];
-    }
+    kernels.spmv(args, r.begin, r.end);
   }
   SOCMIX_COUNTER_ADD("linalg.spmv.applies", 1);
   SOCMIX_COUNTER_ADD("linalg.spmv.rows", rows);

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "linalg/simd/kernels.hpp"
+
 namespace socmix::linalg {
 
 WeightedWalkOperator::WeightedWalkOperator(const graph::WeightedGraph& g, double laziness)
@@ -36,36 +38,40 @@ void WeightedWalkOperator::apply(std::span<const double> x,
                                  std::span<double> y) const noexcept {
   const graph::WeightedGraph& g = *graph_;
   const graph::NodeId n = g.num_nodes();
-  const auto offsets = g.offsets();
-  const auto neighbors = g.raw_neighbors();
-  const double walk_weight = 1.0 - laziness_;
-  const double* edge_scaled = edge_scaled_.data();
 
-  for (graph::NodeId i = 0; i < n; ++i) {
-    double acc = 0.0;
-    for (graph::EdgeIndex e = offsets[i]; e < offsets[i + 1]; ++e) {
-      acc += edge_scaled[e] * x[neighbors[e]];
-    }
-    y[i] = walk_weight * acc * inv_sqrt_strength_[i] + laziness_ * x[i];
-  }
+  // Gather-stream kernel via the simd dispatch table: one gather of x per
+  // edge plus a streaming read of the folded edge weights; every tier
+  // sums edges in CSR order, so tier choice never changes a bit.
+  simd::SpmvArgs args;
+  args.offsets = g.offsets().data();
+  args.neighbors = g.raw_neighbors().data();
+  args.gather = x.data();
+  args.x = x.data();
+  args.y = y.data();
+  args.walk_weight = 1.0 - laziness_;
+  args.laziness = laziness_;
+  args.row_scale = inv_sqrt_strength_.data();
+  args.edge_scale = edge_scaled_.data();
+  simd::dispatch().spmv(args, 0, n);
 }
 
 void WeightedWalkOperator::apply_rows(std::span<const double> x, std::span<double> y,
                                       std::span<const graph::RowRange> ranges) const noexcept {
   const graph::WeightedGraph& g = *graph_;
-  const auto offsets = g.offsets();
-  const auto neighbors = g.raw_neighbors();
-  const double walk_weight = 1.0 - laziness_;
-  const double* edge_scaled = edge_scaled_.data();
 
+  simd::SpmvArgs args;
+  args.offsets = g.offsets().data();
+  args.neighbors = g.raw_neighbors().data();
+  args.gather = x.data();
+  args.x = x.data();
+  args.y = y.data();
+  args.walk_weight = 1.0 - laziness_;
+  args.laziness = laziness_;
+  args.row_scale = inv_sqrt_strength_.data();
+  args.edge_scale = edge_scaled_.data();
+  const simd::KernelTable& kernels = simd::dispatch();
   for (const graph::RowRange r : ranges) {
-    for (graph::NodeId i = r.begin; i < r.end; ++i) {
-      double acc = 0.0;
-      for (graph::EdgeIndex e = offsets[i]; e < offsets[i + 1]; ++e) {
-        acc += edge_scaled[e] * x[neighbors[e]];
-      }
-      y[i] = walk_weight * acc * inv_sqrt_strength_[i] + laziness_ * x[i];
-    }
+    kernels.spmv(args, r.begin, r.end);
   }
 }
 

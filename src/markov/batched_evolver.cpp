@@ -1,217 +1,18 @@
 #include "markov/batched_evolver.hpp"
 
 #include <algorithm>
-#include <array>
 #include <chrono>
-#include <cmath>
 #include <stdexcept>
 
 #include "obs/obs.hpp"
 
 namespace socmix::markov {
 
-namespace {
-
-// How many edges ahead to prefetch the gathered distribution block. The
-// gather chases neighbors[e] through a multi-MB array, which the hardware
-// prefetchers cannot predict; hinting ~8 edges ahead overlaps those line
-// transfers with the FMA work and is worth ~1.5x at B=32 on AVX-512
-// hardware (pure hint — no effect on results).
-constexpr graph::EdgeIndex kPrefetchDistance = 8;
-
-// Compile-time lane count (stride stays runtime so a partially filled
-// block still takes this path): the b-loops unroll and vectorize, and the
-// accumulators live in registers. The inner loop is a single gather + add
-// per edge: the per-source scaling src[b] * inv_deg[i] was hoisted into
-// the prescale pass (see BatchedEvolver::sweep), which computes the exact
-// same rounded products, so the floating-point result per lane remains
-// the operation sequence of DistributionEvolver::step + total_variation
-// (CSR edge order, then ascending-row TVD) — bit-identical to the scalar
-// path.
-template <std::size_t B>
-void sweep_fixed(graph::NodeId n, const graph::EdgeIndex* offsets,
-                 const graph::NodeId* neighbors, const double* scaled,
-                 const double* cur, double* next, std::size_t stride,
-                 double walk_weight, double laziness, const double* pi,
-                 double* tvd_out) {
-  double tvd_acc[B];
-  if (pi != nullptr) {
-    for (std::size_t b = 0; b < B; ++b) tvd_acc[b] = 0.0;
-  }
-  for (graph::NodeId j = 0; j < n; ++j) {
-    double acc[B];
-    for (std::size_t b = 0; b < B; ++b) acc[b] = 0.0;
-    const graph::EdgeIndex row_end = offsets[j + 1];
-    for (graph::EdgeIndex e = offsets[j]; e < row_end; ++e) {
-      if (e + kPrefetchDistance < row_end) {
-        __builtin_prefetch(
-            scaled + static_cast<std::size_t>(neighbors[e + kPrefetchDistance]) * stride, 0, 1);
-      }
-      const double* src = scaled + static_cast<std::size_t>(neighbors[e]) * stride;
-      for (std::size_t b = 0; b < B; ++b) acc[b] += src[b];
-    }
-    const double* cur_j = cur + static_cast<std::size_t>(j) * stride;
-    double* next_j = next + static_cast<std::size_t>(j) * stride;
-    for (std::size_t b = 0; b < B; ++b) {
-      next_j[b] = walk_weight * acc[b] + laziness * cur_j[b];
-    }
-    if (pi != nullptr) {
-      const double p = pi[j];
-      for (std::size_t b = 0; b < B; ++b) tvd_acc[b] += std::fabs(next_j[b] - p);
-    }
-  }
-  if (pi != nullptr) {
-    for (std::size_t b = 0; b < B; ++b) tvd_out[b] = 0.5 * tvd_acc[b];
-  }
-}
-
-// Runtime-width fallback for remainder blocks (active < block) and odd
-// block sizes. Same operation order as sweep_fixed.
-void sweep_generic(graph::NodeId n, const graph::EdgeIndex* offsets,
-                   const graph::NodeId* neighbors, const double* scaled,
-                   const double* cur, double* next, std::size_t stride,
-                   std::size_t lanes, double walk_weight, double laziness,
-                   const double* pi, double* tvd_out) {
-  std::array<double, BatchedEvolver::kMaxBlock> acc{};
-  std::array<double, BatchedEvolver::kMaxBlock> tvd_acc{};
-  for (graph::NodeId j = 0; j < n; ++j) {
-    for (std::size_t b = 0; b < lanes; ++b) acc[b] = 0.0;
-    const graph::EdgeIndex row_end = offsets[j + 1];
-    for (graph::EdgeIndex e = offsets[j]; e < row_end; ++e) {
-      if (e + kPrefetchDistance < row_end) {
-        __builtin_prefetch(
-            scaled + static_cast<std::size_t>(neighbors[e + kPrefetchDistance]) * stride, 0, 1);
-      }
-      const double* src = scaled + static_cast<std::size_t>(neighbors[e]) * stride;
-      for (std::size_t b = 0; b < lanes; ++b) acc[b] += src[b];
-    }
-    const double* cur_j = cur + static_cast<std::size_t>(j) * stride;
-    double* next_j = next + static_cast<std::size_t>(j) * stride;
-    for (std::size_t b = 0; b < lanes; ++b) {
-      next_j[b] = walk_weight * acc[b] + laziness * cur_j[b];
-    }
-    if (pi != nullptr) {
-      const double p = pi[j];
-      for (std::size_t b = 0; b < lanes; ++b) tvd_acc[b] += std::fabs(next_j[b] - p);
-    }
-  }
-  if (pi != nullptr) {
-    for (std::size_t b = 0; b < lanes; ++b) tvd_out[b] = 0.5 * tvd_acc[b];
-  }
-}
-
-// Frontier variant of sweep_fixed: runs the identical row body over the
-// closure's row ranges only. Rows outside the closure hold exactly +0.0
-// in cur_/next_/scaled_ (seed invariant + monotone closure), so the dense
-// kernel would have recomputed +0.0 for them and their TVD term
-// fabs(0.0 - pi[j]) is pi[j] bit for bit — accumulated here in the same
-// ascending-row order, interleaved with the swept rows, to keep the
-// per-lane reduction sequence identical to the dense pass.
-template <std::size_t B>
-void frontier_sweep_fixed(std::span<const graph::RowRange> ranges, graph::NodeId n,
-                          const graph::EdgeIndex* offsets, const graph::NodeId* neighbors,
-                          const double* scaled, const double* cur, double* next,
-                          std::size_t stride, double walk_weight, double laziness,
-                          const double* pi, double* tvd_out) {
-  double tvd_acc[B];
-  if (pi != nullptr) {
-    for (std::size_t b = 0; b < B; ++b) tvd_acc[b] = 0.0;
-  }
-  graph::NodeId done = 0;
-  for (const graph::RowRange r : ranges) {
-    if (pi != nullptr) {
-      for (graph::NodeId j = done; j < r.begin; ++j) {
-        const double p = pi[j];
-        for (std::size_t b = 0; b < B; ++b) tvd_acc[b] += p;
-      }
-    }
-    for (graph::NodeId j = r.begin; j < r.end; ++j) {
-      double acc[B];
-      for (std::size_t b = 0; b < B; ++b) acc[b] = 0.0;
-      const graph::EdgeIndex row_end = offsets[j + 1];
-      for (graph::EdgeIndex e = offsets[j]; e < row_end; ++e) {
-        if (e + kPrefetchDistance < row_end) {
-          __builtin_prefetch(
-              scaled + static_cast<std::size_t>(neighbors[e + kPrefetchDistance]) * stride, 0, 1);
-        }
-        const double* src = scaled + static_cast<std::size_t>(neighbors[e]) * stride;
-        for (std::size_t b = 0; b < B; ++b) acc[b] += src[b];
-      }
-      const double* cur_j = cur + static_cast<std::size_t>(j) * stride;
-      double* next_j = next + static_cast<std::size_t>(j) * stride;
-      for (std::size_t b = 0; b < B; ++b) {
-        next_j[b] = walk_weight * acc[b] + laziness * cur_j[b];
-      }
-      if (pi != nullptr) {
-        const double p = pi[j];
-        for (std::size_t b = 0; b < B; ++b) tvd_acc[b] += std::fabs(next_j[b] - p);
-      }
-    }
-    done = r.end;
-  }
-  if (pi != nullptr) {
-    for (graph::NodeId j = done; j < n; ++j) {
-      const double p = pi[j];
-      for (std::size_t b = 0; b < B; ++b) tvd_acc[b] += p;
-    }
-    for (std::size_t b = 0; b < B; ++b) tvd_out[b] = 0.5 * tvd_acc[b];
-  }
-}
-
-// Runtime-width frontier fallback; same operation order as
-// frontier_sweep_fixed.
-void frontier_sweep_generic(std::span<const graph::RowRange> ranges, graph::NodeId n,
-                            const graph::EdgeIndex* offsets, const graph::NodeId* neighbors,
-                            const double* scaled, const double* cur, double* next,
-                            std::size_t stride, std::size_t lanes, double walk_weight,
-                            double laziness, const double* pi, double* tvd_out) {
-  std::array<double, BatchedEvolver::kMaxBlock> acc{};
-  std::array<double, BatchedEvolver::kMaxBlock> tvd_acc{};
-  graph::NodeId done = 0;
-  for (const graph::RowRange r : ranges) {
-    if (pi != nullptr) {
-      for (graph::NodeId j = done; j < r.begin; ++j) {
-        const double p = pi[j];
-        for (std::size_t b = 0; b < lanes; ++b) tvd_acc[b] += p;
-      }
-    }
-    for (graph::NodeId j = r.begin; j < r.end; ++j) {
-      for (std::size_t b = 0; b < lanes; ++b) acc[b] = 0.0;
-      const graph::EdgeIndex row_end = offsets[j + 1];
-      for (graph::EdgeIndex e = offsets[j]; e < row_end; ++e) {
-        if (e + kPrefetchDistance < row_end) {
-          __builtin_prefetch(
-              scaled + static_cast<std::size_t>(neighbors[e + kPrefetchDistance]) * stride, 0, 1);
-        }
-        const double* src = scaled + static_cast<std::size_t>(neighbors[e]) * stride;
-        for (std::size_t b = 0; b < lanes; ++b) acc[b] += src[b];
-      }
-      const double* cur_j = cur + static_cast<std::size_t>(j) * stride;
-      double* next_j = next + static_cast<std::size_t>(j) * stride;
-      for (std::size_t b = 0; b < lanes; ++b) {
-        next_j[b] = walk_weight * acc[b] + laziness * cur_j[b];
-      }
-      if (pi != nullptr) {
-        const double p = pi[j];
-        for (std::size_t b = 0; b < lanes; ++b) tvd_acc[b] += std::fabs(next_j[b] - p);
-      }
-    }
-    done = r.end;
-  }
-  if (pi != nullptr) {
-    for (graph::NodeId j = done; j < n; ++j) {
-      const double p = pi[j];
-      for (std::size_t b = 0; b < lanes; ++b) tvd_acc[b] += p;
-    }
-    for (std::size_t b = 0; b < lanes; ++b) tvd_out[b] = 0.5 * tvd_acc[b];
-  }
-}
-
-}  // namespace
-
 BatchedEvolver::BatchedEvolver(const graph::Graph& g, double laziness, std::size_t block,
-                               graph::FrontierPolicy frontier)
-    : graph_(&g), laziness_(laziness), block_(block), policy_(frontier) {
+                               graph::FrontierPolicy frontier,
+                               linalg::simd::Precision precision)
+    : graph_(&g), laziness_(laziness), block_(block), precision_(precision),
+      policy_(frontier) {
   if (laziness < 0.0 || laziness >= 1.0) {
     throw std::invalid_argument{"BatchedEvolver: laziness must be in [0, 1)"};
   }
@@ -233,9 +34,16 @@ BatchedEvolver::BatchedEvolver(const graph::Graph& g, double laziness, std::size
     }
     inv_deg_[v] = 1.0 / static_cast<double>(d);
   }
-  cur_.resize(static_cast<std::size_t>(n) * block_);
-  next_.resize(static_cast<std::size_t>(n) * block_);
-  scaled_.resize(static_cast<std::size_t>(n) * block_);
+  const std::size_t cells = static_cast<std::size_t>(n) * block_;
+  if (precision_ == linalg::simd::Precision::kMixed) {
+    cur32_.resize(cells);
+    next32_.resize(cells);
+    scaled32_.resize(cells);
+  } else {
+    cur_.resize(cells);
+    next_.resize(cells);
+    scaled_.resize(cells);
+  }
   if (policy_.enabled()) {
     frontier_ = graph::FrontierSet{n};
     switch_rows_ = std::max<graph::NodeId>(
@@ -252,33 +60,41 @@ void BatchedEvolver::seed_point_masses(std::span<const graph::NodeId> sources) {
       throw std::out_of_range{"BatchedEvolver: source vertex out of range"};
     }
   }
-  if (policy_.enabled()) {
-    // Frontier invariant: every row outside the closure must hold exactly
-    // +0.0 in all three buffers (the sparse kernels neither write nor
-    // prescale it, and gathers may read it). Fresh buffers already do;
-    // afterwards only the rows the previous run touched — its final
-    // closure, or everything once it went dense — need re-zeroing.
-    if (dense_dirty_) {
-      std::fill(cur_.begin(), cur_.end(), 0.0);
-      std::fill(next_.begin(), next_.end(), 0.0);
-      std::fill(scaled_.begin(), scaled_.end(), 0.0);
-      dense_dirty_ = false;
-    } else if (seeded_) {
-      for (const graph::RowRange r : frontier_.ranges()) {
-        const auto lo = static_cast<std::ptrdiff_t>(static_cast<std::size_t>(r.begin) * block_);
-        const auto hi = static_cast<std::ptrdiff_t>(static_cast<std::size_t>(r.end) * block_);
-        std::fill(cur_.begin() + lo, cur_.begin() + hi, 0.0);
-        std::fill(next_.begin() + lo, next_.begin() + hi, 0.0);
-        std::fill(scaled_.begin() + lo, scaled_.begin() + hi, 0.0);
+  const auto reseed = [&](auto& cur, auto& next, auto& scaled) {
+    using T = typename std::remove_reference_t<decltype(cur)>::value_type;
+    if (policy_.enabled()) {
+      // Frontier invariant: every row outside the closure must hold exactly
+      // +0.0 in all three buffers (the sparse kernels neither write nor
+      // prescale it, and gathers may read it). Fresh buffers already do;
+      // afterwards only the rows the previous run touched — its final
+      // closure, or everything once it went dense — need re-zeroing.
+      if (dense_dirty_) {
+        std::fill(cur.begin(), cur.end(), T{0});
+        std::fill(next.begin(), next.end(), T{0});
+        std::fill(scaled.begin(), scaled.end(), T{0});
+        dense_dirty_ = false;
+      } else if (seeded_) {
+        for (const graph::RowRange r : frontier_.ranges()) {
+          const auto lo = static_cast<std::ptrdiff_t>(static_cast<std::size_t>(r.begin) * block_);
+          const auto hi = static_cast<std::ptrdiff_t>(static_cast<std::size_t>(r.end) * block_);
+          std::fill(cur.begin() + lo, cur.begin() + hi, T{0});
+          std::fill(next.begin() + lo, next.begin() + hi, T{0});
+          std::fill(scaled.begin() + lo, scaled.begin() + hi, T{0});
+        }
       }
+      frontier_.reset(sources);
+      sparse_phase_ = true;
+    } else {
+      std::fill(cur.begin(), cur.end(), T{0});
     }
-    frontier_.reset(sources);
-    sparse_phase_ = true;
+    for (std::size_t b = 0; b < sources.size(); ++b) {
+      cur[static_cast<std::size_t>(sources[b]) * block_ + b] = T{1};
+    }
+  };
+  if (precision_ == linalg::simd::Precision::kMixed) {
+    reseed(cur32_, next32_, scaled32_);
   } else {
-    std::fill(cur_.begin(), cur_.end(), 0.0);
-  }
-  for (std::size_t b = 0; b < sources.size(); ++b) {
-    cur_[static_cast<std::size_t>(sources[b]) * block_ + b] = 1.0;
+    reseed(cur_, next_, scaled_);
   }
   active_ = sources.size();
   seeded_ = true;
@@ -291,9 +107,8 @@ void BatchedEvolver::sweep(const double* pi, double* tvd_out) {
   SOCMIX_TRACE_SPAN("evolver.sweep");
   const graph::Graph& g = *graph_;
   const graph::NodeId n = g.num_nodes();
-  const auto* offsets = g.offsets().data();
-  const auto* neighbors = g.raw_neighbors().data();
   const double walk_weight = 1.0 - laziness_;
+  const bool mixed = precision_ == linalg::simd::Precision::kMixed;
 
 #if SOCMIX_OBS_ENABLED
   // Sweep-granular accounting only: the kernels below stay untouched.
@@ -302,7 +117,7 @@ void BatchedEvolver::sweep(const double* pi, double* tvd_out) {
       active_ == 4 || active_ == 8 || active_ == 16 || active_ == 32;
 #endif
 
-  // Frontier phase: grow the support closure first (next_ can be nonzero
+  // Frontier phase: grow the support closure first (next can be nonzero
   // only inside S_{t+1} = S_t ∪ N(S_t)), then retire the sparse phase for
   // good once the closure reaches the policy's row fraction.
   bool use_frontier = sparse_phase_;
@@ -319,16 +134,35 @@ void BatchedEvolver::sweep(const double* pi, double* tvd_out) {
   const std::span<const graph::RowRange> ranges = frontier_.ranges();
 
   // Prescale pass: one sequential stream over the block computing
-  // scaled_[i*stride + b] = cur_[i*stride + b] * inv_deg_[i]. Each product
+  // scaled[i*stride + b] = cur[i*stride + b] * inv_deg_[i]. Each product
   // is rounded exactly as the old per-edge multiply was, so hoisting it
   // changes no bits — it only turns the irregular inner loop into a single
   // gather + add per edge instead of two gathers + FMA. In the frontier
-  // phase only closure rows are prescaled; the rest of scaled_ already
+  // phase only closure rows are prescaled; the rest of scaled already
   // holds the +0.0 the dense prescale would produce (seed invariant).
-  {
+  // Mixed precision widens each f32 cell to f64, multiplies, and rounds
+  // the product once — elementwise, so identical in every kernel tier.
+  const std::size_t lanes = active_;
+  if (mixed) {
+    const float* cur = cur32_.data();
+    float* scaled = scaled32_.data();
+    const auto prescale = [&](graph::NodeId lo, graph::NodeId hi) {
+      for (graph::NodeId i = lo; i < hi; ++i) {
+        const double w = inv_deg_[i];
+        const std::size_t base = static_cast<std::size_t>(i) * block_;
+        for (std::size_t b = 0; b < lanes; ++b) {
+          scaled[base + b] = static_cast<float>(static_cast<double>(cur[base + b]) * w);
+        }
+      }
+    };
+    if (use_frontier) {
+      for (const graph::RowRange r : ranges) prescale(r.begin, r.end);
+    } else {
+      prescale(0, n);
+    }
+  } else {
     const double* cur = cur_.data();
     double* scaled = scaled_.data();
-    const std::size_t lanes = active_;
     const auto prescale = [&](graph::NodeId lo, graph::NodeId hi) {
       for (graph::NodeId i = lo; i < hi; ++i) {
         const double w = inv_deg_[i];
@@ -343,59 +177,33 @@ void BatchedEvolver::sweep(const double* pi, double* tvd_out) {
     }
   }
 
-  // Dispatch on the *active* lane count; stride stays block_, so partially
-  // filled blocks (the tail of an odd source list) still hit an unrolled
-  // kernel when their lane count is a supported width.
+  // One dispatch-table call per sweep. The kernel dispatches internally on
+  // the *active* lane count; stride stays block_, so partially filled
+  // blocks (the tail of an odd source list) still hit a wide kernel when
+  // their lane count is a supported width.
+  linalg::simd::SpmmArgs args;
+  args.n = n;
+  args.offsets = g.offsets().data();
+  args.neighbors = g.raw_neighbors().data();
+  args.stride = block_;
+  args.lanes = active_;
+  args.walk_weight = walk_weight;
+  args.laziness = laziness_;
+  args.pi = pi;
+  args.tvd_out = tvd_out;
   if (use_frontier) {
-    switch (active_) {
-      case 4:
-        frontier_sweep_fixed<4>(ranges, n, offsets, neighbors, scaled_.data(), cur_.data(),
-                                next_.data(), block_, walk_weight, laziness_, pi, tvd_out);
-        break;
-      case 8:
-        frontier_sweep_fixed<8>(ranges, n, offsets, neighbors, scaled_.data(), cur_.data(),
-                                next_.data(), block_, walk_weight, laziness_, pi, tvd_out);
-        break;
-      case 16:
-        frontier_sweep_fixed<16>(ranges, n, offsets, neighbors, scaled_.data(), cur_.data(),
-                                 next_.data(), block_, walk_weight, laziness_, pi, tvd_out);
-        break;
-      case 32:
-        frontier_sweep_fixed<32>(ranges, n, offsets, neighbors, scaled_.data(), cur_.data(),
-                                 next_.data(), block_, walk_weight, laziness_, pi, tvd_out);
-        break;
-      default:
-        frontier_sweep_generic(ranges, n, offsets, neighbors, scaled_.data(), cur_.data(),
-                               next_.data(), block_, active_, walk_weight, laziness_, pi,
-                               tvd_out);
-        break;
-    }
-  } else {
-    switch (active_) {
-      case 4:
-        sweep_fixed<4>(n, offsets, neighbors, scaled_.data(), cur_.data(),
-                       next_.data(), block_, walk_weight, laziness_, pi, tvd_out);
-        break;
-      case 8:
-        sweep_fixed<8>(n, offsets, neighbors, scaled_.data(), cur_.data(),
-                       next_.data(), block_, walk_weight, laziness_, pi, tvd_out);
-        break;
-      case 16:
-        sweep_fixed<16>(n, offsets, neighbors, scaled_.data(), cur_.data(),
-                        next_.data(), block_, walk_weight, laziness_, pi, tvd_out);
-        break;
-      case 32:
-        sweep_fixed<32>(n, offsets, neighbors, scaled_.data(), cur_.data(),
-                        next_.data(), block_, walk_weight, laziness_, pi, tvd_out);
-        break;
-      default:
-        sweep_generic(n, offsets, neighbors, scaled_.data(), cur_.data(), next_.data(),
-                      block_, active_, walk_weight, laziness_, pi, tvd_out);
-        break;
-    }
-    dense_dirty_ = true;
+    args.ranges = ranges.data();
+    args.num_ranges = ranges.size();
   }
-  cur_.swap(next_);
+  const linalg::simd::KernelTable& kernels = linalg::simd::dispatch();
+  if (mixed) {
+    kernels.spmm_mixed(args, scaled32_.data(), cur32_.data(), next32_.data());
+    cur32_.swap(next32_);
+  } else {
+    kernels.spmm_f64(args, scaled_.data(), cur_.data(), next_.data());
+    cur_.swap(next_);
+  }
+  if (!use_frontier) dense_dirty_ = true;
   ++steps_since_seed_;
   const graph::NodeId swept = use_frontier ? frontier_.covered_rows() : n;
   rows_swept_ += swept;
@@ -411,6 +219,9 @@ void BatchedEvolver::sweep(const double* pi, double* tvd_out) {
     SOCMIX_COUNTER_ADD("markov.evolver.sweeps_unrolled", 1);
   } else {
     SOCMIX_COUNTER_ADD("markov.evolver.sweeps_generic", 1);
+  }
+  if (mixed) {
+    SOCMIX_COUNTER_ADD("markov.evolver.sweeps_mixed", 1);
   }
   if (pi != nullptr) {
     SOCMIX_COUNTER_ADD("markov.evolver.fused_tvd_sweeps", 1);
@@ -452,7 +263,13 @@ void BatchedEvolver::copy_distribution(std::size_t lane, std::span<double> out) 
     throw std::invalid_argument{"BatchedEvolver: output has wrong dimension"};
   }
   const std::size_t n = dim();
-  for (std::size_t v = 0; v < n; ++v) out[v] = cur_[v * block_ + lane];
+  if (precision_ == linalg::simd::Precision::kMixed) {
+    for (std::size_t v = 0; v < n; ++v) {
+      out[v] = static_cast<double>(cur32_[v * block_ + lane]);
+    }
+  } else {
+    for (std::size_t v = 0; v < n; ++v) out[v] = cur_[v * block_ + lane];
+  }
 }
 
 }  // namespace socmix::markov

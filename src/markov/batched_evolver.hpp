@@ -15,7 +15,10 @@
 // combination, and a TVD summed over rows in ascending order (matching
 // linalg::total_variation). Trajectories are therefore bit-identical to
 // the single-source path for any block size, block composition, or thread
-// count of the surrounding driver.
+// count of the surrounding driver. The sweep itself runs through the
+// linalg::simd dispatch table; every kernel tier honors the same
+// rounding-point contract, so the SIMD tier in use never changes a bit
+// either (see src/linalg/simd/kernels.hpp).
 //
 // Frontier phase: with a FrontierPolicy enabled the engine tracks the
 // support closure of the block (graph::FrontierSet) and, while it covers
@@ -26,15 +29,23 @@
 // switches permanently (until the next seeding) to the dense kernel. The
 // determinism contract above is therefore unchanged: frontier on or off,
 // trajectories are bit-identical (see DESIGN.md "Frontier phase").
+//
+// Mixed precision (Precision::kMixed): lane state lives in float32
+// buffers — half the bytes per gathered cache line — while all row
+// arithmetic stays float64 and the fused TVD uses Neumaier-compensated
+// float64 summation. Trajectories deviate from the f64 path only by state
+// quantization, bounded by linalg::simd::kMixedTvdBudget, and remain
+// bit-identical across kernel tiers and frontier modes.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <span>
-#include <vector>
 
 #include "graph/frontier.hpp"
 #include "graph/graph.hpp"
+#include "linalg/simd/kernels.hpp"
+#include "util/aligned.hpp"
 
 namespace socmix::markov {
 
@@ -49,19 +60,21 @@ class BatchedEvolver {
   static constexpr std::size_t kDefaultBlock = 32;
   /// Upper bound on the block width (keeps per-row accumulators on the
   /// stack in the sweep kernel).
-  static constexpr std::size_t kMaxBlock = 32;
+  static constexpr std::size_t kMaxBlock = linalg::simd::kMaxLanes;
 
   /// Throws on laziness outside [0, 1), an isolated vertex, block outside
   /// [1, kMaxBlock], or a frontier threshold outside (0, 1].
-  explicit BatchedEvolver(const graph::Graph& g, double laziness = 0.0,
-                          std::size_t block = kDefaultBlock,
-                          graph::FrontierPolicy frontier = {});
+  explicit BatchedEvolver(
+      const graph::Graph& g, double laziness = 0.0, std::size_t block = kDefaultBlock,
+      graph::FrontierPolicy frontier = {},
+      linalg::simd::Precision precision = linalg::simd::Precision::kFloat64);
 
   [[nodiscard]] std::size_t dim() const noexcept { return inv_deg_.size(); }
   [[nodiscard]] std::size_t block() const noexcept { return block_; }
   /// Lanes currently holding a distribution (set by seed_point_masses).
   [[nodiscard]] std::size_t active() const noexcept { return active_; }
   [[nodiscard]] double laziness() const noexcept { return laziness_; }
+  [[nodiscard]] linalg::simd::Precision precision() const noexcept { return precision_; }
   [[nodiscard]] const graph::FrontierPolicy& frontier_policy() const noexcept {
     return policy_;
   }
@@ -83,33 +96,44 @@ class BatchedEvolver {
 
   /// step(), plus writes the total variation distance of each advanced
   /// lane against `pi` into tvd_out (size >= active()), computed inside
-  /// the same sweep. Bit-identical to calling step() and then
-  /// linalg::total_variation per lane.
+  /// the same sweep. In f64 precision this is bit-identical to calling
+  /// step() and then linalg::total_variation per lane; in mixed precision
+  /// it deviates by at most linalg::simd::kMixedTvdBudget.
   void step_with_tvd(std::span<const double> pi, std::span<double> tvd_out);
 
-  /// Copies lane `lane` (< active()) into `out` (size dim()).
+  /// Copies lane `lane` (< active()) into `out` (size dim()); mixed-
+  /// precision state is widened to double.
   void copy_distribution(std::size_t lane, std::span<double> out) const;
 
   [[nodiscard]] const graph::Graph& graph() const noexcept { return *graph_; }
 
  private:
-  /// One SpMM sweep cur_ -> next_ (swapping after); when pi is non-null,
+  /// One SpMM sweep cur -> next (swapping after); when pi is non-null,
   /// also accumulates per-lane |next - pi| row by row into tvd_out.
   void sweep(const double* pi, double* tvd_out);
 
   const graph::Graph* graph_;
-  std::vector<double> inv_deg_;
-  std::vector<double> cur_;   // [dim x block], row-major: cur_[v*block + lane]
-  std::vector<double> next_;
+  util::aligned_vector<double> inv_deg_;
+  // Lane-major state blocks, [dim x block]: cur_[v*block + lane]. Exactly
+  // one precision's trio is allocated. 64-byte alignment makes every row
+  // of the default 32-lane block start on a cache line (and a zmm-load
+  // boundary); see util/aligned.hpp.
+  util::aligned_vector<double> cur_;
+  util::aligned_vector<double> next_;
   /// Prescaled block cur_[v*block + b] * inv_deg_[v], recomputed each
   /// sweep so the irregular edge gather is a single stream (see sweep()).
-  std::vector<double> scaled_;
+  util::aligned_vector<double> scaled_;
+  // Mixed-precision twins (f32 state, widened to f64 inside the kernels).
+  util::aligned_vector<float> cur32_;
+  util::aligned_vector<float> next32_;
+  util::aligned_vector<float> scaled32_;
   double laziness_;
   std::size_t block_;
+  linalg::simd::Precision precision_;
   std::size_t active_ = 0;
 
   // Frontier phase state. The sparse kernels rely on every row outside
-  // the closure holding exactly +0.0 in cur_/next_/scaled_;
+  // the closure holding exactly +0.0 in cur/next/scaled;
   // seed_point_masses re-establishes that invariant by zeroing only the
   // rows the previous run touched (dense_dirty_ tracks when that was
   // everything).

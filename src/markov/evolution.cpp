@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "linalg/simd/kernels.hpp"
 #include "linalg/vector_ops.hpp"
 #include "util/parallel.hpp"
 
@@ -46,20 +47,24 @@ void DistributionEvolver::step(std::span<const double> current,
   // streaming prescale pass, so the irregular edge loop issues a single
   // gather instead of two. Rows partition across the pool — each next[j]
   // comes from one thread with fixed accumulation order, so the step is
-  // bit-identical for any thread count.
+  // bit-identical for any thread count and for any simd kernel tier (the
+  // vector tier gathers in hardware but sums edges in scalar order).
   double* const scaled = scaled_.data();
+  const linalg::simd::KernelTable& kernels = linalg::simd::dispatch();
   util::parallel_for(0, n, kStepGrain, [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t i = lo; i < hi; ++i) scaled[i] = current[i] * inv_deg_[i];
+    kernels.prescale_f64(current.data(), inv_deg_.data(), scaled, lo, hi);
   });
+  linalg::simd::SpmvArgs args;
+  args.offsets = offsets.data();
+  args.neighbors = neighbors.data();
+  args.gather = scaled;
+  args.x = current.data();
+  args.y = next.data();
+  args.walk_weight = walk_weight;
+  args.laziness = laziness_;
   util::parallel_for(0, n, kStepGrain, [&](std::size_t row_lo, std::size_t row_hi) {
-    for (graph::NodeId j = static_cast<graph::NodeId>(row_lo);
-         j < static_cast<graph::NodeId>(row_hi); ++j) {
-      double acc = 0.0;
-      for (graph::EdgeIndex e = offsets[j]; e < offsets[j + 1]; ++e) {
-        acc += scaled[neighbors[e]];
-      }
-      next[j] = walk_weight * acc + laziness_ * current[j];
-    }
+    kernels.spmv(args, static_cast<graph::NodeId>(row_lo),
+                 static_cast<graph::NodeId>(row_hi));
   });
 }
 
@@ -91,24 +96,26 @@ void DistributionEvolver::step_frontier(std::span<const double> current,
   // dense step. Ranges partition across the pool; each next[j] still
   // comes from one thread with fixed accumulation order.
   double* const scaled = scaled_.data();
+  const linalg::simd::KernelTable& kernels = linalg::simd::dispatch();
   util::parallel_for(0, ranges.size(), kFrontierRangeGrain,
                      [&](std::size_t lo, std::size_t hi) {
                        for (std::size_t ri = lo; ri < hi; ++ri) {
-                         for (graph::NodeId i = ranges[ri].begin; i < ranges[ri].end; ++i) {
-                           scaled[i] = current[i] * inv_deg_[i];
-                         }
+                         kernels.prescale_f64(current.data(), inv_deg_.data(), scaled,
+                                              ranges[ri].begin, ranges[ri].end);
                        }
                      });
+  linalg::simd::SpmvArgs args;
+  args.offsets = offsets.data();
+  args.neighbors = neighbors.data();
+  args.gather = scaled;
+  args.x = current.data();
+  args.y = next.data();
+  args.walk_weight = walk_weight;
+  args.laziness = laziness_;
   util::parallel_for(0, ranges.size(), kFrontierRangeGrain,
                      [&](std::size_t lo, std::size_t hi) {
                        for (std::size_t ri = lo; ri < hi; ++ri) {
-                         for (graph::NodeId j = ranges[ri].begin; j < ranges[ri].end; ++j) {
-                           double acc = 0.0;
-                           for (graph::EdgeIndex e = offsets[j]; e < offsets[j + 1]; ++e) {
-                             acc += scaled[neighbors[e]];
-                           }
-                           next[j] = walk_weight * acc + laziness_ * current[j];
-                         }
+                         kernels.spmv(args, ranges[ri].begin, ranges[ri].end);
                        }
                      });
 }

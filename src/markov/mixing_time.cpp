@@ -199,12 +199,16 @@ SampledMixing measure_sampled_mixing(const graph::Graph& g,
   // Crash tolerance: completed blocks are checkpointed, and restored
   // blocks are replayed from their stored (bit-exact) trajectories instead
   // of being recomputed, so resume composes with the determinism contract.
-  // The context word versions the knobs that don't change results but do
-  // change how they're produced: the ordering and the frontier mode. A
+  // The context word versions the knobs that change how results are
+  // produced: the ordering, the frontier mode, and the kernel precision
+  // (which, unlike the first two, also perturbs the trajectories within
+  // the mixed budget — replaying a mixed snapshot into an f64 run would
+  // silently launder quantization error into the exact-parity path). A
   // snapshot from a foreign combination classifies stale, not corrupt.
-  const std::uint64_t context =
+  const std::uint64_t context = util::hash_combine(
       util::hash_combine(static_cast<std::uint64_t>(options.reorder),
-                         graph::frontier_context_word(options.frontier));
+                         graph::frontier_context_word(options.frontier)),
+      linalg::simd::precision_context_word(options.precision));
   resilience::BlockCheckpoint checkpoint{
       options.checkpoint,
       sampled_mixing_fingerprint(g, sources, max_steps, laziness, options.reorder),
@@ -235,7 +239,7 @@ SampledMixing measure_sampled_mixing(const graph::Graph& g,
   obs::ProgressMeter progress{"sampled-mixing", num_blocks};
   progress.add(num_blocks - pending.size());
   util::parallel_for(0, pending.size(), 1, [&](std::size_t lo, std::size_t hi) {
-    BatchedEvolver evolver{active, laziness, kBlock, options.frontier};
+    BatchedEvolver evolver{active, laziness, kBlock, options.frontier, options.precision};
     std::array<double, kBlock> tvd{};
     for (std::size_t p = lo; p < hi; ++p) {
       SOCMIX_TRACE_SPAN("evolve_block");
@@ -259,6 +263,14 @@ SampledMixing measure_sampled_mixing(const graph::Graph& g,
           if ((above_eps & (1u << b)) != 0 && tvd[b] < kHeadlineEpsilon) {
             above_eps &= ~(1u << b);
             SOCMIX_COUNTER_ADD("markov.sampled.tvd_crossings", 1);
+          }
+          // Mixed precision: the ε-crossing decision above is only as
+          // trustworthy as the accuracy budget. Count the per-step
+          // decisions that fall inside the budget band around ε — the
+          // steps where exact f64 could have decided differently.
+          if (options.precision == linalg::simd::Precision::kMixed &&
+              std::fabs(tvd[b] - kHeadlineEpsilon) < linalg::simd::kMixedTvdBudget) {
+            SOCMIX_COUNTER_ADD("markov.sampled.mixed_eps_guard", 1);
           }
 #endif
         }

@@ -21,6 +21,7 @@
 #include "graph/frontier.hpp"
 #include "graph/graph.hpp"
 #include "graph/reorder.hpp"
+#include "linalg/simd/kernels.hpp"
 #include "resilience/checkpoint.hpp"
 #include "util/rng.hpp"
 
@@ -137,6 +138,16 @@ struct SampledMixingOptions {
   /// into the checkpoint context word alongside the ordering, so a
   /// snapshot written under a different frontier mode classifies stale.
   graph::FrontierPolicy frontier;
+  /// Kernel precision (--precision). kFloat64 (default) is the exact-
+  /// parity path: bit-identical across thread counts, reorder/frontier
+  /// modes, and simd kernel tiers. kMixed stores lane state as float32
+  /// (half the gather traffic) with float64 arithmetic and a Neumaier-
+  /// compensated TVD reduction; per-step TVD deviates from f64 by at most
+  /// linalg::simd::kMixedTvdBudget, and steps whose headline ε-crossing
+  /// decision falls inside that band are surfaced via the
+  /// markov.sampled.mixed_eps_guard counter. Folded into the checkpoint
+  /// context word: foreign-precision snapshots classify stale.
+  linalg::simd::Precision precision = linalg::simd::Precision::kFloat64;
 };
 
 /// Evolves a point mass from each source for max_steps steps and records

@@ -1,0 +1,54 @@
+// Cache-line/SIMD-aligned allocation for the hot kernel buffers.
+//
+// The lane-major evolution blocks (markov::BatchedEvolver) are read with
+// 256/512-bit vector loads whose base is row*stride; with the default
+// malloc alignment (16 bytes) a 32-lane f64 row can start mid cache line,
+// so every vector load straddles two lines and the scalar path pays an
+// extra line per block boundary. AlignedAlloc pins the buffer base to
+// kSimdAlign (one cache line, and the widest vector register we dispatch
+// to), which makes every row of a 64-byte-multiple stride start on a
+// fresh line. The allocator is stateless and interchangeable across
+// alignments >= alignof(T), so containers stay assignable.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace socmix::util {
+
+/// Alignment of the SIMD kernel buffers: one x86 cache line, which is
+/// also the width of a zmm register (the widest load the dispatch layer
+/// issues). See src/linalg/simd/.
+inline constexpr std::size_t kSimdAlign = 64;
+
+template <class T, std::size_t Align = kSimdAlign>
+struct AlignedAlloc {
+  static_assert(Align >= alignof(T) && (Align & (Align - 1)) == 0,
+                "alignment must be a power of two covering alignof(T)");
+  using value_type = T;
+
+  AlignedAlloc() noexcept = default;
+  template <class U>
+  AlignedAlloc(const AlignedAlloc<U, Align>&) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    return static_cast<T*>(::operator new(n * sizeof(T), std::align_val_t{Align}));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{Align});
+  }
+
+  template <class U>
+  struct rebind {
+    using other = AlignedAlloc<U, Align>;
+  };
+
+  friend bool operator==(const AlignedAlloc&, const AlignedAlloc&) noexcept { return true; }
+};
+
+/// std::vector whose data() is kSimdAlign-aligned.
+template <class T>
+using aligned_vector = std::vector<T, AlignedAlloc<T>>;
+
+}  // namespace socmix::util

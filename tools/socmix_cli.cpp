@@ -46,6 +46,8 @@ int usage() {
       "  resil:  --checkpoint-dir DIR [--checkpoint-interval N]  --fault-inject SPEC\n"
       "  perf:   --reorder none|degree|rcm|bfs   vertex ordering for the kernels\n"
       "          --frontier auto|off|FRAC        adaptive frontier-sparse sweeps\n"
+      "          --precision f64|mixed           sampled-walk kernel precision\n"
+      "          (SOCMIX_SIMD=avx512|avx2|scalar forces the simd kernel tier)\n"
       "  info                                    structural report\n"
       "  measure [--sources N] [--steps N] [--eps X] [--tvd-out FILE]\n"
       "  sample  --method bfs|uniform|walk --size N --out FILE\n"
@@ -145,6 +147,7 @@ int cmd_measure(const util::Cli& cli, const resilience::CheckpointOptions& check
   options.checkpoint = checkpoint;
   options.reorder = core::reorder_from_cli(cli);
   options.frontier = core::frontier_from_cli(cli);
+  options.precision = core::precision_from_cli(cli);
   const double eps = cli.get_f64("eps", markov::kHeadlineEpsilon);
 
   const auto report = core::measure_mixing(lcc, name, options);
