@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench_harness/harness.hpp"
 #include "core/experiment.hpp"
 #include "gen/datasets.hpp"
 #include "markov/estimators.hpp"
@@ -26,6 +27,9 @@ using namespace socmix;
 
 int main(int argc, char** argv) {
   const util::Cli cli{argc, argv};
+  // Phase seconds recorded by core::measure_mixing land in the process
+  // harness; the atexit hook writes BENCH_<bench>.json next to the CSVs.
+  bench::Harness::configure_process(cli);
   core::configure_observability(cli);
   const std::string dataset = cli.get("dataset", "Physics 1");
   const auto nodes = static_cast<graph::NodeId>(cli.get_i64("nodes", 2600));

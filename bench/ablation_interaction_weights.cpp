@@ -16,6 +16,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench_harness/harness.hpp"
 #include "core/experiment.hpp"
 #include "gen/datasets.hpp"
 #include "gen/weights.hpp"
@@ -29,6 +30,9 @@ using namespace socmix;
 
 int main(int argc, char** argv) {
   const util::Cli cli{argc, argv};
+  // Phase seconds recorded by core::measure_mixing land in the process
+  // harness; the atexit hook writes BENCH_<bench>.json next to the CSVs.
+  bench::Harness::configure_process(cli);
   core::configure_observability(cli);
   const auto nodes = static_cast<graph::NodeId>(cli.get_i64("nodes", 2600));
   const auto seed = static_cast<std::uint64_t>(cli.get_i64("seed", 42));

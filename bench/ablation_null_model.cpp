@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench_harness/harness.hpp"
 #include "core/experiment.hpp"
 #include "core/measurement.hpp"
 #include "gen/configuration.hpp"
@@ -28,6 +29,9 @@ constexpr const char* kDatasets[] = {"Physics 1", "Physics 3", "Enron", "DBLP",
 
 int main(int argc, char** argv) {
   const util::Cli cli{argc, argv};
+  // Phase seconds recorded by core::measure_mixing land in the process
+  // harness; the atexit hook writes BENCH_<bench>.json next to the CSVs.
+  bench::Harness::configure_process(cli);
   auto config = core::ExperimentConfig::from_cli(cli);
   if (!cli.has("scale")) config.scale = 0.5;
   const double swap_factor = cli.get_f64("swaps", 10.0);

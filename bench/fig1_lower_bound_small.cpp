@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench_harness/harness.hpp"
 #include "core/experiment.hpp"
 #include "core/measurement.hpp"
 
@@ -23,6 +24,9 @@ constexpr const char* kDatasets[] = {"Enron",     "Slashdot 1", "Slashdot 2",
 
 int main(int argc, char** argv) {
   const util::Cli cli{argc, argv};
+  // Phase seconds recorded by core::measure_mixing land in the process
+  // harness; the atexit hook writes BENCH_<bench>.json next to the CSVs.
+  bench::Harness::configure_process(cli);
   const auto config = core::ExperimentConfig::from_cli(cli);
 
   std::cout << "Figure 1: lower bound of the mixing time -- small datasets\n";

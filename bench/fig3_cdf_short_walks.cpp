@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench_harness/harness.hpp"
 #include "core/experiment.hpp"
 #include "core/measurement.hpp"
 
@@ -47,6 +48,9 @@ void emit_cdf(const std::string& dataset, const markov::SampledMixing& sampled,
 
 int main(int argc, char** argv) {
   const util::Cli cli{argc, argv};
+  // Phase seconds recorded by core::measure_mixing land in the process
+  // harness; the atexit hook writes BENCH_<bench>.json next to the CSVs.
+  bench::Harness::configure_process(cli);
   const auto config = core::ExperimentConfig::from_cli(cli);
   const std::size_t sources = cli.has("sources") ? config.sources : 400;
 

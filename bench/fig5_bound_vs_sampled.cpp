@@ -17,6 +17,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench_harness/harness.hpp"
 #include "core/experiment.hpp"
 #include "core/measurement.hpp"
 
@@ -28,6 +29,9 @@ constexpr const char* kDatasets[] = {"Physics 1", "Physics 2", "Physics 3"};
 
 int main(int argc, char** argv) {
   const util::Cli cli{argc, argv};
+  // Phase seconds recorded by core::measure_mixing land in the process
+  // harness; the atexit hook writes BENCH_<bench>.json next to the CSVs.
+  bench::Harness::configure_process(cli);
   const auto config = core::ExperimentConfig::from_cli(cli);
   const std::size_t sources = cli.has("sources") ? config.sources : 100;
   const std::size_t max_steps = config.max_steps != 0 ? config.max_steps : 500;

@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench_harness/harness.hpp"
 #include "core/experiment.hpp"
 #include "graph/components.hpp"
 #include "graph/sampling.hpp"
@@ -25,6 +26,9 @@ using namespace socmix;
 
 int main(int argc, char** argv) {
   const util::Cli cli{argc, argv};
+  // Phase seconds recorded by core::measure_mixing land in the process
+  // harness; the atexit hook writes BENCH_<bench>.json next to the CSVs.
+  bench::Harness::configure_process(cli);
   auto config = core::ExperimentConfig::from_cli(cli);
   if (!cli.has("scale")) config.scale = 0.6;
   const auto suspects = static_cast<std::size_t>(cli.get_i64("suspects", 200));

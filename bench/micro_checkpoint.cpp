@@ -10,12 +10,20 @@
 //
 //   micro_checkpoint [--nodes N] [--sources N] [--steps N] [--rounds N]
 //                    [--out bench_results/micro_checkpoint_overhead.csv]
+//                    [--bench-out PATH] [--bench-repeats N]
+//
+// Every timed run also reports through the process bench::Harness (entry
+// sweep/interval<k>, one repeat per round), so the run emits
+// bench_results/BENCH_micro-checkpoint.json with provenance and hardware
+// counters where available.
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "bench_harness/harness.hpp"
 #include "gen/datasets.hpp"
 #include "graph/components.hpp"
 #include "markov/mixing_time.hpp"
@@ -42,11 +50,12 @@ double run_once(const graph::Graph& g, std::span<const graph::NodeId> sources,
     options.checkpoint.dir = dir.string();
     options.checkpoint.interval = interval;
   }
-  util::Timer timer;
-  const auto result = markov::measure_sampled_mixing(g, sources, options);
-  const double elapsed = timer.seconds();
+  std::optional<markov::SampledMixing> result;
+  const double elapsed = bench::Harness::process().time_once(
+      "sweep/interval" + std::to_string(interval),
+      [&] { result = markov::measure_sampled_mixing(g, sources, options); });
   // Touch the result so the measurement cannot be elided.
-  if (result.num_sources() != sources.size()) std::abort();
+  if (result->num_sources() != sources.size()) std::abort();
   return elapsed;
 }
 
@@ -54,12 +63,16 @@ double run_once(const graph::Graph& g, std::span<const graph::NodeId> sources,
 
 int main(int argc, char** argv) {
   const util::Cli cli{argc, argv};
+  bench::Harness::configure_process(cli);
   const auto nodes = static_cast<graph::NodeId>(cli.get_i64("nodes", 20000));
   const auto num_sources = static_cast<std::size_t>(cli.get_i64("sources", 512));
   const auto max_steps = static_cast<std::size_t>(cli.get_i64("steps", 100));
   const auto rounds = static_cast<std::size_t>(cli.get_i64("rounds", 7));
   const std::string out_path =
       cli.get("out", "bench_results/micro_checkpoint_overhead.csv");
+  bench::Harness::process().set_flag("nodes", std::to_string(nodes));
+  bench::Harness::process().set_flag("steps", std::to_string(max_steps));
+  bench::Harness::process().set_flag("rounds", std::to_string(rounds));
 
   const auto spec = gen::find_dataset("Physics 1");
   if (!spec) {

@@ -26,8 +26,14 @@
 //   micro_frontier [--nodes N] [--rounds N] [--quick]
 //                  [--out bench_results/micro_frontier.csv]
 //                  [--e2e-out bench_results/e2e_frontier.csv]
+//                  [--bench-out PATH] [--bench-repeats N]
 //
-// --quick shrinks everything for CI smoke coverage.
+// --quick shrinks everything for CI smoke coverage. Every timed run also
+// reports through the process bench::Harness, so the run additionally
+// emits bench_results/BENCH_micro-frontier.json (entries
+// evolve/<dataset>/<workload>/t<steps>/{dense,frontier} and
+// e2e/fig8-admission/{dense,frontier}, one repeat per round) with
+// provenance and hardware counters where the kernel allows them.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -37,6 +43,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_harness/harness.hpp"
 #include "gen/datasets.hpp"
 #include "graph/frontier.hpp"
 #include "graph/graph.hpp"
@@ -103,7 +110,8 @@ double median(std::vector<double> v) {
 // entirely on one variant the way back-to-back round blocks would let it.
 PairTiming time_evolve_pair(
     const graph::Graph& g, std::span<const graph::NodeId> sources, std::size_t steps,
-    std::size_t rounds, graph::FrontierPolicy off, graph::FrontierPolicy frontier) {
+    std::size_t rounds, graph::FrontierPolicy off, graph::FrontierPolicy frontier,
+    const std::string& entry_prefix) {
   const std::vector<double> pi = markov::stationary_distribution(g);
   std::vector<double> tvd(sources.size());
   // A fresh evolver per timed run, not one long-lived object per variant:
@@ -112,13 +120,19 @@ PairTiming time_evolve_pair(
   // and that bias sticks to the object for the whole bench. Re-allocating
   // each run draws both variants from the same just-freed arena, so
   // placement varies per round and the min filters it out.
+  // Each timed region also reports into the process harness (one repeat
+  // per round under <prefix>/dense or <prefix>/frontier) for the BENCH
+  // artifact; the pairing discipline below stays the authority on the
+  // reported speedup.
   const auto run_once = [&](graph::FrontierPolicy policy, EvolveTiming& out,
-                            std::size_t round) {
+                            std::size_t round, const char* variant) {
     markov::BatchedEvolver evolver{g, 0.0, markov::BatchedEvolver::kDefaultBlock, policy};
     evolver.seed_point_masses(sources);
-    const util::Timer timer;
-    for (std::size_t t = 0; t < steps; ++t) evolver.step_with_tvd(pi, tvd);
-    const double elapsed = timer.seconds();
+    const double elapsed = bench::Harness::process().time_once(
+        entry_prefix + "/" + variant,
+        [&] {
+          for (std::size_t t = 0; t < steps; ++t) evolver.step_with_tvd(pi, tvd);
+        });
     if (tvd[0] < 0.0) std::abort();  // keep the loop observable
     if (round == 0 || elapsed < out.min_seconds) out.min_seconds = elapsed;
     out.rows_swept = evolver.rows_swept();
@@ -140,11 +154,11 @@ PairTiming time_evolve_pair(
     double dense_s = 0.0;
     double front_s = 0.0;
     if (r % 2 == 0) {
-      dense_s = run_once(off, out.dense, r);
-      front_s = run_once(frontier, out.frontier, r);
+      dense_s = run_once(off, out.dense, r, "dense");
+      front_s = run_once(frontier, out.frontier, r, "frontier");
     } else {
-      front_s = run_once(frontier, out.frontier, r);
-      dense_s = run_once(off, out.dense, r);
+      front_s = run_once(frontier, out.frontier, r, "frontier");
+      dense_s = run_once(off, out.dense, r, "dense");
     }
     ratios.push_back(dense_s / front_s);
   }
@@ -166,9 +180,15 @@ std::vector<graph::NodeId> spread_sources(const graph::Graph& g, std::size_t cou
 
 int main(int argc, char** argv) {
   const util::Cli cli{argc, argv};
+  bench::Harness::configure_process(cli);
   const bool quick = cli.get_flag("quick");
   const auto nodes_override = static_cast<graph::NodeId>(cli.get_i64("nodes", 0));
-  const auto rounds = static_cast<std::size_t>(cli.get_i64("rounds", quick ? 2 : 3));
+  // 5 rounds by default (was 3/2): the BENCH artifact needs >= 5 repeats
+  // per entry for the regression gate's median to be robust.
+  const auto rounds = static_cast<std::size_t>(
+      cli.get_i64("rounds", static_cast<std::int64_t>(bench::Harness::process_repeats(5))));
+  bench::Harness::process().set_flag("quick", quick ? "true" : "false");
+  bench::Harness::process().set_flag("rounds", std::to_string(rounds));
   const std::vector<std::size_t> step_grid =
       quick ? std::vector<std::size_t>{5, 25} : std::vector<std::size_t>{5, 10, 25, 100, 500};
 
@@ -203,7 +223,10 @@ int main(int argc, char** argv) {
     for (const auto& [workload, sources] :
          {std::pair{"single", &single}, std::pair{"block32", &block32}}) {
       for (const std::size_t steps : step_grid) {
-        const PairTiming timing = time_evolve_pair(g, *sources, steps, rounds, off, automatic);
+        const std::string prefix = "evolve/" + util::slugify(spec.name) + "/" + workload +
+                                   "/t" + std::to_string(steps);
+        const PairTiming timing =
+            time_evolve_pair(g, *sources, steps, rounds, off, automatic, prefix);
         rows.push_back({spec.name, class_name(spec.paper_mixing_class), workload, steps,
                         n, g.num_edges(),
                         static_cast<double>(timing.frontier.rows_swept) /
@@ -259,15 +282,16 @@ int main(int argc, char** argv) {
   std::vector<sybil::AdmissionPoint> auto_points;
   std::vector<double> e2e_ratios;
   e2e_ratios.reserve(rounds);
+  bench::Harness& harness = bench::Harness::process();
   for (std::size_t r = 0; r < rounds; ++r) {
     sweep.frontier = off;
-    const util::Timer off_timer;
-    off_points = sybil::admission_sweep(g, sweep);
-    const double off_s = off_timer.seconds();
+    const double off_s = harness.time_once("e2e/fig8-admission/dense", [&] {
+      off_points = sybil::admission_sweep(g, sweep);
+    });
     sweep.frontier = automatic;
-    const util::Timer auto_timer;
-    auto_points = sybil::admission_sweep(g, sweep);
-    const double auto_s = auto_timer.seconds();
+    const double auto_s = harness.time_once("e2e/fig8-admission/frontier", [&] {
+      auto_points = sybil::admission_sweep(g, sweep);
+    });
     if (r == 0 || off_s < off_seconds) off_seconds = off_s;
     if (r == 0 || auto_s < auto_seconds) auto_seconds = auto_s;
     e2e_ratios.push_back(off_s / auto_s);

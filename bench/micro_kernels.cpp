@@ -5,14 +5,24 @@
 // Custom main (instead of benchmark_main) so the run's accumulated obs
 // metrics land in bench_results/micro_kernels_metrics.json — the counters
 // double as a sanity check that the benchmarked kernels took the expected
-// paths (unrolled vs generic sweeps, fused-TVD, pool utilization).
+// paths (unrolled vs generic sweeps, fused-TVD, pool utilization) — and so
+// everything reports through the process bench::Harness into
+// bench_results/BENCH_micro-kernels.json (the artifact bench_compare
+// gates on). --obs-overhead additionally times the fused sweep bare vs
+// fully instrumented (counters + background sampler) and records the
+// delta in bench_results/micro_obs_overhead.csv.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <string>
 #include <vector>
+
+#include "bench_harness/harness.hpp"
+#include "bench_harness/provenance.hpp"
+#include "obs/sampler.hpp"
 
 #include "gen/barabasi_albert.hpp"
 #include "gen/datasets.hpp"
@@ -45,6 +55,26 @@ graph::Graph make_ba(graph::NodeId n) {
   util::Rng rng{7};
   return gen::barabasi_albert(n, 5, rng);
 }
+
+// Mirrors every non-aggregate google-benchmark repetition into the process
+// harness (entry "gbench/<name>", seconds per iteration) so the suite
+// lands in the BENCH artifact alongside the ablation entries, while the
+// console table prints exactly as before. google-benchmark owns warmup
+// and repetition policy here; pass --benchmark_repetitions=N for
+// multi-repeat entries (the perf gate runs --simd-only and compares only
+// the harness-driven ablation entries, which always have >= 5 repeats).
+class HarnessReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      const double iters = run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      bench::Harness::process().record("gbench/" + run.benchmark_name(),
+                                       run.real_accumulated_time / iters);
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+};
 
 void BM_SpMV(benchmark::State& state) {
   const auto g = make_ba(static_cast<graph::NodeId>(state.range(0)));
@@ -291,10 +321,14 @@ std::vector<simd::Tier> available_tiers() {
   return tiers;
 }
 
-/// One timed run of `steps` fused SpMM+TVD sweeps at 32 lanes; returns
-/// wall seconds (best of three to shed scheduler noise).
+/// Repeated timed runs of `steps` fused SpMM+TVD sweeps at 32 lanes, each
+/// recorded into the process harness under `entry` (so the BENCH artifact
+/// keeps every repeat plus hardware counters); returns the best wall
+/// seconds — the min sheds scheduler noise and is what the CSV speedup
+/// columns have always compared.
 double time_batched_sweeps(const graph::Graph& g, std::span<const double> pi,
-                           simd::Precision precision, std::size_t steps) {
+                           simd::Precision precision, std::size_t steps,
+                           const std::string& entry) {
   constexpr std::size_t kLanes = 32;
   // Frontier off: the roofline measures the dense fused sweep itself.
   markov::BatchedEvolver evolver{g, 0.0, kLanes, *graph::parse_frontier_policy("off"),
@@ -302,13 +336,17 @@ double time_batched_sweeps(const graph::Graph& g, std::span<const double> pi,
   std::vector<graph::NodeId> sources(kLanes);
   for (std::size_t b = 0; b < kLanes; ++b) sources[b] = static_cast<graph::NodeId>(b);
   std::vector<double> tvd(kLanes);
+  bench::Harness& harness = bench::Harness::process();
+  harness.set_items(entry, static_cast<double>(g.num_half_edges()) *
+                               static_cast<double>(kLanes) * static_cast<double>(steps));
+  const std::size_t repeats = bench::Harness::process_repeats(5);
   double best = 1e300;
-  for (int rep = 0; rep < 3; ++rep) {
+  for (std::size_t rep = 0; rep < repeats; ++rep) {
     evolver.seed_point_masses(sources);
     evolver.step_with_tvd(pi, tvd);  // warm-up sweep: faults in, caches primed
-    const util::Timer timer;
-    for (std::size_t t = 0; t < steps; ++t) evolver.step_with_tvd(pi, tvd);
-    best = std::min(best, timer.seconds());
+    best = std::min(best, harness.time_once(entry, [&] {
+      for (std::size_t t = 0; t < steps; ++t) evolver.step_with_tvd(pi, tvd);
+    }));
     benchmark::DoNotOptimize(tvd.data());
   }
   return best;
@@ -348,7 +386,9 @@ void run_simd_ablation(bool quick, bool run_f64, bool run_mixed) {
   for (const simd::Tier tier : available_tiers()) {
     for (const simd::Precision precision : precisions) {
       if (!simd::set_tier(tier)) continue;
-      const double seconds = time_batched_sweeps(g, pi, precision, steps);
+      const std::string entry = std::string{"spmm_tvd/"} + simd::tier_name(tier) + "/" +
+                                simd::precision_name(precision);
+      const double seconds = time_batched_sweeps(g, pi, precision, steps, entry);
       simd::reset_tier();
       const double gb = 1e-9 * sweep_bytes(g, precision) * static_cast<double>(steps);
       if (tier == simd::Tier::kScalar && precision == simd::Precision::kFloat64) {
@@ -384,13 +424,21 @@ void run_simd_ablation(bool quick, bool run_f64, bool run_mixed) {
   const std::size_t e2e_steps = quick ? 4 : 16;
   std::vector<graph::NodeId> sources(32);
   for (std::size_t s = 0; s < 32; ++s) sources[s] = static_cast<graph::NodeId>(s);
-  const auto time_e2e = [&](simd::Precision precision) {
+  // Each config runs process_repeats() times through the harness (entry
+  // "e2e/<config>/<precision>"); the table and CSV keep reporting the min.
+  const auto time_e2e = [&](const char* config, simd::Precision precision) {
     markov::SampledMixingOptions options;
     options.max_steps = e2e_steps;
     options.precision = precision;
-    const util::Timer timer;
-    benchmark::DoNotOptimize(markov::measure_sampled_mixing(g, sources, options));
-    return timer.seconds();
+    const std::string entry =
+        std::string{"e2e/"} + config + "/" + simd::precision_name(precision);
+    double best_s = 1e300;
+    for (std::size_t rep = 0; rep < bench::Harness::process_repeats(5); ++rep) {
+      best_s = std::min(best_s, bench::Harness::process().time_once(entry, [&] {
+        benchmark::DoNotOptimize(markov::measure_sampled_mixing(g, sources, options));
+      }));
+    }
+    return best_s;
   };
   struct E2eRow {
     const char* config;
@@ -400,11 +448,11 @@ void run_simd_ablation(bool quick, bool run_f64, bool run_mixed) {
   };
   std::vector<E2eRow> e2e;
   simd::set_tier(simd::Tier::kScalar);
-  e2e.push_back({"before", "scalar", "f64", time_e2e(simd::Precision::kFloat64)});
+  e2e.push_back({"before", "scalar", "f64", time_e2e("before", simd::Precision::kFloat64)});
   simd::reset_tier();
   const char* best = simd::tier_name(simd::active_tier());
-  e2e.push_back({"after", best, "f64", time_e2e(simd::Precision::kFloat64)});
-  e2e.push_back({"after", best, "mixed", time_e2e(simd::Precision::kMixed)});
+  e2e.push_back({"after", best, "f64", time_e2e("after", simd::Precision::kFloat64)});
+  e2e.push_back({"after", best, "mixed", time_e2e("after", simd::Precision::kMixed)});
 
   std::printf("== end-to-end measure_sampled_mixing (32 sources x %zu steps) ==\n",
               e2e_steps);
@@ -420,12 +468,127 @@ void run_simd_ablation(bool quick, bool run_f64, bool run_mixed) {
   util::set_thread_count(0);
 }
 
+// ------------------------------------------------ observability overhead --
+// The same fused-sweep region timed two ways: bare (util::Timer only, the
+// pre-harness discipline) and fully instrumented (Harness::time_once with
+// hardware counters armed while the process sampler snapshots the metrics
+// registry in the background). Rounds interleave the two arms with the
+// order alternating — micro_frontier's pairing discipline — and the
+// per-arm min is compared, so a co-tenant burst cannot masquerade as
+// instrumentation cost. The acceptance bar is <= 2% overhead; the result
+// goes to bench_results/micro_obs_overhead.csv.
+void run_obs_overhead(bool quick) {
+  util::set_thread_count(1);
+  // n is chosen so the lane state stays LLC-resident: a larger graph
+  // spills to DRAM and the arm-to-arm comparison drowns in cache-occupancy
+  // noise (±3% per round) instead of measuring instrumentation. A
+  // cache-resident region is also the stricter test -- overhead is the
+  // largest relative fraction when the kernel itself is fastest.
+  const auto g = make_ba(static_cast<graph::NodeId>(20000));
+  const auto pi = markov::stationary_distribution(g);
+  // The region must still dwarf the per-sample costs (two perf ioctls,
+  // one /proc read): steps put it at tens of milliseconds.
+  const std::size_t steps = quick ? 4 : 16;
+  const std::size_t rounds = quick ? 6 : 12;
+  constexpr std::size_t kLanes = 32;
+  markov::BatchedEvolver evolver{g, 0.0, kLanes, *graph::parse_frontier_policy("off")};
+  std::vector<graph::NodeId> sources(kLanes);
+  for (std::size_t b = 0; b < kLanes; ++b) sources[b] = static_cast<graph::NodeId>(b);
+  std::vector<double> tvd(kLanes);
+  const auto sweep = [&] {
+    evolver.seed_point_masses(sources);
+    for (std::size_t t = 0; t < steps; ++t) evolver.step_with_tvd(pi, tvd);
+    benchmark::DoNotOptimize(tvd.data());
+  };
+
+  const auto dir = util::bench_results_dir();
+  obs::SamplerOptions sampler_options;
+  sampler_options.path =
+      dir ? *dir + "/micro_obs_overhead_sample.jsonl" : std::string{"/dev/null"};
+  sampler_options.interval_ms = 100;
+  obs::start_process_sampler(sampler_options);
+
+  bench::Harness& harness = bench::Harness::process();
+  sweep();  // warm both arms: graph faulted in, caches primed
+  double bare_min = 1e300;
+  double instrumented_min = 1e300;
+  std::vector<double> ratios;
+  ratios.reserve(rounds);
+  for (std::size_t r = 0; r < rounds; ++r) {
+    double bare = 1e300;
+    double instrumented = 1e300;
+    const auto run_bare = [&] {
+      const util::Timer timer;
+      sweep();
+      const double s = timer.seconds();
+      harness.record("obs_overhead/bare", s);
+      bare = std::min(bare, s);
+    };
+    const auto run_instrumented = [&] {
+      const double s = harness.time_once("obs_overhead/instrumented", sweep);
+      instrumented = std::min(instrumented, s);
+    };
+    // BIIB-IBBI within the round, mirrored on alternate rounds so neither
+    // arm systematically runs first, last, or after a particular
+    // neighbour. The round ratio compares each arm's MIN of its four
+    // runs: on a shared box a preemption burst only inflates a run, so
+    // the min discards bursts instead of averaging them in, and because
+    // both mins come from the same ~300 ms window there is none of the
+    // cross-window drift that makes whole-bench min-vs-min unsound.
+    static constexpr char kOrder[2][8] = {
+        {'B', 'I', 'I', 'B', 'I', 'B', 'B', 'I'},
+        {'I', 'B', 'B', 'I', 'B', 'I', 'I', 'B'},
+    };
+    for (const char arm : kOrder[r % 2]) {
+      (arm == 'B') ? run_bare() : run_instrumented();
+    }
+    bare_min = std::min(bare_min, bare);
+    instrumented_min = std::min(instrumented_min, instrumented);
+    ratios.push_back(instrumented / bare);
+  }
+  obs::stop_process_sampler();
+
+  // Headline number: interquartile mean of the per-round ratios. Drift
+  // shared across a round (frequency, co-tenant load) divides out in each
+  // ratio, and trimming the top and bottom quarter discards the rounds
+  // where a scheduler blip lands inside one arm while still averaging the
+  // central bulk. Comparing the arms' independent minima instead is NOT
+  // sound here: at these region sizes the two minima disagree by several
+  // percent in either direction from run placement alone (same A/A effect
+  // micro_frontier documents for separately-allocated evolvers).
+  std::fprintf(stderr, "round ratios:");
+  for (const double x : ratios) std::fprintf(stderr, " %+.2f%%", (x - 1.0) * 100.0);
+  std::fprintf(stderr, "\n");
+  std::sort(ratios.begin(), ratios.end());
+  const std::size_t trim = ratios.size() / 4;
+  double ratio_sum = 0.0;
+  for (std::size_t i = trim; i < ratios.size() - trim; ++i) ratio_sum += ratios[i];
+  const double overhead_pct =
+      (ratio_sum / static_cast<double>(ratios.size() - 2 * trim) - 1.0) * 100.0;
+  std::printf("\n== observability overhead (fused sweep, %zu balanced rounds) ==\n",
+              rounds);
+  std::printf("  bare min %.4f s, instrumented min %.4f s, paired overhead %+.2f%%\n",
+              bare_min, instrumented_min, overhead_pct);
+
+  util::CsvWriter csv{dir ? *dir + "/micro_obs_overhead.csv" : "/dev/null"};
+  csv.row({"kernel", "rounds", "steps", "bare_seconds", "instrumented_seconds",
+           "overhead_pct"});
+  csv.row({"batched_spmm_tvd", std::to_string(rounds), std::to_string(steps),
+           util::fmt_sci(bare_min, 6), util::fmt_sci(instrumented_min, 6),
+           util::fmt_fixed(overhead_pct, 3)});
+  if (csv.ok() && dir) {
+    std::fprintf(stderr, "wrote %s/micro_obs_overhead.csv\n", dir->c_str());
+  }
+  util::set_thread_count(0);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   // Strip our custom flags before google-benchmark sees (and rejects) them.
   bool quick = false;
   bool simd_only = false;
+  bool obs_overhead = false;
   bool run_f64 = true;
   bool run_mixed = true;
   std::vector<char*> passthrough;
@@ -434,6 +597,8 @@ int main(int argc, char** argv) {
       quick = true;
     } else if (std::strcmp(argv[i], "--simd-only") == 0) {
       simd_only = true;
+    } else if (std::strcmp(argv[i], "--obs-overhead") == 0) {
+      obs_overhead = true;
     } else if (std::strncmp(argv[i], "--precision", 11) == 0) {
       std::string value;
       if (argv[i][11] == '=') {
@@ -454,19 +619,40 @@ int main(int argc, char** argv) {
       passthrough.push_back(argv[i]);
     }
   }
+  // All timing reports through the process harness; the atexit hook writes
+  // bench_results/BENCH_micro-kernels.json once everything below has run.
+  // The overhead mode gets its own artifact name so an --obs-overhead run
+  // never clobbers the gate-able kernel baseline.
+  bench::Harness::configure_process(obs_overhead ? "micro_kernels_obs" : "micro_kernels");
+  bench::Harness::process().set_flag("quick", quick ? "true" : "false");
+  bench::Harness::process().set_flag(
+      "precision", run_f64 && run_mixed ? "both" : (run_f64 ? "f64" : "mixed"));
+  bench::apply_metrics_provenance();
+
   int bench_argc = static_cast<int>(passthrough.size());
   benchmark::Initialize(&bench_argc, passthrough.data());
   if (benchmark::ReportUnrecognizedArguments(bench_argc, passthrough.data())) return 1;
-  if (!simd_only) benchmark::RunSpecifiedBenchmarks();
+  if (!simd_only && !obs_overhead) {
+    HarnessReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+  }
   benchmark::Shutdown();
 
-  run_simd_ablation(quick, run_f64, run_mixed);
+  if (obs_overhead) {
+    run_obs_overhead(quick);
+  } else {
+    run_simd_ablation(quick, run_f64, run_mixed);
+  }
 
-  if (const auto dir = util::bench_results_dir()) {
+  // The overhead mode exercises only one kernel; don't let its sparse
+  // registry clobber the metrics snapshot from a real ablation run.
+  if (const auto dir = obs_overhead ? std::nullopt : util::bench_results_dir()) {
     const std::string path = *dir + "/micro_kernels_metrics.json";
     std::ofstream out{path};
     if (out) {
-      socmix::obs::write_metrics_json(socmix::obs::Registry::instance().snapshot(), out);
+      auto snapshot = socmix::obs::Registry::instance().snapshot();
+      socmix::obs::stamp_provenance(snapshot);
+      socmix::obs::write_metrics_json(snapshot, out);
       std::fprintf(stderr, "wrote %s\n", path.c_str());
     }
   }

@@ -20,8 +20,13 @@
 //
 //   micro_reorder [--nodes N] [--steps N] [--rounds N] [--quick]
 //                 [--out bench_results/micro_reorder.csv]
+//                 [--bench-out PATH] [--bench-repeats N]
 //
-// --quick shrinks everything for CI smoke coverage.
+// --quick shrinks everything for CI smoke coverage. Every timed round
+// also reports through the process bench::Harness, so the run emits
+// bench_results/BENCH_micro-reorder.json (one entry per
+// <kernel>/<dataset>/<labeling>/<mode>, one repeat per round) with
+// provenance and hardware counters where available.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -29,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_harness/harness.hpp"
 #include "gen/datasets.hpp"
 #include "graph/reorder.hpp"
 #include "linalg/walk_operator.hpp"
@@ -59,7 +65,12 @@ struct Row {
   double speedup_vs_none = 0.0;
 };
 
-double time_evolve(const graph::Graph& g, std::size_t steps, std::size_t rounds) {
+// Both kernels report each round into the process harness under `entry`
+// (the BENCH artifact keeps all repeats); the returned min stays the
+// number the table, CSV, and speedup columns are built from.
+
+double time_evolve(const graph::Graph& g, std::size_t steps, std::size_t rounds,
+                   const std::string& entry) {
   const std::vector<double> pi = markov::stationary_distribution(g);
   std::vector<graph::NodeId> sources(32);
   for (graph::NodeId s = 0; s < 32; ++s) sources[s] = s;
@@ -68,28 +79,29 @@ double time_evolve(const graph::Graph& g, std::size_t steps, std::size_t rounds)
   double best = 0.0;
   for (std::size_t r = 0; r < rounds; ++r) {
     evolver.seed_point_masses(sources);
-    const util::Timer timer;
-    for (std::size_t t = 0; t < steps; ++t) evolver.step_with_tvd(pi, tvd);
-    const double elapsed = timer.seconds();
+    const double elapsed = bench::Harness::process().time_once(entry, [&] {
+      for (std::size_t t = 0; t < steps; ++t) evolver.step_with_tvd(pi, tvd);
+    });
     if (tvd[0] < 0.0) std::abort();  // keep the loop observable
     if (r == 0 || elapsed < best) best = elapsed;
   }
   return best;
 }
 
-double time_spmv(const graph::Graph& g, std::size_t steps, std::size_t rounds) {
+double time_spmv(const graph::Graph& g, std::size_t steps, std::size_t rounds,
+                 const std::string& entry) {
   const linalg::WalkOperator op{g, 0.0};
   const std::size_t n = op.dim();
   std::vector<double> x(n, 1.0 / static_cast<double>(n));
   std::vector<double> y(n, 0.0);
   double best = 0.0;
   for (std::size_t r = 0; r < rounds; ++r) {
-    const util::Timer timer;
-    for (std::size_t t = 0; t < steps; ++t) {
-      op.apply(x, y);
-      x.swap(y);
-    }
-    const double elapsed = timer.seconds();
+    const double elapsed = bench::Harness::process().time_once(entry, [&] {
+      for (std::size_t t = 0; t < steps; ++t) {
+        op.apply(x, y);
+        x.swap(y);
+      }
+    });
     if (x[0] < 0.0) std::abort();
     if (r == 0 || elapsed < best) best = elapsed;
   }
@@ -100,10 +112,17 @@ double time_spmv(const graph::Graph& g, std::size_t steps, std::size_t rounds) {
 
 int main(int argc, char** argv) {
   const util::Cli cli{argc, argv};
+  bench::Harness::configure_process(cli);
   const bool quick = cli.get_flag("quick");
   const auto nodes_override = static_cast<graph::NodeId>(cli.get_i64("nodes", 0));
   const auto steps = static_cast<std::size_t>(cli.get_i64("steps", quick ? 4 : 40));
-  const auto rounds = static_cast<std::size_t>(cli.get_i64("rounds", quick ? 2 : 3));
+  // 5 rounds by default (was 3/2): the BENCH artifact needs >= 5 repeats
+  // per entry for the regression gate's median to be robust.
+  const auto rounds = static_cast<std::size_t>(
+      cli.get_i64("rounds", static_cast<std::int64_t>(bench::Harness::process_repeats(5))));
+  bench::Harness::process().set_flag("quick", quick ? "true" : "false");
+  bench::Harness::process().set_flag("steps", std::to_string(steps));
+  bench::Harness::process().set_flag("rounds", std::to_string(rounds));
 
   // One expander-like fast mixer, one community-heavy slow mixer — the
   // structural classes the paper contrasts (locality gains concentrate in
@@ -142,16 +161,18 @@ int main(int argc, char** argv) {
                 ? base
                 : graph::apply_permutation(base, graph::reorder_permutation(base, mode));
         const graph::LocalityStats stats = graph::locality_stats(g);
-        const double evolve_s = time_evolve(g, steps, rounds);
-        const double spmv_s = time_spmv(g, steps, rounds);
+        const auto mode_slug = std::string{graph::reorder_mode_name(mode)};
+        const std::string prefix =
+            util::slugify(name) + "/" + labeling + "/" + mode_slug;
+        const double evolve_s = time_evolve(g, steps, rounds, "evolve/" + prefix);
+        const double spmv_s = time_spmv(g, steps, rounds, "spmv/" + prefix);
         if (mode == graph::ReorderMode::kNone) {
           none_evolve = evolve_s;
           none_spmv = spmv_s;
         }
-        const auto mode_name = std::string{graph::reorder_mode_name(mode)};
-        rows.push_back({name, labeling, mode_name, "evolve", g.num_nodes(),
+        rows.push_back({name, labeling, mode_slug, "evolve", g.num_nodes(),
                         g.num_edges(), stats, evolve_s, none_evolve / evolve_s});
-        rows.push_back({name, labeling, mode_name, "spmv", g.num_nodes(),
+        rows.push_back({name, labeling, mode_slug, "spmv", g.num_nodes(),
                         g.num_edges(), stats, spmv_s, none_spmv / spmv_s});
       }
     }

@@ -1,0 +1,160 @@
+#include "bench_harness/compare.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "bench_harness/harness.hpp"
+#include "util/string_util.hpp"
+
+namespace socmix::bench {
+
+namespace {
+
+struct NamedMedian {
+  std::string name;
+  double median = 0.0;
+};
+
+std::vector<NamedMedian> medians_of(const Json& doc, const std::string& which) {
+  const Json* schema = doc.find("schema");
+  if (!schema) {
+    throw std::runtime_error(which + ": missing \"schema\" field (not a BENCH artifact?)");
+  }
+  if (schema->as_string() != kSchema) {
+    throw std::runtime_error(which + ": schema \"" + schema->as_string() +
+                             "\" != expected \"" + kSchema + "\"");
+  }
+  const Json* entries = doc.find("entries");
+  if (!entries) throw std::runtime_error(which + ": missing \"entries\" array");
+  std::vector<NamedMedian> out;
+  for (const Json& e : entries->elements()) {
+    NamedMedian nm;
+    nm.name = e.at("name").as_string();
+    nm.median = e.at("median_s").as_number();
+    out.push_back(std::move(nm));
+  }
+  return out;
+}
+
+std::string artifact_name(const Json& doc) {
+  const Json* name = doc.find("name");
+  return name ? name->as_string() : std::string{"(unnamed)"};
+}
+
+}  // namespace
+
+std::size_t CompareReport::regressions() const {
+  std::size_t n = 0;
+  for (const auto& d : deltas) n += d.regressed ? 1 : 0;
+  return n;
+}
+
+double parse_threshold(const std::string& text) {
+  std::string body{util::trim(text)};
+  bool percent = false;
+  if (!body.empty() && body.back() == '%') {
+    percent = true;
+    body.pop_back();
+  }
+  const auto value = util::parse_f64(util::trim(body));
+  if (!value || *value < 0.0) {
+    throw std::runtime_error("bad threshold \"" + text + "\" (want e.g. 25%, 25, or 0.25)");
+  }
+  // Bare numbers > 1 read as percentages: "--threshold 25" means 25%.
+  if (percent || *value > 1.0) return *value / 100.0;
+  return *value;
+}
+
+CompareReport compare_artifacts(const Json& old_doc, const Json& new_doc,
+                                const CompareOptions& options) {
+  const auto old_entries = medians_of(old_doc, "baseline");
+  const auto new_entries = medians_of(new_doc, "candidate");
+
+  CompareReport report;
+  report.old_name = artifact_name(old_doc);
+  report.new_name = artifact_name(new_doc);
+
+  for (const auto& o : old_entries) {
+    const NamedMedian* match = nullptr;
+    for (const auto& n : new_entries) {
+      if (n.name == o.name) {
+        match = &n;
+        break;
+      }
+    }
+    if (!match) {
+      report.only_in_old.push_back(o.name);
+      continue;
+    }
+    EntryDelta d;
+    d.name = o.name;
+    d.old_median = o.median;
+    d.new_median = match->median;
+    d.ratio = o.median > 0.0 ? match->median / o.median : 0.0;
+    d.below_floor = o.median < options.min_seconds;
+    d.regressed = !d.below_floor && o.median > 0.0 &&
+                  match->median > o.median * (1.0 + options.threshold);
+    report.deltas.push_back(std::move(d));
+  }
+  for (const auto& n : new_entries) {
+    bool found = false;
+    for (const auto& o : old_entries) {
+      if (o.name == n.name) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) report.only_in_new.push_back(n.name);
+  }
+
+  if (report.deltas.empty()) {
+    throw std::runtime_error("no common entries between baseline and candidate — "
+                             "nothing to gate (wrong artifact pair?)");
+  }
+  return report;
+}
+
+CompareReport compare_files(const std::string& old_path, const std::string& new_path,
+                            const CompareOptions& options) {
+  const auto load = [](const std::string& path, const char* which) {
+    std::ifstream in(path);
+    if (!in) {
+      throw std::runtime_error(std::string{which} + ": cannot open " + path);
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return Json::parse(buf.str());
+  };
+  return compare_artifacts(load(old_path, "baseline"), load(new_path, "candidate"),
+                           options);
+}
+
+void print_report(const CompareReport& report, const CompareOptions& options,
+                  std::ostream& out) {
+  char line[256];
+  std::snprintf(line, sizeof line, "%-44s %12s %12s %8s  %s", "entry", "old median",
+                "new median", "ratio", "verdict");
+  out << line << '\n';
+  for (const auto& d : report.deltas) {
+    const char* verdict = d.regressed       ? "REGRESSED"
+                          : d.below_floor   ? "ok (below noise floor)"
+                          : d.ratio > 1.0   ? "ok"
+                                            : "ok (faster)";
+    std::snprintf(line, sizeof line, "%-44s %10.4gs %10.4gs %8.3f  %s", d.name.c_str(),
+                  d.old_median, d.new_median, d.ratio, verdict);
+    out << line << '\n';
+  }
+  for (const auto& name : report.only_in_old) {
+    out << "warning: entry \"" << name << "\" only in baseline (CPU tier mismatch?)\n";
+  }
+  for (const auto& name : report.only_in_new) {
+    out << "warning: entry \"" << name << "\" only in candidate (new bench?)\n";
+  }
+  out << report.regressions() << " regression(s) at threshold "
+      << options.threshold * 100.0 << "% (noise floor " << options.min_seconds << "s)\n";
+}
+
+}  // namespace socmix::bench

@@ -1,0 +1,70 @@
+// Comparison of two BENCH_*.json artifacts — the perf-regression gate.
+//
+// Entries are matched by name; each pair's median_s is compared and a
+// relative slowdown above the threshold marks a regression. Entries whose
+// baseline median is below the noise floor (min_seconds) are reported but
+// never gated — a 2x ratio on a 20 µs kernel is scheduler jitter, not a
+// regression. Entries present on only one side are warnings, not errors:
+// a baseline recorded on an AVX-512 box legitimately has tier entries a
+// SSE4 runner cannot reproduce.
+//
+// Schema errors (wrong/missing "schema" field, malformed JSON, no common
+// entries at all) throw — the CI gate hard-fails on those even in
+// advisory mode, because a gate that silently compares nothing is worse
+// than no gate.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "bench_harness/json.hpp"
+
+namespace socmix::bench {
+
+struct CompareOptions {
+  /// Relative slowdown that counts as a regression: new > old * (1 + threshold).
+  double threshold = 0.25;
+  /// Baseline medians below this (seconds) are never gated.
+  double min_seconds = 1e-4;
+};
+
+struct EntryDelta {
+  std::string name;
+  double old_median = 0.0;
+  double new_median = 0.0;
+  double ratio = 0.0;  ///< new / old (0 when old is 0)
+  bool below_floor = false;
+  bool regressed = false;
+};
+
+struct CompareReport {
+  std::string old_name;
+  std::string new_name;
+  std::vector<EntryDelta> deltas;
+  std::vector<std::string> only_in_old;
+  std::vector<std::string> only_in_new;
+
+  [[nodiscard]] std::size_t regressions() const;
+};
+
+/// Parses "25%", "25", or "0.25" into a fraction (0.25). Values > 1 are
+/// treated as percentages. Throws std::runtime_error on garbage.
+[[nodiscard]] double parse_threshold(const std::string& text);
+
+/// Compares two parsed artifacts. Throws std::runtime_error on schema
+/// mismatch or empty entry intersection.
+[[nodiscard]] CompareReport compare_artifacts(const Json& old_doc, const Json& new_doc,
+                                              const CompareOptions& options = {});
+
+/// Loads and compares two artifact files. Throws std::runtime_error (IO)
+/// or JsonError (parse) on failure.
+[[nodiscard]] CompareReport compare_files(const std::string& old_path,
+                                          const std::string& new_path,
+                                          const CompareOptions& options = {});
+
+/// Human-readable table of the report (one line per delta + warnings).
+void print_report(const CompareReport& report, const CompareOptions& options,
+                  std::ostream& out);
+
+}  // namespace socmix::bench

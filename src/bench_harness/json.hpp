@@ -1,0 +1,115 @@
+// Minimal JSON value model + recursive-descent parser for the benchmark
+// subsystem.
+//
+// Scope: exactly what BENCH_*.json and the obs sampler's JSONL need —
+// objects, arrays, strings, finite doubles, bools, null. The parser is
+// strict (throws bench::JsonError on malformed input) because a bench
+// artifact that fails to parse must fail the consumer loudly, never be
+// silently skipped; the writer emits the same canonical form the rest of
+// the repo's exporters use (17-significant-digit doubles, integral values
+// without a decimal point, no NaN/Inf literals).
+//
+// This is deliberately not a general JSON library: no streaming, no
+// comments, no duplicate-key detection. Object keys keep insertion order
+// so written files diff cleanly.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace socmix::bench {
+
+class JsonError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One JSON value. Numbers are stored as double (the schema's counters and
+/// timings all fit; exact u64 fidelity is not contractual here).
+class Json {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() noexcept : kind_(Kind::kNull) {}
+  Json(bool b) noexcept : kind_(Kind::kBool), bool_(b) {}  // NOLINT(google-explicit-constructor)
+  Json(double v) noexcept : kind_(Kind::kNumber), number_(v) {}  // NOLINT
+  Json(std::int64_t v) noexcept : kind_(Kind::kNumber), number_(static_cast<double>(v)) {}  // NOLINT
+  Json(std::uint64_t v) noexcept : kind_(Kind::kNumber), number_(static_cast<double>(v)) {}  // NOLINT
+  Json(std::string s) noexcept : kind_(Kind::kString), string_(std::move(s)) {}  // NOLINT
+  Json(const char* s) : kind_(Kind::kString), string_(s) {}  // NOLINT
+
+  [[nodiscard]] static Json object() {
+    Json j;
+    j.kind_ = Kind::kObject;
+    return j;
+  }
+  [[nodiscard]] static Json array() {
+    Json j;
+    j.kind_ = Kind::kArray;
+    return j;
+  }
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_object() const noexcept { return kind_ == Kind::kObject; }
+  [[nodiscard]] bool is_array() const noexcept { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_number() const noexcept { return kind_ == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const noexcept { return kind_ == Kind::kString; }
+  [[nodiscard]] bool is_bool() const noexcept { return kind_ == Kind::kBool; }
+
+  /// Typed accessors; throw JsonError on kind mismatch (schema violations
+  /// surface as exceptions, not garbage values).
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] bool as_bool() const;
+
+  // -- object access ------------------------------------------------------
+  /// Member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const Json* find(std::string_view key) const noexcept;
+  /// Member lookup; throws JsonError naming the missing key.
+  [[nodiscard]] const Json& at(std::string_view key) const;
+  [[nodiscard]] bool has(std::string_view key) const noexcept { return find(key) != nullptr; }
+  /// Inserts or overwrites a member (value becomes/stays an object).
+  Json& set(std::string key, Json value);
+  [[nodiscard]] const std::vector<std::pair<std::string, Json>>& members() const noexcept {
+    return members_;
+  }
+
+  // -- array access -------------------------------------------------------
+  [[nodiscard]] std::size_t size() const noexcept;
+  [[nodiscard]] const Json& at(std::size_t index) const;
+  /// Appends an element (value becomes/stays an array).
+  Json& push(Json value);
+  [[nodiscard]] const std::vector<Json>& elements() const noexcept { return elements_; }
+
+  /// Parses a complete JSON document; throws JsonError with a byte offset
+  /// on malformed input or trailing garbage.
+  [[nodiscard]] static Json parse(std::string_view text);
+
+  /// Serializes compactly (no whitespace). Integral numbers print without
+  /// a decimal point; non-finite numbers as null.
+  void write(std::ostream& out) const;
+  [[nodiscard]] std::string dump() const;
+
+ private:
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Json> elements_;
+  std::vector<std::pair<std::string, Json>> members_;
+};
+
+/// JSON string escaping shared by the writer and the obs sampler.
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// Canonical number formatting: integral values without a decimal point,
+/// everything else with up to 17 significant digits; NaN/Inf become "null".
+[[nodiscard]] std::string json_number(double v);
+
+}  // namespace socmix::bench

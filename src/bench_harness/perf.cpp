@@ -1,0 +1,112 @@
+#include "bench_harness/perf.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace socmix::bench {
+
+#if defined(__linux__)
+
+namespace {
+
+int open_event(std::uint32_t type, std::uint64_t config) noexcept {
+  perf_event_attr attr{};
+  attr.type = type;
+  attr.size = sizeof attr;
+  attr.config = config;
+  attr.disabled = 1;
+  attr.exclude_kernel = 1;  // user-space cycles; also lowers the required privilege
+  attr.exclude_hv = 1;
+  // TIME_ENABLED/TIME_RUNNING let us scale away PMU multiplexing when more
+  // counters are open than the hardware has slots for.
+  attr.read_format = PERF_FORMAT_TOTAL_TIME_ENABLED | PERF_FORMAT_TOTAL_TIME_RUNNING;
+  return static_cast<int>(
+      syscall(SYS_perf_event_open, &attr, /*pid=*/0, /*cpu=*/-1,
+              /*group_fd=*/-1, /*flags=*/0));
+}
+
+std::optional<std::uint64_t> read_scaled(int fd) noexcept {
+  if (fd < 0) return std::nullopt;
+  struct {
+    std::uint64_t value;
+    std::uint64_t time_enabled;
+    std::uint64_t time_running;
+  } data{};
+  if (read(fd, &data, sizeof data) != static_cast<ssize_t>(sizeof data)) {
+    return std::nullopt;
+  }
+  if (data.time_running == 0) {
+    // Never scheduled onto the PMU: no measurement, not a zero.
+    return data.value == 0 ? std::nullopt : std::optional{data.value};
+  }
+  if (data.time_running >= data.time_enabled) return data.value;
+  const long double scale = static_cast<long double>(data.time_enabled) /
+                            static_cast<long double>(data.time_running);
+  return static_cast<std::uint64_t>(static_cast<long double>(data.value) * scale);
+}
+
+}  // namespace
+
+PerfGroup::PerfGroup() {
+  fds_[0] = open_event(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES);
+  if (fds_[0] < 0) {
+    reason_ = std::string{"perf_event_open: "} + std::strerror(errno);
+  }
+  fds_[1] = open_event(PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS);
+  // HW_CACHE_MISSES maps to last-level-cache misses on every perf_event
+  // implementation we target; it is also the event most often missing
+  // (VMs without an LLC PMU), hence the independent fallback.
+  fds_[2] = open_event(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES);
+  if (!available() && reason_.empty()) {
+    reason_ = std::string{"perf_event_open: "} + std::strerror(errno);
+  }
+}
+
+PerfGroup::~PerfGroup() {
+  for (const int fd : fds_) {
+    if (fd >= 0) close(fd);
+  }
+}
+
+bool PerfGroup::available() const noexcept {
+  return fds_[0] >= 0 || fds_[1] >= 0 || fds_[2] >= 0;
+}
+
+void PerfGroup::start() noexcept {
+  for (const int fd : fds_) {
+    if (fd >= 0) {
+      ioctl(fd, PERF_EVENT_IOC_RESET, 0);
+      ioctl(fd, PERF_EVENT_IOC_ENABLE, 0);
+    }
+  }
+}
+
+PerfSample PerfGroup::stop() noexcept {
+  for (const int fd : fds_) {
+    if (fd >= 0) ioctl(fd, PERF_EVENT_IOC_DISABLE, 0);
+  }
+  PerfSample sample;
+  sample.cycles = read_scaled(fds_[0]);
+  sample.instructions = read_scaled(fds_[1]);
+  sample.llc_misses = read_scaled(fds_[2]);
+  return sample;
+}
+
+#else  // !__linux__
+
+PerfGroup::PerfGroup() : reason_("unsupported platform (perf_event is Linux-only)") {}
+PerfGroup::~PerfGroup() = default;
+bool PerfGroup::available() const noexcept { return false; }
+void PerfGroup::start() noexcept {}
+PerfSample PerfGroup::stop() noexcept { return {}; }
+
+#endif
+
+}  // namespace socmix::bench

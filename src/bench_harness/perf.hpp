@@ -1,0 +1,71 @@
+// Hardware counter capture via perf_event_open, with graceful fallback.
+//
+// A PerfGroup opens three counters on the calling thread — CPU cycles,
+// retired instructions, and last-level-cache misses — and brackets a timed
+// region with start()/stop(). Counters are read with the kernel's
+// TIME_ENABLED/TIME_RUNNING scaling so multiplexed values are corrected.
+//
+// Fallback semantics: perf_event_open is frequently unavailable
+// (containers without CAP_PERFMON, perf_event_paranoid >= 3, kernels
+// compiled without PMU support, some VMs without an LLC event). Each
+// counter degrades independently — whatever opened is reported, whatever
+// failed is simply absent — and a PerfGroup with nothing open is a valid,
+// zero-cost object whose samples report no values. Benchmarks therefore
+// never fail, and BENCH_*.json omits the counters block when the kernel
+// says no.
+//
+// Scope: the calling thread only (pid=0, no inherit). Counter capture is
+// intended for the single-threaded kernel micro-benchmarks where
+// cycles/instructions/LLC-misses are attributable; multi-threaded
+// sections would need per-thread events, and wall-clock stats remain the
+// regression-gate currency there.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace socmix::bench {
+
+/// One region's counter readings; a field is nullopt when its event could
+/// not be opened (or the kernel reported zero running time).
+struct PerfSample {
+  std::optional<std::uint64_t> cycles;
+  std::optional<std::uint64_t> instructions;
+  std::optional<std::uint64_t> llc_misses;
+
+  [[nodiscard]] bool any() const noexcept {
+    return cycles.has_value() || instructions.has_value() || llc_misses.has_value();
+  }
+};
+
+class PerfGroup {
+ public:
+  /// Opens whatever events the kernel permits; never throws.
+  PerfGroup();
+  ~PerfGroup();
+
+  PerfGroup(const PerfGroup&) = delete;
+  PerfGroup& operator=(const PerfGroup&) = delete;
+
+  /// True when at least one event opened.
+  [[nodiscard]] bool available() const noexcept;
+
+  /// Human-readable reason when available() is false ("perf_event_open:
+  /// Permission denied", "unsupported platform", ...).
+  [[nodiscard]] const std::string& unavailable_reason() const noexcept {
+    return reason_;
+  }
+
+  /// Resets and enables all open events.
+  void start() noexcept;
+
+  /// Disables and reads all open events (multiplex-scaled).
+  [[nodiscard]] PerfSample stop() noexcept;
+
+ private:
+  int fds_[3] = {-1, -1, -1};  ///< cycles, instructions, llc-misses
+  std::string reason_;
+};
+
+}  // namespace socmix::bench

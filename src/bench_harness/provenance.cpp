@@ -1,0 +1,49 @@
+#include "bench_harness/provenance.hpp"
+
+#include <ctime>
+
+#include "linalg/simd/kernels.hpp"
+#include "obs/export.hpp"
+#include "util/parallel.hpp"
+
+#ifndef SOCMIX_GIT_DESCRIBE
+#define SOCMIX_GIT_DESCRIBE "unknown"
+#endif
+#ifndef SOCMIX_BUILD_TYPE
+#define SOCMIX_BUILD_TYPE "unknown"
+#endif
+#ifndef SOCMIX_COMPILER_ID
+#define SOCMIX_COMPILER_ID "unknown"
+#endif
+
+namespace socmix::bench {
+
+std::string iso8601_utc_now() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm{};
+  gmtime_r(&now, &tm);
+  char buf[32];
+  std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
+Provenance capture_provenance() {
+  Provenance p;
+  p.timestamp = iso8601_utc_now();
+  p.git = SOCMIX_GIT_DESCRIBE;
+  p.build_type = SOCMIX_BUILD_TYPE;
+  p.compiler = SOCMIX_COMPILER_ID;
+  p.simd_tier = linalg::simd::tier_name(linalg::simd::active_tier());
+  p.threads = util::thread_count();
+  return p;
+}
+
+void apply_metrics_provenance() {
+  obs::set_provenance_entry("git", SOCMIX_GIT_DESCRIBE);
+  obs::set_provenance_entry("build_type", SOCMIX_BUILD_TYPE);
+  obs::set_provenance_entry("compiler", SOCMIX_COMPILER_ID);
+  obs::set_provenance_entry("simd_tier",
+                            linalg::simd::tier_name(linalg::simd::active_tier()));
+}
+
+}  // namespace socmix::bench

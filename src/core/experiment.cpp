@@ -5,8 +5,11 @@
 #include <iostream>
 #include <stdexcept>
 
+#include "bench_harness/harness.hpp"
+#include "bench_harness/provenance.hpp"
 #include "obs/export.hpp"
 #include "obs/progress.hpp"
+#include "obs/sampler.hpp"
 #include "resilience/fault.hpp"
 #include "util/csv.hpp"
 #include "util/parallel.hpp"
@@ -28,6 +31,15 @@ ExperimentConfig ExperimentConfig::from_cli(const util::Cli& cli) {
   config.precision = precision_from_cli(cli);
   configure_observability(cli);
   config.checkpoint = configure_resilience(cli);
+  // Stamp the perf-relevant knobs on the process bench harness so any
+  // BENCH_*.json this driver emits records what it actually ran with.
+  // (Recording flags on an unconfigured harness is inert.)
+  bench::Harness& harness = bench::Harness::process();
+  harness.set_flag("scale", cli.get("scale", "1"));
+  harness.set_flag("threads", std::to_string(util::thread_count()));
+  harness.set_flag("reorder", cli.get("reorder", "none"));
+  harness.set_flag("frontier", cli.get("frontier", "auto"));
+  harness.set_flag("precision", cli.get("precision", "f64"));
   return config;
 }
 
@@ -64,10 +76,21 @@ linalg::simd::Precision precision_from_cli(const util::Cli& cli) {
 void configure_observability(const util::Cli& cli) {
   const std::string metrics = cli.get("metrics-out", "");
   const std::string trace = cli.get("trace-out", "");
+  const std::string sample = cli.get("sample-out", "");
   obs::set_metrics_out(metrics);
   obs::set_trace_out(trace);
   obs::set_progress_enabled(cli.get_flag("progress"));
-  if (!metrics.empty() || !trace.empty()) obs::flush_on_exit();
+  // Every snapshot (JSON and CSV) carries git/build/compiler/simd-tier
+  // provenance from here on; cheap, so unconditional.
+  bench::apply_metrics_provenance();
+  if (!sample.empty()) {
+    obs::SamplerOptions options;
+    options.path = sample;
+    options.interval_ms = static_cast<std::uint64_t>(
+        std::max<std::int64_t>(1, cli.get_i64("sample-interval-ms", 100)));
+    obs::start_process_sampler(std::move(options));
+  }
+  if (!metrics.empty() || !trace.empty() || !sample.empty()) obs::flush_on_exit();
 }
 
 resilience::CheckpointOptions configure_resilience(const util::Cli& cli) {

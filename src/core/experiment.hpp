@@ -80,9 +80,14 @@ struct ExperimentConfig {
 [[nodiscard]] linalg::simd::Precision precision_from_cli(const util::Cli& cli);
 
 /// Wires the shared observability flags into the obs layer:
-///   --metrics-out=PATH   metrics snapshot at exit (JSON; CSV if *.csv)
-///   --trace-out=PATH     Chrome trace_event JSON of recorded spans
-///   --progress           coarse progress + ETA on stderr
+///   --metrics-out=PATH        metrics snapshot at exit (JSON; CSV if *.csv)
+///   --trace-out=PATH          Chrome trace_event JSON of recorded spans
+///   --sample-out=PATH         in-run JSONL time-series of the metrics
+///                             registry + /proc/self (obs::Sampler)
+///   --sample-interval-ms=N    sampling period (default 100)
+///   --progress                coarse progress + ETA on stderr
+/// Also stamps the metrics exporter with build provenance (git, build
+/// type, compiler, SIMD tier) so every snapshot records its environment.
 /// Registers the exit-time flush when any output is requested. Drivers that
 /// go through ExperimentConfig::from_cli get this for free; tools that parse
 /// their own Cli call it directly.

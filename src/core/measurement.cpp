@@ -1,5 +1,6 @@
 #include "core/measurement.hpp"
 
+#include "bench_harness/harness.hpp"
 #include "linalg/walk_operator.hpp"
 #include "obs/obs.hpp"
 #include "util/rng.hpp"
@@ -34,6 +35,8 @@ MixingReport measure_mixing(const graph::Graph& g, std::string name,
     report.lanczos_iterations = spectrum.iterations;
     report.spectral_seconds = timer.seconds();
     SOCMIX_GAUGE_SET("core.phase.spectral_seconds", report.spectral_seconds);
+    bench::Harness::process().record("spectral/" + util::slugify(report.name),
+                                     report.spectral_seconds);
   }
 
   if (options.sampled && g.num_nodes() > 0 &&
@@ -57,6 +60,8 @@ MixingReport measure_mixing(const graph::Graph& g, std::string name,
     report.sampled = markov::measure_sampled_mixing(g, sources, sampled_options);
     report.sampled_seconds = timer.seconds();
     SOCMIX_GAUGE_SET("core.phase.sampled_seconds", report.sampled_seconds);
+    bench::Harness::process().record("sampled/" + util::slugify(report.name),
+                                     report.sampled_seconds);
   }
   return report;
 }

@@ -237,7 +237,10 @@ SampledMixing measure_sampled_mixing(const graph::Graph& g,
   // Completed source blocks drive the --progress ETA: every block costs
   // the same max_steps sweeps, so block rate extrapolates directly.
   obs::ProgressMeter progress{"sampled-mixing", num_blocks};
-  progress.add(num_blocks - pending.size());
+  // Checkpoint-restored blocks are seeded, not added: they count toward
+  // done/percent but not the rate, so the ETA after a resume reflects this
+  // run's throughput instead of collapsing toward zero.
+  progress.seed_restored(num_blocks - pending.size());
   util::parallel_for(0, pending.size(), 1, [&](std::size_t lo, std::size_t hi) {
     BatchedEvolver evolver{active, laziness, kBlock, options.frontier, options.precision};
     std::array<double, kBlock> tvd{};

@@ -3,12 +3,15 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <fstream>
 #include <iomanip>
 #include <mutex>
 #include <ostream>
 #include <sstream>
+#include <vector>
 
+#include "obs/sampler.hpp"
 #include "obs/trace.hpp"
 
 namespace socmix::obs {
@@ -47,16 +50,54 @@ void append_double(std::ostream& out, double v) {
 std::mutex g_config_mutex;
 std::string g_metrics_path;
 std::string g_trace_path;
+std::vector<MetricsSnapshot::ProvenanceEntry> g_provenance;
 std::atomic<bool> g_atexit_registered{false};
 
 bool ends_with_csv(const std::string& path) {
   return path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
 }
 
+std::string iso8601_now() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm{};
+  gmtime_r(&now, &tm);
+  char buf[32];
+  std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
 }  // namespace
 
+void set_provenance_entry(std::string key, std::string value) {
+  const std::lock_guard<std::mutex> lock{g_config_mutex};
+  for (auto& entry : g_provenance) {
+    if (entry.key == key) {
+      entry.value = std::move(value);
+      return;
+    }
+  }
+  g_provenance.push_back({std::move(key), std::move(value)});
+}
+
+void stamp_provenance(MetricsSnapshot& snapshot) {
+  snapshot.provenance.clear();
+  snapshot.provenance.push_back({"timestamp", iso8601_now()});
+  const std::lock_guard<std::mutex> lock{g_config_mutex};
+  for (const auto& entry : g_provenance) snapshot.provenance.push_back(entry);
+}
+
 void write_metrics_json(const MetricsSnapshot& snapshot, std::ostream& out) {
-  out << "{\"counters\":{";
+  out << "{";
+  if (!snapshot.provenance.empty()) {
+    out << "\"provenance\":{";
+    for (std::size_t i = 0; i < snapshot.provenance.size(); ++i) {
+      if (i > 0) out << ",";
+      out << "\"" << json_escape(snapshot.provenance[i].key) << "\":\""
+          << json_escape(snapshot.provenance[i].value) << "\"";
+    }
+    out << "},";
+  }
+  out << "\"counters\":{";
   for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
     if (i > 0) out << ",";
     out << "\"" << json_escape(snapshot.counters[i].name)
@@ -84,6 +125,14 @@ void write_metrics_json(const MetricsSnapshot& snapshot, std::ostream& out) {
     }
     out << "],\"count\":" << h.count << ",\"sum\":";
     append_double(out, h.sum);
+    if (h.count > 0) {
+      out << ",\"p50\":";
+      append_double(out, h.quantile(0.50));
+      out << ",\"p95\":";
+      append_double(out, h.quantile(0.95));
+      out << ",\"p99\":";
+      append_double(out, h.quantile(0.99));
+    }
     out << "}";
   }
   out << "}}";
@@ -91,6 +140,20 @@ void write_metrics_json(const MetricsSnapshot& snapshot, std::ostream& out) {
 
 void write_metrics_csv(const MetricsSnapshot& snapshot, std::ostream& out) {
   out << "kind,name,value,count,sum\n";
+  // Provenance values (compiler strings) may contain commas; quote them.
+  for (const auto& p : snapshot.provenance) {
+    std::string value = p.value;
+    if (value.find_first_of(",\"\n") != std::string::npos) {
+      std::string quoted = "\"";
+      for (const char c : value) {
+        if (c == '"') quoted += '"';
+        quoted += c;
+      }
+      quoted += '"';
+      value = std::move(quoted);
+    }
+    out << "provenance," << p.key << "," << value << ",,\n";
+  }
   for (const auto& c : snapshot.counters) {
     out << "counter," << c.name << "," << c.value << ",,\n";
   }
@@ -126,7 +189,8 @@ void write_metrics_summary(const MetricsSnapshot& snapshot, std::ostream& out) {
         << h.count;
     if (h.count > 0) {
       out << " mean=" << std::setprecision(6)
-          << h.sum / static_cast<double>(h.count);
+          << h.sum / static_cast<double>(h.count) << " p50=" << h.quantile(0.50)
+          << " p95=" << h.quantile(0.95) << " p99=" << h.quantile(0.99);
     }
     out << "\n";
   }
@@ -147,6 +211,10 @@ void set_trace_out(std::string path) {
 }
 
 void flush() {
+  // Stop the sampler first: its final JSONL line is taken before this
+  // snapshot, so sampled counter totals never exceed the final snapshot.
+  stop_process_sampler();
+
   std::string metrics_path;
   std::string trace_path;
   {
@@ -156,7 +224,8 @@ void flush() {
   }
 
   if (!metrics_path.empty()) {
-    const MetricsSnapshot snapshot = Registry::instance().snapshot();
+    MetricsSnapshot snapshot = Registry::instance().snapshot();
+    stamp_provenance(snapshot);
     std::ofstream out{metrics_path};
     if (out) {
       if (ends_with_csv(metrics_path)) {

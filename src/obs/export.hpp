@@ -14,17 +14,33 @@
 namespace socmix::obs {
 
 /// Serializes a snapshot as a single JSON object:
-///   {"counters": {...}, "gauges": {...},
+///   {"provenance": {...},  (omitted when the snapshot carries none)
+///    "counters": {...}, "gauges": {...},
 ///    "histograms": {"name": {"bounds": [...], "counts": [...],
-///                            "count": N, "sum": S}}}
+///                            "count": N, "sum": S,
+///                            "p50": x, "p95": y, "p99": z}}}
+/// Quantiles are linear-interpolation estimates within the fixed buckets
+/// (see MetricsSnapshot::HistogramSample::quantile) and appear only for
+/// non-empty histograms.
 void write_metrics_json(const MetricsSnapshot& snapshot, std::ostream& out);
 
-/// Serializes a snapshot as rows of `kind,name,value,count,sum`.
+/// Serializes a snapshot as rows of `kind,name,value,count,sum`; any
+/// provenance entries come first as `provenance,<key>,<value>,,` rows.
 void write_metrics_csv(const MetricsSnapshot& snapshot, std::ostream& out);
 
 /// Renders the snapshot as an aligned, human-readable table (histograms as
 /// count/mean, not full buckets).
 void write_metrics_summary(const MetricsSnapshot& snapshot, std::ostream& out);
+
+/// Registers (or overwrites) a provenance key/value that stamp_provenance
+/// copies into snapshots. Populated by bench::apply_metrics_provenance
+/// (git, build_type, compiler, simd_tier); anything may add more.
+void set_provenance_entry(std::string key, std::string value);
+
+/// Copies the registered provenance entries into the snapshot, prefixed
+/// with a fresh ISO-8601 UTC "timestamp" entry. Registry::snapshot() stays
+/// provenance-free so exporters remain pure functions of their input.
+void stamp_provenance(MetricsSnapshot& snapshot);
 
 /// Where flush() writes the metrics snapshot; ".csv" suffix selects the
 /// CSV exporter, anything else gets JSON. Empty disables.

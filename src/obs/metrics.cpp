@@ -68,6 +68,30 @@ std::vector<std::uint64_t> Histogram::bucket_counts() const {
   return out;
 }
 
+double MetricsSnapshot::HistogramSample::quantile(double q) const noexcept {
+  if (count == 0 || counts.empty() || bounds.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target observation (1-based, clamped into [1, count]).
+  const double rank = std::max(1.0, q * static_cast<double>(count));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const std::uint64_t prev = cumulative;
+    cumulative += counts[i];
+    if (static_cast<double>(cumulative) < rank) continue;
+    if (i >= bounds.size()) {
+      // Overflow bucket: no upper edge to interpolate towards; the best
+      // defensible point estimate is its lower edge.
+      return bounds.back();
+    }
+    const double lower = i == 0 ? 0.0 : bounds[i - 1];
+    const double upper = bounds[i];
+    const double in_bucket = static_cast<double>(counts[i]);
+    const double position = (rank - static_cast<double>(prev)) / in_bucket;
+    return lower + (upper - lower) * position;
+  }
+  return bounds.back();  // unreachable when counts sum to count
+}
+
 std::span<const double> time_bounds() noexcept {
   // 1us .. 100s, half-decade steps: wide enough for a prefetched SpMM sweep
   // and a full Lanczos solve alike.

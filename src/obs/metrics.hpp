@@ -142,11 +142,26 @@ struct MetricsSnapshot {
     std::vector<std::uint64_t> counts;  ///< bounds.size() + 1 (overflow last)
     std::uint64_t count;
     double sum;
+
+    /// Quantile estimate (q in [0,1]) by linear interpolation inside the
+    /// bucket holding rank q*count. The first bucket interpolates from a
+    /// lower edge of 0 (all metric domains here are non-negative); the
+    /// overflow bucket has no upper edge and clamps to bounds.back().
+    /// Returns 0 for an empty histogram.
+    [[nodiscard]] double quantile(double q) const noexcept;
+  };
+
+  struct ProvenanceEntry {
+    std::string key;
+    std::string value;
   };
 
   std::vector<CounterSample> counters;
   std::vector<GaugeSample> gauges;
   std::vector<HistogramSample> histograms;
+  /// Environment stamp (timestamp, git, build_type, simd_tier, ...); filled
+  /// by obs::stamp_provenance, empty on raw Registry::snapshot().
+  std::vector<ProvenanceEntry> provenance;
 };
 
 /// Process-wide name -> metric table.

@@ -1,0 +1,104 @@
+// bench_compare core: threshold parsing, regression detection, noise
+// floor, one-sided entries, and the hard-fail schema contract.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "bench_harness/compare.hpp"
+#include "bench_harness/harness.hpp"
+#include "bench_harness/json.hpp"
+
+namespace socmix::bench {
+namespace {
+
+Json artifact(const std::string& name,
+              std::initializer_list<std::pair<const char*, double>> medians) {
+  Json doc = Json::object();
+  doc.set("schema", kSchema);
+  doc.set("name", name);
+  Json entries = Json::array();
+  for (const auto& [entry_name, median] : medians) {
+    Json e = Json::object();
+    e.set("name", entry_name);
+    e.set("median_s", median);
+    entries.push(std::move(e));
+  }
+  doc.set("entries", std::move(entries));
+  return doc;
+}
+
+TEST(ParseThreshold, AcceptsAllSpellings) {
+  EXPECT_DOUBLE_EQ(parse_threshold("25%"), 0.25);
+  EXPECT_DOUBLE_EQ(parse_threshold("25"), 0.25);
+  EXPECT_DOUBLE_EQ(parse_threshold("0.25"), 0.25);
+  EXPECT_DOUBLE_EQ(parse_threshold("1"), 1.0);  // exactly 1 is a fraction
+  EXPECT_DOUBLE_EQ(parse_threshold(" 10% "), 0.10);
+  EXPECT_THROW((void)parse_threshold("fast"), std::runtime_error);
+  EXPECT_THROW((void)parse_threshold("-5%"), std::runtime_error);
+  EXPECT_THROW((void)parse_threshold(""), std::runtime_error);
+}
+
+TEST(Compare, DetectsRegressionAboveThreshold) {
+  const Json old_doc = artifact("old", {{"a", 1.0}, {"b", 1.0}});
+  const Json new_doc = artifact("new", {{"a", 1.3}, {"b", 1.2}});
+  CompareOptions options;
+  options.threshold = 0.25;
+  const CompareReport report = compare_artifacts(old_doc, new_doc, options);
+  ASSERT_EQ(report.deltas.size(), 2u);
+  EXPECT_TRUE(report.deltas[0].regressed);   // 1.3x > 1.25x
+  EXPECT_FALSE(report.deltas[1].regressed);  // 1.2x within threshold
+  EXPECT_EQ(report.regressions(), 1u);
+  EXPECT_DOUBLE_EQ(report.deltas[0].ratio, 1.3);
+}
+
+TEST(Compare, SpeedupIsNeverARegression) {
+  const CompareReport report = compare_artifacts(artifact("old", {{"a", 2.0}}),
+                                                 artifact("new", {{"a", 0.5}}), {});
+  EXPECT_EQ(report.regressions(), 0u);
+}
+
+TEST(Compare, NoiseFloorSuppressesTinyEntries) {
+  // 3x slower but the baseline is 20us: scheduler jitter, not a regression.
+  CompareOptions options;
+  options.min_seconds = 1e-4;
+  const CompareReport report = compare_artifacts(
+      artifact("old", {{"tiny", 2e-5}}), artifact("new", {{"tiny", 6e-5}}), options);
+  ASSERT_EQ(report.deltas.size(), 1u);
+  EXPECT_TRUE(report.deltas[0].below_floor);
+  EXPECT_EQ(report.regressions(), 0u);
+}
+
+TEST(Compare, OneSidedEntriesWarnNotFail) {
+  const CompareReport report =
+      compare_artifacts(artifact("old", {{"shared", 1.0}, {"avx512_only", 1.0}}),
+                        artifact("new", {{"shared", 1.0}, {"new_bench", 1.0}}), {});
+  EXPECT_EQ(report.only_in_old, std::vector<std::string>{"avx512_only"});
+  EXPECT_EQ(report.only_in_new, std::vector<std::string>{"new_bench"});
+  EXPECT_EQ(report.regressions(), 0u);
+}
+
+TEST(Compare, SchemaViolationsThrow) {
+  Json no_schema = Json::object();
+  no_schema.set("entries", Json::array());
+  EXPECT_THROW((void)compare_artifacts(no_schema, artifact("new", {{"a", 1.0}}), {}),
+               std::runtime_error);
+
+  Json wrong_schema = artifact("old", {{"a", 1.0}});
+  wrong_schema.set("schema", "socmix-bench/999");
+  EXPECT_THROW((void)compare_artifacts(wrong_schema, artifact("new", {{"a", 1.0}}), {}),
+               std::runtime_error);
+
+  // Disjoint entry sets: the gate would compare nothing — hard error.
+  EXPECT_THROW((void)compare_artifacts(artifact("old", {{"a", 1.0}}),
+                                       artifact("new", {{"b", 1.0}}), {}),
+               std::runtime_error);
+}
+
+TEST(Compare, MissingFilesThrow) {
+  EXPECT_THROW((void)compare_files("/nonexistent/old.json", "/nonexistent/new.json", {}),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace socmix::bench

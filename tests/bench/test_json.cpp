@@ -1,0 +1,99 @@
+// bench::Json parser/writer: round trips, strictness, and the canonical
+// number/escape forms the BENCH schema relies on.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+#include "bench_harness/json.hpp"
+
+namespace socmix::bench {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_TRUE(Json::parse("true").as_bool());
+  EXPECT_FALSE(Json::parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(Json::parse("-12.5e2").as_number(), -1250.0);
+  EXPECT_EQ(Json::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, ParsesNestedStructure) {
+  const Json doc = Json::parse(R"({"a":[1,2,{"b":"c"}],"d":{"e":null}})");
+  ASSERT_TRUE(doc.is_object());
+  const Json& a = doc.at("a");
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_DOUBLE_EQ(a.at(std::size_t{0}).as_number(), 1.0);
+  EXPECT_EQ(a.at(std::size_t{2}).at("b").as_string(), "c");
+  EXPECT_TRUE(doc.at("d").at("e").is_null());
+  EXPECT_EQ(doc.find("missing"), nullptr);
+  EXPECT_THROW((void)doc.at("missing"), JsonError);
+}
+
+TEST(Json, StringEscapes) {
+  const Json doc = Json::parse(R"("a\"b\\c\nA")");
+  EXPECT_EQ(doc.as_string(), "a\"b\\c\nA");
+  // Control characters escape as \u00XX (the same form the obs exporters
+  // emit), quotes and backslashes with a single backslash.
+  EXPECT_EQ(json_escape("x\"y\\z\n"), "x\\\"y\\\\z\\u000a");
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW((void)Json::parse(""), JsonError);
+  EXPECT_THROW((void)Json::parse("{"), JsonError);
+  EXPECT_THROW((void)Json::parse("[1,]"), JsonError);
+  EXPECT_THROW((void)Json::parse("{\"a\":1,}"), JsonError);
+  EXPECT_THROW((void)Json::parse("nul"), JsonError);
+  EXPECT_THROW((void)Json::parse("1 2"), JsonError);  // trailing garbage
+  EXPECT_THROW((void)Json::parse("'single'"), JsonError);
+}
+
+TEST(Json, TypeMismatchThrows) {
+  const Json doc = Json::parse("[1]");
+  EXPECT_THROW((void)doc.as_number(), JsonError);
+  EXPECT_THROW((void)doc.as_string(), JsonError);
+  EXPECT_THROW((void)doc.at("key"), JsonError);
+}
+
+TEST(Json, WriterRoundTrips) {
+  Json obj = Json::object();
+  obj.set("name", "bench");
+  obj.set("count", std::uint64_t{42});
+  obj.set("ratio", 0.5);
+  Json arr = Json::array();
+  arr.push(1.0);
+  arr.push(true);
+  arr.push(Json{});
+  obj.set("values", std::move(arr));
+
+  const std::string text = obj.dump();
+  EXPECT_EQ(text, R"({"name":"bench","count":42,"ratio":0.5,"values":[1,true,null]})");
+
+  const Json back = Json::parse(text);
+  EXPECT_EQ(back.at("name").as_string(), "bench");
+  EXPECT_DOUBLE_EQ(back.at("count").as_number(), 42.0);
+  EXPECT_EQ(back.at("values").size(), 3u);
+}
+
+TEST(Json, NumberFormatting) {
+  EXPECT_EQ(json_number(42.0), "42");
+  EXPECT_EQ(json_number(-3.0), "-3");
+  EXPECT_EQ(json_number(0.5), "0.5");
+  // Non-finite values are not representable in JSON; canonical form is null.
+  EXPECT_EQ(json_number(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(json_number(std::numeric_limits<double>::quiet_NaN()), "null");
+  // Full round-trip precision for timings.
+  const double v = 0.12345678901234567;
+  EXPECT_DOUBLE_EQ(Json::parse(json_number(v)).as_number(), v);
+}
+
+TEST(Json, KeysKeepInsertionOrder) {
+  Json obj = Json::object();
+  obj.set("z", 1.0);
+  obj.set("a", 2.0);
+  obj.set("z", 3.0);  // overwrite keeps position
+  EXPECT_EQ(obj.dump(), R"({"z":3,"a":2})");
+}
+
+}  // namespace
+}  // namespace socmix::bench

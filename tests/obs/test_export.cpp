@@ -31,8 +31,60 @@ TEST(Export, MetricsJsonShape) {
             std::string::npos);
   EXPECT_NE(json.find("\"gauges\":{\"alpha.gauge\":2.5}"), std::string::npos);
   EXPECT_NE(json.find("\"alpha.hist\":{\"bounds\":[1,2],\"counts\":[3,1,0],"
-                      "\"count\":4,\"sum\":5.75}"),
+                      "\"count\":4,\"sum\":5.75,\"p50\":"),
             std::string::npos);
+  EXPECT_NE(json.find("\"p95\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
+  // No provenance entries -> no provenance block.
+  EXPECT_EQ(json.find("\"provenance\""), std::string::npos);
+}
+
+TEST(Export, EmptyHistogramOmitsQuantiles) {
+  MetricsSnapshot snap;
+  snap.histograms.push_back({"empty.hist", {1.0, 2.0}, {0, 0, 0}, 0, 0.0});
+  std::ostringstream out;
+  write_metrics_json(snap, out);
+  EXPECT_EQ(out.str().find("\"p50\""), std::string::npos);
+}
+
+TEST(Export, ProvenanceStampedInJsonAndCsv) {
+  MetricsSnapshot snap = sample_snapshot();
+  snap.provenance.push_back({"git", "abc1234-dirty"});
+  snap.provenance.push_back({"compiler", "GNU 12, extras"});
+
+  std::ostringstream json_out;
+  write_metrics_json(snap, json_out);
+  const std::string json = json_out.str();
+  EXPECT_EQ(json.rfind("{\"provenance\":{", 0), 0u);
+  EXPECT_NE(json.find("\"git\":\"abc1234-dirty\""), std::string::npos);
+
+  std::ostringstream csv_out;
+  write_metrics_csv(snap, csv_out);
+  const std::string csv = csv_out.str();
+  EXPECT_NE(csv.find("provenance,git,abc1234-dirty,,\n"), std::string::npos);
+  // Values with commas are RFC-4180 quoted so the row stays 5 columns.
+  EXPECT_NE(csv.find("provenance,compiler,\"GNU 12, extras\",,\n"), std::string::npos);
+}
+
+TEST(Export, StampProvenanceAddsTimestampAndEntries) {
+  set_provenance_entry("test.key", "test.value");
+  set_provenance_entry("test.key", "test.value2");  // overwrite, no dup
+  MetricsSnapshot snap;
+  stamp_provenance(snap);
+  ASSERT_GE(snap.provenance.size(), 2u);
+  EXPECT_EQ(snap.provenance.front().key, "timestamp");
+  // ISO-8601 UTC shape: YYYY-MM-DDThh:mm:ssZ.
+  EXPECT_EQ(snap.provenance.front().value.size(), 20u);
+  EXPECT_EQ(snap.provenance.front().value[10], 'T');
+  EXPECT_EQ(snap.provenance.front().value.back(), 'Z');
+  int hits = 0;
+  for (const auto& e : snap.provenance) {
+    if (e.key == "test.key") {
+      ++hits;
+      EXPECT_EQ(e.value, "test.value2");
+    }
+  }
+  EXPECT_EQ(hits, 1);
 }
 
 TEST(Export, MetricsJsonEscapesAndNan) {

@@ -166,5 +166,30 @@ TEST(Metrics, ResetZeroesValuesButKeepsHandles) {
   EXPECT_EQ(c.value(), 1u);
 }
 
+TEST(HistogramQuantile, LinearInterpolationWithinBuckets) {
+  // bounds {10, 20}, counts {4, 4, 0}: 8 observations, half <= 10.
+  MetricsSnapshot::HistogramSample h{"q", {10.0, 20.0}, {4, 4, 0}, 8, 100.0};
+  // p50 -> rank 4, exactly the last of bucket 0: lower edge 0, position 4/4.
+  EXPECT_DOUBLE_EQ(h.quantile(0.50), 10.0);
+  // p25 -> rank 2 of 4 in bucket [0,10]: 0 + 10 * (2/4).
+  EXPECT_DOUBLE_EQ(h.quantile(0.25), 5.0);
+  // p75 -> rank 6, second of 4 in bucket (10,20]: 10 + 10 * (2/4).
+  EXPECT_DOUBLE_EQ(h.quantile(0.75), 15.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 20.0);
+  // q=0 clamps to rank 1 (the smallest observation's bucket position).
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 2.5);
+}
+
+TEST(HistogramQuantile, OverflowBucketClampsToLastBound) {
+  MetricsSnapshot::HistogramSample h{"q.over", {1.0}, {1, 9}, 10, 500.0};
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 1.0);  // in overflow: clamp, don't invent
+  EXPECT_DOUBLE_EQ(h.quantile(0.05), 1.0);  // rank clamps to 1: sole obs in [0,1]
+}
+
+TEST(HistogramQuantile, EmptyHistogramIsZero) {
+  MetricsSnapshot::HistogramSample h{"q.empty", {1.0, 2.0}, {0, 0, 0}, 0, 0.0};
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
 }  // namespace
 }  // namespace socmix::obs

@@ -1,0 +1,66 @@
+// bench_compare — the perf-regression gate over two BENCH_*.json files.
+//
+//   bench_compare old.json new.json [--threshold 25%] [--min-seconds 1e-4]
+//                 [--advisory]
+//
+// Exit codes:
+//   0  no regression (or --advisory and only regressions were found)
+//   1  at least one entry's median slowed by more than the threshold
+//   2  schema/IO error (malformed JSON, wrong schema version, missing
+//      files, no common entries) — always fatal, even under --advisory,
+//      because a gate that compared nothing must not report success.
+//
+// Entries present on only one side print warnings but do not gate: a
+// baseline recorded on a wider SIMD tier legitimately carries entries a
+// narrower runner cannot reproduce.
+#include <cstdio>
+#include <exception>
+#include <iostream>
+
+#include "bench_harness/compare.hpp"
+#include "util/cli.hpp"
+
+using namespace socmix;
+
+namespace {
+
+int usage() {
+  std::fputs(
+      "usage: bench_compare OLD.json NEW.json [--threshold PCT] "
+      "[--min-seconds S] [--advisory]\n"
+      "  --threshold PCT   relative median slowdown that fails the gate\n"
+      "                    (\"25%\", \"25\", or \"0.25\"; default 25%)\n"
+      "  --min-seconds S   baseline medians below S are noise, never gated\n"
+      "                    (default 1e-4)\n"
+      "  --advisory        report regressions but exit 0 (shared runners);\n"
+      "                    schema errors still exit 2\n",
+      stderr);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli{argc, argv};
+  if (cli.positional().size() != 2) return usage();
+
+  bench::CompareOptions options;
+  try {
+    options.threshold = bench::parse_threshold(cli.get("threshold", "25%"));
+    options.min_seconds = cli.get_f64("min-seconds", 1e-4);
+
+    const bench::CompareReport report =
+        bench::compare_files(cli.positional()[0], cli.positional()[1], options);
+    bench::print_report(report, options, std::cout);
+
+    if (report.regressions() == 0) return 0;
+    if (cli.get_flag("advisory")) {
+      std::fputs("advisory mode: regressions reported but not fatal\n", stderr);
+      return 0;
+    }
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_compare: %s\n", e.what());
+    return 2;
+  }
+}

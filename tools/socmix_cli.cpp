@@ -16,6 +16,7 @@
 #include <iostream>
 #include <string>
 
+#include "bench_harness/harness.hpp"
 #include "core/experiment.hpp"
 #include "core/measurement.hpp"
 #include "digraph/io.hpp"
@@ -43,6 +44,9 @@ int usage() {
       "usage: socmix <info|measure|sample|trim|convert|sybil|generate> [options]\n"
       "  input:  --edges FILE | --dataset NAME [--nodes N]   (--seed N)\n"
       "  obs:    --metrics-out FILE (.json/.csv)  --trace-out FILE  --progress\n"
+      "          --sample-out FILE.jsonl [--sample-interval-ms N]   in-run time-series\n"
+      "          --bench-out FILE        BENCH json of phase timings (schema\n"
+      "                                  socmix-bench/1; see tools/bench_compare)\n"
       "  resil:  --checkpoint-dir DIR [--checkpoint-interval N]  --fault-inject SPEC\n"
       "  perf:   --reorder none|degree|rcm|bfs   vertex ordering for the kernels\n"
       "          --frontier auto|off|FRAC        adaptive frontier-sparse sweeps\n"
@@ -251,6 +255,9 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   const util::Cli cli{argc - 1, argv + 1};
   core::configure_observability(cli);
+  // Opt-in only for the CLI: an explicit --bench-out turns the phase
+  // timings measure_mixing records into a BENCH artifact at exit.
+  if (cli.has("bench-out")) bench::Harness::configure_process(cli);
   try {
     const auto checkpoint = core::configure_resilience(cli);
     if (command == "info") return cmd_info(cli);
