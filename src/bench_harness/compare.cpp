@@ -114,6 +114,21 @@ CompareReport compare_artifacts(const Json& old_doc, const Json& new_doc,
     throw std::runtime_error("no common entries between baseline and candidate — "
                              "nothing to gate (wrong artifact pair?)");
   }
+  // A required name is satisfied only by a *compared* entry (present on
+  // both sides): an entry the candidate dropped, or one the baseline never
+  // recorded, was not gated no matter what the warnings say. "name/" and
+  // bare "name" both count as prefixes, so "--require sweep" covers every
+  // sweep/... entry.
+  for (const auto& want : options.require) {
+    bool satisfied = false;
+    for (const auto& d : report.deltas) {
+      if (d.name == want || util::starts_with(d.name, want + "/")) {
+        satisfied = true;
+        break;
+      }
+    }
+    if (!satisfied) report.missing_required.push_back(want);
+  }
   return report;
 }
 
@@ -152,6 +167,10 @@ void print_report(const CompareReport& report, const CompareOptions& options,
   }
   for (const auto& name : report.only_in_new) {
     out << "warning: entry \"" << name << "\" only in candidate (new bench?)\n";
+  }
+  for (const auto& name : report.missing_required) {
+    out << "MISSING REQUIRED: \"" << name
+        << "\" was not compared (dropped entry or truncated artifact)\n";
   }
   out << report.regressions() << " regression(s) at threshold "
       << options.threshold * 100.0 << "% (noise floor " << options.min_seconds << "s)\n";

@@ -27,6 +27,12 @@ struct CompareOptions {
   double threshold = 0.25;
   /// Baseline medians below this (seconds) are never gated.
   double min_seconds = 1e-4;
+  /// Entry names (or "prefix/" groups) that MUST be compared on both
+  /// sides. A required name with no matching delta is fatal even in
+  /// advisory mode — it means the gate silently stopped covering an entry
+  /// it was supposed to watch (bench dropped, artifact truncated, entry
+  /// renamed), which the only-in-one-side warnings would let through.
+  std::vector<std::string> require;
 };
 
 struct EntryDelta {
@@ -44,6 +50,8 @@ struct CompareReport {
   std::vector<EntryDelta> deltas;
   std::vector<std::string> only_in_old;
   std::vector<std::string> only_in_new;
+  /// Required names (CompareOptions::require) matched by no delta.
+  std::vector<std::string> missing_required;
 
   [[nodiscard]] std::size_t regressions() const;
 };

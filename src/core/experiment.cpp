@@ -29,6 +29,7 @@ ExperimentConfig ExperimentConfig::from_cli(const util::Cli& cli) {
   config.reorder = reorder_from_cli(cli);
   config.frontier = frontier_from_cli(cli);
   config.precision = precision_from_cli(cli);
+  config.sharded = sharded_from_cli(cli);
   configure_observability(cli);
   config.checkpoint = configure_resilience(cli);
   // Stamp the perf-relevant knobs on the process bench harness so any
@@ -40,6 +41,7 @@ ExperimentConfig ExperimentConfig::from_cli(const util::Cli& cli) {
   harness.set_flag("reorder", cli.get("reorder", "none"));
   harness.set_flag("frontier", cli.get("frontier", "auto"));
   harness.set_flag("precision", cli.get("precision", "f64"));
+  harness.set_flag("sharded", cli.get("sharded", "auto"));
   return config;
 }
 
@@ -71,6 +73,17 @@ linalg::simd::Precision precision_from_cli(const util::Cli& cli) {
                                 ": expected f64 or mixed"};
   }
   return *precision;
+}
+
+graph::ShardPolicy sharded_from_cli(const util::Cli& cli) {
+  const std::string value = cli.get("sharded", "auto");
+  const auto policy = graph::parse_shard_policy(value);
+  if (!policy) {
+    throw std::invalid_argument{
+        "--sharded=" + value + ": expected auto, off, or a shard count in [1, " +
+        std::to_string(graph::ShardPolicy::kMaxShards) + "]"};
+  }
+  return *policy;
 }
 
 void configure_observability(const util::Cli& cli) {

@@ -13,6 +13,7 @@
 #include "gen/datasets.hpp"
 #include "graph/frontier.hpp"
 #include "graph/graph.hpp"
+#include "graph/sharded/plan.hpp"
 #include "linalg/simd/kernels.hpp"
 #include "resilience/checkpoint.hpp"
 #include "util/cli.hpp"
@@ -53,6 +54,13 @@ struct ExperimentConfig {
   /// the accuracy budget). Drivers forward this into
   /// MeasurementOptions.precision.
   linalg::simd::Precision precision = linalg::simd::Precision::kFloat64;
+  /// Shard-at-a-time out-of-core evolution, parsed from
+  /// --sharded=auto|off|N (default auto, which stays on the dense path
+  /// until the CSR exceeds the per-shard byte budget). Results are
+  /// bit-identical for every shard count — this trades sweep locality for
+  /// a bounded CSR residency. Drivers forward this into
+  /// MeasurementOptions.sharded / AdmissionSweepConfig.sharded.
+  graph::ShardPolicy sharded;
 
   /// Parses the CLI and applies `threads` to the global util::parallel
   /// pool, so every driver honors --threads with no further wiring. Also
@@ -78,6 +86,11 @@ struct ExperimentConfig {
 /// the bad value and the accepted ones. Shared by from_cli and tools that
 /// parse their own Cli (socmix measure/sybil).
 [[nodiscard]] linalg::simd::Precision precision_from_cli(const util::Cli& cli);
+
+/// Parses --sharded (default "auto"); throws std::invalid_argument naming
+/// the bad value and the accepted ones. Shared by from_cli and tools that
+/// parse their own Cli (socmix measure/sybil, graph_pack).
+[[nodiscard]] graph::ShardPolicy sharded_from_cli(const util::Cli& cli);
 
 /// Wires the shared observability flags into the obs layer:
 ///   --metrics-out=PATH        metrics snapshot at exit (JSON; CSV if *.csv)

@@ -1,6 +1,7 @@
 #include "core/measurement.hpp"
 
 #include "bench_harness/harness.hpp"
+#include "linalg/sharded_walk_operator.hpp"
 #include "linalg/walk_operator.hpp"
 #include "obs/obs.hpp"
 #include "util/rng.hpp"
@@ -25,8 +26,21 @@ MixingReport measure_mixing(const graph::Graph& g, std::string name,
     // so nothing maps back. (Reorder cost is O(m log m) — noise next to
     // the iteration count, even though the sampled phase reorders again.)
     const graph::ReorderedGraph reordered = graph::reorder_graph(g, options.reorder);
-    const linalg::WalkOperator op{reordered.active(g), options.laziness};
-    const auto spectrum = linalg::slem_spectrum(op, options.lanczos);
+    const graph::Graph& active = reordered.active(g);
+    const std::uint32_t shards = graph::resolve_shard_count(
+        options.sharded, active.memory_bytes(), active.num_nodes());
+    linalg::SpectrumResult spectrum;
+    if (shards > 1) {
+      // Shard geometry never changes an output bit (rows are independent
+      // under spmv); this branch only bounds the CSR residency.
+      const linalg::ShardedWalkOperator op{
+          active, graph::ShardPlan::balanced(active.offsets(), shards),
+          options.laziness, reordered.identity() ? options.mapped : nullptr};
+      spectrum = linalg::slem_spectrum(op, options.lanczos);
+    } else {
+      const linalg::WalkOperator op{active, options.laziness};
+      spectrum = linalg::slem_spectrum(op, options.lanczos);
+    }
     report.spectral_ran = true;
     report.spectral_converged = spectrum.converged;
     report.slem = spectrum.slem;
@@ -54,6 +68,8 @@ MixingReport measure_mixing(const graph::Graph& g, std::string name,
     sampled_options.reorder = options.reorder;
     sampled_options.frontier = options.frontier;
     sampled_options.precision = options.precision;
+    sampled_options.sharded = options.sharded;
+    sampled_options.mapped = options.mapped;
     if (sampled_options.checkpoint.enabled() && sampled_options.checkpoint.name.empty()) {
       sampled_options.checkpoint.name = "mixing-" + util::slugify(report.name);
     }

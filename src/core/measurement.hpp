@@ -63,6 +63,19 @@ struct MeasurementOptions {
   /// compensated float64 (per-step error bounded by
   /// linalg::simd::kMixedTvdBudget). The spectral phase always runs f64.
   linalg::simd::Precision precision = linalg::simd::Precision::kFloat64;
+  /// Shard-at-a-time out-of-core evolution (--sharded auto|off|N). When
+  /// the policy resolves to > 1 shards against the measured CSR, both
+  /// phases sweep the graph one contiguous vertex shard at a time
+  /// (spectral: ShardedWalkOperator under Lanczos; sampled:
+  /// ShardedBatchedEvolver) — bit-identical to the dense engines for any
+  /// shard count; with a mapped container the CSR residency stays near
+  /// two shard windows.
+  graph::ShardPolicy sharded;
+  /// The mmap-backed .smxg container `g` was borrowed from (socmix
+  /// --pack), or null. Enables the madvise windowing of the shard sweeps;
+  /// must outlive the call. Ignored under a non-identity reordering,
+  /// which materializes a CSR the mapping no longer backs.
+  const graph::sharded::MappedGraph* mapped = nullptr;
 };
 
 /// Everything the paper reports about one graph.

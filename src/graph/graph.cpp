@@ -40,6 +40,18 @@ Graph Graph::from_csr(std::vector<EdgeIndex> offsets, std::vector<NodeId> neighb
   return Graph{std::move(offsets), std::move(neighbors)};
 }
 
+Graph Graph::borrowed(std::span<const EdgeIndex> offsets, std::span<const NodeId> neighbors) {
+  if (offsets.empty() || offsets.front() != 0 || offsets.back() != neighbors.size()) {
+    throw std::invalid_argument{"Graph::borrowed: malformed offsets"};
+  }
+  Graph g;
+  g.offsets_ = offsets.data();
+  g.offsets_size_ = offsets.size();
+  g.neighbors_ = neighbors.data();
+  g.neighbors_size_ = neighbors.size();
+  return g;
+}
+
 bool Graph::has_edge(NodeId u, NodeId v) const noexcept {
   const auto adj = neighbors(u);
   return std::binary_search(adj.begin(), adj.end(), v);

@@ -19,9 +19,26 @@ namespace socmix::graph {
 ///  * adjacency lists are sorted ascending and contain no duplicates,
 ///  * no self-loops,
 ///  * every undirected edge {u,v} appears in both lists.
+///
+/// Storage is either owned (the builders below) or borrowed
+/// (`Graph::borrowed`, used by the memory-mapped `.smxg` container): a
+/// borrowed view aliases caller-managed CSR arrays and must not outlive
+/// them. Every accessor reads through one pointer+size pair per array, so
+/// kernels are oblivious to the storage mode.
 class Graph {
  public:
   Graph() = default;
+
+  Graph(const Graph& other) { assign(other); }
+  Graph& operator=(const Graph& other) {
+    if (this != &other) assign(other);
+    return *this;
+  }
+  Graph(Graph&& other) noexcept { steal(other); }
+  Graph& operator=(Graph&& other) noexcept {
+    if (this != &other) steal(other);
+    return *this;
+  }
 
   /// Builds from an edge list. The list is cleaned (self-loops removed,
   /// symmetrized, deduplicated) as the paper's preprocessing prescribes.
@@ -32,16 +49,28 @@ class Graph {
   [[nodiscard]] static Graph from_csr(std::vector<EdgeIndex> offsets,
                                       std::vector<NodeId> neighbors);
 
+  /// Wraps caller-owned CSR arrays without copying (the mmap path). The
+  /// arrays must satisfy the class invariants and outlive the view — and
+  /// any copy of it, which stays borrowed. `offsets` must have n+1 entries
+  /// with offsets.front() == 0 and offsets.back() == neighbors.size().
+  [[nodiscard]] static Graph borrowed(std::span<const EdgeIndex> offsets,
+                                      std::span<const NodeId> neighbors);
+
+  /// False for views created by `borrowed` (and their copies).
+  [[nodiscard]] bool owns_storage() const noexcept {
+    return offsets_ == nullptr || offsets_ == offsets_store_.data();
+  }
+
   /// Number of vertices n = |V|.
   [[nodiscard]] NodeId num_nodes() const noexcept {
-    return offsets_.empty() ? 0 : static_cast<NodeId>(offsets_.size() - 1);
+    return offsets_size_ == 0 ? 0 : static_cast<NodeId>(offsets_size_ - 1);
   }
 
   /// Number of undirected edges m = |E|.
-  [[nodiscard]] EdgeIndex num_edges() const noexcept { return neighbors_.size() / 2; }
+  [[nodiscard]] EdgeIndex num_edges() const noexcept { return neighbors_size_ / 2; }
 
   /// Number of directed half-edges (2m); the denominator of pi = deg/2m.
-  [[nodiscard]] EdgeIndex num_half_edges() const noexcept { return neighbors_.size(); }
+  [[nodiscard]] EdgeIndex num_half_edges() const noexcept { return neighbors_size_; }
 
   [[nodiscard]] NodeId degree(NodeId v) const noexcept {
     return static_cast<NodeId>(offsets_[v + 1] - offsets_[v]);
@@ -49,7 +78,7 @@ class Graph {
 
   /// Sorted neighbor list of v.
   [[nodiscard]] std::span<const NodeId> neighbors(NodeId v) const noexcept {
-    return {neighbors_.data() + offsets_[v], neighbors_.data() + offsets_[v + 1]};
+    return {neighbors_ + offsets_[v], neighbors_ + offsets_[v + 1]};
   }
 
   /// Neighbor at local index i in v's adjacency list (i < degree(v)).
@@ -70,20 +99,69 @@ class Graph {
   [[nodiscard]] bool has_no_isolated_nodes() const noexcept;
 
   /// Raw CSR access for kernels (offsets has n+1 entries).
-  [[nodiscard]] std::span<const EdgeIndex> offsets() const noexcept { return offsets_; }
-  [[nodiscard]] std::span<const NodeId> raw_neighbors() const noexcept { return neighbors_; }
+  [[nodiscard]] std::span<const EdgeIndex> offsets() const noexcept {
+    return {offsets_, offsets_size_};
+  }
+  [[nodiscard]] std::span<const NodeId> raw_neighbors() const noexcept {
+    return {neighbors_, neighbors_size_};
+  }
 
-  /// Memory footprint of the CSR arrays in bytes.
+  /// Footprint of the CSR arrays in bytes. For a borrowed (mmap-backed)
+  /// view this counts mapped bytes, not resident heap.
   [[nodiscard]] std::size_t memory_bytes() const noexcept {
-    return offsets_.size() * sizeof(EdgeIndex) + neighbors_.size() * sizeof(NodeId);
+    return offsets_size_ * sizeof(EdgeIndex) + neighbors_size_ * sizeof(NodeId);
   }
 
  private:
   Graph(std::vector<EdgeIndex> offsets, std::vector<NodeId> neighbors)
-      : offsets_(std::move(offsets)), neighbors_(std::move(neighbors)) {}
+      : offsets_store_(std::move(offsets)), neighbors_store_(std::move(neighbors)) {
+    point_at_store();
+  }
 
-  std::vector<EdgeIndex> offsets_;   // size n+1
-  std::vector<NodeId> neighbors_;    // size 2m, each list sorted
+  void point_at_store() noexcept {
+    offsets_ = offsets_store_.data();
+    offsets_size_ = offsets_store_.size();
+    neighbors_ = neighbors_store_.data();
+    neighbors_size_ = neighbors_store_.size();
+  }
+
+  void assign(const Graph& other) {
+    const bool owned = other.owns_storage();
+    offsets_store_ = other.offsets_store_;
+    neighbors_store_ = other.neighbors_store_;
+    if (owned) {
+      point_at_store();
+    } else {
+      offsets_ = other.offsets_;
+      offsets_size_ = other.offsets_size_;
+      neighbors_ = other.neighbors_;
+      neighbors_size_ = other.neighbors_size_;
+    }
+  }
+
+  void steal(Graph& other) noexcept {
+    const bool owned = other.owns_storage();
+    offsets_store_ = std::move(other.offsets_store_);
+    neighbors_store_ = std::move(other.neighbors_store_);
+    if (owned) {
+      point_at_store();
+    } else {
+      offsets_ = other.offsets_;
+      offsets_size_ = other.offsets_size_;
+      neighbors_ = other.neighbors_;
+      neighbors_size_ = other.neighbors_size_;
+    }
+    other.offsets_store_.clear();
+    other.neighbors_store_.clear();
+    other.point_at_store();
+  }
+
+  std::vector<EdgeIndex> offsets_store_;  // size n+1 when owning
+  std::vector<NodeId> neighbors_store_;   // size 2m when owning, lists sorted
+  const EdgeIndex* offsets_ = nullptr;    // active view (store or borrowed)
+  std::size_t offsets_size_ = 0;
+  const NodeId* neighbors_ = nullptr;
+  std::size_t neighbors_size_ = 0;
 };
 
 /// Deterministic structural fingerprint of a graph: hashes n, m, and a

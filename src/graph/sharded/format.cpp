@@ -1,0 +1,116 @@
+#include "graph/sharded/format.hpp"
+
+#include <bit>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+#include "util/checksum.hpp"
+
+namespace socmix::graph::sharded {
+
+namespace {
+
+void store_u32(std::byte* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<std::byte>((v >> (8 * i)) & 0xff);
+}
+
+void store_u64(std::byte* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::byte>((v >> (8 * i)) & 0xff);
+}
+
+[[nodiscard]] constexpr std::uint64_t align_up(std::uint64_t v) {
+  return (v + kPayloadAlign - 1) & ~std::uint64_t{kPayloadAlign - 1};
+}
+
+template <class T>
+[[nodiscard]] std::span<const std::byte> bytes_of(std::span<const T> data) {
+  return {reinterpret_cast<const std::byte*>(data.data()), data.size_bytes()};
+}
+
+struct SectionOut {
+  std::uint32_t id = 0;
+  std::span<const std::byte> payload;
+  std::uint64_t offset = 0;
+};
+
+}  // namespace
+
+void write_smxg_file(const std::string& path, const Graph& g, const ShardPlan& plan) {
+  // The payload images are the in-memory arrays, so the writer requires a
+  // little-endian host (every deployment target; the header's endian tag
+  // protects readers either way).
+  if constexpr (std::endian::native != std::endian::little) {
+    throw std::runtime_error{"write_smxg_file: big-endian hosts are unsupported"};
+  }
+  if (plan.dim() != g.num_nodes() || plan.num_shards() == 0) {
+    throw std::runtime_error{"write_smxg_file: shard plan does not cover the graph"};
+  }
+
+  // Shard bounds widened to u64 so the payload layout is NodeId-width
+  // independent.
+  std::vector<std::uint64_t> bounds64(plan.bounds.begin(), plan.bounds.end());
+
+  SectionOut sections[3] = {
+      {kSectionOffsets, bytes_of(g.offsets()), 0},
+      {kSectionAdjacency, bytes_of(g.raw_neighbors()), 0},
+      {kSectionShards, bytes_of(std::span<const std::uint64_t>{bounds64}), 0},
+  };
+  constexpr std::uint32_t kNumSections = 3;
+
+  std::uint64_t cursor = align_up(kHeaderBytes + kNumSections * kSectionEntryBytes);
+  for (SectionOut& s : sections) {
+    s.offset = cursor;
+    cursor = align_up(cursor + s.payload.size_bytes());
+  }
+  const std::uint64_t file_bytes = cursor;
+
+  std::vector<std::byte> head(static_cast<std::size_t>(
+      kHeaderBytes + kNumSections * kSectionEntryBytes), std::byte{0});
+  store_u32(head.data() + 0, kMagic);
+  store_u32(head.data() + 4, kEndianTag);
+  store_u32(head.data() + 8, kVersion);
+  store_u32(head.data() + 12, kNumSections);
+  store_u64(head.data() + 16, g.num_nodes());
+  store_u64(head.data() + 24, g.num_half_edges());
+  store_u32(head.data() + 32, plan.num_shards());
+  store_u64(head.data() + 40, file_bytes);
+  store_u64(head.data() + 48, structural_fingerprint(g));
+  store_u32(head.data() + 60,
+            util::crc32(std::span<const std::byte>{head.data(), 60}));
+  for (std::uint32_t i = 0; i < kNumSections; ++i) {
+    std::byte* entry = head.data() + kHeaderBytes + i * kSectionEntryBytes;
+    store_u32(entry + 0, sections[i].id);
+    store_u32(entry + 4, util::crc32(sections[i].payload));
+    store_u64(entry + 8, sections[i].offset);
+    store_u64(entry + 16, sections[i].payload.size_bytes());
+  }
+
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out{tmp, std::ios::binary | std::ios::trunc};
+    if (!out) throw std::runtime_error{"write_smxg_file: cannot open " + tmp};
+    out.write(reinterpret_cast<const char*>(head.data()),
+              static_cast<std::streamsize>(head.size()));
+    std::uint64_t written = head.size();
+    const char zeros[kPayloadAlign] = {};
+    for (const SectionOut& s : sections) {
+      out.write(zeros, static_cast<std::streamsize>(s.offset - written));
+      out.write(reinterpret_cast<const char*>(s.payload.data()),
+                static_cast<std::streamsize>(s.payload.size_bytes()));
+      written = s.offset + s.payload.size_bytes();
+    }
+    out.write(zeros, static_cast<std::streamsize>(file_bytes - written));
+    if (!out) throw std::runtime_error{"write_smxg_file: write failed for " + tmp};
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    throw std::runtime_error{"write_smxg_file: cannot rename into " + path};
+  }
+}
+
+}  // namespace socmix::graph::sharded

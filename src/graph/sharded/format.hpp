@@ -1,0 +1,62 @@
+// The `.smxg` binary container: a memory-mappable sharded CSR.
+//
+// Layout (all integers little-endian; payloads 64-byte aligned so the
+// mmap'ed arrays can be indexed in place with vector loads):
+//
+//   [ 64 B header ]
+//   [ 32 B x num_sections section table ]
+//   [ OFFS payload ]  (n+1) x u64   CSR row offsets
+//   [ ADJ4 payload ]  2m    x u32   neighbor ids
+//   [ SHRD payload ]  (S+1) x u64   pack-time shard row bounds
+//
+// Header (byte offsets):
+//    0  u32  magic 'SMXG'
+//    4  u32  endian tag 0x01020304 (a byte-swapped reader sees 0x04030201)
+//    8  u32  format version (kVersion)
+//   12  u32  num_sections
+//   16  u64  num_nodes
+//   24  u64  num_half_edges
+//   32  u32  num_shards (pack-time default plan; runtime may re-plan)
+//   36  u32  reserved
+//   40  u64  file_bytes (total file size the header commits to)
+//   48  u64  graph structural fingerprint
+//   56  u32  reserved
+//   60  u32  CRC-32 of header bytes [0, 60)
+//
+// Section table entry: u32 id, u32 payload CRC-32, u64 file offset,
+// u64 payload bytes, u64 reserved.
+//
+// Every field a reader indexes by is validated before use and the
+// payloads are CRC-checked, so a truncated, bit-rotted, version-skewed or
+// foreign-endian file fails closed (graph.io.smxg_rejected) instead of
+// mapping garbage into the kernels. See sharded/mapped_graph.hpp for the
+// reader.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.hpp"
+#include "graph/sharded/plan.hpp"
+
+namespace socmix::graph::sharded {
+
+inline constexpr std::uint32_t kMagic = 0x47584D53;      // 'S','M','X','G'
+inline constexpr std::uint32_t kEndianTag = 0x01020304;  // reads back swapped on BE
+inline constexpr std::uint32_t kVersion = 1;
+inline constexpr std::size_t kHeaderBytes = 64;
+inline constexpr std::size_t kSectionEntryBytes = 32;
+inline constexpr std::size_t kPayloadAlign = 64;
+
+// Section ids ('OFFS', 'ADJ4', 'SHRD' as little-endian fourccs).
+inline constexpr std::uint32_t kSectionOffsets = 0x5346464F;
+inline constexpr std::uint32_t kSectionAdjacency = 0x344A4441;
+inline constexpr std::uint32_t kSectionShards = 0x44524853;
+
+/// Writes `g` and its pack-time shard plan as a `.smxg` file (temp file +
+/// atomic rename, like the resilience snapshots). `plan.dim()` must equal
+/// `g.num_nodes()`. Throws std::runtime_error on I/O failure.
+void write_smxg_file(const std::string& path, const Graph& g, const ShardPlan& plan);
+
+}  // namespace socmix::graph::sharded

@@ -165,4 +165,19 @@ void reset_tier() noexcept;
 /// mixed-mode trajectory must never be replayed into an exact-parity run).
 [[nodiscard]] std::uint64_t precision_context_word(Precision precision) noexcept;
 
+/// Standalone TVD-to-pi reduction over a *stored* lane-major state block:
+/// per lane b, 0.5 * sum_j |state[j*stride + b] - pi[j]| with j ascending
+/// over [0, n) (f64: plain accumulation; mixed: widened f32 state,
+/// Neumaier-compensated f64 sum). Bit-identical to the fused reduction
+/// the spmm kernels compute on the same stored state — swept rows store
+/// exactly the value the fused term subtracts pi from, and skipped
+/// frontier rows hold +0.0 so |0 - pi_j| reproduces the pi-gap term bit
+/// for bit. The sharded engines use this after sweeping all shards with
+/// pi == null. One scalar implementation serves every tier: the
+/// reduction is adds and fabs only, with nothing tier-specific to pin.
+void tvd_f64(const double* state, std::size_t stride, std::size_t lanes,
+             const double* pi, graph::NodeId n, double* tvd_out) noexcept;
+void tvd_mixed(const float* state, std::size_t stride, std::size_t lanes,
+               const double* pi, graph::NodeId n, double* tvd_out) noexcept;
+
 }  // namespace socmix::linalg::simd

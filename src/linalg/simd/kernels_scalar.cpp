@@ -485,3 +485,47 @@ void prescale_mixed(const float* x, const double* w, float* out, std::size_t beg
 }
 
 }  // namespace socmix::linalg::simd::scalar
+
+// ---------------------------------------------------------------------------
+// Tier-independent standalone TVD reduction (see kernels.hpp). Lives in
+// this TU for its -ffp-contract=off pinning; adds and fabs only, so there
+// is exactly one implementation for every tier.
+
+namespace socmix::linalg::simd {
+
+void tvd_f64(const double* state, std::size_t stride, std::size_t lanes,
+             const double* pi, graph::NodeId n, double* tvd_out) noexcept {
+  std::array<double, kMaxLanes> acc{};
+  for (graph::NodeId j = 0; j < n; ++j) {
+    const double p = pi[j];
+    const double* row = state + static_cast<std::size_t>(j) * stride;
+    for (std::size_t b = 0; b < lanes; ++b) acc[b] += std::fabs(row[b] - p);
+  }
+  for (std::size_t b = 0; b < lanes; ++b) tvd_out[b] = 0.5 * acc[b];
+}
+
+void tvd_mixed(const float* state, std::size_t stride, std::size_t lanes,
+               const double* pi, graph::NodeId n, double* tvd_out) noexcept {
+  // Same magnitude-branch compensation as the fused mixed kernels.
+  const auto compensated_add = [](double& sum, double& comp, double term) {
+    const double t = sum + term;
+    if (std::fabs(sum) >= std::fabs(term)) {
+      comp += (sum - t) + term;
+    } else {
+      comp += (term - t) + sum;
+    }
+    sum = t;
+  };
+  std::array<double, kMaxLanes> sum{};
+  std::array<double, kMaxLanes> comp{};
+  for (graph::NodeId j = 0; j < n; ++j) {
+    const double p = pi[j];
+    const float* row = state + static_cast<std::size_t>(j) * stride;
+    for (std::size_t b = 0; b < lanes; ++b) {
+      compensated_add(sum[b], comp[b], std::fabs(static_cast<double>(row[b]) - p));
+    }
+  }
+  for (std::size_t b = 0; b < lanes; ++b) tvd_out[b] = 0.5 * (sum[b] + comp[b]);
+}
+
+}  // namespace socmix::linalg::simd

@@ -12,6 +12,7 @@
 #include "linalg/vector_ops.hpp"
 #include "markov/batched_evolver.hpp"
 #include "markov/evolution.hpp"
+#include "markov/sharded_evolver.hpp"
 #include "markov/stationary.hpp"
 #include "obs/obs.hpp"
 #include "resilience/fault.hpp"
@@ -205,10 +206,23 @@ SampledMixing measure_sampled_mixing(const graph::Graph& g,
   // the mixed budget — replaying a mixed snapshot into an f64 run would
   // silently launder quantization error into the exact-parity path). A
   // snapshot from a foreign combination classifies stale, not corrupt.
-  const std::uint64_t context = util::hash_combine(
+  // Shard geometry: resolved once against the active CSR. S <= 1 is the
+  // dense path — no plan, no context word, pre-shard snapshots stay
+  // compatible. A reordering materializes a fresh in-memory CSR, so the
+  // mmap windowing hints only apply under identity ordering.
+  const std::uint32_t resolved_shards = graph::resolve_shard_count(
+      options.sharded, active.memory_bytes(), active.num_nodes());
+  const graph::sharded::MappedGraph* mapped =
+      reordered.identity() ? options.mapped : nullptr;
+#if SOCMIX_OBS_ENABLED
+  SOCMIX_GAUGE_SET("markov.sampled.shards", resolved_shards);
+#endif
+  std::uint64_t context = util::hash_combine(
       util::hash_combine(static_cast<std::uint64_t>(options.reorder),
                          graph::frontier_context_word(options.frontier)),
       linalg::simd::precision_context_word(options.precision));
+  const std::uint64_t shard_word = graph::shard_context_word(resolved_shards);
+  if (shard_word != 0) context = util::hash_combine(context, shard_word);
   resilience::BlockCheckpoint checkpoint{
       options.checkpoint,
       sampled_mixing_fingerprint(g, sources, max_steps, laziness, options.reorder),
@@ -241,8 +255,10 @@ SampledMixing measure_sampled_mixing(const graph::Graph& g,
   // done/percent but not the rate, so the ETA after a resume reflects this
   // run's throughput instead of collapsing toward zero.
   progress.seed_restored(num_blocks - pending.size());
-  util::parallel_for(0, pending.size(), 1, [&](std::size_t lo, std::size_t hi) {
-    BatchedEvolver evolver{active, laziness, kBlock, options.frontier, options.precision};
+  // The block loop is generic over the two engines (identical public
+  // surface); the shard branch is taken once per worker, outside the
+  // per-block hot path.
+  const auto run_blocks = [&](auto& evolver, std::size_t lo, std::size_t hi) {
     std::array<double, kBlock> tvd{};
     for (std::size_t p = lo; p < hi; ++p) {
       SOCMIX_TRACE_SPAN("evolve_block");
@@ -293,6 +309,18 @@ SampledMixing measure_sampled_mixing(const graph::Graph& g,
         checkpoint.record(blk, std::move(payload));
       }
       progress.add(1);
+    }
+  };
+  util::parallel_for(0, pending.size(), 1, [&](std::size_t lo, std::size_t hi) {
+    if (resolved_shards > 1) {
+      ShardedBatchedEvolver evolver{
+          active, graph::ShardPlan::balanced(active.offsets(), resolved_shards),
+          laziness, kBlock, options.frontier, options.precision, mapped};
+      run_blocks(evolver, lo, hi);
+    } else {
+      BatchedEvolver evolver{active, laziness, kBlock, options.frontier,
+                             options.precision};
+      run_blocks(evolver, lo, hi);
     }
   });
   checkpoint.finalize();

@@ -21,6 +21,8 @@
 #include "graph/frontier.hpp"
 #include "graph/graph.hpp"
 #include "graph/reorder.hpp"
+#include "graph/sharded/mapped_graph.hpp"
+#include "graph/sharded/plan.hpp"
 #include "linalg/simd/kernels.hpp"
 #include "resilience/checkpoint.hpp"
 #include "util/rng.hpp"
@@ -148,6 +150,22 @@ struct SampledMixingOptions {
   /// markov.sampled.mixed_eps_guard counter. Folded into the checkpoint
   /// context word: foreign-precision snapshots classify stale.
   linalg::simd::Precision precision = linalg::simd::Precision::kFloat64;
+  /// Shard-at-a-time evolution (--sharded auto|off|N). Resolved against
+  /// the active (post-reorder) graph's CSR footprint; when the resolved
+  /// count is > 1 the sweep runs through ShardedBatchedEvolver — bit-
+  /// identical to the dense engine for every shard count, so the parity
+  /// and resume contracts are unaffected. A non-trivial resolved geometry
+  /// folds graph::shard_context_word into the checkpoint context, so a
+  /// snapshot written under a foreign shard geometry classifies stale;
+  /// dense-geometry runs fold nothing and stay compatible with pre-shard
+  /// snapshots.
+  graph::ShardPolicy sharded;
+  /// The mmap-backed container `g` was borrowed from, when the caller
+  /// loaded one (socmix --pack). Enables the madvise windowing of the
+  /// shard sweep; ignored (the sweep is identical, minus the paging
+  /// hints) when null or when a reordering materializes a new CSR that
+  /// the mapping no longer backs.
+  const graph::sharded::MappedGraph* mapped = nullptr;
 };
 
 /// Evolves a point mass from each source for max_steps steps and records

@@ -143,9 +143,20 @@ std::vector<AdmissionPoint> admission_sweep(const graph::Graph& g,
   if (checkpoint_options.enabled() && checkpoint_options.name.empty()) {
     checkpoint_options.name = "sybil-admission";
   }
-  const std::uint64_t context =
+  // Shard geometry: purely a residency knob here (routes address the CSR
+  // randomly), but the context-staleness rule matches the walk
+  // measurements — non-trivial geometry folds its word, dense folds
+  // nothing so pre-shard snapshots stay compatible.
+  const std::uint32_t resolved_shards = graph::resolve_shard_count(
+      config.sharded, active.memory_bytes(), active.num_nodes());
+  const graph::sharded::MappedGraph* mapped =
+      reordered.identity() ? config.mapped : nullptr;
+  SOCMIX_GAUGE_SET("sybil.shard.count", resolved_shards);
+  std::uint64_t context =
       util::hash_combine(static_cast<std::uint64_t>(config.reorder),
                          graph::frontier_context_word(config.frontier));
+  const std::uint64_t shard_word = graph::shard_context_word(resolved_shards);
+  if (shard_word != 0) context = util::hash_combine(context, shard_word);
   resilience::BlockCheckpoint checkpoint{checkpoint_options, sweep_fingerprint(g, config),
                                          config.route_lengths.size(), context};
   if (checkpoint.enabled()) checkpoint.restore();
@@ -180,6 +191,9 @@ std::vector<AdmissionPoint> admission_sweep(const graph::Graph& g,
     resilience::fault_point("block.complete");
     checkpoint.record(i, {fraction});
     out.push_back({w, fraction});
+    // Out-of-core: drop the pages this point faulted in before the next
+    // one grows its own working set.
+    if (mapped != nullptr && resolved_shards > 1) mapped->release_all();
   }
   checkpoint.finalize();
   return out;

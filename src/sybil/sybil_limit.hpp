@@ -30,6 +30,8 @@
 #include "graph/frontier.hpp"
 #include "graph/graph.hpp"
 #include "graph/reorder.hpp"
+#include "graph/sharded/mapped_graph.hpp"
+#include "graph/sharded/plan.hpp"
 #include "resilience/checkpoint.hpp"
 #include "sybil/routes.hpp"
 
@@ -138,6 +140,18 @@ struct AdmissionSweepConfig {
   /// identical on or off; folded into the checkpoint context so snapshots
   /// never mix modes.
   graph::FrontierPolicy frontier;
+  /// Shard policy (--sharded). Random routes address the CSR randomly, so
+  /// there is no windowed sweep here; the resolved geometry is reported
+  /// (sybil.shard.count), folded into the checkpoint context when
+  /// non-trivial (matching the walk measurements' staleness rule), and —
+  /// with a mapped container — drives a residency release between
+  /// route-length points so a sweep's peak footprint is one point's
+  /// touched pages, not the whole container. Admitted fractions are
+  /// identical for every shard count.
+  graph::ShardPolicy sharded;
+  /// The mmap-backed container `g` was borrowed from (or null); see
+  /// `sharded`. Ignored under a non-identity reordering.
+  const graph::sharded::MappedGraph* mapped = nullptr;
 };
 
 [[nodiscard]] std::vector<AdmissionPoint> admission_sweep(const graph::Graph& g,

@@ -95,6 +95,26 @@ TEST(Compare, SchemaViolationsThrow) {
                std::runtime_error);
 }
 
+TEST(Compare, RequireFlagsUncomparedEntries) {
+  CompareOptions options;
+  options.require = {"sweep", "sweep/a/dense", "sweeper", "gone"};
+  const CompareReport report = compare_artifacts(
+      artifact("old", {{"sweep/a/dense", 1.0}, {"gone", 1.0}}),
+      artifact("new", {{"sweep/a/dense", 1.0}, {"extra", 1.0}}), options);
+  // "sweep" matches as a prefix group, the exact name matches itself,
+  // "sweeper" must NOT be satisfied by sweep/... entries, and "gone" is
+  // only in the baseline — present, but never compared.
+  EXPECT_EQ(report.missing_required, (std::vector<std::string>{"sweeper", "gone"}));
+}
+
+TEST(Compare, RequireSatisfiedByComparedEntriesIsQuiet) {
+  CompareOptions options;
+  options.require = {"a"};
+  const CompareReport report = compare_artifacts(artifact("old", {{"a", 1.0}}),
+                                                 artifact("new", {{"a", 1.1}}), options);
+  EXPECT_TRUE(report.missing_required.empty());
+}
+
 TEST(Compare, MissingFilesThrow) {
   EXPECT_THROW((void)compare_files("/nonexistent/old.json", "/nonexistent/new.json", {}),
                std::runtime_error);

@@ -1,24 +1,30 @@
 // bench_compare — the perf-regression gate over two BENCH_*.json files.
 //
 //   bench_compare old.json new.json [--threshold 25%] [--min-seconds 1e-4]
-//                 [--advisory]
+//                 [--advisory] [--require ENTRY[,ENTRY...]]
 //
 // Exit codes:
 //   0  no regression (or --advisory and only regressions were found)
 //   1  at least one entry's median slowed by more than the threshold
 //   2  schema/IO error (malformed JSON, wrong schema version, missing
-//      files, no common entries) — always fatal, even under --advisory,
-//      because a gate that compared nothing must not report success.
+//      files, no common entries) or a --require name that no compared
+//      entry satisfies — always fatal, even under --advisory, because a
+//      gate that compared nothing must not report success.
 //
 // Entries present on only one side print warnings but do not gate: a
 // baseline recorded on a wider SIMD tier legitimately carries entries a
-// narrower runner cannot reproduce.
+// narrower runner cannot reproduce. --require upgrades that warning to a
+// hard failure for the named entries (or "prefix" groups — "sweep"
+// matches every sweep/... entry), so CI notices when a bench it depends
+// on silently stops emitting.
 #include <cstdio>
 #include <exception>
 #include <iostream>
+#include <string>
 
 #include "bench_harness/compare.hpp"
 #include "util/cli.hpp"
+#include "util/string_util.hpp"
 
 using namespace socmix;
 
@@ -33,7 +39,10 @@ int usage() {
       "  --min-seconds S   baseline medians below S are noise, never gated\n"
       "                    (default 1e-4)\n"
       "  --advisory        report regressions but exit 0 (shared runners);\n"
-      "                    schema errors still exit 2\n",
+      "                    schema errors still exit 2\n"
+      "  --require NAMES   comma-separated entry names (or prefixes) that\n"
+      "                    must be compared on both sides; a miss exits 2\n"
+      "                    even under --advisory\n",
       stderr);
   return 2;
 }
@@ -48,11 +57,17 @@ int main(int argc, char** argv) {
   try {
     options.threshold = bench::parse_threshold(cli.get("threshold", "25%"));
     options.min_seconds = cli.get_f64("min-seconds", 1e-4);
+    const std::string require = cli.get("require", "");
+    for (const auto piece : util::split(require, ',')) {
+      const auto name = util::trim(piece);
+      if (!name.empty()) options.require.emplace_back(name);
+    }
 
     const bench::CompareReport report =
         bench::compare_files(cli.positional()[0], cli.positional()[1], options);
     bench::print_report(report, options, std::cout);
 
+    if (!report.missing_required.empty()) return 2;
     if (report.regressions() == 0) return 0;
     if (cli.get_flag("advisory")) {
       std::fputs("advisory mode: regressions reported but not fatal\n", stderr);

@@ -25,6 +25,7 @@
 #include "graph/components.hpp"
 #include "graph/io.hpp"
 #include "graph/sampling.hpp"
+#include "graph/sharded/mapped_graph.hpp"
 #include "graph/stats.hpp"
 #include "graph/trim.hpp"
 #include "markov/conductance.hpp"
@@ -32,6 +33,7 @@
 #include "resilience/checkpoint.hpp"
 #include "sybil/sybil_limit.hpp"
 #include "util/cli.hpp"
+#include "util/parallel.hpp"
 #include "util/string_util.hpp"
 #include "util/table.hpp"
 
@@ -43,17 +45,22 @@ int usage() {
   std::fputs(
       "usage: socmix <info|measure|sample|trim|convert|sybil|generate> [options]\n"
       "  input:  --edges FILE | --dataset NAME [--nodes N]   (--seed N)\n"
+      "          --pack FILE.smxg   mmap a packed container (measure/sybil;\n"
+      "                             see tools/graph_pack; stores the LCC)\n"
       "  obs:    --metrics-out FILE (.json/.csv)  --trace-out FILE  --progress\n"
       "          --sample-out FILE.jsonl [--sample-interval-ms N]   in-run time-series\n"
       "          --bench-out FILE        BENCH json of phase timings (schema\n"
       "                                  socmix-bench/1; see tools/bench_compare)\n"
       "  resil:  --checkpoint-dir DIR [--checkpoint-interval N]  --fault-inject SPEC\n"
-      "  perf:   --reorder none|degree|rcm|bfs   vertex ordering for the kernels\n"
+      "  perf:   --threads N                     kernel worker threads (0 = auto)\n"
+      "          --reorder none|degree|rcm|bfs   vertex ordering for the kernels\n"
       "          --frontier auto|off|FRAC        adaptive frontier-sparse sweeps\n"
       "          --precision f64|mixed           sampled-walk kernel precision\n"
+      "          --sharded auto|off|N            shard-at-a-time out-of-core sweeps\n"
       "          (SOCMIX_SIMD=avx512|avx2|scalar forces the simd kernel tier)\n"
       "  info                                    structural report\n"
       "  measure [--sources N] [--steps N] [--eps X] [--tvd-out FILE]\n"
+      "          [--spectral on|off]             skip the Lanczos phase at scale\n"
       "  sample  --method bfs|uniform|walk --size N --out FILE\n"
       "  trim    --min-degree K --out FILE\n"
       "  convert --arcs FILE --out FILE          directed -> undirected\n"
@@ -83,6 +90,42 @@ graph::Graph load_input(const util::Cli& cli, std::string& name) {
   name = spec->name + " stand-in";
   const auto nodes = static_cast<graph::NodeId>(cli.get_i64("nodes", 0));
   return gen::build_dataset(*spec, nodes, seed);
+}
+
+/// The measured graph for measure/sybil: either the largest component of
+/// a loaded/generated edge list (owned), or a borrowed view over an
+/// mmapped .smxg container (--pack; tools/graph_pack already extracted
+/// the LCC at pack time). The container must outlive the measurement, so
+/// it lives here, in the subcommand's scope.
+struct ComponentInput {
+  std::string name;
+  graph::Graph owned;
+  graph::sharded::MappedGraph mapped;
+  bool packed = false;
+
+  [[nodiscard]] const graph::Graph& graph() const noexcept {
+    return packed ? mapped.view() : owned;
+  }
+  [[nodiscard]] const graph::sharded::MappedGraph* mapped_ptr() const noexcept {
+    return packed ? &mapped : nullptr;
+  }
+};
+
+ComponentInput load_component_input(const util::Cli& cli) {
+  ComponentInput in;
+  if (cli.has("pack")) {
+    in.name = cli.get("pack", "");
+    in.mapped = graph::sharded::MappedGraph{in.name};
+    in.packed = true;
+    std::fprintf(stderr, "mapped %s: %u nodes, %llu edges, %u pack shards%s\n",
+                 in.name.c_str(), in.mapped.view().num_nodes(),
+                 static_cast<unsigned long long>(in.mapped.view().num_edges()),
+                 in.mapped.pack_plan().num_shards(),
+                 in.mapped.is_mapped() ? "" : " (heap fallback)");
+  } else {
+    in.owned = graph::largest_component(load_input(cli, in.name)).graph;
+  }
+  return in;
 }
 
 void save_output(const graph::Graph& g, const std::string& path) {
@@ -140,9 +183,7 @@ void write_tvd(const markov::SampledMixing& sampled, const std::string& path) {
 }
 
 int cmd_measure(const util::Cli& cli, const resilience::CheckpointOptions& checkpoint) {
-  std::string name;
-  const auto raw = load_input(cli, name);
-  const auto lcc = graph::largest_component(raw).graph;
+  const ComponentInput input = load_component_input(cli);
 
   core::MeasurementOptions options;
   options.sources = static_cast<std::size_t>(cli.get_i64("sources", 200));
@@ -152,13 +193,24 @@ int cmd_measure(const util::Cli& cli, const resilience::CheckpointOptions& check
   options.reorder = core::reorder_from_cli(cli);
   options.frontier = core::frontier_from_cli(cli);
   options.precision = core::precision_from_cli(cli);
+  options.sharded = core::sharded_from_cli(cli);
+  options.mapped = input.mapped_ptr();
+  const std::string spectral = cli.get("spectral", "on");
+  if (spectral == "on" || spectral == "off") {
+    options.spectral = spectral == "on";
+  } else {
+    throw std::invalid_argument{"--spectral=" + spectral + ": expected on or off"};
+  }
   const double eps = cli.get_f64("eps", markov::kHeadlineEpsilon);
 
-  const auto report = core::measure_mixing(lcc, name, options);
+  const auto report = core::measure_mixing(input.graph(), input.name, options);
   if (cli.has("tvd-out")) write_tvd(*report.sampled, cli.get("tvd-out", ""));
   std::printf("%s\n", core::summarize(report).c_str());
-  std::printf("T(%.3g) bounds: %.1f .. %.1f steps\n", eps, report.lower_bound(eps),
-              report.upper_bound(eps));
+  if (report.spectral_ran) {
+    std::printf("T(%.3g) bounds: %.1f .. %.1f steps\n", eps, report.lower_bound(eps),
+                report.upper_bound(eps));
+  }
+  if (!report.sampled.has_value()) return 0;
   const auto worst = report.sampled->worst_mixing_time(eps);
   const auto avg = report.sampled->average_mixing_time(eps);
   if (worst != markov::kNotMixed) {
@@ -215,11 +267,12 @@ int cmd_convert(const util::Cli& cli) {
 }
 
 int cmd_sybil(const util::Cli& cli, const resilience::CheckpointOptions& checkpoint) {
-  std::string name;
-  const auto g = graph::largest_component(load_input(cli, name)).graph;
+  const ComponentInput input = load_component_input(cli);
 
   sybil::AdmissionSweepConfig config;
   config.checkpoint = checkpoint;
+  config.sharded = core::sharded_from_cli(cli);
+  config.mapped = input.mapped_ptr();
   for (const auto token : util::split(cli.get("w", "2,4,8,16,24,32"), ',')) {
     if (const auto v = util::parse_i64(token)) {
       config.route_lengths.push_back(static_cast<std::size_t>(*v));
@@ -230,7 +283,7 @@ int cmd_sybil(const util::Cli& cli, const resilience::CheckpointOptions& checkpo
   config.reorder = core::reorder_from_cli(cli);
   config.frontier = core::frontier_from_cli(cli);
 
-  const auto points = sybil::admission_sweep(g, config);
+  const auto points = sybil::admission_sweep(input.graph(), config);
   util::TextTable table;
   table.header({"w", "honest admitted"});
   for (const auto& point : points) {
@@ -254,6 +307,7 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
   const util::Cli cli{argc - 1, argv + 1};
+  util::set_thread_count(static_cast<std::size_t>(cli.get_i64("threads", 0)));
   core::configure_observability(cli);
   // Opt-in only for the CLI: an explicit --bench-out turns the phase
   // timings measure_mixing records into a BENCH artifact at exit.
