@@ -13,6 +13,27 @@
 //                  (mmap + madvise windowing): adds the paging cost the
 //                  out-of-core path pays when the CSR streams from disk.
 //
+// A second, cold section measures the PR-9 pipeline claim. Each round
+// evicts the container's pages (posix_fadvise DONTNEED — real on the
+// ext4-backed runners; filesystems that ignore the advice only make
+// "cold" read warm, never wrong) and maps it fresh, so every sweep pays
+// actual I/O, then times the 16-shard sweep through the io-mode ×
+// adjacency matrix:
+//
+//   * s16-cold          — sync, raw ADJ4: the pre-pipeline out-of-core
+//                         behavior, the cold baseline;
+//   * s16-cold-prefetch — the worker thread faults shard k+1 in behind
+//                         shard k's compute;
+//   * s16-adjc-cold     — sync over the compressed container: half the
+//                         bytes off disk, decode inline on the compute
+//                         thread;
+//   * s16-adjc-prefetch — prefetch + compressed, the full pipeline: the
+//                         acceptance target is >= 1.3x over s16-cold.
+//
+// Cold rows report the speedup over s16-cold in the ratio column and the
+// prefetch variants' accumulated markov.shard.prefetch_stall_seconds —
+// the direct evidence of how much I/O the compute failed to hide.
+//
 // Alongside the slowdown it records the boundary half-edge fraction (the
 // cross-shard gather traffic of the plan) and the sweep throughput in
 // half-edges/s — the roofline axis: dense is compute/RAM-bandwidth bound,
@@ -22,16 +43,20 @@
 // order alternating, the reported slowdown is the median of the paired
 // per-round ratios, and absolute seconds are the per-variant minima.
 //
-//   micro_shard [--nodes N] [--steps N] [--rounds N] [--quick]
+//   micro_shard [--nodes N] [--steps N] [--rounds N] [--cold-steps N] [--quick]
 //               [--out bench_results/micro_shard.csv]
 //               [--bench-out PATH] [--bench-repeats N]
 //
 // --quick shrinks everything for CI smoke coverage. Every timed run also
 // reports through the process bench::Harness, so the run additionally
 // emits bench_results/BENCH_micro-shard.json (entries
-// sweep/<dataset>/{dense,s4,s16,s16-mapped}, one repeat per round) —
-// the committed bench_results/baseline/BENCH_micro-shard.json and the CI
+// sweep/<dataset>/{dense,s4,s16,s16-mapped,s16-cold,s16-cold-prefetch,
+// s16-adjc-cold,s16-adjc-prefetch}, one repeat per round) — the committed
+// bench_results/baseline/BENCH_micro-shard.json and the CI
 // `bench_compare --require` gate key on these entry names.
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -44,13 +69,16 @@
 
 #include "bench_harness/harness.hpp"
 #include "gen/datasets.hpp"
+#include "graph/frontier.hpp"
 #include "graph/graph.hpp"
 #include "graph/sharded/format.hpp"
 #include "graph/sharded/mapped_graph.hpp"
 #include "graph/sharded/plan.hpp"
+#include "linalg/shard_pipeline.hpp"
 #include "markov/batched_evolver.hpp"
 #include "markov/sharded_evolver.hpp"
 #include "markov/stationary.hpp"
+#include "obs/obs.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "util/string_util.hpp"
@@ -84,6 +112,7 @@ struct Row {
   double shard_seconds = 0.0;
   double slowdown = 0.0;       // median paired dense/sharded ratio (<= 1 is cost)
   double medge_per_s = 0.0;    // sharded sweep throughput, 1e6 half-edges/s
+  double stall_seconds = 0.0;  // prefetch stall total across rounds (cold rows)
 };
 
 double median(std::vector<double> v) {
@@ -149,6 +178,74 @@ PairTiming time_shard_pair(const graph::Graph& g, const graph::Graph& view,
   return out;
 }
 
+// Evict the pack's pages so the next sweep pays real reads. The fsync
+// first matters: the pack was just written, and DONTNEED cannot evict
+// dirty pages. Advice, not an order: a filesystem that ignores it only
+// turns "cold" warm, which shrinks the measured pipeline win but never
+// fabricates one.
+void drop_page_cache(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::posix_fadvise(fd, 0, 0, POSIX_FADV_DONTNEED);
+  ::close(fd);
+}
+
+double stall_seconds_total() {
+#if SOCMIX_OBS_ENABLED
+  for (const auto& h : obs::Registry::instance().snapshot().histograms) {
+    if (h.name == "markov.shard.prefetch_stall_seconds") return h.sum;
+  }
+#endif
+  return 0.0;
+}
+
+struct ColdTiming {
+  double min_seconds = 0.0;
+  double stall_seconds = 0.0;  // prefetch_stall_seconds delta over all rounds
+};
+
+// Times one cold out-of-core variant: per round the container's pages are
+// dropped and the file mapped fresh (CRC verification off — it would warm
+// the cache right back up; tier-1 covers integrity), so the sweep itself
+// faults every adjacency byte in. Steps is deliberately tiny (default 1):
+// a released window's pages stay in the page cache, so only the first
+// sweep is cold, and it is exactly the within-sweep overlap — compute
+// shard k while shard k+1 streams — the pipeline claims. More steps only
+// dilute the cold sweep with warm ones. The frontier phase is pinned off
+// for all variants — compressed windows cannot run it, and the comparison
+// is the full-sweep I/O cost, not the sparse-phase shortcut.
+ColdTiming time_cold_variant(const graph::Graph& g, const std::string& pack,
+                             std::span<const graph::NodeId> sources,
+                             std::size_t steps, std::size_t rounds,
+                             const std::string& entry, linalg::IoMode io) {
+  const std::vector<double> pi = markov::stationary_distribution(g);
+  std::vector<double> tvd(sources.size());
+  ColdTiming out;
+  const double stall_before = stall_seconds_total();
+  for (std::size_t r = 0; r < rounds; ++r) {
+    drop_page_cache(pack);
+    const graph::sharded::MappedGraph mapped{pack, {.verify = false}};
+    markov::ShardedBatchedEvolver evolver{
+        mapped.view(),
+        mapped.pack_plan(),
+        0.0,
+        markov::ShardedBatchedEvolver::kDefaultBlock,
+        graph::FrontierPolicy{.mode = graph::FrontierPolicy::Mode::kOff},
+        linalg::simd::Precision::kFloat64,
+        &mapped,
+        io};
+    evolver.seed_point_masses(sources);
+    const double seconds = bench::Harness::process().time_once(entry, [&] {
+      for (std::size_t t = 0; t < steps; ++t) evolver.step_with_tvd(pi, tvd);
+    });
+    if (tvd[0] < 0.0) std::abort();  // keep the loops observable
+    if (r == 0 || seconds < out.min_seconds) out.min_seconds = seconds;
+  }
+  out.stall_seconds = stall_seconds_total() - stall_before;
+  return out;
+}
+
 std::vector<graph::NodeId> spread_sources(const graph::Graph& g, std::size_t count) {
   std::vector<graph::NodeId> sources;
   const graph::NodeId stride =
@@ -172,9 +269,12 @@ int main(int argc, char** argv) {
   // regression gate.
   const auto rounds = static_cast<std::size_t>(
       cli.get_i64("rounds", static_cast<std::int64_t>(bench::Harness::process_repeats(5))));
+  const auto cold_steps = static_cast<std::size_t>(cli.get_i64("cold-steps", 1));
   bench::Harness::process().set_flag("quick", quick ? "true" : "false");
   bench::Harness::process().set_flag("rounds", std::to_string(rounds));
   bench::Harness::process().set_flag("steps", std::to_string(steps));
+  bench::Harness::process().set_flag("cold_steps", std::to_string(cold_steps));
+  bench::Harness::process().set_flag("cold_protocol", "fsync+fadvise-dontneed");
 
   // First Table-1 stand-in of each mixing class, in paper row order (same
   // picks as micro_frontier, so the two ablations are comparable).
@@ -235,18 +335,71 @@ int main(int argc, char** argv) {
                       static_cast<double>(g.num_half_edges()) *
                           static_cast<double>(steps) / t.shard_min / 1e6});
     }
+
+    // Cold pipeline matrix: the same 16-shard plan through raw and
+    // compressed containers, sync and prefetch, every round from an
+    // evicted page cache. s16-cold is the pre-pipeline baseline the
+    // >= 1.3x acceptance compares against. The cold sweeps use a narrow
+    // 8-lane block (the scale-smoke lane's --sources 8): bigger-than-RAM
+    // sweeps are I/O-bound by construction, and a full 32-lane block of
+    // compute at bench scale would bury the I/O being measured — wide
+    // blocks are the warm rows' job above.
+    const fs::path pack_adjc =
+        fs::temp_directory_path() /
+        ("micro_shard_" + util::slugify(spec.name) + "_adjc.smxg");
+    graph::sharded::WriteOptions compress_options;
+    compress_options.compress = true;
+    graph::sharded::write_smxg_file(pack_adjc.string(), g, plan, compress_options);
+    struct ColdVariant {
+      const char* name;
+      bool compressed;
+      linalg::IoMode io;
+    };
+    const ColdVariant cold_variants[] = {
+        {"s16-cold", false, linalg::IoMode::kSync},
+        {"s16-cold-prefetch", false, linalg::IoMode::kPrefetch},
+        {"s16-adjc-cold", true, linalg::IoMode::kSync},
+        {"s16-adjc-prefetch", true, linalg::IoMode::kPrefetch},
+    };
+    const std::vector<graph::NodeId> cold_sources = spread_sources(g, 8);
+    const double boundary =
+        static_cast<double>(graph::count_boundary_half_edges(g, plan)) /
+        static_cast<double>(g.num_half_edges());
+    double cold_sync_min = 0.0;
+    for (const ColdVariant& variant : cold_variants) {
+      const std::string& cold_pack =
+          variant.compressed ? pack_adjc.string() : pack.string();
+      const ColdTiming t = time_cold_variant(g, cold_pack, cold_sources, cold_steps,
+                                             rounds, prefix + "/" + variant.name,
+                                             variant.io);
+      if (variant.io == linalg::IoMode::kSync && !variant.compressed) {
+        cold_sync_min = t.min_seconds;
+      }
+      // dense_seconds carries the s16-cold baseline here, so the ratio
+      // column reads as speedup over the pre-pipeline cold path.
+      rows.push_back({spec.name, class_name(spec.paper_mixing_class), variant.name,
+                      16, true, n, g.num_edges(), boundary, cold_sync_min,
+                      t.min_seconds, cold_sync_min / t.min_seconds,
+                      static_cast<double>(g.num_half_edges()) *
+                          static_cast<double>(cold_steps) / t.min_seconds / 1e6,
+                      t.stall_seconds});
+    }
     fs::remove(pack);
+    fs::remove(pack_adjc);
   }
 
+  // For warm rows "base s" is the paired dense sweep; for cold rows it is
+  // the s16-cold sync/raw sweep, so base/shard reads as pipeline speedup.
   util::TextTable table;
-  table.header({"dataset", "class", "variant", "boundary", "dense s", "sharded s",
-                "dense/shard", "Medge/s"});
+  table.header({"dataset", "class", "variant", "boundary", "base s", "sharded s",
+                "base/shard", "Medge/s", "stall s"});
   for (const Row& row : rows) {
     table.row({row.dataset, row.mixing_class, row.variant,
                util::fmt_fixed(row.boundary_fraction, 3),
                util::fmt_fixed(row.dense_seconds, 4),
                util::fmt_fixed(row.shard_seconds, 4), util::fmt_fixed(row.slowdown, 2),
-               util::fmt_fixed(row.medge_per_s, 1)});
+               util::fmt_fixed(row.medge_per_s, 1),
+               util::fmt_fixed(row.stall_seconds, 4)});
   }
   table.print(std::cout);
 
@@ -254,14 +407,15 @@ int main(int argc, char** argv) {
       cli.get("out", util::bench_results_dir().value_or(".") + "/micro_shard.csv");
   util::CsvWriter csv{out};
   csv.row({"dataset", "class", "variant", "shards", "mapped", "nodes", "edges",
-           "boundary_fraction", "dense_seconds", "shard_seconds", "slowdown",
-           "medge_per_s"});
+           "boundary_fraction", "base_seconds", "shard_seconds", "ratio",
+           "medge_per_s", "stall_seconds"});
   for (const Row& row : rows) {
     csv.row({row.dataset, row.mixing_class, row.variant, std::to_string(row.shards),
              row.mapped ? "yes" : "no", std::to_string(row.nodes),
              std::to_string(row.edges), util::fmt_fixed(row.boundary_fraction, 4),
              util::fmt_sci(row.dense_seconds, 6), util::fmt_sci(row.shard_seconds, 6),
-             util::fmt_fixed(row.slowdown, 3), util::fmt_fixed(row.medge_per_s, 2)});
+             util::fmt_fixed(row.slowdown, 3), util::fmt_fixed(row.medge_per_s, 2),
+             util::fmt_sci(row.stall_seconds, 4)});
   }
   if (csv.ok()) std::fprintf(stderr, "wrote %s\n", out.c_str());
   return 0;

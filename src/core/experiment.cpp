@@ -30,6 +30,7 @@ ExperimentConfig ExperimentConfig::from_cli(const util::Cli& cli) {
   config.frontier = frontier_from_cli(cli);
   config.precision = precision_from_cli(cli);
   config.sharded = sharded_from_cli(cli);
+  config.io_mode = io_mode_from_cli(cli);
   configure_observability(cli);
   config.checkpoint = configure_resilience(cli);
   // Stamp the perf-relevant knobs on the process bench harness so any
@@ -42,6 +43,7 @@ ExperimentConfig ExperimentConfig::from_cli(const util::Cli& cli) {
   harness.set_flag("frontier", cli.get("frontier", "auto"));
   harness.set_flag("precision", cli.get("precision", "f64"));
   harness.set_flag("sharded", cli.get("sharded", "auto"));
+  harness.set_flag("io-mode", cli.get("io-mode", "sync"));
   return config;
 }
 
@@ -84,6 +86,16 @@ graph::ShardPolicy sharded_from_cli(const util::Cli& cli) {
         std::to_string(graph::ShardPolicy::kMaxShards) + "]"};
   }
   return *policy;
+}
+
+linalg::IoMode io_mode_from_cli(const util::Cli& cli) {
+  const std::string value = cli.get("io-mode", "sync");
+  const auto mode = linalg::parse_io_mode(value);
+  if (!mode) {
+    throw std::invalid_argument{"--io-mode=" + value +
+                                ": expected sync or prefetch"};
+  }
+  return *mode;
 }
 
 void configure_observability(const util::Cli& cli) {

@@ -1,5 +1,7 @@
 #include "core/measurement.hpp"
 
+#include <stdexcept>
+
 #include "bench_harness/harness.hpp"
 #include "linalg/sharded_walk_operator.hpp"
 #include "linalg/walk_operator.hpp"
@@ -19,6 +21,17 @@ MixingReport measure_mixing(const graph::Graph& g, std::string name,
   report.nodes = g.num_nodes();
   report.edges = g.num_edges();
 
+  // Compressed containers (headless CSR): adjacency only exists as ADJC
+  // blocks the shard pipelines decode, so reordering — which walks
+  // neighbors up front — cannot run. Caught here so both phases fail with
+  // the same message before any work starts.
+  const bool headless = g.headless();
+  if (headless && options.reorder != graph::ReorderMode::kNone) {
+    throw std::invalid_argument{
+        "measure_mixing: reordering needs in-memory adjacency; use --reorder "
+        "none with compressed containers"};
+  }
+
   if (options.spectral && g.num_nodes() > 0) {
     SOCMIX_TRACE_SPAN("phase.spectral");
     const util::Timer timer;
@@ -28,14 +41,18 @@ MixingReport measure_mixing(const graph::Graph& g, std::string name,
     const graph::ReorderedGraph reordered = graph::reorder_graph(g, options.reorder);
     const graph::Graph& active = reordered.active(g);
     const std::uint32_t shards = graph::resolve_shard_count(
-        options.sharded, active.memory_bytes(), active.num_nodes());
+        options.sharded, active.memory_bytes(), active.num_nodes(),
+        headless ? 3u : 2u);
     linalg::SpectrumResult spectrum;
-    if (shards > 1) {
+    if (shards > 1 || headless) {
       // Shard geometry never changes an output bit (rows are independent
-      // under spmv); this branch only bounds the CSR residency.
+      // under spmv); this branch only bounds the CSR residency. Headless
+      // graphs take it unconditionally: only the shard pipeline knows how
+      // to materialize their adjacency.
       const linalg::ShardedWalkOperator op{
           active, graph::ShardPlan::balanced(active.offsets(), shards),
-          options.laziness, reordered.identity() ? options.mapped : nullptr};
+          options.laziness, reordered.identity() ? options.mapped : nullptr,
+          options.io_mode};
       spectrum = linalg::slem_spectrum(op, options.lanczos);
     } else {
       const linalg::WalkOperator op{active, options.laziness};
@@ -70,6 +87,7 @@ MixingReport measure_mixing(const graph::Graph& g, std::string name,
     sampled_options.precision = options.precision;
     sampled_options.sharded = options.sharded;
     sampled_options.mapped = options.mapped;
+    sampled_options.io_mode = options.io_mode;
     if (sampled_options.checkpoint.enabled() && sampled_options.checkpoint.name.empty()) {
       sampled_options.checkpoint.name = "mixing-" + util::slugify(report.name);
     }

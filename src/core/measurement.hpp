@@ -74,8 +74,16 @@ struct MeasurementOptions {
   /// The mmap-backed .smxg container `g` was borrowed from (socmix
   /// --pack), or null. Enables the madvise windowing of the shard sweeps;
   /// must outlive the call. Ignored under a non-identity reordering,
-  /// which materializes a CSR the mapping no longer backs.
+  /// which materializes a CSR the mapping no longer backs. A compressed
+  /// container (headless `g`) is mandatory, forces the sharded engines in
+  /// both phases (the dense kernels need the absent neighbor array),
+  /// disables the frontier phase, and requires --reorder none.
   const graph::sharded::MappedGraph* mapped = nullptr;
+  /// Shard window staging discipline of both phases (--io-mode
+  /// sync|prefetch). Prefetch overlaps shard k+1's page-in/decode with
+  /// shard k's compute on a dedicated thread; results are bit-identical
+  /// either way.
+  linalg::IoMode io_mode = linalg::IoMode::kSync;
 };
 
 /// Everything the paper reports about one graph.

@@ -56,6 +56,19 @@ class Graph {
   [[nodiscard]] static Graph borrowed(std::span<const EdgeIndex> offsets,
                                       std::span<const NodeId> neighbors);
 
+  /// Wraps caller-owned row offsets with NO adjacency array: the view of a
+  /// compressed (ADJC) `.smxg` container, whose neighbor ids exist only as
+  /// per-shard decoded scratch (linalg::ShardPipeline). Degree/offset/size
+  /// accessors all work; neighbor accessors must not be called — engines
+  /// detect the case via headless() and route around them.
+  [[nodiscard]] static Graph borrowed_headless(std::span<const EdgeIndex> offsets,
+                                               EdgeIndex num_half_edges);
+
+  /// True for a borrowed_headless view (offsets only, no adjacency).
+  [[nodiscard]] bool headless() const noexcept {
+    return neighbors_ == nullptr && neighbors_size_ != 0;
+  }
+
   /// False for views created by `borrowed` (and their copies).
   [[nodiscard]] bool owns_storage() const noexcept {
     return offsets_ == nullptr || offsets_ == offsets_store_.data();
@@ -103,7 +116,9 @@ class Graph {
     return {offsets_, offsets_size_};
   }
   [[nodiscard]] std::span<const NodeId> raw_neighbors() const noexcept {
-    return {neighbors_, neighbors_size_};
+    // Headless views report an empty span (a null pointer with a nonzero
+    // extent is not a constructible std::span).
+    return {neighbors_, neighbors_ == nullptr ? 0 : neighbors_size_};
   }
 
   /// Footprint of the CSR arrays in bytes. For a borrowed (mmap-backed)

@@ -81,7 +81,15 @@ LoadResult load_edge_list(std::istream& in, const EdgeListOptions& options) {
       continue;
     }
     ++result.edges_parsed;
-    edges.add(densify(static_cast<std::uint64_t>(*u)), densify(static_cast<std::uint64_t>(*v)));
+    // Sequence the two densify calls: function-argument evaluation order
+    // is unspecified, so `add(densify(u), densify(v))` would make the
+    // "first-appearance" labeling a compiler artifact (gcc evaluated the
+    // arguments right to left). Every other producer of this labeling —
+    // graph_pack's streaming loader in particular — assigns u before v,
+    // and the out-of-core TVD parity checks compare the two bytewise.
+    const NodeId du = densify(static_cast<std::uint64_t>(*u));
+    const NodeId dv = densify(static_cast<std::uint64_t>(*v));
+    edges.add(du, dv);
   }
   if (result.malformed_lines > 0) {
     SOCMIX_COUNTER_ADD("graph.io.malformed_lines", result.malformed_lines);

@@ -1,0 +1,97 @@
+#include "graph/sharded/adjc.hpp"
+
+#include <cstring>
+
+namespace socmix::graph::sharded::adjc {
+
+namespace {
+
+[[nodiscard]] constexpr unsigned byte_len(std::uint32_t v) noexcept {
+  return 1u + (v > 0xffu) + (v > 0xffffu) + (v > 0xffffffu);
+}
+
+[[nodiscard]] std::uint64_t load_u64(const std::uint8_t* p) noexcept {
+  std::uint64_t v = 0;
+  std::memcpy(&v, p, sizeof v);
+  return v;  // validated little-endian container; LE hosts only (format.cpp)
+}
+
+[[nodiscard]] std::uint32_t load_u32(const std::uint8_t* p) noexcept {
+  std::uint32_t v = 0;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+}  // namespace
+
+std::size_t encode_group(std::span<const EdgeIndex> offsets, const NodeId* neighbors,
+                         NodeId row_begin, NodeId row_end,
+                         std::vector<std::uint8_t>& out) {
+  const std::uint64_t values = offsets[row_end] - offsets[row_begin];
+  const std::size_t start = out.size();
+  const std::size_t ctrl_bytes = static_cast<std::size_t>((values + 3) / 4);
+  out.resize(start + ctrl_bytes, 0);
+  std::uint64_t i = 0;  // value index within the group
+  for (NodeId r = row_begin; r < row_end; ++r) {
+    NodeId prev = 0;
+    for (EdgeIndex e = offsets[r]; e < offsets[r + 1]; ++e, ++i) {
+      // First id of the row raw, the rest as strictly-positive gaps: rows
+      // are sorted unique, so every value fits the 1..4-byte ladder.
+      const std::uint32_t v = e == offsets[r] ? neighbors[e] : neighbors[e] - prev;
+      prev = neighbors[e];
+      const unsigned len = byte_len(v);
+      out[start + static_cast<std::size_t>(i >> 2)] |=
+          static_cast<std::uint8_t>((len - 1) << ((i & 3) * 2));
+      for (unsigned b = 0; b < len; ++b) {
+        out.push_back(static_cast<std::uint8_t>((v >> (8 * b)) & 0xff));
+      }
+    }
+  }
+  return out.size() - start;
+}
+
+std::pair<std::uint64_t, std::uint64_t> AdjcView::byte_window(
+    NodeId begin, NodeId end) const noexcept {
+  if (begin >= end || num_groups == 0) return {0, 0};
+  const std::uint64_t g_lo = group_of_row(begin);
+  const std::uint64_t g_hi = group_of_row(end - 1) + 1;
+  return {group_offsets[g_lo], group_offsets[g_hi]};
+}
+
+std::string parse_adjc(const std::uint8_t* payload, std::uint64_t bytes,
+                       std::uint64_t num_nodes, std::uint64_t num_values,
+                       AdjcView& out) {
+  if (bytes < kHeadBytes + kSlackBytes) return "ADJC payload too small";
+  const std::uint32_t group_rows = load_u32(payload);
+  if (group_rows == 0) return "ADJC group_rows is zero";
+  if (load_u64(payload + 8) != num_values) {
+    return "ADJC value count disagrees with header";
+  }
+  const std::uint64_t groups = num_groups(num_nodes, group_rows);
+  const std::uint64_t index_bytes = (groups + 1) * 8;
+  if (bytes < kHeadBytes + kSlackBytes + index_bytes) {
+    return "ADJC payload shorter than its group index";
+  }
+  const std::uint64_t index_off = bytes - index_bytes;
+  if (index_off % 8 != 0) return "ADJC group index misaligned";
+  const auto* index = reinterpret_cast<const std::uint64_t*>(payload + index_off);
+  // The index must be monotone and confined to the stream region: a rotted
+  // (CRC-evading) or hand-built index must never send the decoder outside
+  // the mapped payload.
+  std::uint64_t prev = kHeadBytes;
+  if (index[0] != kHeadBytes) return "ADJC group index does not start at the head";
+  for (std::uint64_t k = 1; k <= groups; ++k) {
+    if (index[k] < prev) return "ADJC group index not monotone";
+    prev = index[k];
+  }
+  if (prev + kSlackBytes > index_off) return "ADJC group streams overrun the index";
+  out.base = payload;
+  out.bytes = bytes;
+  out.group_rows = group_rows;
+  out.num_values = num_values;
+  out.num_groups = groups;
+  out.group_offsets = index;
+  return {};
+}
+
+}  // namespace socmix::graph::sharded::adjc

@@ -1,0 +1,89 @@
+// ADJC: the compressed-adjacency section of the `.smxg` container.
+//
+// Neighbor lists are sorted ascending (a Graph invariant), so each row is
+// stored as its first id raw followed by strictly-positive gaps, and the
+// resulting value stream is stream-vbyte coded: 2-bit length codes packed
+// four-per-control-byte, then the 1..4 little-endian data bytes per value.
+// Values are grouped by fixed row blocks (kGroupRows) so a shard window
+// can be decoded without touching the rest of the file; a trailing group
+// index makes any window locatable in O(1).
+//
+// Payload layout (all inside one CRC-checked section):
+//
+//   [ 16 B head ]       u32 group_rows, u32 reserved, u64 num_values
+//   [ group streams ]   group k: ceil(v_k/4) ctrl bytes, then data bytes
+//   [ >= 16 B slack ]   zero padding; lets a SIMD decoder issue full
+//                       16-byte loads at the tail of any group
+//   [ group index ]     (num_groups + 1) x u64 payload-relative stream
+//                       offsets, 8-aligned; entry[num_groups] = streams end
+//
+// The index sits at the *end* so the writer can stream groups through an
+// incremental CRC without buffering the whole payload. Value counts per
+// group are not stored: they are re-derived from the OFFS section, which
+// keeps ADJC pure compression — no structural authority. Decoding
+// reconstructs the exact neighbor ids (integers, no rounding), so the
+// scratch CSR handed to the kernels is bit-identical to an uncompressed
+// ADJ4 payload; see DESIGN.md "Shard pipeline & compression".
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace socmix::graph::sharded::adjc {
+
+/// Rows per compression group. 256 rows keeps the per-group index tiny
+/// (16 B/group of overhead on million-node graphs) while a group of
+/// median-degree rows still decodes from a few KB — far below any shard
+/// window, so windows never over-decode meaningfully.
+inline constexpr std::uint32_t kGroupRows = 256;
+inline constexpr std::size_t kHeadBytes = 16;
+/// Zero bytes after the last group stream, inside the CRC'd payload, so a
+/// vectorized decoder may read a full 16-byte lane at any data position.
+inline constexpr std::size_t kSlackBytes = 16;
+
+[[nodiscard]] constexpr std::uint64_t num_groups(std::uint64_t num_nodes,
+                                                 std::uint32_t group_rows) noexcept {
+  return group_rows == 0 ? 0 : (num_nodes + group_rows - 1) / group_rows;
+}
+
+/// Encodes rows [row_begin, row_end) of a CSR as one group stream (ctrl
+/// bytes then data bytes), appending to `out`. Returns bytes appended.
+std::size_t encode_group(std::span<const EdgeIndex> offsets, const NodeId* neighbors,
+                         NodeId row_begin, NodeId row_end,
+                         std::vector<std::uint8_t>& out);
+
+/// Parsed, bounds-validated view over a mapped ADJC payload.
+struct AdjcView {
+  const std::uint8_t* base = nullptr;  ///< payload start (section base)
+  std::uint64_t bytes = 0;             ///< section payload size
+  std::uint32_t group_rows = 0;
+  std::uint64_t num_values = 0;
+  std::uint64_t num_groups = 0;
+  /// Payload-relative byte offsets of each group stream; num_groups + 1
+  /// entries, the last marking the end of the final stream.
+  const std::uint64_t* group_offsets = nullptr;
+
+  [[nodiscard]] bool present() const noexcept { return base != nullptr; }
+  [[nodiscard]] std::uint64_t group_of_row(NodeId row) const noexcept {
+    return row / group_rows;
+  }
+  /// Payload-relative byte span of the group streams covering rows
+  /// [begin, end) — the compressed analogue of a CSR row window.
+  [[nodiscard]] std::pair<std::uint64_t, std::uint64_t> byte_window(
+      NodeId begin, NodeId end) const noexcept;
+};
+
+/// Validates an ADJC payload's head, geometry, and group index against the
+/// node/half-edge counts the header committed to. Fills `out` and returns
+/// an empty string on success; otherwise returns the defect (the loader
+/// turns it into a fail-closed rejection).
+[[nodiscard]] std::string parse_adjc(const std::uint8_t* payload, std::uint64_t bytes,
+                                     std::uint64_t num_nodes,
+                                     std::uint64_t num_values, AdjcView& out);
+
+}  // namespace socmix::graph::sharded::adjc

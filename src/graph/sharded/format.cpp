@@ -1,5 +1,6 @@
 #include "graph/sharded/format.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cstring>
 #include <filesystem>
@@ -7,6 +8,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "graph/sharded/adjc.hpp"
 #include "util/checksum.hpp"
 
 namespace socmix::graph::sharded {
@@ -30,15 +32,21 @@ template <class T>
   return {reinterpret_cast<const std::byte*>(data.data()), data.size_bytes()};
 }
 
-struct SectionOut {
+struct SectionMeta {
   std::uint32_t id = 0;
-  std::span<const std::byte> payload;
+  std::uint32_t crc = 0;
   std::uint64_t offset = 0;
+  std::uint64_t bytes = 0;
 };
 
 }  // namespace
 
 void write_smxg_file(const std::string& path, const Graph& g, const ShardPlan& plan) {
+  write_smxg_file(path, g, plan, WriteOptions{});
+}
+
+void write_smxg_file(const std::string& path, const Graph& g, const ShardPlan& plan,
+                     const WriteOptions& options) {
   // The payload images are the in-memory arrays, so the writer requires a
   // little-endian host (every deployment target; the header's endian tag
   // protects readers either way).
@@ -48,61 +56,123 @@ void write_smxg_file(const std::string& path, const Graph& g, const ShardPlan& p
   if (plan.dim() != g.num_nodes() || plan.num_shards() == 0) {
     throw std::runtime_error{"write_smxg_file: shard plan does not cover the graph"};
   }
+  if (g.raw_neighbors().data() == nullptr) {
+    throw std::runtime_error{
+        "write_smxg_file: cannot repack a compressed (headless) view"};
+  }
 
   // Shard bounds widened to u64 so the payload layout is NodeId-width
   // independent.
   std::vector<std::uint64_t> bounds64(plan.bounds.begin(), plan.bounds.end());
 
-  SectionOut sections[3] = {
-      {kSectionOffsets, bytes_of(g.offsets()), 0},
-      {kSectionAdjacency, bytes_of(g.raw_neighbors()), 0},
-      {kSectionShards, bytes_of(std::span<const std::uint64_t>{bounds64}), 0},
-  };
   constexpr std::uint32_t kNumSections = 3;
-
-  std::uint64_t cursor = align_up(kHeaderBytes + kNumSections * kSectionEntryBytes);
-  for (SectionOut& s : sections) {
-    s.offset = cursor;
-    cursor = align_up(cursor + s.payload.size_bytes());
-  }
-  const std::uint64_t file_bytes = cursor;
-
-  std::vector<std::byte> head(static_cast<std::size_t>(
-      kHeaderBytes + kNumSections * kSectionEntryBytes), std::byte{0});
-  store_u32(head.data() + 0, kMagic);
-  store_u32(head.data() + 4, kEndianTag);
-  store_u32(head.data() + 8, kVersion);
-  store_u32(head.data() + 12, kNumSections);
-  store_u64(head.data() + 16, g.num_nodes());
-  store_u64(head.data() + 24, g.num_half_edges());
-  store_u32(head.data() + 32, plan.num_shards());
-  store_u64(head.data() + 40, file_bytes);
-  store_u64(head.data() + 48, structural_fingerprint(g));
-  store_u32(head.data() + 60,
-            util::crc32(std::span<const std::byte>{head.data(), 60}));
-  for (std::uint32_t i = 0; i < kNumSections; ++i) {
-    std::byte* entry = head.data() + kHeaderBytes + i * kSectionEntryBytes;
-    store_u32(entry + 0, sections[i].id);
-    store_u32(entry + 4, util::crc32(sections[i].payload));
-    store_u64(entry + 8, sections[i].offset);
-    store_u64(entry + 16, sections[i].payload.size_bytes());
-  }
+  const std::uint64_t head_bytes = kHeaderBytes + kNumSections * kSectionEntryBytes;
+  SectionMeta metas[kNumSections];
 
   const std::string tmp = path + ".tmp";
+  std::uint64_t file_bytes = 0;
   {
     std::ofstream out{tmp, std::ios::binary | std::ios::trunc};
     if (!out) throw std::runtime_error{"write_smxg_file: cannot open " + tmp};
+    std::uint64_t cursor = 0;
+    const auto put = [&](const void* p, std::size_t n) {
+      out.write(static_cast<const char*>(p), static_cast<std::streamsize>(n));
+      cursor += n;
+    };
+    const auto pad_to = [&](std::uint64_t target) {
+      static constexpr char zeros[kPayloadAlign] = {};
+      while (cursor < target) {
+        put(zeros, static_cast<std::size_t>(
+                       std::min<std::uint64_t>(sizeof zeros, target - cursor)));
+      }
+    };
+    // The header + section table slot is zero-filled now and patched once
+    // every payload size and CRC is known; payloads stream straight to disk.
+    pad_to(head_bytes);
+
+    const auto plain_section = [&](std::uint32_t id, std::span<const std::byte> payload) {
+      SectionMeta m;
+      m.id = id;
+      pad_to(align_up(cursor));
+      m.offset = cursor;
+      m.bytes = payload.size_bytes();
+      m.crc = util::crc32(payload);
+      put(payload.data(), payload.size_bytes());
+      return m;
+    };
+
+    metas[0] = plain_section(kSectionOffsets, bytes_of(g.offsets()));
+    if (!options.compress) {
+      metas[1] = plain_section(kSectionAdjacency, bytes_of(g.raw_neighbors()));
+    } else {
+      // ADJC: head, group streams, slack, then the group index — written in
+      // that order through one incremental CRC, buffering one group at a
+      // time (layout contract in adjc.hpp).
+      SectionMeta m;
+      m.id = kSectionAdjacencyCompressed;
+      pad_to(align_up(cursor));
+      m.offset = cursor;
+      std::uint32_t crc = util::kCrc32Init;
+      const auto put_crc = [&](const void* p, std::size_t n) {
+        crc = util::crc32_update(crc, {static_cast<const std::byte*>(p), n});
+        put(p, n);
+      };
+      std::byte adjc_head[adjc::kHeadBytes] = {};
+      store_u32(adjc_head + 0, adjc::kGroupRows);
+      store_u64(adjc_head + 8, g.num_half_edges());
+      put_crc(adjc_head, sizeof adjc_head);
+      const std::uint64_t n = g.num_nodes();
+      const std::uint64_t groups = adjc::num_groups(n, adjc::kGroupRows);
+      std::vector<std::uint64_t> index;
+      index.reserve(static_cast<std::size_t>(groups) + 1);
+      std::uint64_t rel = adjc::kHeadBytes;
+      std::vector<std::uint8_t> buf;
+      for (std::uint64_t k = 0; k < groups; ++k) {
+        index.push_back(rel);
+        const NodeId lo = static_cast<NodeId>(k * adjc::kGroupRows);
+        const NodeId hi = static_cast<NodeId>(
+            std::min<std::uint64_t>(n, (k + 1) * adjc::kGroupRows));
+        buf.clear();
+        rel += adjc::encode_group(g.offsets(), g.raw_neighbors().data(), lo, hi, buf);
+        put_crc(buf.data(), buf.size());
+      }
+      index.push_back(rel);
+      const std::uint64_t index_rel = (rel + adjc::kSlackBytes + 7) & ~std::uint64_t{7};
+      const std::vector<std::uint8_t> slack(static_cast<std::size_t>(index_rel - rel), 0);
+      put_crc(slack.data(), slack.size());
+      put_crc(index.data(), index.size() * sizeof(std::uint64_t));
+      m.bytes = index_rel + index.size() * sizeof(std::uint64_t);
+      m.crc = util::crc32_final(crc);
+      metas[1] = m;
+    }
+    metas[2] =
+        plain_section(kSectionShards, bytes_of(std::span<const std::uint64_t>{bounds64}));
+
+    pad_to(align_up(cursor));
+    file_bytes = cursor;
+
+    std::vector<std::byte> head(static_cast<std::size_t>(head_bytes), std::byte{0});
+    store_u32(head.data() + 0, kMagic);
+    store_u32(head.data() + 4, kEndianTag);
+    store_u32(head.data() + 8, options.compress ? kVersionCompressed : kVersion);
+    store_u32(head.data() + 12, kNumSections);
+    store_u64(head.data() + 16, g.num_nodes());
+    store_u64(head.data() + 24, g.num_half_edges());
+    store_u32(head.data() + 32, plan.num_shards());
+    store_u64(head.data() + 40, file_bytes);
+    store_u64(head.data() + 48, structural_fingerprint(g));
+    store_u32(head.data() + 60,
+              util::crc32(std::span<const std::byte>{head.data(), 60}));
+    for (std::uint32_t i = 0; i < kNumSections; ++i) {
+      std::byte* entry = head.data() + kHeaderBytes + i * kSectionEntryBytes;
+      store_u32(entry + 0, metas[i].id);
+      store_u32(entry + 4, metas[i].crc);
+      store_u64(entry + 8, metas[i].offset);
+      store_u64(entry + 16, metas[i].bytes);
+    }
+    out.seekp(0);
     out.write(reinterpret_cast<const char*>(head.data()),
               static_cast<std::streamsize>(head.size()));
-    std::uint64_t written = head.size();
-    const char zeros[kPayloadAlign] = {};
-    for (const SectionOut& s : sections) {
-      out.write(zeros, static_cast<std::streamsize>(s.offset - written));
-      out.write(reinterpret_cast<const char*>(s.payload.data()),
-                static_cast<std::streamsize>(s.payload.size_bytes()));
-      written = s.offset + s.payload.size_bytes();
-    }
-    out.write(zeros, static_cast<std::streamsize>(file_bytes - written));
     if (!out) throw std::runtime_error{"write_smxg_file: write failed for " + tmp};
   }
   std::error_code ec;

@@ -6,8 +6,15 @@
 //   [ 64 B header ]
 //   [ 32 B x num_sections section table ]
 //   [ OFFS payload ]  (n+1) x u64   CSR row offsets
-//   [ ADJ4 payload ]  2m    x u32   neighbor ids
+//   [ ADJ4 payload ]  2m    x u32   neighbor ids            (version 1)
+//   [ ADJC payload ]  stream-vbyte delta-coded neighbors    (version 2)
 //   [ SHRD payload ]  (S+1) x u64   pack-time shard row bounds
+//
+// A container carries exactly one adjacency section: raw ADJ4 under
+// format version 1 (unchanged from PR 8), or the compressed ADJC form
+// under version 2 (`graph_pack --compress`; layout in sharded/adjc.hpp).
+// Version-1 readers fail closed on a version-2 file by the ordinary
+// version check — compression is a format change, not a silent variant.
 //
 // Header (byte offsets):
 //    0  u32  magic 'SMXG'
@@ -45,18 +52,32 @@ namespace socmix::graph::sharded {
 inline constexpr std::uint32_t kMagic = 0x47584D53;      // 'S','M','X','G'
 inline constexpr std::uint32_t kEndianTag = 0x01020304;  // reads back swapped on BE
 inline constexpr std::uint32_t kVersion = 1;
+/// Version stamped on containers whose adjacency is ADJC-compressed.
+inline constexpr std::uint32_t kVersionCompressed = 2;
 inline constexpr std::size_t kHeaderBytes = 64;
 inline constexpr std::size_t kSectionEntryBytes = 32;
 inline constexpr std::size_t kPayloadAlign = 64;
 
-// Section ids ('OFFS', 'ADJ4', 'SHRD' as little-endian fourccs).
+// Section ids ('OFFS', 'ADJ4', 'ADJC', 'SHRD' as little-endian fourccs).
 inline constexpr std::uint32_t kSectionOffsets = 0x5346464F;
 inline constexpr std::uint32_t kSectionAdjacency = 0x344A4441;
+inline constexpr std::uint32_t kSectionAdjacencyCompressed = 0x434A4441;
 inline constexpr std::uint32_t kSectionShards = 0x44524853;
+
+struct WriteOptions {
+  /// Emit the adjacency as a compressed ADJC section (format version 2)
+  /// instead of the raw ADJ4 array.
+  bool compress = false;
+};
 
 /// Writes `g` and its pack-time shard plan as a `.smxg` file (temp file +
 /// atomic rename, like the resilience snapshots). `plan.dim()` must equal
-/// `g.num_nodes()`. Throws std::runtime_error on I/O failure.
+/// `g.num_nodes()`. Payloads are streamed through incremental CRCs and
+/// the header/section table patched in afterwards, so the writer's extra
+/// memory stays O(one compression group) regardless of graph size.
+/// Throws std::runtime_error on I/O failure.
+void write_smxg_file(const std::string& path, const Graph& g, const ShardPlan& plan,
+                     const WriteOptions& options);
 void write_smxg_file(const std::string& path, const Graph& g, const ShardPlan& plan);
 
 }  // namespace socmix::graph::sharded

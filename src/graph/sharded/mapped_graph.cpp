@@ -44,13 +44,6 @@ namespace {
   return v;
 }
 
-struct SectionEntry {
-  std::uint32_t id = 0;
-  std::uint32_t crc = 0;
-  std::uint64_t offset = 0;
-  std::uint64_t bytes = 0;
-};
-
 }  // namespace
 
 PageFaults process_page_faults() noexcept {
@@ -86,6 +79,8 @@ void MappedGraph::unmap() noexcept {
   mapped_bytes_ = 0;
   heap_.clear();
   view_ = Graph{};
+  adjc_ = adjc::AdjcView{};
+  sections_.clear();
 }
 
 void MappedGraph::steal(MappedGraph& other) noexcept {
@@ -94,12 +89,16 @@ void MappedGraph::steal(MappedGraph& other) noexcept {
   heap_ = std::move(other.heap_);
   view_ = std::move(other.view_);
   pack_plan_ = std::move(other.pack_plan_);
+  adjc_ = other.adjc_;
+  sections_ = std::move(other.sections_);
   fingerprint_ = other.fingerprint_;
   offsets_file_offset_ = other.offsets_file_offset_;
   adjacency_file_offset_ = other.adjacency_file_offset_;
   other.base_ = nullptr;
   other.mapped_bytes_ = 0;
   other.view_ = Graph{};
+  other.adjc_ = adjc::AdjcView{};
+  other.sections_.clear();
 }
 
 void MappedGraph::load(const std::string& path, Options options) {
@@ -125,10 +124,12 @@ void MappedGraph::load(const std::string& path, Options options) {
     rejected("header CRC mismatch");
   }
   const std::uint32_t version = load_u32(head + 8);
-  if (version != kVersion) {
+  if (version != kVersion && version != kVersionCompressed) {
     rejected("unsupported version " + std::to_string(version) + " (expected " +
-             std::to_string(kVersion) + ")");
+             std::to_string(kVersion) + " or " + std::to_string(kVersionCompressed) +
+             ")");
   }
+  const bool compressed = version == kVersionCompressed;
   const std::uint32_t num_sections = load_u32(head + 12);
   const std::uint64_t num_nodes = load_u64(head + 16);
   const std::uint64_t num_half_edges = load_u64(head + 24);
@@ -180,12 +181,15 @@ void MappedGraph::load(const std::string& path, Options options) {
   }
 #endif
 
-  SectionEntry offs{};
-  SectionEntry adj{};
-  SectionEntry shrd{};
+  SectionInfo offs{};
+  SectionInfo adj{};
+  SectionInfo cadj{};
+  SectionInfo shrd{};
+  sections_.clear();
+  sections_.reserve(num_sections);
   for (std::uint32_t i = 0; i < num_sections; ++i) {
     const std::byte* entry = base + kHeaderBytes + i * kSectionEntryBytes;
-    SectionEntry section;
+    SectionInfo section;
     section.id = load_u32(entry + 0);
     section.crc = load_u32(entry + 4);
     section.offset = load_u64(entry + 8);
@@ -197,15 +201,23 @@ void MappedGraph::load(const std::string& path, Options options) {
     }
     if (section.id == kSectionOffsets) offs = section;
     if (section.id == kSectionAdjacency) adj = section;
+    if (section.id == kSectionAdjacencyCompressed) cadj = section;
     if (section.id == kSectionShards) shrd = section;
+    sections_.push_back(section);
   }
-  if (offs.id == 0 || adj.id == 0 || shrd.id == 0) {
-    rejected("missing required section (OFFS/ADJ4/SHRD)");
+  // Exactly one adjacency representation, matched to the format version
+  // (a v1 file smuggling an ADJC section — or vice versa — is rejected,
+  // not silently preferred one way).
+  if (compressed && adj.id != 0) rejected("compressed container carries ADJ4");
+  if (!compressed && cadj.id != 0) rejected("uncompressed container carries ADJC");
+  if (offs.id == 0 || shrd.id == 0 || (compressed ? cadj.id : adj.id) == 0) {
+    rejected(compressed ? "missing required section (OFFS/ADJC/SHRD)"
+                        : "missing required section (OFFS/ADJ4/SHRD)");
   }
   if (offs.bytes != (num_nodes + 1) * sizeof(EdgeIndex)) {
     rejected("offsets section size disagrees with header");
   }
-  if (adj.bytes != num_half_edges * sizeof(NodeId)) {
+  if (!compressed && adj.bytes != num_half_edges * sizeof(NodeId)) {
     rejected("adjacency section size disagrees with header");
   }
   const std::uint32_t pack_shards = load_u32(head + 32);
@@ -214,7 +226,7 @@ void MappedGraph::load(const std::string& path, Options options) {
   }
 
   if (options.verify) {
-    const auto check = [&](const SectionEntry& s, const char* name) {
+    const auto check = [&](const SectionInfo& s, const char* name) {
       const std::span<const std::byte> payload{base + s.offset,
                                                static_cast<std::size_t>(s.bytes)};
       if (util::crc32(payload) != s.crc) {
@@ -222,13 +234,18 @@ void MappedGraph::load(const std::string& path, Options options) {
       }
     };
     check(offs, "OFFS");
-    check(adj, "ADJ4");
+    if (compressed) {
+      check(cadj, "ADJC");
+    } else {
+      check(adj, "ADJ4");
+    }
     check(shrd, "SHRD");
   }
 
   // Structural validation: the CSR invariants every kernel indexes by.
   const auto* offsets = reinterpret_cast<const EdgeIndex*>(base + offs.offset);
-  const auto* neighbors = reinterpret_cast<const NodeId*>(base + adj.offset);
+  const auto* neighbors =
+      compressed ? nullptr : reinterpret_cast<const NodeId*>(base + adj.offset);
   const auto* bounds = reinterpret_cast<const std::uint64_t*>(base + shrd.offset);
   const auto n = static_cast<NodeId>(num_nodes);
   if (offsets[0] != 0 || offsets[num_nodes] != num_half_edges) {
@@ -237,10 +254,19 @@ void MappedGraph::load(const std::string& path, Options options) {
   for (std::uint64_t i = 0; i < num_nodes; ++i) {
     if (offsets[i] > offsets[i + 1]) rejected("corrupt CSR (non-monotone offsets)");
   }
-  if (options.verify) {
+  if (options.verify && !compressed) {
     for (std::uint64_t e = 0; e < num_half_edges; ++e) {
       if (neighbors[e] >= n) rejected("corrupt CSR (neighbor id out of range)");
     }
+  }
+  if (compressed) {
+    // Geometry-only validation (head fields, group index monotone and in
+    // bounds, slack present); the coded bytes themselves are covered by
+    // the section CRC above and re-validated group-by-group at decode.
+    const auto* payload = reinterpret_cast<const std::uint8_t*>(base + cadj.offset);
+    const std::string err = adjc::parse_adjc(payload, cadj.bytes, num_nodes,
+                                             num_half_edges, adjc_);
+    if (!err.empty()) rejected(err);
   }
   if (bounds[0] != 0 || bounds[pack_shards] != num_nodes) {
     rejected("corrupt shard bounds (endpoints)");
@@ -251,8 +277,10 @@ void MappedGraph::load(const std::string& path, Options options) {
 
   pack_plan_.bounds.assign(bounds, bounds + pack_shards + 1);
   offsets_file_offset_ = offs.offset;
-  adjacency_file_offset_ = adj.offset;
-  view_ = Graph::borrowed({offsets, num_nodes + 1}, {neighbors, num_half_edges});
+  adjacency_file_offset_ = compressed ? cadj.offset : adj.offset;
+  view_ = compressed
+              ? Graph::borrowed_headless({offsets, num_nodes + 1}, num_half_edges)
+              : Graph::borrowed({offsets, num_nodes + 1}, {neighbors, num_half_edges});
 
   SOCMIX_COUNTER_ADD("graph.io.smxg_loaded", 1);
   SOCMIX_GAUGE_SET("graph.io.smxg_bytes", file_bytes);
@@ -261,14 +289,26 @@ void MappedGraph::load(const std::string& path, Options options) {
   release_all();
 }
 
+MappedGraph::ByteSpan MappedGraph::offsets_span(NodeId begin, NodeId end) const noexcept {
+  return {offsets_file_offset_ + std::uint64_t{begin} * sizeof(EdgeIndex),
+          offsets_file_offset_ + (std::uint64_t{end} + 1) * sizeof(EdgeIndex)};
+}
+
+MappedGraph::ByteSpan MappedGraph::adjacency_span(NodeId begin, NodeId end) const noexcept {
+  if (adjc_.present()) {
+    const auto [lo, hi] = adjc_.byte_window(begin, end);
+    return {adjacency_file_offset_ + lo, adjacency_file_offset_ + hi};
+  }
+  const auto offsets = view_.offsets();
+  return {adjacency_file_offset_ + offsets[begin] * sizeof(NodeId),
+          adjacency_file_offset_ + offsets[end] * sizeof(NodeId)};
+}
+
 std::size_t MappedGraph::window_bytes(NodeId begin, NodeId end) const noexcept {
   if (begin >= end || view_.num_nodes() == 0) return 0;
-  const auto offsets = view_.offsets();
-  const std::size_t offset_bytes =
-      (static_cast<std::size_t>(end) - begin + 1) * sizeof(EdgeIndex);
-  const std::size_t adjacency_bytes =
-      static_cast<std::size_t>(offsets[end] - offsets[begin]) * sizeof(NodeId);
-  return offset_bytes + adjacency_bytes;
+  const ByteSpan off = offsets_span(begin, end);
+  const ByteSpan adj = adjacency_span(begin, end);
+  return static_cast<std::size_t>((off.hi - off.lo) + (adj.hi - adj.lo));
 }
 
 namespace {
@@ -283,8 +323,13 @@ void advise_span(const std::byte* base, std::size_t mapped_bytes, std::uint64_t 
   end = std::min<std::uint64_t>(end, mapped_bytes);
   if (start >= end) return;
   // const_cast: madvise takes void* but never writes through it.
-  ::madvise(const_cast<std::byte*>(base) + start, static_cast<std::size_t>(end - start),
-            advice);
+  if (::madvise(const_cast<std::byte*>(base) + start,
+                static_cast<std::size_t>(end - start), advice) != 0) {
+    // A refused hint (EAGAIN under memory pressure, exotic filesystems,
+    // locked pages) just means the kernel pages on demand instead —
+    // correctness is unaffected, so count it and carry on.
+    SOCMIX_COUNTER_ADD("graph.io.smxg_advise_failed", 1);
+  }
 }
 #endif
 
@@ -294,17 +339,45 @@ void MappedGraph::advise_rows(NodeId begin, NodeId end) const noexcept {
 #if SOCMIX_HAVE_MMAP
   if (base_ == nullptr || begin >= end) return;
   const auto* base = static_cast<const std::byte*>(base_);
-  const auto offsets = view_.offsets();
-  advise_span(base, mapped_bytes_,
-              offsets_file_offset_ + std::uint64_t{begin} * sizeof(EdgeIndex),
-              offsets_file_offset_ + (std::uint64_t{end} + 1) * sizeof(EdgeIndex),
-              MADV_WILLNEED);
-  advise_span(base, mapped_bytes_,
-              adjacency_file_offset_ + offsets[begin] * sizeof(NodeId),
-              adjacency_file_offset_ + offsets[end] * sizeof(NodeId), MADV_WILLNEED);
+  const ByteSpan off = offsets_span(begin, end);
+  const ByteSpan adj = adjacency_span(begin, end);
+  advise_span(base, mapped_bytes_, off.lo, off.hi, MADV_WILLNEED);
+  advise_span(base, mapped_bytes_, adj.lo, adj.hi, MADV_WILLNEED);
 #else
   (void)begin;
   (void)end;
+#endif
+}
+
+std::size_t MappedGraph::prefetch_rows(NodeId begin, NodeId end) const noexcept {
+#if SOCMIX_HAVE_MMAP
+  if (base_ == nullptr || begin >= end) return 0;
+  advise_rows(begin, end);
+  // madvise(WILLNEED) only queues readahead; touching one byte per page
+  // blocks *this* thread on the actual I/O, which is exactly the point:
+  // the pipeline thread absorbs the faults so the compute thread finds
+  // the window resident.
+  const auto* base = static_cast<const std::byte*>(base_);
+  const auto page = static_cast<std::uint64_t>(::sysconf(_SC_PAGESIZE));
+  std::size_t walked = 0;
+  unsigned char sink = 0;
+  const auto touch = [&](ByteSpan span) {
+    const std::uint64_t hi = std::min<std::uint64_t>(span.hi, mapped_bytes_);
+    if (span.lo >= hi) return;
+    for (std::uint64_t p = span.lo & ~(page - 1); p < hi; p += page) {
+      sink ^= *reinterpret_cast<const volatile unsigned char*>(base + p);
+      walked += static_cast<std::size_t>(std::min<std::uint64_t>(page, hi - p));
+    }
+  };
+  touch(offsets_span(begin, end));
+  touch(adjacency_span(begin, end));
+  // Keep the reads observable so the loop cannot be optimized away.
+  asm volatile("" : : "r"(sink));
+  return walked;
+#else
+  (void)begin;
+  (void)end;
+  return 0;
 #endif
 }
 
@@ -312,14 +385,10 @@ void MappedGraph::release_rows(NodeId begin, NodeId end) const noexcept {
 #if SOCMIX_HAVE_MMAP
   if (base_ == nullptr || begin >= end) return;
   const auto* base = static_cast<const std::byte*>(base_);
-  const auto offsets = view_.offsets();
-  advise_span(base, mapped_bytes_,
-              offsets_file_offset_ + std::uint64_t{begin} * sizeof(EdgeIndex),
-              offsets_file_offset_ + (std::uint64_t{end} + 1) * sizeof(EdgeIndex),
-              MADV_DONTNEED);
-  advise_span(base, mapped_bytes_,
-              adjacency_file_offset_ + offsets[begin] * sizeof(NodeId),
-              adjacency_file_offset_ + offsets[end] * sizeof(NodeId), MADV_DONTNEED);
+  const ByteSpan off = offsets_span(begin, end);
+  const ByteSpan adj = adjacency_span(begin, end);
+  advise_span(base, mapped_bytes_, off.lo, off.hi, MADV_DONTNEED);
+  advise_span(base, mapped_bytes_, adj.lo, adj.hi, MADV_DONTNEED);
 #else
   (void)begin;
   (void)end;
@@ -329,7 +398,9 @@ void MappedGraph::release_rows(NodeId begin, NodeId end) const noexcept {
 void MappedGraph::release_all() const noexcept {
 #if SOCMIX_HAVE_MMAP
   if (base_ == nullptr) return;
-  ::madvise(base_, mapped_bytes_, MADV_DONTNEED);
+  if (::madvise(base_, mapped_bytes_, MADV_DONTNEED) != 0) {
+    SOCMIX_COUNTER_ADD("graph.io.smxg_advise_failed", 1);
+  }
 #endif
 }
 

@@ -7,10 +7,19 @@
 // the file's pages directly and the OS pages them in on demand. The
 // sharded engines drive residency explicitly — advise_rows(WILLNEED) on
 // the shard about to be swept, release_rows(DONTNEED) on the one just
-// finished — so a graph far larger than RAM streams through a bounded
-// window instead of thrashing. On platforms without mmap the container
-// degrades to a heap read of the whole file (same validation, same view,
-// no residency control).
+// finished, prefetch_rows to additionally fault the window in from a
+// pipeline thread — so a graph far larger than RAM streams through a
+// bounded window instead of thrashing. madvise failures are counted
+// (graph.io.smxg_advise_failed) and degrade to the sync paging path;
+// they are hints, never correctness. On platforms without mmap the
+// container degrades to a heap read of the whole file (same validation,
+// same view, no residency control).
+//
+// Compressed containers (format version 2, ADJC section): the view is
+// headless — row offsets map directly, neighbor ids stay stream-vbyte
+// coded on disk and are decoded per shard window by linalg::ShardPipeline
+// into scratch that is bit-identical to the raw array. advise/release/
+// window accounting automatically cover the compressed byte ranges.
 #pragma once
 
 #include <cstddef>
@@ -19,6 +28,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "graph/sharded/adjc.hpp"
 #include "graph/sharded/plan.hpp"
 #include "util/aligned.hpp"
 
@@ -32,11 +42,22 @@ struct PageFaults {
 };
 [[nodiscard]] PageFaults process_page_faults() noexcept;
 
+/// One validated section-table row (`graph_pack --verify` reporting).
+struct SectionInfo {
+  std::uint32_t id = 0;
+  std::uint32_t crc = 0;
+  std::uint64_t offset = 0;
+  std::uint64_t bytes = 0;
+};
+
 class MappedGraph {
  public:
   struct Options {
     /// Verify section CRCs and scan neighbor ids (one sequential pass
     /// over the file at load; the cheap structural checks always run).
+    /// Compressed adjacency has no id scan here — the section CRC covers
+    /// the coded bytes and the decoder re-validates every group it
+    /// expands (gap overflow, id range, exact byte consumption).
     bool verify = true;
   };
 
@@ -59,6 +80,7 @@ class MappedGraph {
   }
 
   /// Borrowed CSR view over the mapped arrays; valid while *this lives.
+  /// Headless (view().headless()) when the container is compressed.
   [[nodiscard]] const Graph& view() const noexcept { return view_; }
 
   /// The pack-time shard plan stored in the file (>= 1 shard). Runtime
@@ -70,12 +92,27 @@ class MappedGraph {
   /// True when backed by mmap (advise/release are no-ops otherwise).
   [[nodiscard]] bool is_mapped() const noexcept { return base_ != nullptr; }
 
-  /// Bytes of CSR payload backing rows [begin, end) — the residency
-  /// window a shard sweep needs.
+  /// True when the adjacency is ADJC-compressed (format version 2).
+  [[nodiscard]] bool compressed() const noexcept { return adjc_.present(); }
+
+  /// The parsed compressed-adjacency geometry (present() iff compressed).
+  [[nodiscard]] const adjc::AdjcView& adjc_view() const noexcept { return adjc_; }
+
+  /// The validated section table (ids, CRCs, extents) for verify tooling.
+  [[nodiscard]] const std::vector<SectionInfo>& sections() const noexcept {
+    return sections_;
+  }
+
+  /// Bytes of container payload backing rows [begin, end) — the residency
+  /// window a shard sweep needs (compressed bytes when ADJC).
   [[nodiscard]] std::size_t window_bytes(NodeId begin, NodeId end) const noexcept;
 
   /// madvise(WILLNEED) the pages backing rows [begin, end).
   void advise_rows(NodeId begin, NodeId end) const noexcept;
+  /// advise_rows, then fault the window in by touching one byte per page —
+  /// the blocking read a pipeline thread performs so the compute thread
+  /// never stalls on disk. Returns the bytes walked (0 off-mmap).
+  std::size_t prefetch_rows(NodeId begin, NodeId end) const noexcept;
   /// madvise(DONTNEED) the pages backing rows [begin, end).
   void release_rows(NodeId begin, NodeId end) const noexcept;
   /// madvise(DONTNEED) the whole mapping (load-time validation warms the
@@ -83,15 +120,24 @@ class MappedGraph {
   void release_all() const noexcept;
 
  private:
+  struct ByteSpan {
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;
+  };
+
   void load(const std::string& path, Options options);
   void unmap() noexcept;
   void steal(MappedGraph& other) noexcept;
+  [[nodiscard]] ByteSpan offsets_span(NodeId begin, NodeId end) const noexcept;
+  [[nodiscard]] ByteSpan adjacency_span(NodeId begin, NodeId end) const noexcept;
 
   void* base_ = nullptr;            // mmap base (null on the heap fallback)
   std::size_t mapped_bytes_ = 0;
   util::aligned_vector<std::byte> heap_;  // fallback storage
   Graph view_;
   ShardPlan pack_plan_;
+  adjc::AdjcView adjc_;
+  std::vector<SectionInfo> sections_;
   std::uint64_t fingerprint_ = 0;
   std::uint64_t offsets_file_offset_ = 0;  // payload offsets for advise math
   std::uint64_t adjacency_file_offset_ = 0;

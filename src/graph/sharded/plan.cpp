@@ -26,7 +26,7 @@ std::string shard_policy_name(const ShardPolicy& policy) {
 }
 
 std::uint32_t resolve_shard_count(const ShardPolicy& policy, std::size_t csr_bytes,
-                                  NodeId n) noexcept {
+                                  NodeId n, std::uint32_t resident_copies) noexcept {
   if (n == 0) return 1;
   std::uint32_t shards = 1;
   switch (policy.mode) {
@@ -35,12 +35,17 @@ std::uint32_t resolve_shard_count(const ShardPolicy& policy, std::size_t csr_byt
     case ShardPolicy::Mode::kFixed:
       shards = std::max<std::uint32_t>(1, policy.count);
       break;
-    case ShardPolicy::Mode::kAuto:
+    case ShardPolicy::Mode::kAuto: {
+      // Keep resident_copies windows inside the 2-copy sweep's envelope:
+      // shards = ceil(csr_bytes * copies / (2 * kAutoShardBytes)), which
+      // reduces to the classic ceil(csr_bytes / kAutoShardBytes) at 2.
+      const std::size_t copies = std::max<std::uint32_t>(2, resident_copies);
+      const std::size_t envelope = 2 * ShardPolicy::kAutoShardBytes;
       shards = static_cast<std::uint32_t>(
-          std::min<std::size_t>((csr_bytes + ShardPolicy::kAutoShardBytes - 1) /
-                                    ShardPolicy::kAutoShardBytes,
+          std::min<std::size_t>((csr_bytes * copies + envelope - 1) / envelope,
                                 ShardPolicy::kMaxShards));
       break;
+    }
   }
   shards = std::min<std::uint32_t>(shards, ShardPolicy::kMaxShards);
   // More shards than rows would only manufacture empty shards.

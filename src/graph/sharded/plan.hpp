@@ -63,9 +63,15 @@ struct ShardPolicy {
 /// Shard count a policy resolves to for a CSR of `csr_bytes` over `n`
 /// rows. 1 means "run the dense path" (off, auto under the byte budget,
 /// or an explicit --sharded 1 — all bit-identical by contract).
+/// `resident_copies` is how many shard-sized windows the engine keeps
+/// live at once: 2 for the classic advise-ahead sweep (current + next),
+/// 3 when a decoded-scratch window rides along (compressed adjacency
+/// under the double-buffered pipeline). `auto` sizes shards so that
+/// resident_copies windows together stay within the same memory
+/// envelope the 2-copy sweep used (2 * kAutoShardBytes).
 [[nodiscard]] std::uint32_t resolve_shard_count(const ShardPolicy& policy,
-                                                std::size_t csr_bytes,
-                                                NodeId n) noexcept;
+                                                std::size_t csr_bytes, NodeId n,
+                                                std::uint32_t resident_copies = 2) noexcept;
 
 /// Word the resilience layer folds into a checkpoint's context so that a
 /// snapshot written under a different shard geometry classifies stale.

@@ -12,7 +12,8 @@ namespace socmix::linalg {
 
 ShardedWalkOperator::ShardedWalkOperator(const graph::Graph& g, graph::ShardPlan plan,
                                          double laziness,
-                                         const graph::sharded::MappedGraph* mapped)
+                                         const graph::sharded::MappedGraph* mapped,
+                                         IoMode io_mode)
     : graph_(&g), mapped_(mapped), plan_(std::move(plan)), laziness_(laziness) {
   if (laziness < 0.0 || laziness >= 1.0) {
     throw std::invalid_argument{"ShardedWalkOperator: laziness must be in [0, 1)"};
@@ -32,6 +33,7 @@ ShardedWalkOperator::ShardedWalkOperator(const graph::Graph& g, graph::ShardPlan
     inv_sqrt_deg_[v] = 1.0 / std::sqrt(static_cast<double>(d));
   }
   scaled_.resize(n);
+  pipeline_ = std::make_unique<ShardPipeline>(g, plan_, mapped_, io_mode);
 }
 
 void ShardedWalkOperator::apply(std::span<const double> x, std::span<double> y) const {
@@ -51,29 +53,45 @@ void ShardedWalkOperator::apply(std::span<const double> x, std::span<double> y) 
                      [&](std::size_t lo, std::size_t hi) {
                        kernels.prescale_f64(x.data(), inv_sqrt_deg_.data(), scaled, lo, hi);
                      });
-  simd::SpmvArgs args;
-  args.offsets = g.offsets().data();
-  args.neighbors = g.raw_neighbors().data();
-  args.gather = scaled;
-  args.x = x.data();
-  args.y = y.data();
-  args.walk_weight = walk_weight;
-  args.laziness = laziness_;
-  args.row_scale = inv_sqrt_deg_.data();
+  simd::SpmvArgs base;
+  base.gather = scaled;
+  base.x = x.data();
+  base.y = y.data();
+  base.walk_weight = walk_weight;
+  base.laziness = laziness_;
+  base.row_scale = inv_sqrt_deg_.data();
 
   const std::uint32_t shards = plan_.num_shards();
-  if (mapped_ != nullptr) mapped_->advise_rows(plan_.begin(0), plan_.end(0));
   for (std::uint32_t s = 0; s < shards; ++s) {
-    if (mapped_ != nullptr && s + 1 < shards) {
-      mapped_->advise_rows(plan_.begin(s + 1), plan_.end(s + 1));
+    const ShardWindow w = pipeline_->acquire(s);
+    simd::SpmvArgs args = base;
+    if (w.local) {
+      // Decoded window: local offsets index the scratch neighbors, and
+      // every per-row pointer is rebased by w.begin so row j of the
+      // kernel is absolute row w.begin + j. The gather source stays
+      // absolute (neighbor ids are absolute), so the per-row FP sequence
+      // is identical to the uncompressed sweep.
+      args.offsets = w.offsets;
+      args.neighbors = w.neighbors;
+      args.x = x.data() + w.begin;
+      args.y = y.data() + w.begin;
+      args.row_scale = inv_sqrt_deg_.data() + w.begin;
+      util::parallel_for(0, w.end - w.begin, WalkOperator::kApplyGrain,
+                         [&](std::size_t row_lo, std::size_t row_hi) {
+                           kernels.spmv(args, static_cast<graph::NodeId>(row_lo),
+                                        static_cast<graph::NodeId>(row_hi));
+                         });
+    } else {
+      args.offsets = w.offsets;
+      args.neighbors = w.neighbors;
+      util::parallel_for(w.begin, w.end, WalkOperator::kApplyGrain,
+                         [&](std::size_t row_lo, std::size_t row_hi) {
+                           kernels.spmv(args, static_cast<graph::NodeId>(row_lo),
+                                        static_cast<graph::NodeId>(row_hi));
+                         });
     }
-    util::parallel_for(plan_.begin(s), plan_.end(s), WalkOperator::kApplyGrain,
-                       [&](std::size_t row_lo, std::size_t row_hi) {
-                         kernels.spmv(args, static_cast<graph::NodeId>(row_lo),
-                                      static_cast<graph::NodeId>(row_hi));
-                       });
-    if (mapped_ != nullptr) mapped_->release_rows(plan_.begin(s), plan_.end(s));
   }
+  pipeline_->finish_sweep();
 }
 
 std::vector<double> ShardedWalkOperator::top_eigenvector() const {

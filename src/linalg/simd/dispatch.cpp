@@ -23,19 +23,29 @@ namespace {
 constexpr KernelTable kScalarTable{
     Tier::kScalar,        &scalar::spmm_f64,     &scalar::spmm_mixed,
     &scalar::spmv,        &scalar::prescale_f64, &scalar::prescale_mixed,
+    &scalar::decode_u32,
 };
 
 #if defined(SOCMIX_SIMD_HAVE_AVX2)
 constexpr KernelTable kAvx2Table{
     Tier::kAvx2,        &avx2::spmm_f64,     &avx2::spmm_mixed,
     &avx2::spmv,        &avx2::prescale_f64, &avx2::prescale_mixed,
+    &avx2::decode_u32,
 };
 #endif
 
 #if defined(SOCMIX_SIMD_HAVE_AVX512)
+// The varint decode is SSSE3 shuffle work with no 512-bit form worth
+// having; the AVX-512 tier reuses the AVX2 decoder (an AVX-512 build
+// always compiles the AVX2 TU too — see src/linalg/CMakeLists.txt).
 constexpr KernelTable kAvx512Table{
     Tier::kAvx512,        &avx512::spmm_f64,     &avx512::spmm_mixed,
     &avx512::spmv,        &avx512::prescale_f64, &avx512::prescale_mixed,
+#if defined(SOCMIX_SIMD_HAVE_AVX2)
+    &avx2::decode_u32,
+#else
+    &scalar::decode_u32,
+#endif
 };
 #endif
 

@@ -127,6 +127,17 @@ using PrescaleF64Fn = void (*)(const double* x, const double* w, double* out,
 using PrescaleMixedFn = void (*)(const float* x, const double* w, float* out,
                                  std::size_t begin, std::size_t end);
 
+/// Stream-vbyte block decode of `count` u32 values: 2-bit length codes
+/// packed four-per-control-byte in `ctrl` (ceil(count/4) bytes), 1..4
+/// little-endian data bytes per value in `data`. Returns the data bytes
+/// consumed. Pure integer reconstruction — every tier produces identical
+/// words, so the decoded adjacency feeding the FP kernels is bit-exact by
+/// construction. Vector tiers may load a full 16 bytes at any consumed
+/// data position; callers guarantee 16 readable bytes past the last value
+/// (the ADJC payload carries that slack — see graph/sharded/adjc.hpp).
+using DecodeU32Fn = std::size_t (*)(const std::uint8_t* ctrl, const std::uint8_t* data,
+                                    std::size_t count, std::uint32_t* out);
+
 struct KernelTable {
   Tier tier = Tier::kScalar;
   SpmmF64Fn spmm_f64 = nullptr;
@@ -134,6 +145,7 @@ struct KernelTable {
   SpmvFn spmv = nullptr;
   PrescaleF64Fn prescale_f64 = nullptr;
   PrescaleMixedFn prescale_mixed = nullptr;
+  DecodeU32Fn decode_u32 = nullptr;
 };
 
 /// The active kernel table (cpuid probe + SOCMIX_SIMD override, resolved

@@ -18,6 +18,8 @@ void prescale_f64(const double* x, const double* w, double* out, std::size_t beg
                   std::size_t end);
 void prescale_mixed(const float* x, const double* w, float* out, std::size_t begin,
                     std::size_t end);
+std::size_t decode_u32(const std::uint8_t* ctrl, const std::uint8_t* data,
+                       std::size_t count, std::uint32_t* out);
 }  // namespace socmix::linalg::simd::scalar
 
 #if defined(SOCMIX_SIMD_HAVE_AVX2)
@@ -29,6 +31,8 @@ void prescale_f64(const double* x, const double* w, double* out, std::size_t beg
                   std::size_t end);
 void prescale_mixed(const float* x, const double* w, float* out, std::size_t begin,
                     std::size_t end);
+std::size_t decode_u32(const std::uint8_t* ctrl, const std::uint8_t* data,
+                       std::size_t count, std::uint32_t* out);
 }  // namespace socmix::linalg::simd::avx2
 #endif
 

@@ -484,6 +484,23 @@ void prescale_mixed(const float* x, const double* w, float* out, std::size_t beg
   }
 }
 
+std::size_t decode_u32(const std::uint8_t* ctrl, const std::uint8_t* data,
+                       std::size_t count, std::uint32_t* out) {
+  // Portable stream-vbyte decode: the reference the vector tiers must
+  // reproduce word for word (pure integer assembly, no rounding anywhere).
+  std::size_t pos = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const unsigned len = ((ctrl[i >> 2] >> ((i & 3) * 2)) & 3u) + 1u;
+    std::uint32_t v = 0;
+    for (unsigned b = 0; b < len; ++b) {
+      v |= std::uint32_t{data[pos + b]} << (8 * b);
+    }
+    out[i] = v;
+    pos += len;
+  }
+  return pos;
+}
+
 }  // namespace socmix::linalg::simd::scalar
 
 // ---------------------------------------------------------------------------

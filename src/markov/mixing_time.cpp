@@ -146,11 +146,15 @@ SampledMixing::PercentileCurves SampledMixing::percentile_curves(
   return out;
 }
 
-std::uint64_t sampled_mixing_fingerprint(const graph::Graph& g,
-                                         std::span<const graph::NodeId> sources,
-                                         std::size_t max_steps, double laziness,
-                                         graph::ReorderMode reorder) {
-  std::uint64_t h = graph::structural_fingerprint(g);
+namespace {
+
+// The non-graph half of the checkpoint fingerprint, shared between the
+// public entry point (which hashes the CSR) and the compressed path
+// (which substitutes the container's pack-time fingerprint).
+std::uint64_t mixing_fingerprint_from(std::uint64_t h,
+                                      std::span<const graph::NodeId> sources,
+                                      std::size_t max_steps, double laziness,
+                                      graph::ReorderMode reorder) {
   h = util::hash_combine(h, sources.size());
   for (const graph::NodeId s : sources) h = util::hash_combine(h, s);
   h = util::hash_combine(h, max_steps);
@@ -158,6 +162,16 @@ std::uint64_t sampled_mixing_fingerprint(const graph::Graph& g,
   h = util::hash_combine(h, BatchedEvolver::kDefaultBlock);
   h = util::hash_combine(h, static_cast<std::uint64_t>(reorder));
   return h;
+}
+
+}  // namespace
+
+std::uint64_t sampled_mixing_fingerprint(const graph::Graph& g,
+                                         std::span<const graph::NodeId> sources,
+                                         std::size_t max_steps, double laziness,
+                                         graph::ReorderMode reorder) {
+  return mixing_fingerprint_from(graph::structural_fingerprint(g), sources,
+                                 max_steps, laziness, reorder);
 }
 
 SampledMixing measure_sampled_mixing(const graph::Graph& g,
@@ -168,6 +182,27 @@ SampledMixing measure_sampled_mixing(const graph::Graph& g,
   const double laziness = options.laziness;
   const std::size_t num_sources = sources.size();
   std::vector<std::vector<double>> trajectories(num_sources);
+
+  // Compressed containers hand us a headless CSR (offsets only): the
+  // adjacency exists solely as ADJC blocks the shard pipeline decodes on
+  // the fly. Everything that walks neighbors outside the pipeline —
+  // reordering, the frontier closure — must be off, and the mapping is
+  // not optional.
+  const bool headless = g.headless();
+  if (headless) {
+    if (options.mapped == nullptr || !options.mapped->compressed()) {
+      throw std::invalid_argument{
+          "measure_sampled_mixing: a headless graph needs its compressed "
+          "MappedGraph (SampledMixingOptions::mapped)"};
+    }
+    if (options.reorder != graph::ReorderMode::kNone) {
+      throw std::invalid_argument{
+          "measure_sampled_mixing: reordering needs in-memory adjacency; use "
+          "--reorder none with compressed containers"};
+    }
+  }
+  graph::FrontierPolicy frontier = options.frontier;
+  if (headless) frontier.mode = graph::FrontierPolicy::Mode::kOff;
 
   // Locality layer: relabel the graph for gather locality and map the
   // sources into the new id space. Everything below runs on `active`; the
@@ -210,8 +245,15 @@ SampledMixing measure_sampled_mixing(const graph::Graph& g,
   // dense path — no plan, no context word, pre-shard snapshots stay
   // compatible. A reordering materializes a fresh in-memory CSR, so the
   // mmap windowing hints only apply under identity ordering.
+  // A compressed sweep keeps three adjacency copies per staged window in
+  // flight (two decoded scratch slots + the mapped ADJC bytes), so the
+  // auto shard formula gets resident_copies = 3; it also always runs the
+  // sharded engine — the dense kernels would dereference the absent
+  // neighbor array.
   const std::uint32_t resolved_shards = graph::resolve_shard_count(
-      options.sharded, active.memory_bytes(), active.num_nodes());
+      options.sharded, active.memory_bytes(), active.num_nodes(),
+      headless ? 3u : 2u);
+  const bool use_sharded = resolved_shards > 1 || headless;
   const graph::sharded::MappedGraph* mapped =
       reordered.identity() ? options.mapped : nullptr;
 #if SOCMIX_OBS_ENABLED
@@ -219,13 +261,21 @@ SampledMixing measure_sampled_mixing(const graph::Graph& g,
 #endif
   std::uint64_t context = util::hash_combine(
       util::hash_combine(static_cast<std::uint64_t>(options.reorder),
-                         graph::frontier_context_word(options.frontier)),
+                         graph::frontier_context_word(frontier)),
       linalg::simd::precision_context_word(options.precision));
   const std::uint64_t shard_word = graph::shard_context_word(resolved_shards);
   if (shard_word != 0) context = util::hash_combine(context, shard_word);
+  // A headless graph's structural fingerprint would sample an empty
+  // neighbor span; the container carries the pack-time fingerprint of the
+  // full CSR, which is what keeps compressed checkpoints interchangeable
+  // with dense/uncompressed ones. io_mode is deliberately absent from the
+  // context word (results are bit-identical across modes, like threads).
+  const std::uint64_t graph_word =
+      headless ? options.mapped->fingerprint() : graph::structural_fingerprint(g);
   resilience::BlockCheckpoint checkpoint{
       options.checkpoint,
-      sampled_mixing_fingerprint(g, sources, max_steps, laziness, options.reorder),
+      mixing_fingerprint_from(graph_word, sources, max_steps, laziness,
+                              options.reorder),
       num_blocks, context};
   std::vector<std::size_t> pending;
   pending.reserve(num_blocks);
@@ -312,13 +362,14 @@ SampledMixing measure_sampled_mixing(const graph::Graph& g,
     }
   };
   util::parallel_for(0, pending.size(), 1, [&](std::size_t lo, std::size_t hi) {
-    if (resolved_shards > 1) {
+    if (use_sharded) {
       ShardedBatchedEvolver evolver{
           active, graph::ShardPlan::balanced(active.offsets(), resolved_shards),
-          laziness, kBlock, options.frontier, options.precision, mapped};
+          laziness, kBlock, frontier, options.precision, mapped,
+          options.io_mode};
       run_blocks(evolver, lo, hi);
     } else {
-      BatchedEvolver evolver{active, laziness, kBlock, options.frontier,
+      BatchedEvolver evolver{active, laziness, kBlock, frontier,
                              options.precision};
       run_blocks(evolver, lo, hi);
     }

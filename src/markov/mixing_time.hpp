@@ -23,6 +23,7 @@
 #include "graph/reorder.hpp"
 #include "graph/sharded/mapped_graph.hpp"
 #include "graph/sharded/plan.hpp"
+#include "linalg/shard_pipeline.hpp"
 #include "linalg/simd/kernels.hpp"
 #include "resilience/checkpoint.hpp"
 #include "util/rng.hpp"
@@ -164,8 +165,20 @@ struct SampledMixingOptions {
   /// loaded one (socmix --pack). Enables the madvise windowing of the
   /// shard sweep; ignored (the sweep is identical, minus the paging
   /// hints) when null or when a reordering materializes a new CSR that
-  /// the mapping no longer backs.
+  /// the mapping no longer backs. A *compressed* container (headless `g`,
+  /// see MappedGraph::compressed()) is mandatory here: the shard pipeline
+  /// decodes adjacency windows out of it. Compressed runs force the
+  /// sharded engine (even at one shard), disable the frontier phase (its
+  /// closure walk needs in-memory adjacency), and reject reorder modes
+  /// other than kNone — none of which changes an output bit versus the
+  /// same flags on the dense CSR.
   const graph::sharded::MappedGraph* mapped = nullptr;
+  /// Shard window staging discipline (--io-mode sync|prefetch). kPrefetch
+  /// stages shard k+1 on a dedicated thread while shard k computes, hiding
+  /// page-in (and ADJC decode) latency behind the SpMM. Pure I/O knob:
+  /// results are bit-identical either way, so it is *not* folded into the
+  /// checkpoint context word — snapshots move freely across io modes.
+  linalg::IoMode io_mode = linalg::IoMode::kSync;
 };
 
 /// Evolves a point mass from each source for max_steps steps and records

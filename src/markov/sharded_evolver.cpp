@@ -12,11 +12,17 @@ ShardedBatchedEvolver::ShardedBatchedEvolver(const graph::Graph& g, graph::Shard
                                              double laziness, std::size_t block,
                                              graph::FrontierPolicy frontier,
                                              linalg::simd::Precision precision,
-                                             const graph::sharded::MappedGraph* mapped)
+                                             const graph::sharded::MappedGraph* mapped,
+                                             linalg::IoMode io_mode)
     : graph_(&g), mapped_(mapped), plan_(std::move(plan)), laziness_(laziness),
       block_(block), precision_(precision), policy_(frontier) {
   if (laziness < 0.0 || laziness >= 1.0) {
     throw std::invalid_argument{"ShardedBatchedEvolver: laziness must be in [0, 1)"};
+  }
+  if (g.headless() && policy_.enabled()) {
+    throw std::invalid_argument{
+        "ShardedBatchedEvolver: the frontier optimization needs in-memory "
+        "adjacency; disable it for compressed containers"};
   }
   if (block < 1 || block > kMaxBlock) {
     throw std::invalid_argument{"ShardedBatchedEvolver: block must be in [1, kMaxBlock]"};
@@ -57,10 +63,15 @@ ShardedBatchedEvolver::ShardedBatchedEvolver(const graph::Graph& g, graph::Shard
   }
 #if SOCMIX_OBS_ENABLED
   // One sequential CSR pass; prices the boundary-exchange metric below.
-  boundary_half_edges_ = graph::count_boundary_half_edges(g, plan_);
+  // A headless view has no in-memory adjacency to walk — the metric reads
+  // 0 there rather than decoding the whole container to price it.
+  if (!g.headless()) {
+    boundary_half_edges_ = graph::count_boundary_half_edges(g, plan_);
+  }
   SOCMIX_GAUGE_SET("markov.shard.count", plan_.num_shards());
   SOCMIX_GAUGE_SET("markov.shard.boundary_half_edges", boundary_half_edges_);
 #endif
+  pipeline_ = std::make_unique<linalg::ShardPipeline>(g, plan_, mapped_, io_mode);
 }
 
 void ShardedBatchedEvolver::seed_point_masses(std::span<const graph::NodeId> sources) {
@@ -177,27 +188,24 @@ void ShardedBatchedEvolver::sweep(const double* pi, double* tvd_out) {
   // Shard loop. Every shard sweep is a range-driven SpMM over the shard's
   // rows with the TVD deferred (pi null): the range kernels run the same
   // per-row body as the dense kernels, so grouping rows by shard changes
-  // no bits. The window advice runs one shard ahead of the sweep.
-  linalg::simd::SpmmArgs args;
-  args.n = n;
-  args.offsets = g.offsets().data();
-  args.neighbors = g.raw_neighbors().data();
-  args.stride = block_;
-  args.lanes = active_;
-  args.walk_weight = walk_weight;
-  args.laziness = laziness_;
+  // no bits. Window staging (advise-ahead, prefetch thread, ADJC decode)
+  // lives in the pipeline; each acquired window holds the identical
+  // neighbor sequence, so io-mode/compression change no bits either.
+  linalg::simd::SpmmArgs base;
+  base.n = n;
+  base.stride = block_;
+  base.lanes = active_;
+  base.walk_weight = walk_weight;
+  base.laziness = laziness_;
   const linalg::simd::KernelTable& kernels = linalg::simd::dispatch();
   const std::uint32_t shards = plan_.num_shards();
 #if SOCMIX_OBS_ENABLED
   std::size_t max_window_bytes = 0;
 #endif
-  if (mapped_ != nullptr) mapped_->advise_rows(plan_.begin(0), plan_.end(0));
   for (std::uint32_t s = 0; s < shards; ++s) {
     const graph::NodeId lo = plan_.begin(s);
     const graph::NodeId hi = plan_.end(s);
-    if (mapped_ != nullptr && s + 1 < shards) {
-      mapped_->advise_rows(plan_.begin(s + 1), plan_.end(s + 1));
-    }
+    const linalg::ShardWindow w = pipeline_->acquire(s);
     shard_ranges_.clear();
     if (use_frontier) {
       // Closure ranges clipped to [lo, hi); sorted disjoint stays sorted
@@ -211,12 +219,33 @@ void ShardedBatchedEvolver::sweep(const double* pi, double* tvd_out) {
       shard_ranges_.push_back({lo, hi});
     }
     if (!shard_ranges_.empty()) {
-      args.ranges = shard_ranges_.data();
-      args.num_ranges = shard_ranges_.size();
-      if (mixed) {
-        kernels.spmm_mixed(args, scaled32_.data(), cur32_.data(), next32_.data());
+      linalg::simd::SpmmArgs args = base;
+      args.offsets = w.offsets;
+      args.neighbors = w.neighbors;
+      if (w.local) {
+        // Decoded window: rows are kernel-local ([0, hi-lo), offsets
+        // indexing the scratch neighbors), so the streamed state blocks
+        // are rebased by lo rows while the gather source stays absolute
+        // (neighbor ids are absolute). Same per-row FP sequence, shifted
+        // pointers — bit-identical by construction. Frontier is off here
+        // (enforced at construction), so the shard range is dense.
+        args.n = hi - lo;
+        const std::size_t row_bias = static_cast<std::size_t>(lo) * block_;
+        if (mixed) {
+          kernels.spmm_mixed(args, scaled32_.data(), cur32_.data() + row_bias,
+                             next32_.data() + row_bias);
+        } else {
+          kernels.spmm_f64(args, scaled_.data(), cur_.data() + row_bias,
+                           next_.data() + row_bias);
+        }
       } else {
-        kernels.spmm_f64(args, scaled_.data(), cur_.data(), next_.data());
+        args.ranges = shard_ranges_.data();
+        args.num_ranges = shard_ranges_.size();
+        if (mixed) {
+          kernels.spmm_mixed(args, scaled32_.data(), cur32_.data(), next32_.data());
+        } else {
+          kernels.spmm_f64(args, scaled_.data(), cur_.data(), next_.data());
+        }
       }
     }
 #if SOCMIX_OBS_ENABLED
@@ -226,8 +255,8 @@ void ShardedBatchedEvolver::sweep(const double* pi, double* tvd_out) {
                                                   shard_ranges_.back().end));
     }
 #endif
-    if (mapped_ != nullptr) mapped_->release_rows(lo, hi);
   }
+  pipeline_->finish_sweep();
 
   // Deferred TVD: one ascending-row pass over the stored next state,
   // bit-identical to the fused reduction (see linalg::simd::tvd_*).

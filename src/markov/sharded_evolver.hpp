@@ -29,6 +29,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -36,6 +37,7 @@
 #include "graph/graph.hpp"
 #include "graph/sharded/mapped_graph.hpp"
 #include "graph/sharded/plan.hpp"
+#include "linalg/shard_pipeline.hpp"
 #include "linalg/simd/kernels.hpp"
 #include "markov/batched_evolver.hpp"
 #include "util/aligned.hpp"
@@ -49,12 +51,17 @@ class ShardedBatchedEvolver {
 
   /// Same validation as BatchedEvolver, plus: `plan` must cover the graph
   /// with >= 1 shard. `mapped`, when non-null, must back `g` and outlive
-  /// the evolver; it enables the madvise windowing.
+  /// the evolver; it enables the madvise windowing. A headless `g`
+  /// (compressed container) requires its `mapped` and a disabled frontier
+  /// policy (the closure walk needs in-memory adjacency). `io_mode` picks
+  /// synchronous staging or the prefetch worker (linalg::ShardPipeline);
+  /// like the shard count it never changes an output bit.
   explicit ShardedBatchedEvolver(
       const graph::Graph& g, graph::ShardPlan plan, double laziness = 0.0,
       std::size_t block = kDefaultBlock, graph::FrontierPolicy frontier = {},
       linalg::simd::Precision precision = linalg::simd::Precision::kFloat64,
-      const graph::sharded::MappedGraph* mapped = nullptr);
+      const graph::sharded::MappedGraph* mapped = nullptr,
+      linalg::IoMode io_mode = linalg::IoMode::kSync);
 
   [[nodiscard]] std::size_t dim() const noexcept { return inv_deg_.size(); }
   [[nodiscard]] std::size_t block() const noexcept { return block_; }
@@ -82,6 +89,9 @@ class ShardedBatchedEvolver {
   const graph::Graph* graph_;
   const graph::sharded::MappedGraph* mapped_;
   graph::ShardPlan plan_;
+  /// unique_ptr: the pipeline owns a worker thread and is neither
+  /// copyable nor movable; the evolver stays movable through it.
+  std::unique_ptr<linalg::ShardPipeline> pipeline_;
   util::aligned_vector<double> inv_deg_;
   util::aligned_vector<double> cur_;
   util::aligned_vector<double> next_;

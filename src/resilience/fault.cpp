@@ -14,11 +14,12 @@ namespace socmix::resilience {
 
 namespace {
 
-constexpr std::array<std::string_view, 4> kSites = {
+constexpr std::array<std::string_view, 5> kSites = {
     "checkpoint.write",
     "checkpoint.rename",
     "block.complete",
     "graph.load",
+    "shard.window",
 };
 
 [[nodiscard]] std::size_t site_index(std::string_view site) {

@@ -57,6 +57,9 @@ struct FaultSpec {
 ///   checkpoint.rename  between the temp write and the atomic publish
 ///   block.complete     a source block (or sweep point) just finished
 ///   graph.load         entry of an edge-list / binary graph load
+///   shard.window       a shard window is about to be handed to compute
+///                      (linalg::ShardPipeline::acquire, once per shard
+///                      per sweep — kills/errors land mid-pipeline)
 [[nodiscard]] std::span<const std::string_view> known_fault_sites() noexcept;
 
 /// Parses "<site>:<nth>[:abort|:error]". Throws std::invalid_argument on

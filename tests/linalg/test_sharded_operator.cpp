@@ -90,6 +90,41 @@ TEST(ShardedWalkOperator, LanczosSpectrumIdenticalThroughMappedContainer) {
   std::remove(path.string().c_str());
 }
 
+TEST(ShardedWalkOperator, LanczosSpectrumIdenticalThroughCompressedPrefetch) {
+  // The spectral analogue of the sampled-mixing pipeline matrix: a
+  // compressed (ADJC) container under the prefetch worker decodes
+  // window-by-window into exactly the spectrum the dense in-memory
+  // operator computes — io-mode and compression never move a bit.
+  const graph::Graph g = test_graph();
+  const fs::path path = fs::path{testing::TempDir()} / "sharded_operator_adjc.smxg";
+  graph::sharded::WriteOptions compress;
+  compress.compress = true;
+  graph::sharded::write_smxg_file(path.string(), g,
+                                  graph::ShardPlan::balanced(g.offsets(), 4),
+                                  compress);
+  const graph::sharded::MappedGraph mapped{path.string()};
+  ASSERT_TRUE(mapped.compressed());
+  ASSERT_TRUE(mapped.view().headless());
+
+  LanczosOptions options;
+  const WalkOperator dense{g, 0.0};
+  const auto dense_spectrum = slem_spectrum(dense, options);
+
+  for (const IoMode io : {IoMode::kSync, IoMode::kPrefetch}) {
+    const ShardedWalkOperator sharded{
+        mapped.view(), graph::ShardPlan::balanced(mapped.view().offsets(), 4),
+        0.0, &mapped, io};
+    const auto sharded_spectrum = slem_spectrum(sharded, options);
+    EXPECT_EQ(sharded_spectrum.slem, dense_spectrum.slem) << io_mode_name(io);
+    EXPECT_EQ(sharded_spectrum.lambda2, dense_spectrum.lambda2) << io_mode_name(io);
+    EXPECT_EQ(sharded_spectrum.lambda_min, dense_spectrum.lambda_min)
+        << io_mode_name(io);
+    EXPECT_EQ(sharded_spectrum.iterations, dense_spectrum.iterations)
+        << io_mode_name(io);
+  }
+  std::remove(path.string().c_str());
+}
+
 TEST(ShardedWalkOperator, RejectsBadPlanAndIsolatedVertices) {
   const graph::Graph g = test_graph();
   EXPECT_THROW((ShardedWalkOperator{g, graph::ShardPlan{}, 0.0}),

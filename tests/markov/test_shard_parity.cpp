@@ -5,8 +5,10 @@
 //    serial and contended thread counts;
 //  * composed with the frontier phase, the rcm reordering, and mixed
 //    precision;
-//  * through a packed .smxg container mapped back as a borrowed graph;
-//  * across a fault-injected kill and checkpoint resume under sharding;
+//  * through a packed .smxg container mapped back as a borrowed graph,
+//    raw or compressed (ADJC), under --io-mode sync and prefetch;
+//  * across a fault-injected kill and checkpoint resume under sharding,
+//    including a kill at a shard boundary mid-prefetch;
 //  * and a snapshot written under a foreign shard geometry is classified
 //    stale and recomputed, never replayed.
 #include <gtest/gtest.h>
@@ -137,6 +139,98 @@ TEST(ShardParity, ComposesWithFrontierReorderAndMixedPrecision) {
   }
 }
 
+TEST(ShardParity, PipelineMatrixBitIdenticalToDenseOnEveryTable1Config) {
+  // The PR-9 pipeline contract: io-mode (sync vs prefetch worker) and
+  // adjacency representation (raw ADJ4 vs decoded ADJC) are pure I/O
+  // knobs. Every Table-1 generator config, both containers, shard counts
+  // {1, 4, 16}, serial and contended threads, both io modes — all
+  // bit-identical to the dense in-memory engine.
+  std::size_t dataset_index = 0;
+  for (const gen::DatasetSpec& spec : gen::table1_datasets()) {
+    const std::string tag = std::to_string(dataset_index++);
+    const graph::Graph g = gen::build_dataset(spec, kNodes, 11);
+    const auto sources = spread_sources(g);
+    SampledMixingOptions dense_options = base_options();
+    dense_options.sharded = graph::ShardPolicy{.mode = graph::ShardPolicy::Mode::kOff};
+    const SampledMixing dense = run(g, sources, dense_options);
+
+    const fs::path dir = fs::path{testing::TempDir()};
+    const std::string raw_path = (dir / ("pipe_raw_" + tag + ".smxg")).string();
+    const std::string adjc_path = (dir / ("pipe_adjc_" + tag + ".smxg")).string();
+    const graph::ShardPlan pack_plan = graph::ShardPlan::balanced(g.offsets(), 4);
+    graph::sharded::write_smxg_file(raw_path, g, pack_plan);
+    graph::sharded::WriteOptions compress;
+    compress.compress = true;
+    graph::sharded::write_smxg_file(adjc_path, g, pack_plan, compress);
+    const graph::sharded::MappedGraph raw{raw_path};
+    const graph::sharded::MappedGraph adjc{adjc_path};
+    ASSERT_FALSE(raw.compressed());
+    ASSERT_TRUE(adjc.compressed());
+
+    for (const bool compressed : {false, true}) {
+      const graph::sharded::MappedGraph& mapped = compressed ? adjc : raw;
+      for (const std::uint32_t count : {1u, 4u, 16u}) {
+        for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+          for (const linalg::IoMode io :
+               {linalg::IoMode::kSync, linalg::IoMode::kPrefetch}) {
+            util::set_thread_count(threads);
+            SampledMixingOptions options = base_options();
+            options.sharded = shards(count);
+            options.mapped = &mapped;
+            options.io_mode = io;
+            const SampledMixing sharded = run(mapped.view(), sources, options);
+            util::set_thread_count(0);
+            expect_bitwise_equal(
+                dense, sharded,
+                spec.name + (compressed ? " adjc" : " raw") +
+                    " shards=" + std::to_string(count) +
+                    " threads=" + std::to_string(threads) + " io=" +
+                    linalg::io_mode_name(io));
+          }
+        }
+      }
+    }
+    std::remove(raw_path.c_str());
+    std::remove(adjc_path.c_str());
+  }
+}
+
+TEST(ShardParity, CompressedRejectsFrontierlessPreconditions) {
+  // The compressed gating: reordering and an explicitly enabled frontier
+  // closure need in-memory adjacency; a headless graph without its mapped
+  // container is unusable.
+  const auto spec = gen::find_dataset("Physics 1");
+  const graph::Graph g = gen::build_dataset(*spec, kNodes, 5);
+  const fs::path path = fs::path{testing::TempDir()} / "pipe_gate.smxg";
+  graph::sharded::WriteOptions compress;
+  compress.compress = true;
+  graph::sharded::write_smxg_file(path.string(), g,
+                                  graph::ShardPlan::balanced(g.offsets(), 4), compress);
+  const graph::sharded::MappedGraph mapped{path.string()};
+  const auto sources = spread_sources(mapped.view());
+
+  SampledMixingOptions options = base_options();
+  options.sharded = shards(4);
+  options.mapped = &mapped;
+  options.reorder = graph::ReorderMode::kRcm;
+  EXPECT_THROW(measure_sampled_mixing(mapped.view(), sources, options),
+               std::invalid_argument);
+
+  SampledMixingOptions no_mapped = base_options();
+  no_mapped.sharded = shards(4);
+  EXPECT_THROW(measure_sampled_mixing(mapped.view(), sources, no_mapped),
+               std::invalid_argument);
+
+  // The evolver itself refuses a frontier walk on headless adjacency.
+  EXPECT_THROW(ShardedBatchedEvolver(mapped.view(),
+                                     graph::ShardPlan::balanced(mapped.view().offsets(), 4),
+                                     0.0, ShardedBatchedEvolver::kDefaultBlock,
+                                     *graph::parse_frontier_policy("auto"),
+                                     linalg::simd::Precision::kFloat64, &mapped),
+               std::invalid_argument);
+  std::remove(path.string().c_str());
+}
+
 TEST(ShardParity, PackedContainerMatchesInMemoryBitwise) {
   const auto spec = gen::find_dataset("Physics 1");
   const graph::Graph g = gen::build_dataset(*spec, kNodes, 17);
@@ -237,6 +331,47 @@ TEST_F(ShardResumeTest, KilledShardedRunResumesBitIdenticalToDense) {
 
   const SampledMixing resumed = measure_sampled_mixing(g, sources, options(4));
   expect_bitwise_equal(dense, resumed, "resumed sharded vs uninterrupted dense");
+}
+
+TEST_F(ShardResumeTest, KilledMidPrefetchAcrossShardBoundaryResumesBitIdentical) {
+  // The PR-9 resilience case: kill a compressed prefetch run at a shard
+  // boundary — the "shard.window" fault site fires inside
+  // ShardPipeline::acquire, i.e. exactly where compute crosses from one
+  // shard's window to the next while the worker thread is mid-stage on
+  // the window after it. The pipeline (and its worker) must unwind
+  // cleanly, and the resumed run must land on the dense run's exact bits.
+  const auto spec = gen::find_dataset("Physics 1");
+  const graph::Graph g = gen::build_dataset(*spec, kNodes, 13);
+  const fs::path pack = fs::path{testing::TempDir()} / "resume_prefetch.smxg";
+  graph::sharded::WriteOptions compress;
+  compress.compress = true;
+  graph::sharded::write_smxg_file(pack.string(), g,
+                                  graph::ShardPlan::balanced(g.offsets(), 4), compress);
+  const graph::sharded::MappedGraph mapped{pack.string()};
+  const auto sources = spread_sources(mapped.view(), 3 * BatchedEvolver::kDefaultBlock);
+
+  SampledMixingOptions dense_options = base_options();
+  dense_options.sharded = graph::ShardPolicy{.mode = graph::ShardPolicy::Mode::kOff};
+  const SampledMixing dense = run(g, sources, dense_options);
+
+  const auto prefetch_options = [&] {
+    SampledMixingOptions opts = options(4);
+    opts.mapped = &mapped;
+    opts.io_mode = linalg::IoMode::kPrefetch;
+    return opts;
+  };
+  // 3 blocks x kSteps sweeps x 4 shards of acquire calls; the 150th lands
+  // mid-run, past the first checkpointed blocks.
+  resilience::arm_fault("shard.window:150:error");
+  EXPECT_THROW(measure_sampled_mixing(mapped.view(), sources, prefetch_options()),
+               resilience::InjectedFault);
+  resilience::disarm_faults();
+
+  const SampledMixing resumed =
+      measure_sampled_mixing(mapped.view(), sources, prefetch_options());
+  expect_bitwise_equal(dense, resumed,
+                       "resumed compressed prefetch vs uninterrupted dense");
+  std::remove(pack.string().c_str());
 }
 
 TEST_F(ShardResumeTest, ForeignShardGeometrySnapshotClassifiesStale) {

@@ -46,7 +46,8 @@ int usage() {
       "usage: socmix <info|measure|sample|trim|convert|sybil|generate> [options]\n"
       "  input:  --edges FILE | --dataset NAME [--nodes N]   (--seed N)\n"
       "          --pack FILE.smxg   mmap a packed container (measure/sybil;\n"
-      "                             see tools/graph_pack; stores the LCC)\n"
+      "                             see tools/graph_pack; stores the LCC;\n"
+      "                             compressed containers are measure-only)\n"
       "  obs:    --metrics-out FILE (.json/.csv)  --trace-out FILE  --progress\n"
       "          --sample-out FILE.jsonl [--sample-interval-ms N]   in-run time-series\n"
       "          --bench-out FILE        BENCH json of phase timings (schema\n"
@@ -57,6 +58,8 @@ int usage() {
       "          --frontier auto|off|FRAC        adaptive frontier-sparse sweeps\n"
       "          --precision f64|mixed           sampled-walk kernel precision\n"
       "          --sharded auto|off|N            shard-at-a-time out-of-core sweeps\n"
+      "          --io-mode sync|prefetch         stage shard windows inline or on a\n"
+      "                                          prefetch thread (same results)\n"
       "          (SOCMIX_SIMD=avx512|avx2|scalar forces the simd kernel tier)\n"
       "  info                                    structural report\n"
       "  measure [--sources N] [--steps N] [--eps X] [--tvd-out FILE]\n"
@@ -117,10 +120,11 @@ ComponentInput load_component_input(const util::Cli& cli) {
     in.name = cli.get("pack", "");
     in.mapped = graph::sharded::MappedGraph{in.name};
     in.packed = true;
-    std::fprintf(stderr, "mapped %s: %u nodes, %llu edges, %u pack shards%s\n",
+    std::fprintf(stderr, "mapped %s: %u nodes, %llu edges, %u pack shards%s%s\n",
                  in.name.c_str(), in.mapped.view().num_nodes(),
                  static_cast<unsigned long long>(in.mapped.view().num_edges()),
                  in.mapped.pack_plan().num_shards(),
+                 in.mapped.compressed() ? ", compressed" : "",
                  in.mapped.is_mapped() ? "" : " (heap fallback)");
   } else {
     in.owned = graph::largest_component(load_input(cli, in.name)).graph;
@@ -195,6 +199,7 @@ int cmd_measure(const util::Cli& cli, const resilience::CheckpointOptions& check
   options.precision = core::precision_from_cli(cli);
   options.sharded = core::sharded_from_cli(cli);
   options.mapped = input.mapped_ptr();
+  options.io_mode = core::io_mode_from_cli(cli);
   const std::string spectral = cli.get("spectral", "on");
   if (spectral == "on" || spectral == "off") {
     options.spectral = spectral == "on";
@@ -268,6 +273,13 @@ int cmd_convert(const util::Cli& cli) {
 
 int cmd_sybil(const util::Cli& cli, const resilience::CheckpointOptions& checkpoint) {
   const ComponentInput input = load_component_input(cli);
+  if (input.graph().headless()) {
+    // SybilLimit's random routes walk individual adjacency lists, which a
+    // compressed container only materializes shard-wise inside the
+    // pipeline — repack without --compress to run the sweep.
+    throw std::runtime_error{
+        "sybil needs in-memory adjacency; repack without --compress"};
+  }
 
   sybil::AdmissionSweepConfig config;
   config.checkpoint = checkpoint;
