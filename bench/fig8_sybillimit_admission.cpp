@@ -13,12 +13,16 @@
 #include <cstdio>
 #include <iostream>
 
+#include <cmath>
+
 #include "bench_harness/harness.hpp"
 #include "core/experiment.hpp"
 #include "graph/components.hpp"
 #include "graph/sampling.hpp"
+#include "sybil/admission_engine.hpp"
 #include "sybil/attack.hpp"
 #include "sybil/sybil_limit.hpp"
+#include "util/csv.hpp"
 #include "util/string_util.hpp"
 #include "util/table.hpp"
 
@@ -49,6 +53,9 @@ int main(int argc, char** argv) {
                           {"Slashdot 1", 10'000}};
 
   std::vector<core::Series> series;
+  // Cold (verifier-index precompute) vs cached (batched verification) time
+  // per panel — the split the admission engine exists to expose.
+  std::vector<std::vector<std::string>> phase_rows;
   util::Rng rng{config.seed};
   for (const Panel& panel : panels) {
     const auto spec = *gen::find_dataset(panel.dataset);
@@ -77,7 +84,27 @@ int main(int argc, char** argv) {
     if (sweep.checkpoint.enabled()) {
       sweep.checkpoint.name = "fig8-" + util::slugify(label);
     }
+    sybil::AdmissionEngineStats stats;
+    sweep.engine_stats = &stats;
     const auto points = sybil::admission_sweep(g, sweep);
+
+    const std::string slug = util::slugify(label);
+    bench::Harness::process().record("admission/" + slug + "/precompute",
+                                     stats.precompute_seconds);
+    bench::Harness::process().record("admission/" + slug + "/verify",
+                                     stats.query_seconds);
+    const auto r = static_cast<std::uint64_t>(
+        std::ceil(r0 * std::sqrt(static_cast<double>(g.num_edges()))));
+    phase_rows.push_back({label, std::to_string(g.num_nodes()),
+                          std::to_string(g.num_edges()), std::to_string(r),
+                          util::fmt_fixed(stats.precompute_seconds, 4),
+                          util::fmt_fixed(stats.query_seconds, 4),
+                          std::to_string(stats.route_hops_walked),
+                          std::to_string(stats.route_hops_saved)});
+    std::printf("  precompute %.3fs  verify %.3fs  hops walked %llu  saved %llu\n",
+                stats.precompute_seconds, stats.query_seconds,
+                static_cast<unsigned long long>(stats.route_hops_walked),
+                static_cast<unsigned long long>(stats.route_hops_saved));
 
     core::Series s;
     s.name = label;
@@ -89,6 +116,12 @@ int main(int argc, char** argv) {
   }
   core::emit_series("Accepted honest nodes (%) vs random walk length", "w", series,
                     "fig8_admission_rate");
+  if (const auto dir = util::bench_results_dir()) {
+    util::CsvWriter csv{*dir + "/fig8_admission_phases.csv"};
+    csv.row({"panel", "n", "m", "r", "precompute_s", "verify_s", "hops_walked",
+             "hops_saved"});
+    for (const auto& row : phase_rows) csv.row(row);
+  }
 
   // --- Section 5's Sybil-cost companion: accepted Sybils ~ g * w ---------
   std::cout << "\nSybil identities accepted vs attack edges g and route length w\n";

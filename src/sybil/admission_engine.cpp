@@ -1,0 +1,289 @@
+#include "sybil/admission_engine.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "obs/obs.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace socmix::sybil {
+
+namespace {
+
+std::vector<std::size_t> normalize_lengths(std::span<const std::size_t> lengths) {
+  std::vector<std::size_t> out{lengths.begin(), lengths.end()};
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace
+
+AdmissionEngine::AdmissionEngine(const graph::Graph& g,
+                                 const AdmissionEngineConfig& config,
+                                 std::span<const std::size_t> route_lengths)
+    : routes_(g, config.seed),
+      config_(config),
+      lengths_(normalize_lengths(route_lengths)) {
+  if (config.instances_override != 0) {
+    instances_ = config.instances_override;
+  } else {
+    const double m = static_cast<double>(g.num_edges());
+    instances_ = static_cast<std::uint32_t>(std::max(1.0, std::ceil(config.r0 * std::sqrt(m))));
+  }
+  graph_fingerprint_ = graph::structural_fingerprint(g);
+  recompute_epoch();
+}
+
+void AdmissionEngine::recompute_epoch() {
+  std::uint64_t h = util::hash_combine(kAdmissionEngineVersion, graph_fingerprint_);
+  h = util::hash_combine(h, config_.seed);
+  h = util::hash_combine(h, instances_);
+  h = util::hash_combine(h, std::bit_cast<std::uint64_t>(config_.balance_factor));
+  h = util::hash_combine(h, lengths_.size());
+  for (const std::size_t w : lengths_) h = util::hash_combine(h, w);
+  epoch_ = util::hash_combine(h, generation_);
+}
+
+void AdmissionEngine::invalidate() {
+  verifiers_.clear();
+  ++generation_;
+  graph_fingerprint_ = graph::structural_fingerprint(routes_.graph());
+  recompute_epoch();
+  SOCMIX_COUNTER_ADD("sybil.engine.invalidations", 1);
+}
+
+std::uint64_t AdmissionEngine::CachedVerifier::max_load(std::size_t li) const {
+  std::uint64_t max = 0;
+  for (const std::uint64_t l : state_[li].load) max = std::max(max, l);
+  return max;
+}
+
+void AdmissionEngine::CachedVerifier::reset_balance() {
+  for (PerLength& per : state_) {
+    std::fill(per.load.begin(), per.load.end(), 0);
+    per.accepted = 0;
+  }
+}
+
+std::size_t AdmissionEngine::length_index(std::size_t w) const {
+  const auto it = std::lower_bound(lengths_.begin(), lengths_.end(), w);
+  return static_cast<std::size_t>(it - lengths_.begin());
+}
+
+std::uint64_t AdmissionEngine::naive_hops_per_node() const noexcept {
+  std::uint64_t sum = 0;
+  for (const std::size_t w : lengths_) sum += w;
+  return sum * instances_;
+}
+
+void AdmissionEngine::registration_tails_multi(
+    graph::NodeId suspect, std::vector<std::vector<DirectedEdge>>& out) const {
+  routes_.route_tails_multi(instances_, suspect, lengths_, out,
+                            config_.frontier.enabled());
+}
+
+void AdmissionEngine::build_verifier(CachedVerifier& v, graph::NodeId node) {
+  SOCMIX_TRACE_SPAN("sybil.engine.precompute");
+  const util::Timer timer;
+  v.node_ = node;
+  v.epoch_ = epoch_;
+  v.state_.assign(lengths_.size(), {});
+  std::vector<std::vector<DirectedEdge>> tails;
+  registration_tails_multi(node, tails);
+  for (std::size_t li = 0; li < lengths_.size(); ++li) {
+    CachedVerifier::PerLength& per = v.state_[li];
+    per.tail_index.reserve(instances_);
+    per.load.reserve(instances_);
+    for (const DirectedEdge tail : tails[li]) {
+      const std::uint64_t key = undirected_key(tail);
+      if (!per.tail_index.contains(key)) {
+        per.tail_index.emplace(key, static_cast<std::uint32_t>(per.load.size()));
+        per.load.push_back(0);
+      }
+    }
+  }
+  // One incremental walk to w_max replaced a per-length rewalk.
+  const bool isolated = routes_.graph().degree(node) == 0;
+  const std::uint64_t walked =
+      isolated ? 0 : static_cast<std::uint64_t>(instances_) * lengths_.back();
+  stats_.route_hops_walked += walked;
+  stats_.route_hops_saved += naive_hops_per_node() - walked;
+  stats_.precompute_seconds += timer.seconds();
+  SOCMIX_COUNTER_ADD("sybil.engine.hops_walked", walked);
+  SOCMIX_COUNTER_ADD("sybil.engine.hops_saved", naive_hops_per_node() - walked);
+  SOCMIX_TIME_OBSERVE("sybil.engine.precompute_seconds", timer.seconds());
+}
+
+AdmissionEngine::CachedVerifier& AdmissionEngine::verifier(graph::NodeId node) {
+  const auto it = verifiers_.find(node);
+  if (it != verifiers_.end() && it->second.epoch_ == epoch_) {
+    ++stats_.verifier_cache_hits;
+    // A hit serves what the pre-engine path rebuilt per sweep point.
+    stats_.route_hops_saved += naive_hops_per_node();
+    SOCMIX_COUNTER_ADD("sybil.engine.verifier_cache_hits", 1);
+    SOCMIX_COUNTER_ADD("sybil.engine.hops_saved", naive_hops_per_node());
+    return it->second;
+  }
+  ++stats_.verifier_cache_misses;
+  SOCMIX_COUNTER_ADD("sybil.engine.verifier_cache_misses", 1);
+  CachedVerifier& v = verifiers_[node];
+  build_verifier(v, node);
+  return v;
+}
+
+bool AdmissionEngine::admit_with_tails(CachedVerifier& v, std::size_t li,
+                                       std::span<const DirectedEdge> tails,
+                                       BatchResult* diagnostics) {
+  // Bit-for-bit the decision SybilLimit::Verifier::admit makes: gather the
+  // intersecting verifier tails, assign to the least-loaded one, enforce
+  // b = h * max(log r, (A+1)/r) with the identical double expression.
+  CachedVerifier::PerLength& per = v.state_[li];
+  std::uint32_t least = 0;
+  bool any = false;
+  for (const DirectedEdge tail : tails) {
+    const auto it = per.tail_index.find(undirected_key(tail));
+    if (it == per.tail_index.end()) continue;
+    if (!any || per.load[it->second] < per.load[least]) least = it->second;
+    any = true;
+  }
+  if (!any) {
+    if (diagnostics != nullptr) ++diagnostics->rejected_no_intersection;
+    return false;
+  }
+  const double r = static_cast<double>(instances_);
+  const double bound =
+      config_.balance_factor *
+      std::max(std::log(r), (static_cast<double>(per.accepted) + 1.0) / r);
+  if (static_cast<double>(per.load[least]) + 1.0 > bound) {
+    if (diagnostics != nullptr) ++diagnostics->rejected_balance;
+    return false;
+  }
+  ++per.load[least];
+  ++per.accepted;
+  return true;
+}
+
+AdmissionEngine::BatchResult AdmissionEngine::verify_batch(
+    CachedVerifier& v, std::size_t li, std::span<const graph::NodeId> suspects) {
+  SOCMIX_TRACE_SPAN("sybil.engine.verify_batch");
+  const util::Timer timer;
+  BatchResult result;
+  result.admitted.assign(suspects.size(), 0);
+
+  // Suspect tails block by block: disjoint slots filled in parallel, then
+  // the balance commits replay serially in suspect order — results do not
+  // depend on thread count or block boundaries.
+  const std::size_t w[] = {lengths_[li]};
+  std::vector<std::vector<std::vector<DirectedEdge>>> block_tails(kBatchLanes);
+  for (std::size_t base = 0; base < suspects.size(); base += kBatchLanes) {
+    const std::size_t block = std::min(kBatchLanes, suspects.size() - base);
+    util::parallel_for(0, block, 1, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t s = lo; s < hi; ++s) {
+        routes_.route_tails_multi(instances_, suspects[base + s], w,
+                                  block_tails[s], config_.frontier.enabled());
+      }
+    });
+    for (std::size_t s = 0; s < block; ++s) {
+      stats_.route_hops_walked +=
+          static_cast<std::uint64_t>(instances_) * lengths_[li];
+      if (admit_with_tails(v, li, block_tails[s][0], &result)) {
+        result.admitted[base + s] = 1;
+        ++result.admitted_count;
+      }
+    }
+  }
+
+  result.max_tail_load = v.max_load(li);
+  const double r = static_cast<double>(instances_);
+  result.balance_bound =
+      config_.balance_factor *
+      std::max(std::log(r),
+               (static_cast<double>(v.state_[li].accepted) + 1.0) / r);
+
+  stats_.queries += suspects.size();
+  stats_.query_seconds += timer.seconds();
+  SOCMIX_COUNTER_ADD("sybil.engine.batches", 1);
+  SOCMIX_COUNTER_ADD("sybil.engine.queries", suspects.size());
+  SOCMIX_TIME_OBSERVE("sybil.engine.query_seconds", timer.seconds());
+  return result;
+}
+
+std::vector<double> AdmissionEngine::sweep_fractions(
+    std::span<const graph::NodeId> verifiers, std::span<const graph::NodeId> suspects,
+    std::span<const std::size_t> lengths) {
+  SOCMIX_TRACE_SPAN("sybil.engine.sweep");
+  // Resolve the requested lengths against the engine grid and reset the
+  // balance state they will accumulate — each sweep point starts from the
+  // fresh-verifier state the protocol prescribes.
+  std::vector<std::size_t> indexes;
+  indexes.reserve(lengths.size());
+  for (const std::size_t length : lengths) indexes.push_back(length_index(length));
+  std::vector<CachedVerifier*> cached;
+  cached.reserve(verifiers.size());
+  for (const graph::NodeId vnode : verifiers) cached.push_back(&verifier(vnode));
+  for (CachedVerifier* v : cached) v->reset_balance();
+
+  // Deduplicate the walk targets: two sweep points at the same w share one
+  // set of suspect tails (and, because each resolves to the same state
+  // slot, necessarily the same fraction).
+  std::vector<std::size_t> unique_indexes = indexes;
+  std::sort(unique_indexes.begin(), unique_indexes.end());
+  unique_indexes.erase(std::unique(unique_indexes.begin(), unique_indexes.end()),
+                       unique_indexes.end());
+
+  const util::Timer timer;
+  std::vector<std::uint64_t> admitted(lengths_.size(), 0);
+  // One incremental walk per suspect covers every sweep point and every
+  // verifier; the pre-engine path rewalked the suspect's r routes for each
+  // (verifier, length) pair. Block-parallel tails, serial commits, so the
+  // per-(verifier, length) admit sequence is exactly suspect order.
+  std::vector<std::vector<std::vector<DirectedEdge>>> block_tails(kBatchLanes);
+  const std::uint64_t w_max =
+      unique_indexes.empty() ? 0 : lengths_[unique_indexes.back()];
+  for (std::size_t base = 0; base < suspects.size(); base += kBatchLanes) {
+    const std::size_t block = std::min(kBatchLanes, suspects.size() - base);
+    util::parallel_for(0, block, 1, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t s = lo; s < hi; ++s) {
+        routes_.route_tails_multi(instances_, suspects[base + s], lengths_,
+                                  block_tails[s], config_.frontier.enabled());
+      }
+    });
+    for (std::size_t s = 0; s < block; ++s) {
+      const bool isolated = routes_.graph().degree(suspects[base + s]) == 0;
+      const std::uint64_t walked = isolated ? 0 : instances_ * w_max;
+      const std::uint64_t naive =
+          static_cast<std::uint64_t>(verifiers.size()) * naive_hops_per_node();
+      stats_.route_hops_walked += walked;
+      stats_.route_hops_saved += naive - std::min(naive, walked);
+      SOCMIX_COUNTER_ADD("sybil.engine.hops_walked", walked);
+      SOCMIX_COUNTER_ADD("sybil.engine.hops_saved", naive - std::min(naive, walked));
+      for (CachedVerifier* v : cached) {
+        for (const std::size_t li : unique_indexes) {
+          if (admit_with_tails(*v, li, block_tails[s][li], nullptr)) ++admitted[li];
+        }
+      }
+    }
+  }
+
+  const std::uint64_t trials =
+      static_cast<std::uint64_t>(verifiers.size()) * suspects.size();
+  stats_.queries += trials * unique_indexes.size();
+  stats_.query_seconds += timer.seconds();
+  SOCMIX_COUNTER_ADD("sybil.engine.queries", trials * unique_indexes.size());
+  SOCMIX_TIME_OBSERVE("sybil.engine.query_seconds", timer.seconds());
+
+  std::vector<double> fractions;
+  fractions.reserve(indexes.size());
+  for (const std::size_t li : indexes) {
+    fractions.push_back(trials == 0 ? 0.0
+                                    : static_cast<double>(admitted[li]) /
+                                          static_cast<double>(trials));
+  }
+  return fractions;
+}
+
+}  // namespace socmix::sybil

@@ -77,6 +77,67 @@ void RouteTable::route_tails(std::uint32_t instances, graph::NodeId start,
   for (std::uint32_t i = 0; i < instances; ++i) out[i] = DirectedEdge{current[i], next[i]};
 }
 
+void RouteTable::route_tails_multi(std::uint32_t instances, graph::NodeId start,
+                                   std::span<const std::size_t> lengths,
+                                   std::vector<std::vector<DirectedEdge>>& out,
+                                   bool hop_major) const {
+  const graph::Graph& g = *graph_;
+  out.assign(lengths.size(), {});
+  if (instances == 0 || lengths.empty()) return;
+  // Skip leading zero lengths (their tail set is empty, like route_tail's
+  // nullopt) and bail entirely from an isolated start.
+  std::size_t first = 0;
+  while (first < lengths.size() && lengths[first] == 0) ++first;
+  if (first == lengths.size() || g.degree(start) == 0) return;
+
+  if (hop_major) {
+    // The route_tails walk order, generalized: all r routes advance one
+    // hop together, and whenever the walked length hits a requested
+    // checkpoint the current (current, next) pairs are snapshotted.
+    std::vector<graph::NodeId> current(instances, start);
+    std::vector<graph::NodeId> next(instances);
+    for (std::uint32_t i = 0; i < instances; ++i) {
+      next[i] = g.neighbor(start, start_out_index(i, start));
+    }
+    std::size_t walked = 1;  // (current, next) is the length-1 tail
+    for (std::size_t k = first; k < lengths.size(); ++k) {
+      while (walked < lengths[k]) {
+        for (std::uint32_t i = 0; i < instances; ++i) {
+          const graph::NodeId in_index = g.index_of_neighbor(next[i], current[i]);
+          const graph::NodeId out_index = next_out_index(i, next[i], in_index);
+          current[i] = next[i];
+          next[i] = g.neighbor(current[i], out_index);
+        }
+        ++walked;
+      }
+      out[k].resize(instances);
+      for (std::uint32_t i = 0; i < instances; ++i) {
+        out[k][i] = DirectedEdge{current[i], next[i]};
+      }
+    }
+    return;
+  }
+
+  // Route-major: one route at a time to lengths.back(), recording the
+  // same checkpoints. Identical evaluations in a different order.
+  for (std::size_t k = first; k < lengths.size(); ++k) out[k].resize(instances);
+  for (std::uint32_t i = 0; i < instances; ++i) {
+    graph::NodeId current = start;
+    graph::NodeId next = g.neighbor(start, start_out_index(i, start));
+    std::size_t walked = 1;
+    for (std::size_t k = first; k < lengths.size(); ++k) {
+      while (walked < lengths[k]) {
+        const graph::NodeId in_index = g.index_of_neighbor(next, current);
+        const graph::NodeId out_index = next_out_index(i, next, in_index);
+        current = next;
+        next = g.neighbor(current, out_index);
+        ++walked;
+      }
+      out[k][i] = DirectedEdge{current, next};
+    }
+  }
+}
+
 std::vector<graph::NodeId> RouteTable::route_vertices(std::uint32_t instance,
                                                       graph::NodeId start,
                                                       std::size_t length) const {

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -67,6 +68,25 @@ class RouteTable {
   /// start is isolated, matching route_tail's nullopt in every instance.
   void route_tails(std::uint32_t instances, graph::NodeId start, std::size_t length,
                    std::vector<DirectedEdge>& out) const;
+
+  /// Incremental tail extension: the length-w tail is hop w of the same
+  /// deterministic route, so one walk to lengths.back() yields the tails
+  /// at *every* requested length on the way. `lengths` must be strictly
+  /// ascending; zero lengths are allowed as a leading entry and get an
+  /// empty tail set (route_tail's nullopt). `out[k][i]` is bitwise equal
+  /// to *route_tail(i, start, lengths[k]); every out[k] is empty when
+  /// start is isolated. Cost is O(instances * lengths.back()) hops — a
+  /// route-length sweep pays for its longest point only, instead of the
+  /// O(sum of lengths) a per-length rewalk costs.
+  ///
+  /// `hop_major` selects the walk order (the generalization of
+  /// route_tails vs the per-instance route_tail loop); the tails are
+  /// identical either way — hop-major keeps the working set inside the
+  /// start's t-hop ball, route-major streams one route at a time.
+  void route_tails_multi(std::uint32_t instances, graph::NodeId start,
+                         std::span<const std::size_t> lengths,
+                         std::vector<std::vector<DirectedEdge>>& out,
+                         bool hop_major = true) const;
 
   /// Walks a route and returns the full vertex sequence (length+1 entries,
   /// shorter only if start is isolated).

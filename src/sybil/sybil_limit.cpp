@@ -7,6 +7,7 @@
 #include "markov/mixing_time.hpp"
 #include "obs/obs.hpp"
 #include "resilience/fault.hpp"
+#include "sybil/admission_engine.hpp"
 #include "util/rng.hpp"
 
 namespace socmix::sybil {
@@ -42,6 +43,10 @@ std::vector<DirectedEdge> SybilLimit::registration_tails(graph::NodeId node) con
 SybilLimit::Verifier SybilLimit::make_verifier(graph::NodeId node) const {
   Verifier v;
   v.node_ = node;
+  // At most r distinct tails; reserving up front keeps the index build out
+  // of rehash territory (r ~ sqrt(m) buckets is small next to the graph).
+  v.tail_index_.reserve(instances_);
+  v.load_.reserve(instances_);
   for (const DirectedEdge tail : registration_tails(node)) {
     const std::uint64_t key = undirected_key(tail);
     if (!v.tail_index_.contains(key)) {
@@ -97,10 +102,8 @@ bool SybilLimit::Verifier::admit(const SybilLimit& protocol, graph::NodeId suspe
   return true;
 }
 
-namespace {
-
-/// Everything an admission sweep's per-point results depend on.
-std::uint64_t sweep_fingerprint(const graph::Graph& g, const AdmissionSweepConfig& config) {
+std::uint64_t admission_sweep_fingerprint(const graph::Graph& g,
+                                          const AdmissionSweepConfig& config) {
   std::uint64_t h = graph::structural_fingerprint(g);
   h = util::hash_combine(h, config.route_lengths.size());
   for (const std::size_t w : config.route_lengths) h = util::hash_combine(h, w);
@@ -111,8 +114,6 @@ std::uint64_t sweep_fingerprint(const graph::Graph& g, const AdmissionSweepConfi
   h = util::hash_combine(h, config.seed);
   return util::hash_combine(h, static_cast<std::uint64_t>(config.reorder));
 }
-
-}  // namespace
 
 std::vector<AdmissionPoint> admission_sweep(const graph::Graph& g,
                                             const AdmissionSweepConfig& config) {
@@ -136,9 +137,9 @@ std::vector<AdmissionPoint> admission_sweep(const graph::Graph& g,
     for (graph::NodeId& v : verifiers) v = reordered.to_new(v);
   }
 
-  // Route-length points are independent (each re-derives its protocol seed
-  // from config.seed and w), so each one is a checkpoint block holding its
-  // admitted fraction.
+  // Route-length points are independent (per-length admission state over
+  // one shared protocol seed), so each one is a checkpoint block holding
+  // its admitted fraction.
   resilience::CheckpointOptions checkpoint_options = config.checkpoint;
   if (checkpoint_options.enabled() && checkpoint_options.name.empty()) {
     checkpoint_options.name = "sybil-admission";
@@ -152,48 +153,66 @@ std::vector<AdmissionPoint> admission_sweep(const graph::Graph& g,
   const graph::sharded::MappedGraph* mapped =
       reordered.identity() ? config.mapped : nullptr;
   SOCMIX_GAUGE_SET("sybil.shard.count", resolved_shards);
+  // The engine version joins the context word: pre-engine snapshots were
+  // measured under per-length protocol seeds, so replaying them against
+  // the shared-seed engine would silently mix distributions — classify
+  // them stale and recompute instead.
   std::uint64_t context =
       util::hash_combine(static_cast<std::uint64_t>(config.reorder),
                          graph::frontier_context_word(config.frontier));
+  context = util::hash_combine(context, kAdmissionEngineVersion);
   const std::uint64_t shard_word = graph::shard_context_word(resolved_shards);
   if (shard_word != 0) context = util::hash_combine(context, shard_word);
-  resilience::BlockCheckpoint checkpoint{checkpoint_options, sweep_fingerprint(g, config),
+  resilience::BlockCheckpoint checkpoint{checkpoint_options,
+                                         admission_sweep_fingerprint(g, config),
                                          config.route_lengths.size(), context};
   if (checkpoint.enabled()) checkpoint.restore();
 
+  // Pending points = blocks the checkpoint could not restore.
+  std::vector<std::size_t> pending_lengths;
+  const auto restored = [&](std::size_t i) {
+    return checkpoint.is_restored(i) && checkpoint.restored_payload(i).size() == 1;
+  };
+  for (std::size_t i = 0; i < config.route_lengths.size(); ++i) {
+    if (!restored(i)) pending_lengths.push_back(config.route_lengths[i]);
+  }
+
+  // One engine serves every pending point: O(w_max) route hops per node
+  // (incremental tail extension) and one verifier index build, where the
+  // pre-engine interior rewalked and rebuilt per length. Points restored
+  // in an earlier run recompute bit-identically on resume because each
+  // length's admission state is independent.
+  std::vector<double> fractions;
+  AdmissionEngineStats stats;
+  if (!pending_lengths.empty()) {
+    AdmissionEngineConfig engine_config;
+    engine_config.r0 = config.r0;
+    engine_config.balance_factor = config.balance_factor;
+    engine_config.seed = config.seed;
+    engine_config.frontier = config.frontier;
+    AdmissionEngine engine{active, engine_config, config.route_lengths};
+    fractions = engine.sweep_fractions(verifiers, suspects, pending_lengths);
+    stats = engine.stats();
+    // Out-of-core: the sweep's footprint is one w_max walk's touched
+    // pages (shared-seed routes are prefixes of each other); drop them
+    // before returning.
+    if (mapped != nullptr && resolved_shards > 1) mapped->release_all();
+  }
+  if (config.engine_stats != nullptr) *config.engine_stats = stats;
+
   std::vector<AdmissionPoint> out;
   out.reserve(config.route_lengths.size());
+  std::size_t next_pending = 0;
   for (std::size_t i = 0; i < config.route_lengths.size(); ++i) {
     const std::size_t w = config.route_lengths[i];
-    if (checkpoint.is_restored(i) && checkpoint.restored_payload(i).size() == 1) {
+    if (restored(i)) {
       out.push_back({w, checkpoint.restored_payload(i).front()});
       continue;
     }
-    SybilLimitParams params;
-    params.route_length = w;
-    params.r0 = config.r0;
-    params.balance_factor = config.balance_factor;
-    params.seed = util::hash_combine(config.seed, w);
-    params.frontier = config.frontier;
-    const SybilLimit protocol{active, params};
-
-    std::uint64_t admitted = 0;
-    std::uint64_t trials = 0;
-    for (const graph::NodeId vnode : verifiers) {
-      auto verifier = protocol.make_verifier(vnode);
-      for (const graph::NodeId suspect : suspects) {
-        ++trials;
-        if (verifier.admit(protocol, suspect)) ++admitted;
-      }
-    }
-    const double fraction =
-        trials == 0 ? 0.0 : static_cast<double>(admitted) / static_cast<double>(trials);
+    const double fraction = fractions[next_pending++];
     resilience::fault_point("block.complete");
     checkpoint.record(i, {fraction});
     out.push_back({w, fraction});
-    // Out-of-core: drop the pages this point faulted in before the next
-    // one grows its own working set.
-    if (mapped != nullptr && resolved_shards > 1) mapped->release_all();
   }
   checkpoint.finalize();
   return out;

@@ -37,6 +37,8 @@
 
 namespace socmix::sybil {
 
+struct AdmissionEngineStats;  // admission_engine.hpp
+
 struct SybilLimitParams {
   /// Route length w (the knob the paper sweeps in Fig. 8).
   std::size_t route_length = 10;
@@ -83,6 +85,9 @@ class SybilLimit {
 
     [[nodiscard]] graph::NodeId node() const noexcept { return node_; }
     [[nodiscard]] std::uint64_t accepted() const noexcept { return accepted_; }
+    /// Number of distinct undirected tail edges (= load counters); several
+    /// instances sharing a tail edge share one counter.
+    [[nodiscard]] std::size_t distinct_tails() const noexcept { return load_.size(); }
 
    private:
     friend class SybilLimit;
@@ -121,6 +126,12 @@ struct AdmissionSweepConfig {
   std::size_t verifier_sample = 3;
   double r0 = 4.0;
   double balance_factor = 4.0;
+  /// Sampling seed *and* the one protocol seed shared by every route
+  /// length — the AdmissionEngine's incremental tail extension rests on
+  /// the length-w tail being hop w of the same route, which holds only
+  /// under a single seed. (The pre-engine sweep derived a per-length seed;
+  /// kAdmissionEngineVersion in the checkpoint context marks those
+  /// snapshots stale.)
   std::uint64_t seed = 20101101;  // IMC'10 conference date
   /// Crash tolerance (dir empty = off): each route-length point is one
   /// checkpoint block, so an interrupted sweep resumes by skipping the
@@ -152,8 +163,25 @@ struct AdmissionSweepConfig {
   /// The mmap-backed container `g` was borrowed from (or null); see
   /// `sharded`. Ignored under a non-identity reordering.
   const graph::sharded::MappedGraph* mapped = nullptr;
+  /// When non-null, receives the engine's cumulative statistics for the
+  /// sweep (route hops walked/saved, verifier-cache traffic, precompute vs
+  /// query seconds) so drivers can report phase splits. Zeroed when every
+  /// point was restored from checkpoint.
+  AdmissionEngineStats* engine_stats = nullptr;
 };
 
+/// Everything an admission sweep's per-point results depend on — the
+/// BlockCheckpoint fingerprint, exported so tests (and tools) can address
+/// a sweep's snapshots directly.
+[[nodiscard]] std::uint64_t admission_sweep_fingerprint(
+    const graph::Graph& g, const AdmissionSweepConfig& config);
+
+/// Fig. 8 experiment driver. Thin: samples suspects/verifiers, then hands
+/// the whole route-length grid to an AdmissionEngine, which serves every
+/// pending point from one incremental O(w_max) walk per node instead of
+/// per-length rewalks. Each point is still one checkpoint block; the
+/// context word folds kAdmissionEngineVersion, so snapshots written by the
+/// pre-engine sweep (per-length protocol seeds) are stale, not replayed.
 [[nodiscard]] std::vector<AdmissionPoint> admission_sweep(const graph::Graph& g,
                                                           const AdmissionSweepConfig& config);
 

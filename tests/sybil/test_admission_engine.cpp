@@ -1,0 +1,309 @@
+// The admission engine's contract:
+//
+//  * incremental multi-length tails (route_tails_multi) are byte-identical
+//    to per-length route_tail recomputation, on every Table-1 generator
+//    config, in both walk orders;
+//  * engine sweep fractions equal the pre-engine protocol loop (a fresh
+//    Verifier per (verifier, length), suspects admitted in order) exactly,
+//    at serial and contended thread counts, frontier on and off;
+//  * verify_batch commits the same decisions as per-suspect admit() calls
+//    and its diagnostics add up;
+//  * the verifier cache hits on reuse, and invalidate() bumps the epoch so
+//    stale indexes can never serve;
+//  * sweep snapshots written without the engine-version context word (the
+//    pre-engine layout, measured under per-length seeds) are classified
+//    stale and recomputed, never replayed.
+#include "sybil/admission_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "gen/datasets.hpp"
+#include "graph/edge_list.hpp"
+#include "graph/frontier.hpp"
+#include "graph/graph.hpp"
+#include "obs/obs.hpp"
+#include "resilience/checkpoint.hpp"
+#include "sybil/routes.hpp"
+#include "sybil/sybil_limit.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace socmix::sybil {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr graph::NodeId kNodes = 150;
+constexpr std::uint64_t kSeed = 0xadceed;
+
+std::vector<graph::NodeId> spread_nodes(const graph::Graph& g, std::size_t count) {
+  std::vector<graph::NodeId> nodes;
+  const graph::NodeId stride =
+      std::max<graph::NodeId>(1, g.num_nodes() / static_cast<graph::NodeId>(count));
+  for (graph::NodeId v = 0; nodes.size() < count && v < g.num_nodes(); v += stride) {
+    nodes.push_back(v);
+  }
+  return nodes;
+}
+
+TEST(AdmissionEngineParity, MultiLengthTailsByteIdenticalOnEveryTable1Config) {
+  const std::vector<std::size_t> lengths{1, 2, 3, 5, 8, 13};
+  constexpr std::uint32_t kInstances = 12;
+  for (const gen::DatasetSpec& spec : gen::table1_datasets()) {
+    const graph::Graph g = gen::build_dataset(spec, kNodes, 11);
+    const RouteTable routes{g, kSeed};
+    std::vector<std::vector<DirectedEdge>> multi;
+    for (const bool hop_major : {true, false}) {
+      for (const graph::NodeId start : spread_nodes(g, 5)) {
+        routes.route_tails_multi(kInstances, start, lengths, multi, hop_major);
+        ASSERT_EQ(multi.size(), lengths.size());
+        for (std::size_t k = 0; k < lengths.size(); ++k) {
+          ASSERT_EQ(multi[k].size(), kInstances)
+              << spec.name << " start=" << start << " w=" << lengths[k];
+          for (std::uint32_t i = 0; i < kInstances; ++i) {
+            const auto tail = routes.route_tail(i, start, lengths[k]);
+            ASSERT_TRUE(tail.has_value());
+            EXPECT_EQ(multi[k][i], *tail) << spec.name << " hop_major=" << hop_major
+                                          << " start=" << start << " w=" << lengths[k]
+                                          << " i=" << i;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(AdmissionEngineParity, ZeroAndLeadingLengthsMatchRouteTailSemantics) {
+  const graph::Graph g =
+      gen::build_dataset(*gen::find_dataset("Physics 1"), kNodes, 11);
+  const RouteTable routes{g, kSeed};
+  const std::vector<std::size_t> lengths{0, 1, 4};
+  std::vector<std::vector<DirectedEdge>> multi;
+  routes.route_tails_multi(8, 3, lengths, multi);
+  ASSERT_EQ(multi.size(), 3u);
+  EXPECT_TRUE(multi[0].empty());  // route_tail(w=0) is nullopt
+  EXPECT_EQ(multi[1].size(), 8u);
+  EXPECT_EQ(multi[2].size(), 8u);
+}
+
+/// The pre-engine sweep interior at one route length: a fresh Verifier per
+/// (verifier, length), suspects admitted in sample order.
+double reference_fraction(const graph::Graph& g, std::size_t w,
+                          std::uint32_t instances,
+                          std::span<const graph::NodeId> verifiers,
+                          std::span<const graph::NodeId> suspects) {
+  SybilLimitParams params;
+  params.route_length = w;
+  params.instances_override = instances;
+  params.seed = kSeed;
+  const SybilLimit protocol{g, params};
+  std::uint64_t admitted = 0;
+  for (const graph::NodeId vnode : verifiers) {
+    auto verifier = protocol.make_verifier(vnode);
+    for (const graph::NodeId suspect : suspects) {
+      if (verifier.admit(protocol, suspect)) ++admitted;
+    }
+  }
+  return static_cast<double>(admitted) /
+         static_cast<double>(verifiers.size() * suspects.size());
+}
+
+TEST(AdmissionEngineParity, SweepFractionsEqualProtocolLoopAcrossThreadsAndModes) {
+  const std::vector<std::size_t> lengths{2, 4, 8};
+  constexpr std::uint32_t kInstances = 16;
+  for (const gen::DatasetSpec& spec : gen::table1_datasets()) {
+    const graph::Graph g = gen::build_dataset(spec, 120, 7);
+    const auto verifiers = spread_nodes(g, 2);
+    const auto suspects = spread_nodes(g, 40);
+
+    std::vector<double> reference;
+    for (const std::size_t w : lengths) {
+      reference.push_back(reference_fraction(g, w, kInstances, verifiers, suspects));
+    }
+
+    for (const char* frontier : {"auto", "off"}) {
+      for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+        util::set_thread_count(threads);
+        AdmissionEngineConfig config;
+        config.instances_override = kInstances;
+        config.seed = kSeed;
+        config.frontier = *graph::parse_frontier_policy(frontier);
+        AdmissionEngine engine{g, config, lengths};
+        const auto fractions = engine.sweep_fractions(verifiers, suspects, lengths);
+        ASSERT_EQ(fractions.size(), reference.size());
+        for (std::size_t k = 0; k < reference.size(); ++k) {
+          EXPECT_EQ(fractions[k], reference[k])
+              << spec.name << " frontier=" << frontier << " threads=" << threads
+              << " w=" << lengths[k];
+        }
+        EXPECT_GT(engine.stats().route_hops_saved, 0u) << spec.name;
+      }
+    }
+    util::set_thread_count(0);
+  }
+}
+
+TEST(AdmissionEngine, VerifyBatchMatchesPerSuspectAdmit) {
+  const graph::Graph g =
+      gen::build_dataset(*gen::find_dataset("Physics 2"), kNodes, 9);
+  const std::vector<std::size_t> lengths{6};
+  constexpr std::uint32_t kInstances = 16;
+  const graph::NodeId vnode = 0;
+  // More suspects than kBatchLanes, so the batch spans multiple blocks.
+  const auto suspects = spread_nodes(g, 70);
+
+  SybilLimitParams params;
+  params.route_length = lengths[0];
+  params.instances_override = kInstances;
+  params.seed = kSeed;
+  const SybilLimit protocol{g, params};
+  auto reference = protocol.make_verifier(vnode);
+  std::vector<std::uint8_t> expected;
+  for (const graph::NodeId suspect : suspects) {
+    expected.push_back(reference.admit(protocol, suspect) ? 1 : 0);
+  }
+
+  AdmissionEngineConfig config;
+  config.instances_override = kInstances;
+  config.seed = kSeed;
+  AdmissionEngine engine{g, config, lengths};
+  auto& cached = engine.verifier(vnode);
+  const auto result = engine.verify_batch(cached, 0, suspects);
+
+  EXPECT_EQ(result.admitted, expected);
+  EXPECT_EQ(result.admitted_count, reference.accepted());
+  EXPECT_EQ(result.admitted_count + result.rejected_no_intersection +
+                result.rejected_balance,
+            suspects.size());
+  EXPECT_EQ(result.max_tail_load, cached.max_load(0));
+  EXPECT_GT(result.balance_bound, 0.0);
+  EXPECT_EQ(cached.accepted(0), reference.accepted());
+}
+
+TEST(AdmissionEngine, VerifierCacheHitsAndEpochInvalidation) {
+  const graph::Graph g =
+      gen::build_dataset(*gen::find_dataset("Physics 3"), kNodes, 9);
+  AdmissionEngineConfig config;
+  config.instances_override = 8;
+  config.seed = kSeed;
+  const std::vector<std::size_t> lengths{3, 6};
+  AdmissionEngine engine{g, config, lengths};
+
+  const std::uint64_t epoch_before = engine.epoch();
+  auto& first = engine.verifier(5);
+  EXPECT_EQ(first.epoch(), epoch_before);
+  EXPECT_EQ(engine.stats().verifier_cache_misses, 1u);
+  (void)engine.verifier(5);
+  EXPECT_EQ(engine.stats().verifier_cache_hits, 1u);
+  EXPECT_EQ(engine.stats().verifier_cache_misses, 1u);
+
+  engine.invalidate();
+  EXPECT_NE(engine.epoch(), epoch_before);
+  (void)engine.verifier(5);
+  // Cache cleared: the same node is a miss again under the new epoch.
+  EXPECT_EQ(engine.stats().verifier_cache_misses, 2u);
+}
+
+TEST(AdmissionEngine, InstancesSharingATailEdgeShareOneLoadCounter) {
+  // Two nodes, one edge: every route, at every length, ends on that edge,
+  // so r instances collapse to a single load counter — in the protocol
+  // verifier and in the engine's cached index.
+  graph::EdgeList edges;
+  edges.add(0, 1);
+  const graph::Graph g = graph::Graph::from_edges(std::move(edges));
+
+  SybilLimitParams params;
+  params.route_length = 4;
+  params.instances_override = 8;
+  params.seed = kSeed;
+  const SybilLimit protocol{g, params};
+  EXPECT_EQ(protocol.make_verifier(0).distinct_tails(), 1u);
+
+  AdmissionEngineConfig config;
+  config.instances_override = 8;
+  config.seed = kSeed;
+  const std::vector<std::size_t> lengths{2, 4};
+  AdmissionEngine engine{g, config, lengths};
+  const auto& cached = engine.verifier(0);
+  EXPECT_EQ(cached.distinct_tails(0), 1u);
+  EXPECT_EQ(cached.distinct_tails(1), 1u);
+}
+
+TEST(AdmissionEngine, PreEngineContextSnapshotClassifiesStale) {
+  const graph::Graph g =
+      gen::build_dataset(*gen::find_dataset("Physics 1"), kNodes, 9);
+  AdmissionSweepConfig config;
+  config.route_lengths = {2, 3, 4};
+  config.suspect_sample = 20;
+  config.verifier_sample = 2;
+  const auto baseline = admission_sweep(g, config);
+
+  const fs::path dir =
+      fs::path{testing::TempDir()} / "admission_engine_stale_test";
+  fs::remove_all(dir);
+  {
+    // A complete snapshot in the pre-engine context layout: same
+    // fingerprint and block count, but no kAdmissionEngineVersion in the
+    // context word (those runs measured under per-length protocol seeds,
+    // so their payloads must not be replayed).
+    resilience::CheckpointOptions options;
+    options.dir = dir.string();
+    options.name = "sybil-admission";
+    options.interval = 1;
+    const std::uint64_t old_context =
+        util::hash_combine(static_cast<std::uint64_t>(config.reorder),
+                           graph::frontier_context_word(config.frontier));
+    resilience::BlockCheckpoint stale{options, admission_sweep_fingerprint(g, config),
+                                      config.route_lengths.size(), old_context};
+    for (std::size_t i = 0; i < config.route_lengths.size(); ++i) {
+      stale.record(i, {0.123});  // poison: replaying would be visible
+    }
+    stale.finalize();
+  }
+
+#if SOCMIX_OBS_ENABLED
+  const auto stale_count = [] {
+    for (const auto& counter : obs::Registry::instance().snapshot().counters) {
+      if (counter.name == "resilience.stale_discarded") return counter.value;
+    }
+    return std::uint64_t{0};
+  };
+  const std::uint64_t stale_before = stale_count();
+#endif
+  config.checkpoint.dir = dir.string();
+  config.checkpoint.interval = 1;
+  const auto resumed = admission_sweep(g, config);
+#if SOCMIX_OBS_ENABLED
+  EXPECT_GT(stale_count(), stale_before);
+#endif
+  ASSERT_EQ(resumed.size(), baseline.size());
+  for (std::size_t i = 0; i < baseline.size(); ++i) {
+    EXPECT_EQ(resumed[i].admitted_fraction, baseline[i].admitted_fraction) << i;
+    EXPECT_NE(resumed[i].admitted_fraction, 0.123) << i;
+  }
+  fs::remove_all(dir);
+}
+
+TEST(AdmissionEngine, SweepStatsReportPhaseSplit) {
+  const graph::Graph g =
+      gen::build_dataset(*gen::find_dataset("Physics 1"), kNodes, 9);
+  AdmissionSweepConfig config;
+  config.route_lengths = {2, 4, 8};
+  config.suspect_sample = 30;
+  config.verifier_sample = 2;
+  AdmissionEngineStats stats;
+  config.engine_stats = &stats;
+  (void)admission_sweep(g, config);
+  EXPECT_GT(stats.route_hops_walked, 0u);
+  EXPECT_GT(stats.route_hops_saved, 0u);
+  EXPECT_EQ(stats.verifier_cache_misses, 2u);  // one per verifier
+  EXPECT_GE(stats.precompute_seconds, 0.0);
+  EXPECT_GT(stats.queries, 0u);
+}
+
+}  // namespace
+}  // namespace socmix::sybil

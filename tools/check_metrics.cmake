@@ -138,4 +138,38 @@ if(NOT bench MATCHES "\"median_s\":" OR NOT bench MATCHES "\"simd_tier\":")
   message(FATAL_ERROR "bench JSON is missing stats or provenance fields")
 endif()
 
-message(STATUS "obs CLI e2e: metrics + trace + sample + bench outputs validated")
+# A sybil sweep must report the admission engine's metrics — in particular
+# the route hops its incremental tail extension saved over per-length
+# rewalks, which is the engine's reason to exist and must stay > 0.
+set(sybil_metrics_file "${OUT_DIR}/sybil_metrics.json")
+execute_process(
+  COMMAND "${SOCMIX_BIN}" sybil --dataset "Physics 1" --nodes 400
+          --suspects 40 --w 2,4,8 --seed 7
+          --metrics-out "${sybil_metrics_file}"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE run_stdout
+  ERROR_VARIABLE run_stderr)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "socmix sybil failed (${rc}):\n${run_stdout}\n${run_stderr}")
+endif()
+if(NOT EXISTS "${sybil_metrics_file}")
+  message(FATAL_ERROR "--metrics-out wrote nothing to ${sybil_metrics_file}")
+endif()
+file(READ "${sybil_metrics_file}" sybil_metrics)
+foreach(key
+    "sybil.engine.hops_walked"
+    "sybil.engine.hops_saved"
+    "sybil.engine.verifier_cache_misses"
+    "sybil.engine.queries")
+  if(NOT sybil_metrics MATCHES "\"${key}\":")
+    message(FATAL_ERROR "sybil metrics JSON is missing key '${key}'")
+  endif()
+endforeach()
+if(NOT sybil_metrics MATCHES "\"sybil\\.engine\\.hops_saved\":([0-9]+)")
+  message(FATAL_ERROR "sybil metrics JSON is missing sybil.engine.hops_saved value")
+endif()
+if(CMAKE_MATCH_1 LESS 1)
+  message(FATAL_ERROR "sybil.engine.hops_saved is ${CMAKE_MATCH_1}; incremental tail extension saved nothing")
+endif()
+
+message(STATUS "obs CLI e2e: metrics + trace + sample + bench + sybil engine outputs validated")
